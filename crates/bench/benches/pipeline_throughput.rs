@@ -1,0 +1,86 @@
+//! End-to-end throughput of the distributed pipelines: simulated
+//! sensor-readings processed per second of host time, for D3, MGDD and
+//! the centralized baseline on a small hierarchy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use snod_core::pipeline::{Algorithm, OutlierPipeline};
+use snod_core::{D3Config, EstimatorConfig, MgddConfig, UpdateStrategy};
+use snod_outlier::{DistanceOutlierConfig, MdefConfig};
+use snod_simnet::{NodeId, SimConfig};
+
+fn source(node: NodeId, seq: u64) -> Option<Vec<f64>> {
+    let h = node.0 as u64 * 1_000_003 + seq * 7_919;
+    Some(vec![0.3 + 0.2 * ((h % 1_000) as f64 / 1_000.0)])
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let est = EstimatorConfig::builder()
+        .window(1_000)
+        .sample_size(100)
+        .seed(5)
+        .build()
+        .unwrap();
+    let readings = 2_000u64;
+    let leaves = 16usize;
+
+    let algorithms: Vec<(&str, Algorithm)> = vec![
+        (
+            "d3",
+            Algorithm::D3(D3Config {
+                estimator: est,
+                rule: DistanceOutlierConfig::new(10.0, 0.01),
+                sample_fraction: 0.5,
+            }),
+        ),
+        (
+            "mgdd",
+            Algorithm::Mgdd(
+                MgddConfig {
+                    estimator: est,
+                    rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
+                    sample_fraction: 0.5,
+                    updates: UpdateStrategy::EveryAcceptance,
+                },
+                vec![],
+            ),
+        ),
+        (
+            "centralized",
+            Algorithm::Centralized(DistanceOutlierConfig::new(10.0, 0.01), 1_000),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("pipeline_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(readings * leaves as u64));
+    for (name, alg) in algorithms {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &alg, |b, alg| {
+            b.iter(|| {
+                let p =
+                    OutlierPipeline::balanced(leaves, &[4, 2], SimConfig::default(), alg.clone())
+                        .unwrap();
+                let mut src = source;
+                p.run(&mut src, readings).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches check complexity *shape*
+/// (linear vs flat), not absolute timings.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_pipelines
+}
+criterion_main!(benches);

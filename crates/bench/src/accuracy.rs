@@ -1,0 +1,500 @@
+//! Shared machinery for the precision/recall experiments
+//! (Figures 7, 8, 9 and 10 of the paper).
+//!
+//! One *run* of an accuracy experiment:
+//!
+//! 1. builds the §10.2 hierarchy (32 leaves under 3 leader tiers by
+//!    default),
+//! 2. replays per-sensor streams through **D3** and **MGDD** (separate
+//!    simulations over identical streams),
+//! 3. maintains exact ground truth for every hierarchy level via
+//!    [`crate::harness::RecordingSource`],
+//! 4. additionally evaluates the offline **histogram** estimator of the
+//!    paper's comparison (equi-depth over the exact union windows,
+//!    periodically rebuilt — deliberately favoured, as in the paper),
+//! 5. scores precision and recall per `(algorithm, estimator, level)`.
+//!
+//! Runs are farmed out to threads with `crossbeam`; results are pooled
+//! micro-averages over runs, as in the paper's 12-run averages.
+
+use std::collections::HashMap;
+
+use snod_core::pipeline::{Algorithm, OutlierPipeline};
+use snod_core::{D3Config, EstimatorConfig, MgddConfig, UpdateStrategy};
+use snod_data::{DataStream, SensorStreams};
+use snod_density::{DensityModel, EquiDepthHistogram, GridHistogram};
+use snod_outlier::{DistanceOutlierConfig, MdefConfig, MdefDetector, PrecisionRecall};
+use snod_simnet::{Hierarchy, SimConfig};
+
+use crate::harness::{score_level, ReadingRecord, RecordingSource};
+
+/// Which estimator produced a score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimatorKind {
+    /// The paper's kernel density models (online).
+    Kernel,
+    /// Equi-depth histograms over the exact windows (offline baseline).
+    Histogram,
+}
+
+/// Which detection algorithm produced a score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Distance-based distributed detection.
+    D3,
+    /// MDEF-based multi-granular detection.
+    Mgdd,
+}
+
+/// Key of one result series: algorithm × estimator × hierarchy level.
+pub type SeriesKey = (AlgorithmKind, EstimatorKind, u8);
+
+/// Configuration of one accuracy experiment.
+pub struct AccuracyConfig {
+    /// Leaf sensors (paper: 32).
+    pub leaves: usize,
+    /// Leader fan-outs above the leaves (paper reconstruction: 4/2/4).
+    pub fanouts: Vec<usize>,
+    /// Data dimensionality.
+    pub dims: usize,
+    /// Sliding window `|W|`.
+    pub window: usize,
+    /// Kernel sample size `|R|` (= histogram buckets `|B|`).
+    pub sample_size: usize,
+    /// Sample-propagation fraction `f`.
+    pub sample_fraction: f64,
+    /// Distance rule for D3 and its truth.
+    pub dist_rule: DistanceOutlierConfig,
+    /// MDEF rule for MGDD and its truth.
+    pub mdef_rule: MdefConfig,
+    /// Readings per leaf before scoring starts.
+    pub warmup: u64,
+    /// Scored readings per leaf.
+    pub eval: u64,
+    /// Rebuild period (in scored readings per leaf) of the offline
+    /// histograms.
+    pub hist_refresh: u64,
+    /// Independent runs to average over (paper: 12).
+    pub runs: u64,
+    /// Base RNG seed; run `i` uses `seed + i`.
+    pub seed: u64,
+    /// Run the histogram baseline too (1-d only).
+    pub with_histograms: bool,
+    /// Run the D3 pass.
+    pub with_d3: bool,
+    /// Run the MGDD pass.
+    pub with_mgdd: bool,
+}
+
+impl AccuracyConfig {
+    /// The paper's §10.2 defaults for the 1-d synthetic experiment.
+    pub fn paper_defaults_1d() -> Self {
+        Self {
+            leaves: 32,
+            fanouts: vec![4, 2, 4],
+            dims: 1,
+            window: 10_000,
+            sample_size: 500,
+            sample_fraction: 0.5,
+            dist_rule: DistanceOutlierConfig::new(45.0, 0.01),
+            mdef_rule: MdefConfig::new(0.08, 0.01, 3.0).expect("paper parameters are valid"),
+            warmup: 10_000,
+            eval: 1_000,
+            hist_refresh: 100,
+            runs: 3,
+            seed: 1,
+            with_histograms: false,
+            with_d3: true,
+            with_mgdd: true,
+        }
+    }
+}
+
+/// Pooled results of an accuracy experiment.
+#[derive(Debug, Default)]
+pub struct AccuracyResults {
+    /// Micro-averaged confusion counts per series.
+    pub series: HashMap<SeriesKey, PrecisionRecall>,
+    /// Total true distance outliers per level (diagnostics).
+    pub true_dist: Vec<u64>,
+    /// Total true MDEF outliers per level (diagnostics).
+    pub true_mdef: Vec<u64>,
+    /// Scored readings.
+    pub scored: u64,
+}
+
+impl AccuracyResults {
+    fn merge(&mut self, other: AccuracyResults) {
+        for (k, v) in other.series {
+            self.series.entry(k).or_default().merge(&v);
+        }
+        if self.true_dist.len() < other.true_dist.len() {
+            self.true_dist.resize(other.true_dist.len(), 0);
+            self.true_mdef.resize(other.true_mdef.len(), 0);
+        }
+        for (a, b) in self.true_dist.iter_mut().zip(other.true_dist.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.true_mdef.iter_mut().zip(other.true_mdef.iter()) {
+            *a += b;
+        }
+        self.scored += other.scored;
+    }
+}
+
+/// Runs the experiment, parallelising independent runs across threads.
+/// `make_stream(run, sensor)` builds sensor `sensor`'s stream for run
+/// `run` (must be deterministic in its arguments).
+pub fn run_accuracy<F, S>(cfg: &AccuracyConfig, make_stream: F) -> AccuracyResults
+where
+    F: Fn(u64, usize) -> S + Sync,
+    S: DataStream + Send + 'static,
+{
+    let mut total = AccuracyResults::default();
+    let results: Vec<AccuracyResults> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.runs)
+            .map(|run| {
+                let make_stream = &make_stream;
+                scope.spawn(move |_| single_run(cfg, run, make_stream))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect()
+    })
+    .expect("scope");
+    for r in results {
+        total.merge(r);
+    }
+    total
+}
+
+fn estimator_config(cfg: &AccuracyConfig, seed: u64) -> EstimatorConfig {
+    EstimatorConfig::builder()
+        .window(cfg.window)
+        .sample_size(cfg.sample_size)
+        .dimensions(cfg.dims)
+        .seed(seed)
+        .build()
+        .expect("accuracy config is valid")
+}
+
+fn single_run<F, S>(cfg: &AccuracyConfig, run: u64, make_stream: &F) -> AccuracyResults
+where
+    F: Fn(u64, usize) -> S,
+    S: DataStream + Send + 'static,
+{
+    let topo = Hierarchy::balanced(cfg.leaves, &cfg.fanouts).expect("valid hierarchy");
+    let sim = SimConfig::default();
+    let levels = topo.level_count();
+    let readings = cfg.warmup + cfg.eval;
+    let mut results = AccuracyResults {
+        true_dist: vec![0; levels],
+        true_mdef: vec![0; levels],
+        ..Default::default()
+    };
+
+    let mut diagnostic_records: Option<Vec<ReadingRecord>> = None;
+
+    // ---- D3 over the kernel estimators --------------------------------
+    if cfg.with_d3 {
+        let d3_cfg = D3Config {
+            estimator: estimator_config(cfg, cfg.seed + run * 1_000 + 7),
+            rule: cfg.dist_rule,
+            sample_fraction: cfg.sample_fraction,
+        };
+        let mut streams = SensorStreams::generate(cfg.leaves, |i| make_stream(run, i));
+        let mut source = RecordingSource::new(
+            &mut streams,
+            &topo,
+            cfg.window,
+            cfg.dist_rule,
+            cfg.mdef_rule,
+            cfg.warmup,
+        );
+        let pipeline = OutlierPipeline::new(topo.clone(), sim, Algorithm::D3(d3_cfg));
+        let report = pipeline.run(&mut source, readings).expect("d3 run");
+        let records = std::mem::take(&mut source.records);
+        for level in 1..=levels as u8 {
+            let detections = report
+                .detections_by_level
+                .get(&level)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let pr = score_level(&records, detections, level, |r| {
+                r.dist_truth[(level - 1) as usize]
+            });
+            results
+                .series
+                .entry((AlgorithmKind::D3, EstimatorKind::Kernel, level))
+                .or_default()
+                .merge(&pr);
+        }
+        diagnostic_records = Some(records);
+    }
+
+    // ---- MGDD over the kernel estimators (fresh identical streams) ----
+    if cfg.with_mgdd {
+        let mgdd_cfg = MgddConfig {
+            estimator: estimator_config(cfg, cfg.seed + run * 1_000 + 13),
+            rule: cfg.mdef_rule,
+            sample_fraction: cfg.sample_fraction,
+            updates: UpdateStrategy::EveryAcceptance,
+        };
+        let broadcast_levels: Vec<u8> = (2..=levels as u8).collect();
+        let mut streams2 = SensorStreams::generate(cfg.leaves, |i| make_stream(run, i));
+        let mut source2 = RecordingSource::new(
+            &mut streams2,
+            &topo,
+            cfg.window,
+            cfg.dist_rule,
+            cfg.mdef_rule,
+            cfg.warmup,
+        );
+        let pipeline2 = OutlierPipeline::new(
+            topo.clone(),
+            sim,
+            Algorithm::Mgdd(mgdd_cfg, broadcast_levels.clone()),
+        );
+        let report2 = pipeline2.run(&mut source2, readings).expect("mgdd run");
+        let records2 = std::mem::take(&mut source2.records);
+        for &level in &broadcast_levels {
+            let detections = report2
+                .detections_by_level
+                .get(&level)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let pr = score_level(&records2, detections, level, |r| {
+                r.mdef_truth[(level - 1) as usize]
+            });
+            results
+                .series
+                .entry((AlgorithmKind::Mgdd, EstimatorKind::Kernel, level))
+                .or_default()
+                .merge(&pr);
+        }
+        if diagnostic_records.is_none() {
+            diagnostic_records = Some(records2);
+        }
+    }
+
+    // Truth diagnostics from whichever pass ran first.
+    if let Some(records) = &diagnostic_records {
+        for r in records {
+            for level0 in 0..levels {
+                results.true_dist[level0] += r.dist_truth[level0] as u64;
+                results.true_mdef[level0] += r.mdef_truth[level0] as u64;
+            }
+        }
+        results.scored = records.len() as u64;
+    }
+
+    // ---- Offline histogram baseline ------------------------------------
+    if cfg.with_histograms {
+        let hist = histogram_pass(cfg, run, make_stream, &topo);
+        for (k, v) in hist {
+            results.series.entry(k).or_default().merge(&v);
+        }
+    }
+    results
+}
+
+/// The paper's histogram comparison: equi-depth histograms with
+/// `|B| = |R|` buckets built *offline* over the exact union windows,
+/// refreshed every `hist_refresh` readings per leaf, and used to answer
+/// the same `N(p, r)` / MDEF queries.
+fn histogram_pass<F, S>(
+    cfg: &AccuracyConfig,
+    run: u64,
+    make_stream: &F,
+    topo: &Hierarchy,
+) -> HashMap<SeriesKey, PrecisionRecall>
+where
+    F: Fn(u64, usize) -> S,
+    S: DataStream + Send + 'static,
+{
+    let levels = topo.level_count();
+    // Exact per-leaf ring windows.
+    let mut windows: Vec<std::collections::VecDeque<Vec<f64>>> =
+        vec![std::collections::VecDeque::new(); cfg.leaves];
+    let mut streams = SensorStreams::generate(cfg.leaves, |i| make_stream(run, i));
+
+    // Ancestors per leaf, as node indices, one per level.
+    let ancestors: Vec<Vec<usize>> = topo
+        .leaves()
+        .iter()
+        .map(|&leaf| {
+            let mut path = vec![leaf.index()];
+            let mut n = leaf;
+            while let Some(p) = topo.parent(n) {
+                path.push(p.index());
+                n = p;
+            }
+            path
+        })
+        .collect();
+    // Members per node (leaf positions under it).
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); topo.node_count()];
+    for (pos, path) in ancestors.iter().enumerate() {
+        for &node in path {
+            members[node].push(pos);
+        }
+    }
+
+    enum HistModel {
+        One(EquiDepthHistogram),
+        Multi(GridHistogram),
+    }
+    impl HistModel {
+        fn as_model(&self) -> &dyn DensityModel {
+            match self {
+                HistModel::One(h) => h,
+                HistModel::Multi(h) => h,
+            }
+        }
+    }
+    let mut models: Vec<Option<HistModel>> = (0..topo.node_count()).map(|_| None).collect();
+    let rebuild = |windows: &[std::collections::VecDeque<Vec<f64>>],
+                   members: &[usize]|
+     -> Option<HistModel> {
+        if cfg.dims == 1 {
+            let mut values: Vec<f64> = Vec::new();
+            for &m in members {
+                values.extend(windows[m].iter().map(|v| v[0]));
+            }
+            EquiDepthHistogram::from_window(&values, cfg.sample_size)
+                .ok()
+                .map(HistModel::One)
+        } else {
+            let mut pts: Vec<Vec<f64>> = Vec::new();
+            for &m in members {
+                pts.extend(windows[m].iter().cloned());
+            }
+            // bins per dim so that total cells ≈ |B| (comparable memory)
+            let bins =
+                ((cfg.sample_size as f64).powf(1.0 / cfg.dims as f64).round() as usize).max(2);
+            GridHistogram::from_window(&pts, cfg.dims, bins)
+                .ok()
+                .map(HistModel::Multi)
+        }
+    };
+
+    let detector = MdefDetector::new(cfg.mdef_rule);
+    let mut truth =
+        crate::harness::TruthTracker::new(topo, cfg.window, cfg.dist_rule, cfg.mdef_rule);
+    let mut prs: HashMap<SeriesKey, PrecisionRecall> = HashMap::new();
+    let total = cfg.warmup + cfg.eval;
+    for seq in 0..total {
+        if seq >= cfg.warmup && (seq - cfg.warmup).is_multiple_of(cfg.hist_refresh) {
+            // Periodic offline rebuild of every node's histogram from the
+            // exact union windows (once per instant, not per leaf).
+            for node in 0..topo.node_count() {
+                models[node] = rebuild(&windows, &members[node]);
+            }
+        }
+        for leaf in 0..cfg.leaves {
+            let v = streams.next_for(leaf);
+            let (dist_t, mdef_t) = truth.ingest(leaf, &v);
+            if windows[leaf].len() == cfg.window {
+                windows[leaf].pop_front();
+            }
+            windows[leaf].push_back(v.clone());
+            if seq < cfg.warmup {
+                continue;
+            }
+            for (level0, &node) in ancestors[leaf].iter().enumerate() {
+                let Some(model) = models[node].as_ref() else {
+                    continue;
+                };
+                let level = (level0 + 1) as u8;
+                // D3-Histogram: same (D, r) rule on the histogram model,
+                // with the threshold density-scaled to the union window
+                // (as everywhere else in the hierarchy).
+                let n = model
+                    .as_model()
+                    .neighborhood_count(&v, cfg.dist_rule.radius)
+                    .unwrap_or(f64::INFINITY);
+                let t_eff =
+                    cfg.dist_rule.min_neighbors * model.as_model().window_len() / cfg.window as f64;
+                let d_pred = n < t_eff;
+                prs.entry((AlgorithmKind::D3, EstimatorKind::Histogram, level))
+                    .or_default()
+                    .record(d_pred, dist_t[level0]);
+                // MGDD-Histogram: MDEF test on the histogram model
+                // (leaders only, matching MGDD's granularity levels).
+                if level >= 2 {
+                    let m_pred = detector
+                        .evaluate(model.as_model(), &v)
+                        .map(|e| e.is_outlier)
+                        .unwrap_or(false);
+                    prs.entry((AlgorithmKind::Mgdd, EstimatorKind::Histogram, level))
+                        .or_default()
+                        .record(m_pred, mdef_t[level0]);
+                }
+            }
+        }
+    }
+    let _ = levels;
+    prs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snod_data::GaussianMixtureStream;
+
+    /// A miniature end-to-end accuracy run: small windows, few readings —
+    /// checks plumbing, not paper-scale numbers.
+    #[test]
+    fn miniature_accuracy_run_produces_all_series() {
+        let cfg = AccuracyConfig {
+            leaves: 4,
+            fanouts: vec![2, 2],
+            dims: 1,
+            window: 300,
+            sample_size: 40,
+            sample_fraction: 0.5,
+            dist_rule: DistanceOutlierConfig::new(5.0, 0.01),
+            mdef_rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
+            warmup: 300,
+            eval: 150,
+            hist_refresh: 50,
+            runs: 2,
+            seed: 9,
+            with_histograms: true,
+            with_d3: true,
+            with_mgdd: true,
+        };
+        let results = run_accuracy(&cfg, |run, sensor| {
+            GaussianMixtureStream::new(1, run * 100 + sensor as u64)
+        });
+        assert_eq!(results.scored, 2 * 4 * 150);
+        // All series exist: D3 kernel levels 1–3, MGDD kernel levels 2–3,
+        // histogram variants.
+        for level in 1..=3u8 {
+            assert!(results.series.contains_key(&(
+                AlgorithmKind::D3,
+                EstimatorKind::Kernel,
+                level
+            )));
+            assert!(results.series.contains_key(&(
+                AlgorithmKind::D3,
+                EstimatorKind::Histogram,
+                level
+            )));
+        }
+        for level in 2..=3u8 {
+            assert!(results.series.contains_key(&(
+                AlgorithmKind::Mgdd,
+                EstimatorKind::Kernel,
+                level
+            )));
+            assert!(results.series.contains_key(&(
+                AlgorithmKind::Mgdd,
+                EstimatorKind::Histogram,
+                level
+            )));
+        }
+    }
+}

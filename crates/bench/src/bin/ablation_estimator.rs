@@ -1,0 +1,242 @@
+//! Ablations of the estimator design choices (single-sensor setting):
+//!
+//! 1. **Kernel choice** — the paper claims *"the choice of the kernel
+//!    function is not significant for the results of the approximation"*
+//!    (Section 4) and picks Epanechnikov for its integrability. We
+//!    measure `(D, r)`-outlier precision/recall with Epanechnikov,
+//!    Gaussian and uniform kernels under identical bandwidths.
+//! 2. **Bandwidth rule** — sweep a multiplier on the paper's
+//!    `√5·σ·|R|^(−1/(d+4))` to show the rule sits near the accuracy
+//!    sweet spot (under-smoothing destroys precision, over-smoothing
+//!    destroys recall).
+//!
+//! Knobs: `FIG_WINDOW` (default 10000), `FIG_EVAL` (default 2000),
+//! `FIG_SEEDS` (default 3).
+
+use std::collections::VecDeque;
+
+use snod_bench::harness::TruthIndex;
+use snod_bench::report::{pct, Table};
+use snod_data::{DataStream, GaussianMixtureStream};
+use snod_density::{
+    scott_bandwidth, DensityModel, EpanechnikovKernel, GaussianKernel, Kde1d, UniformKernel,
+};
+use snod_outlier::{DistanceOutlierConfig, MdefConfig, PrecisionRecall};
+use snod_sketch::{ChainSampler, WindowedVariance};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone, Copy)]
+enum KernelChoice {
+    Epanechnikov,
+    Gaussian,
+    Uniform,
+}
+
+impl KernelChoice {
+    fn name(self) -> &'static str {
+        match self {
+            KernelChoice::Epanechnikov => "epanechnikov",
+            KernelChoice::Gaussian => "gaussian",
+            KernelChoice::Uniform => "uniform",
+        }
+    }
+}
+
+/// One single-sensor pass: returns (precision, recall) of the
+/// `(45, 0.01)` rule against the exact windowed ground truth.
+fn run_pass(
+    seed: u64,
+    window: usize,
+    sample_size: usize,
+    eval: usize,
+    kernel: KernelChoice,
+    bandwidth_scale: f64,
+) -> PrecisionRecall {
+    let rule = DistanceOutlierConfig::new(45.0, 0.01);
+    let mdef_rule = MdefConfig::new(0.08, 0.01, 3.0).expect("valid");
+    let mut stream = GaussianMixtureStream::new(1, seed);
+    let mut sampler = ChainSampler::<f64>::new(window, sample_size, seed ^ 0xAB).expect("valid");
+    let mut sigma = WindowedVariance::new(window, 0.2).expect("valid");
+    let mut truth = TruthIndex::new(&rule, &mdef_rule);
+    let mut ring: VecDeque<(u64, f64)> = VecDeque::new();
+    let mut pr = PrecisionRecall::new();
+
+    for i in 0..(window + eval) as u64 {
+        let v = stream.next_reading()[0];
+        if ring.len() == window {
+            let (id, old) = ring.pop_front().expect("full ring");
+            truth.remove(id, &[old]);
+        }
+        truth.insert(i, &[v]);
+        ring.push_back((i, v));
+
+        if i >= window as u64 {
+            let bw = bandwidth_scale * scott_bandwidth(sigma.std_dev(), sample_size, 1);
+            let centers = sampler.sample();
+            let n = match kernel {
+                KernelChoice::Epanechnikov => {
+                    Kde1d::new(centers, bw, window as f64, EpanechnikovKernel)
+                        .and_then(|m| m.neighborhood_count(&[v], rule.radius))
+                }
+                KernelChoice::Gaussian => Kde1d::new(centers, bw, window as f64, GaussianKernel)
+                    .and_then(|m| m.neighborhood_count(&[v], rule.radius)),
+                KernelChoice::Uniform => Kde1d::new(centers, bw, window as f64, UniformKernel)
+                    .and_then(|m| m.neighborhood_count(&[v], rule.radius)),
+            }
+            .expect("model built");
+            let predicted = n < rule.min_neighbors;
+            let actual = truth.is_distance_outlier(&[v], &rule);
+            pr.record(predicted, actual);
+        }
+        sampler.push(v);
+        sigma.push(v);
+    }
+    pr
+}
+
+fn main() {
+    let window = env_u64("FIG_WINDOW", 10_000) as usize;
+    let eval = env_u64("FIG_EVAL", 2_000) as usize;
+    let seeds = env_u64("FIG_SEEDS", 3);
+    let sample_size = window / 20;
+
+    println!(
+        "Estimator ablations — 1-d synthetic, |W|={window}, |R|={sample_size}, \
+         (45, 0.01)-outliers, {seeds} seeds\n"
+    );
+
+    println!("1. kernel choice (paper §4: 'not significant'):");
+    let mut t = Table::new(["kernel", "precision", "recall"]);
+    for kernel in [
+        KernelChoice::Epanechnikov,
+        KernelChoice::Gaussian,
+        KernelChoice::Uniform,
+    ] {
+        let mut total = PrecisionRecall::new();
+        for s in 0..seeds {
+            total.merge(&run_pass(s, window, sample_size, eval, kernel, 1.0));
+        }
+        t.row([
+            kernel.name().into(),
+            pct(total.precision()),
+            pct(total.recall()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("2. bandwidth multiplier on √5·σ·|R|^(−1/5):");
+    let mut t = Table::new(["multiplier", "precision", "recall"]);
+    for &m in &[0.25f64, 0.5, 1.0, 2.0, 4.0] {
+        let mut total = PrecisionRecall::new();
+        for s in 0..seeds {
+            total.merge(&run_pass(
+                s,
+                window,
+                sample_size,
+                eval,
+                KernelChoice::Epanechnikov,
+                m,
+            ));
+        }
+        t.row([format!("{m}×"), pct(total.precision()), pct(total.recall())]);
+    }
+    println!("{}", t.render());
+
+    println!(
+        "3. summary family at equal memory budget (|R| numbers): online kernel\n\
+         sample vs offline equi-depth histogram vs offline wavelet synopsis:"
+    );
+    let mut t = Table::new(["estimator", "precision", "recall"]);
+    for family in [
+        "kernel (online)",
+        "equi-depth (offline)",
+        "wavelet (offline)",
+    ] {
+        let mut total = PrecisionRecall::new();
+        for s in 0..seeds {
+            total.merge(&run_family(s, window, sample_size, eval, family));
+        }
+        t.row([family.into(), pct(total.precision()), pct(total.recall())]);
+    }
+    println!("{}", t.render());
+}
+
+/// Compares summary families on the same task. The offline families get
+/// the exact window (as the paper grants its histogram baseline) with a
+/// memory budget of `|R|` numbers.
+fn run_family(
+    seed: u64,
+    window: usize,
+    sample_size: usize,
+    eval: usize,
+    family: &str,
+) -> PrecisionRecall {
+    use snod_density::{EquiDepthHistogram, WaveletHistogram};
+    let rule = DistanceOutlierConfig::new(45.0, 0.01);
+    let mdef_rule = MdefConfig::new(0.08, 0.01, 3.0).expect("valid");
+    let mut stream = GaussianMixtureStream::new(1, seed);
+    let mut sampler = ChainSampler::<f64>::new(window, sample_size, seed ^ 0xAB).expect("valid");
+    let mut sigma = WindowedVariance::new(window, 0.2).expect("valid");
+    let mut truth = TruthIndex::new(&rule, &mdef_rule);
+    let mut ring: VecDeque<(u64, f64)> = VecDeque::new();
+    let mut pr = PrecisionRecall::new();
+    // Offline summaries are rebuilt periodically, as in Figure 7's
+    // histogram pass.
+    let refresh = 100u64;
+    let mut offline: Option<Box<dyn DensityModel>> = None;
+
+    for i in 0..(window + eval) as u64 {
+        let v = stream.next_reading()[0];
+        if ring.len() == window {
+            let (id, old) = ring.pop_front().expect("full ring");
+            truth.remove(id, &[old]);
+        }
+        truth.insert(i, &[v]);
+        ring.push_back((i, v));
+
+        if i >= window as u64 {
+            let n = match family {
+                "kernel (online)" => {
+                    let bw = scott_bandwidth(sigma.std_dev(), sample_size, 1);
+                    Kde1d::new(sampler.sample(), bw, window as f64, EpanechnikovKernel)
+                        .and_then(|m| m.neighborhood_count(&[v], rule.radius))
+                        .expect("model built")
+                }
+                _ => {
+                    if (i - window as u64).is_multiple_of(refresh) || offline.is_none() {
+                        let values: Vec<f64> = ring.iter().map(|(_, x)| *x).collect();
+                        offline = Some(if family.starts_with("equi-depth") {
+                            Box::new(
+                                EquiDepthHistogram::from_window(&values, sample_size)
+                                    .expect("non-empty window"),
+                            )
+                        } else {
+                            Box::new(
+                                WaveletHistogram::from_window(&values, 10, sample_size)
+                                    .expect("non-empty window"),
+                            )
+                        });
+                    }
+                    offline
+                        .as_ref()
+                        .expect("just built")
+                        .neighborhood_count(&[v], rule.radius)
+                        .expect("1-d query")
+                }
+            };
+            pr.record(
+                n < rule.min_neighbors,
+                truth.is_distance_outlier(&[v], &rule),
+            );
+        }
+        sampler.push(v);
+        sigma.push(v);
+    }
+    pr
+}

@@ -1,0 +1,87 @@
+//! Internal calibration harness: single-sensor sanity check of detector
+//! vs ground-truth behaviour on the paper's synthetic workload, with the
+//! paper's parameters. Not a figure — a diagnostics tool used while
+//! developing and for regression-spotting drifts in the generators.
+
+use snod_core::{EstimatorConfig, SensorEstimator};
+use snod_data::{DataStream, GaussianMixtureStream};
+use snod_outlier::{DistanceOutlierConfig, MdefConfig, PrecisionRecall};
+
+use snod_bench::harness::TruthIndex;
+use snod_bench::report::{pct, Table};
+
+fn main() {
+    let window = 10_000usize;
+    let eval = 2_000usize;
+    let dist_rule = DistanceOutlierConfig::new(45.0, 0.01);
+    let mdef_rule = MdefConfig::new(0.08, 0.01, 3.0).unwrap();
+
+    let mut table = Table::new([
+        "seed",
+        "R",
+        "true-D",
+        "true-M",
+        "D3 prec",
+        "D3 rec",
+        "MGDD prec",
+        "MGDD rec",
+    ]);
+
+    for seed in 0..3u64 {
+        for &sample_size in &[125usize, 250, 500] {
+            let mut stream = GaussianMixtureStream::new(1, seed);
+            let mut truth = TruthIndex::new(&dist_rule, &mdef_rule);
+            let mut ring: std::collections::VecDeque<(u64, Vec<f64>)> =
+                std::collections::VecDeque::new();
+            let cfg = EstimatorConfig::builder()
+                .window(window)
+                .sample_size(sample_size)
+                .seed(seed * 17 + 1)
+                .build()
+                .unwrap();
+            let mut est = SensorEstimator::new(cfg);
+
+            let mut pr_d = PrecisionRecall::new();
+            let mut pr_m = PrecisionRecall::new();
+            let mut true_d = 0u64;
+            let mut true_m = 0u64;
+
+            for i in 0..(window + eval) as u64 {
+                let v = stream.next_reading();
+                // slide exact window
+                if ring.len() == window {
+                    let (id, old) = ring.pop_front().unwrap();
+                    truth.remove(id, &old);
+                }
+                truth.insert(i, &v);
+                ring.push_back((i, v.clone()));
+
+                let in_eval = i >= window as u64;
+                if in_eval {
+                    let td = truth.is_distance_outlier(&v, &dist_rule);
+                    let tm = truth.is_mdef_outlier(&v, &mdef_rule);
+                    true_d += td as u64;
+                    true_m += tm as u64;
+                    let pd = est.is_distance_outlier(&v, &dist_rule).unwrap();
+                    let pm = est.evaluate_mdef(&v, &mdef_rule).unwrap().is_outlier;
+                    pr_d.record(pd, td);
+                    pr_m.record(pm, tm);
+                }
+                est.observe(&v).unwrap();
+            }
+
+            table.row([
+                seed.to_string(),
+                sample_size.to_string(),
+                true_d.to_string(),
+                true_m.to_string(),
+                pct(pr_d.precision()),
+                pct(pr_d.recall()),
+                pct(pr_m.precision()),
+                pct(pr_m.recall()),
+            ]);
+        }
+    }
+    println!("single-sensor calibration: |W|={window}, eval={eval} readings");
+    println!("{}", table.render());
+}

@@ -1,0 +1,68 @@
+//! **Figure 5**: statistical characteristics of the real datasets
+//! (min / max / mean / median / stddev / skew).
+//!
+//! The paper's engine and Pacific-Northwest datasets are proprietary;
+//! this binary prints the same table for our calibrated generators next
+//! to the paper's published values, which is the calibration check for
+//! the Figure 10 experiments.
+
+use snod_bench::report::Table;
+use snod_data::{per_dimension_stats, DataStream, EngineStream, EnvironmentStream};
+use snod_sketch::DatasetStats;
+
+fn row(t: &mut Table, name: &str, s: &DatasetStats) {
+    t.row([
+        name.to_string(),
+        format!("{:.3}", s.min),
+        format!("{:.3}", s.max),
+        format!("{:.3}", s.mean),
+        format!("{:.3}", s.median),
+        format!("{:.3}", s.std_dev),
+        format!("{:.3}", s.skew),
+    ]);
+}
+
+fn paper_row(t: &mut Table, name: &str, v: [f64; 6]) {
+    t.row([
+        name.to_string(),
+        format!("{:.3}", v[0]),
+        format!("{:.3}", v[1]),
+        format!("{:.3}", v[2]),
+        format!("{:.3}", v[3]),
+        format!("{:.3}", v[4]),
+        format!("{:.3}", v[5]),
+    ]);
+}
+
+fn main() {
+    let mut engine = EngineStream::new(42);
+    let engine_vals: Vec<Vec<f64>> = engine.take_readings(50_000);
+    let engine_stats = per_dimension_stats(&engine_vals).expect("non-empty");
+
+    let mut env = EnvironmentStream::new(42);
+    let env_vals: Vec<Vec<f64>> = env.take_readings(35_000);
+    let env_stats = per_dimension_stats(&env_vals).expect("non-empty");
+
+    let mut t = Table::new(["Dataset", "Min", "Max", "Mean", "Median", "StdDev", "Skew"]);
+    row(&mut t, "Engine (ours)", &engine_stats[0]);
+    paper_row(
+        &mut t,
+        "Engine (paper)",
+        [0.020, 0.427, 0.410, 0.419, 0.053, -6.844],
+    );
+    row(&mut t, "Pressure (ours)", &env_stats[0]);
+    paper_row(
+        &mut t,
+        "Pressure (paper)",
+        [0.422, 0.848, 0.677, 0.681, 0.063, -0.399],
+    );
+    row(&mut t, "Dew-point (ours)", &env_stats[1]);
+    paper_row(
+        &mut t,
+        "Dew-point (paper)",
+        [0.113, 0.282, 0.213, 0.212, 0.027, -0.182],
+    );
+
+    println!("Figure 5 — statistical characteristics of the (calibrated) real datasets");
+    println!("{}", t.render());
+}

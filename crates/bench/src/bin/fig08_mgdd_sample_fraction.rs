@@ -1,0 +1,78 @@
+//! **Figure 8**: MGDD precision and recall while varying the sample
+//! fraction `f ∈ {0.25, 0.5, 0.75, 1.0}` (1-d synthetic, kernel
+//! estimators).
+//!
+//! The paper's observation: *"its performance improves as the sample
+//! fraction f increases … f determines the rate at which the
+//! observations are sent from the children nodes to their parent, and
+//! thus influences the frequency with which the global estimators at the
+//! leaf sensors are updated."*
+//!
+//! Knobs: `FIG_RUNS`, `FIG_WINDOW`, `FIG_EVAL`, `FIG_LEAVES` as in the
+//! other figure binaries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use snod_bench::accuracy::{run_accuracy, AccuracyConfig, AlgorithmKind, EstimatorKind};
+use snod_bench::report::{pct, Table};
+use snod_data::GaussianMixtureStream;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn sensor_stream(run: u64, sensor: usize) -> GaussianMixtureStream {
+    let seed = 0xF1608 + run * 10_007 + sensor as u64;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let weights = [
+        rng.gen_range(0.55..1.45),
+        rng.gen_range(0.55..1.45),
+        rng.gen_range(0.55..1.45),
+    ];
+    GaussianMixtureStream::new(1, seed).with_weights(weights)
+}
+
+fn main() {
+    let runs = env_u64("FIG_RUNS", 3);
+    let window = env_u64("FIG_WINDOW", 10_000) as usize;
+    let eval = env_u64("FIG_EVAL", 1_000);
+    let leaves = env_u64("FIG_LEAVES", 32) as usize;
+
+    println!("Figure 8 — MGDD vs sample fraction f (1-d synthetic, kernel)");
+    println!(
+        "|W|={window}, |R|={}, {leaves} leaves, {runs} runs\n",
+        window / 20
+    );
+
+    let mut t = Table::new(["f", "precision", "recall", "true-M (L2)"]);
+    for &f in &[0.25f64, 0.5, 0.75, 1.0] {
+        let mut cfg = AccuracyConfig::paper_defaults_1d();
+        cfg.leaves = leaves;
+        cfg.window = window;
+        cfg.sample_size = window / 20; // the paper's default |R| = 0.05·|W|
+        cfg.sample_fraction = f;
+        cfg.warmup = window as u64;
+        cfg.eval = eval;
+        cfg.runs = runs;
+        cfg.with_d3 = false;
+        let results = run_accuracy(&cfg, sensor_stream);
+        // Headline MGDD series: detection against the first leader
+        // tier's (level 2) global model.
+        let pr = results
+            .series
+            .get(&(AlgorithmKind::Mgdd, EstimatorKind::Kernel, 2))
+            .copied()
+            .unwrap_or_default();
+        t.row([
+            format!("{f}"),
+            pct(pr.precision()),
+            pct(pr.recall()),
+            results.true_mdef.get(1).copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

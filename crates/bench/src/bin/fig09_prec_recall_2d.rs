@@ -1,0 +1,113 @@
+//! **Figure 9**: precision and recall on the 2-d synthetic workload for
+//! D3 and MGDD (kernel estimators), hierarchy levels 1–4, varying
+//! `|R| ∈ {0.0125, 0.025, 0.05}·|W|`.
+//!
+//! Same setup as Figure 7 but with two-dimensional readings: the three
+//! clusters sit on the diagonal at `(m, m)` for `m ∈ {0.3, 0.35, 0.45}`
+//! and the noise is uniform in `[0.5, 1]²`.
+//!
+//! Knobs: `FIG_RUNS` (default 3), `FIG_WINDOW` (default 10000),
+//! `FIG_EVAL` (default 500), `FIG_LEAVES` (default 32).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use snod_bench::accuracy::{run_accuracy, AccuracyConfig, AlgorithmKind, EstimatorKind};
+use snod_bench::report::{pct, Table};
+use snod_data::GaussianMixtureStream;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn sensor_stream(run: u64, sensor: usize) -> GaussianMixtureStream {
+    let seed = 0xF1609 + run * 10_007 + sensor as u64;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let weights = [
+        rng.gen_range(0.55..1.45),
+        rng.gen_range(0.55..1.45),
+        rng.gen_range(0.55..1.45),
+    ];
+    GaussianMixtureStream::new(2, seed).with_weights(weights)
+}
+
+fn main() {
+    let runs = env_u64("FIG_RUNS", 3);
+    let window = env_u64("FIG_WINDOW", 10_000) as usize;
+    let eval = env_u64("FIG_EVAL", 500);
+    let leaves = env_u64("FIG_LEAVES", 32) as usize;
+
+    println!(
+        "Figure 9 — 2-d synthetic, |W|={window}, f=0.5, {leaves} leaves, {runs} runs, eval {eval}/leaf"
+    );
+
+    let mut d3_prec = Table::new(["|R|/|W|", "L1", "L2", "L3", "L4"]);
+    let mut d3_rec = Table::new(["|R|/|W|", "L1", "L2", "L3", "L4"]);
+    let mut mgdd_prec = Table::new(["|R|/|W|", "L2", "L3", "L4"]);
+    let mut mgdd_rec = Table::new(["|R|/|W|", "L2", "L3", "L4"]);
+
+    for &frac in &[0.0125f64, 0.025, 0.05] {
+        let mut cfg = AccuracyConfig::paper_defaults_1d();
+        cfg.leaves = leaves;
+        cfg.dims = 2;
+        cfg.window = window;
+        cfg.sample_size = ((window as f64) * frac).round() as usize;
+        cfg.warmup = window as u64;
+        cfg.eval = eval;
+        cfg.runs = runs;
+        let results = run_accuracy(&cfg, sensor_stream);
+
+        let cell = |alg: AlgorithmKind, level: u8, precision: bool| -> String {
+            results
+                .series
+                .get(&(alg, EstimatorKind::Kernel, level))
+                .map(|pr| {
+                    pct(if precision {
+                        pr.precision()
+                    } else {
+                        pr.recall()
+                    })
+                })
+                .unwrap_or_else(|| "-".into())
+        };
+        let f = format!("{frac}");
+        d3_prec.row([
+            f.clone(),
+            cell(AlgorithmKind::D3, 1, true),
+            cell(AlgorithmKind::D3, 2, true),
+            cell(AlgorithmKind::D3, 3, true),
+            cell(AlgorithmKind::D3, 4, true),
+        ]);
+        d3_rec.row([
+            f.clone(),
+            cell(AlgorithmKind::D3, 1, false),
+            cell(AlgorithmKind::D3, 2, false),
+            cell(AlgorithmKind::D3, 3, false),
+            cell(AlgorithmKind::D3, 4, false),
+        ]);
+        mgdd_prec.row([
+            f.clone(),
+            cell(AlgorithmKind::Mgdd, 2, true),
+            cell(AlgorithmKind::Mgdd, 3, true),
+            cell(AlgorithmKind::Mgdd, 4, true),
+        ]);
+        mgdd_rec.row([
+            f,
+            cell(AlgorithmKind::Mgdd, 2, false),
+            cell(AlgorithmKind::Mgdd, 3, false),
+            cell(AlgorithmKind::Mgdd, 4, false),
+        ]);
+        println!(
+            "  |R|={}  scored={}  true-D/level={:?}  true-M/level={:?}",
+            cfg.sample_size, results.scored, results.true_dist, results.true_mdef
+        );
+    }
+
+    println!("\n(a) D3 precision\n{}", d3_prec.render());
+    println!("(b) D3 recall\n{}", d3_rec.render());
+    println!("(c) MGDD precision\n{}", mgdd_prec.render());
+    println!("(d) MGDD recall\n{}", mgdd_rec.render());
+}

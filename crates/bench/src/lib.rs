@@ -1,0 +1,11 @@
+//! # snod-bench — experiment harness
+//!
+//! Shared plumbing for the figure-reproduction binaries in `src/bin/` and
+//! the Criterion micro-benchmarks in `benches/`. See `DESIGN.md` §4 for
+//! the experiment index mapping every paper table/figure to a binary.
+
+#![forbid(unsafe_code)]
+
+pub mod accuracy;
+pub mod harness;
+pub mod report;

@@ -1,0 +1,337 @@
+//! Hand-rolled argument parsing for the `snod` binary.
+
+use std::fmt;
+
+/// Which subcommand to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Stream outlier detection over CSV input.
+    Detect(DetectArgs),
+    /// Per-dimension dataset statistics.
+    Stats(StatsArgs),
+    /// Distributed simulation over a synthetic hierarchy.
+    Simulate(SimulateArgs),
+    /// Self-contained synthetic demo.
+    Demo,
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `snod simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Leaf sensor count.
+    pub leaves: usize,
+    /// Readings per leaf.
+    pub readings: u64,
+    /// Algorithm: "d3", "mgdd" or "centralized".
+    pub algorithm: String,
+    /// Sample-propagation fraction `f`.
+    pub fraction: f64,
+    /// Message-loss probability.
+    pub loss: f64,
+}
+
+impl Default for SimulateArgs {
+    fn default() -> Self {
+        Self {
+            leaves: 16,
+            readings: 6_000,
+            algorithm: "d3".into(),
+            fraction: 0.5,
+            loss: 0.0,
+        }
+    }
+}
+
+/// Arguments of `snod detect`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectArgs {
+    /// Sliding-window length `|W|`.
+    pub window: usize,
+    /// Kernel sample size `|R|` (default `|W|/20`).
+    pub sample: Option<usize>,
+    /// Distance rule radius `r`.
+    pub radius: f64,
+    /// Distance rule threshold `t`.
+    pub neighbors: f64,
+    /// MDEF rule `(r, αr, k_σ)` — switches the detector when present.
+    pub mdef: Option<(f64, f64, f64)>,
+    /// Readings to skip before verdicts (default: `|W|`).
+    pub warmup: Option<u64>,
+    /// Per-coordinate normalisation bounds, applied as
+    /// `(x − min)/(max − min)`.
+    pub min: Option<f64>,
+    /// See [`Self::min`].
+    pub max: Option<f64>,
+    /// Input path; stdin when `None`.
+    pub input: Option<String>,
+}
+
+impl Default for DetectArgs {
+    fn default() -> Self {
+        Self {
+            window: 10_000,
+            sample: None,
+            radius: 0.01,
+            neighbors: 45.0,
+            mdef: None,
+            warmup: None,
+            min: None,
+            max: None,
+            input: None,
+        }
+    }
+}
+
+/// Arguments of `snod stats`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsArgs {
+    /// Input path; stdin when `None`.
+    pub input: Option<String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Usage text printed by `snod help` and on errors.
+pub const USAGE: &str = "\
+snod — online outlier detection in sensor data (VLDB'06 reproduction)
+
+USAGE:
+  snod detect [OPTIONS] [FILE]    flag outliers in a CSV stream
+  snod stats  [FILE]              per-dimension dataset statistics
+  snod simulate [OPTIONS]         distributed run over a synthetic hierarchy
+  snod demo                       synthetic end-to-end demo
+  snod help                       this text
+
+SIMULATE OPTIONS:
+  --leaves N        leaf sensors                  (default 16)
+  --readings N      readings per leaf             (default 6000)
+  --algorithm A     d3 | mgdd | centralized       (default d3)
+  --fraction F      sample-propagation fraction f (default 0.5)
+  --loss P          message-loss probability      (default 0)
+
+DETECT OPTIONS:
+  --window N        sliding window |W|            (default 10000)
+  --sample N        kernel sample |R|             (default |W|/20)
+  --radius R        (D,r) rule: neighborhood radius   (default 0.01)
+  --neighbors T     (D,r) rule: neighbor threshold    (default 45)
+  --mdef r,ar,k     use the MDEF rule instead (sampling radius,
+                    counting radius, k_sigma)
+  --warmup N        readings before verdicts      (default |W|)
+  --min X --max Y   normalise coordinates to [0,1] on the fly
+
+Input: one reading per line, comma-separated coordinates. Output: one
+line per outlier, `index,coords…`. Reads stdin when FILE is omitted.";
+
+fn parse_value<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, ArgError> {
+    let raw = v.ok_or_else(|| ArgError(format!("{flag} needs a value")))?;
+    raw.parse()
+        .map_err(|_| ArgError(format!("invalid value for {flag}: {raw}")))
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ArgError> {
+    let mut it = args.into_iter();
+    let cmd = it.next().unwrap_or_else(|| "help".into());
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "demo" => Ok(Command::Demo),
+        "simulate" => {
+            let mut s = SimulateArgs::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--leaves" => s.leaves = parse_value(&a, it.next())?,
+                    "--readings" => s.readings = parse_value(&a, it.next())?,
+                    "--algorithm" => s.algorithm = parse_value(&a, it.next())?,
+                    "--fraction" => s.fraction = parse_value(&a, it.next())?,
+                    "--loss" => s.loss = parse_value(&a, it.next())?,
+                    other => return Err(ArgError(format!("unknown flag for simulate: {other}"))),
+                }
+            }
+            if s.leaves == 0 {
+                return Err(ArgError("--leaves must be positive".into()));
+            }
+            if !["d3", "mgdd", "centralized"].contains(&s.algorithm.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown algorithm {:?} (d3 | mgdd | centralized)",
+                    s.algorithm
+                )));
+            }
+            if !(0.0..=1.0).contains(&s.fraction) || !(0.0..=1.0).contains(&s.loss) {
+                return Err(ArgError("--fraction and --loss must lie in [0, 1]".into()));
+            }
+            Ok(Command::Simulate(s))
+        }
+        "stats" => {
+            let mut s = StatsArgs::default();
+            for a in it {
+                if a.starts_with("--") {
+                    return Err(ArgError(format!("unknown flag for stats: {a}")));
+                }
+                if s.input.is_some() {
+                    return Err(ArgError("stats takes at most one input file".into()));
+                }
+                s.input = Some(a);
+            }
+            Ok(Command::Stats(s))
+        }
+        "detect" => {
+            let mut d = DetectArgs::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--window" => d.window = parse_value(&a, it.next())?,
+                    "--sample" => d.sample = Some(parse_value(&a, it.next())?),
+                    "--radius" => d.radius = parse_value(&a, it.next())?,
+                    "--neighbors" => d.neighbors = parse_value(&a, it.next())?,
+                    "--warmup" => d.warmup = Some(parse_value(&a, it.next())?),
+                    "--min" => d.min = Some(parse_value(&a, it.next())?),
+                    "--max" => d.max = Some(parse_value(&a, it.next())?),
+                    "--mdef" => {
+                        let raw: String = parse_value(&a, it.next())?;
+                        let parts: Vec<&str> = raw.split(',').collect();
+                        if parts.len() != 3 {
+                            return Err(ArgError("--mdef expects r,ar,k".into()));
+                        }
+                        let nums: Result<Vec<f64>, _> =
+                            parts.iter().map(|p| p.trim().parse()).collect();
+                        let nums = nums.map_err(|_| ArgError(format!("invalid --mdef: {raw}")))?;
+                        d.mdef = Some((nums[0], nums[1], nums[2]));
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(ArgError(format!("unknown flag: {flag}")));
+                    }
+                    _ => {
+                        if d.input.is_some() {
+                            return Err(ArgError("detect takes at most one input file".into()));
+                        }
+                        d.input = Some(a);
+                    }
+                }
+            }
+            if d.window == 0 {
+                return Err(ArgError("--window must be positive".into()));
+            }
+            if let (Some(min), Some(max)) = (d.min, d.max) {
+                if max <= min {
+                    return Err(ArgError("--max must exceed --min".into()));
+                }
+            }
+            if d.min.is_some() != d.max.is_some() {
+                return Err(ArgError("--min and --max must be given together".into()));
+            }
+            Ok(Command::Detect(d))
+        }
+        other => Err(ArgError(format!(
+            "unknown command: {other} (try `snod help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Command {
+        parse(args.iter().map(|s| s.to_string())).expect("parse ok")
+    }
+
+    #[test]
+    fn defaults_and_file() {
+        let Command::Detect(d) = parse_ok(&["detect", "data.csv"]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(d.window, 10_000);
+        assert_eq!(d.input.as_deref(), Some("data.csv"));
+        assert!(d.mdef.is_none());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let Command::Detect(d) = parse_ok(&[
+            "detect",
+            "--window",
+            "500",
+            "--sample",
+            "50",
+            "--radius",
+            "0.02",
+            "--neighbors",
+            "10",
+            "--warmup",
+            "600",
+            "--min",
+            "-10",
+            "--max",
+            "40",
+            "in.csv",
+        ]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(d.window, 500);
+        assert_eq!(d.sample, Some(50));
+        assert_eq!(d.radius, 0.02);
+        assert_eq!(d.neighbors, 10.0);
+        assert_eq!(d.warmup, Some(600));
+        assert_eq!((d.min, d.max), (Some(-10.0), Some(40.0)));
+    }
+
+    #[test]
+    fn mdef_triple_parses() {
+        let Command::Detect(d) = parse_ok(&["detect", "--mdef", "0.08,0.01,3"]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(d.mdef, Some((0.08, 0.01, 3.0)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(["detect".into(), "--window".into()]).is_err());
+        assert!(parse(["detect".into(), "--mdef".into(), "1,2".into()]).is_err());
+        assert!(parse(["detect".into(), "--min".into(), "0".into()]).is_err());
+        assert!(parse(["frobnicate".into()]).is_err());
+        assert!(parse(["detect".into(), "a".into(), "b".into()]).is_err());
+    }
+
+    #[test]
+    fn simulate_flags_parse_and_validate() {
+        let Command::Simulate(s) = parse_ok(&[
+            "simulate",
+            "--leaves",
+            "32",
+            "--readings",
+            "100",
+            "--algorithm",
+            "mgdd",
+            "--fraction",
+            "0.25",
+            "--loss",
+            "0.1",
+        ]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(s.leaves, 32);
+        assert_eq!(s.algorithm, "mgdd");
+        assert_eq!(s.loss, 0.1);
+        assert!(parse(["simulate".into(), "--algorithm".into(), "nope".into()]).is_err());
+        assert!(parse(["simulate".into(), "--loss".into(), "1.5".into()]).is_err());
+        assert!(parse(["simulate".into(), "--leaves".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_ok(&["help"]), Command::Help);
+        assert_eq!(parse_ok(&["--help"]), Command::Help);
+        assert_eq!(parse(std::iter::empty::<String>()).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,102 @@
+//! Minimal CSV reading for the `snod` binary: one reading per line,
+//! comma-separated coordinates, `#`-prefixed comment lines skipped.
+
+use std::io::BufRead;
+
+/// A line that failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvError {
+    /// 1-based line number.
+    pub line: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses one CSV line into coordinates.
+pub fn parse_line(line: &str, lineno: u64) -> Result<Option<Vec<f64>>, CsvError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    trimmed
+        .split(',')
+        .map(|f| {
+            f.trim().parse::<f64>().map_err(|_| CsvError {
+                line: lineno,
+                message: format!("not a number: {f:?}"),
+            })
+        })
+        .collect::<Result<Vec<f64>, _>>()
+        .map(Some)
+}
+
+/// Streams readings from a buffered reader, calling `f` for each parsed
+/// line. Dimensionality must stay constant after the first reading.
+pub fn for_each_reading<R: BufRead>(
+    reader: R,
+    mut f: impl FnMut(u64, Vec<f64>) -> Result<(), CsvError>,
+) -> Result<u64, CsvError> {
+    let mut dims: Option<usize> = None;
+    let mut count = 0u64;
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i as u64 + 1;
+        let line = line.map_err(|e| CsvError {
+            line: lineno,
+            message: format!("read error: {e}"),
+        })?;
+        let Some(v) = parse_line(&line, lineno)? else {
+            continue;
+        };
+        match dims {
+            None => dims = Some(v.len()),
+            Some(d) if d != v.len() => {
+                return Err(CsvError {
+                    line: lineno,
+                    message: format!("expected {d} columns, found {}", v.len()),
+                })
+            }
+            _ => {}
+        }
+        f(count, v)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_values_and_skips_comments() {
+        assert_eq!(parse_line("0.5, 0.25", 1).unwrap(), Some(vec![0.5, 0.25]));
+        assert_eq!(parse_line("# header", 1).unwrap(), None);
+        assert_eq!(parse_line("   ", 1).unwrap(), None);
+        assert!(parse_line("0.5,oops", 3).is_err());
+    }
+
+    #[test]
+    fn streams_and_checks_dimensionality() {
+        let data = "0.1,0.2\n# comment\n0.3,0.4\n";
+        let mut seen = Vec::new();
+        let n = for_each_reading(data.as_bytes(), |i, v| {
+            seen.push((i, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(seen[1].1, vec![0.3, 0.4]);
+
+        let ragged = "0.1,0.2\n0.3\n";
+        let err = for_each_reading(ragged.as_bytes(), |_, _| Ok(())).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

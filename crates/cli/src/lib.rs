@@ -1,0 +1,24 @@
+//! # snod-cli — streaming outlier detection over CSV data
+//!
+//! The `snod` binary turns the library into a pipeline tool:
+//!
+//! ```text
+//! snod detect --window 10000 --sample 500 --radius 0.01 --neighbors 45 readings.csv
+//! snod detect --mdef 0.08,0.01,3 readings.csv     # MDEF instead of (D,r)
+//! snod stats readings.csv                          # Figure-5-style table
+//! snod demo                                        # self-contained synthetic demo
+//! ```
+//!
+//! Input is one reading per line, comma-separated coordinates (already
+//! normalised to `[0, 1]`; use `--min/--max` to normalise on the fly).
+//! Output is one line per detected outlier: `index,coords…`.
+//!
+//! Argument parsing is hand-rolled (no CLI dependency): flags are
+//! `--name value` pairs followed by an optional input path (stdin when
+//! absent).
+
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod csv;
+pub mod run;

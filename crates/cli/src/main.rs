@@ -1,0 +1,34 @@
+//! Entry point of the `snod` binary.
+
+use snod_cli::args::{parse, Command, USAGE};
+use snod_cli::run;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    let result = match &command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Demo => run::demo(&mut stdout),
+        Command::Simulate(a) => run::simulate(a, &mut stdout),
+        Command::Stats(a) => run::stats(a, &mut stdout).map(|n| {
+            eprintln!("{n} readings");
+        }),
+        Command::Detect(a) => run::detect(a, &mut stdout).map(|(n, o)| {
+            eprintln!("{n} readings, {o} outliers");
+        }),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

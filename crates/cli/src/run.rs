@@ -1,0 +1,339 @@
+//! Subcommand implementations for the `snod` binary.
+
+use std::io::{BufRead, BufReader, Write};
+
+use snod_core::{EstimatorConfig, SensorEstimator};
+use snod_data::{per_dimension_stats, DataStream, GaussianMixtureStream};
+use snod_outlier::{DistanceOutlierConfig, MdefConfig};
+
+use crate::args::{DetectArgs, SimulateArgs, StatsArgs};
+use crate::csv::for_each_reading;
+
+/// A boxed error with a user-facing message.
+pub type CliError = Box<dyn std::error::Error>;
+
+fn open_input(path: &Option<String>) -> Result<Box<dyn BufRead>, CliError> {
+    match path {
+        Some(p) => {
+            let f = std::fs::File::open(p).map_err(|e| format!("cannot open {p}: {e}"))?;
+            Ok(Box::new(BufReader::new(f)))
+        }
+        None => Ok(Box::new(BufReader::new(std::io::stdin()))),
+    }
+}
+
+/// `snod detect`: stream verdicts; returns `(readings, outliers)`.
+pub fn detect(args: &DetectArgs, out: &mut dyn Write) -> Result<(u64, u64), CliError> {
+    let reader = open_input(&args.input)?;
+    let sample = args.sample.unwrap_or_else(|| (args.window / 20).max(1));
+    let warmup = args.warmup.unwrap_or(args.window as u64);
+    let mdef_rule = match args.mdef {
+        Some((r, ar, k)) => {
+            Some(MdefConfig::new(r, ar, k).ok_or("invalid --mdef: need 0 < ar <= r and k > 0")?)
+        }
+        None => None,
+    };
+    let dist_rule = DistanceOutlierConfig::new(args.neighbors, args.radius);
+    let normalise = |v: &mut Vec<f64>| {
+        if let (Some(min), Some(max)) = (args.min, args.max) {
+            for c in v.iter_mut() {
+                *c = ((*c - min) / (max - min)).clamp(0.0, 1.0);
+            }
+        }
+    };
+
+    let mut estimator: Option<SensorEstimator> = None;
+    let mut outliers = 0u64;
+    let mut io_error: Option<std::io::Error> = None;
+    let readings = for_each_reading(reader, |i, mut v| {
+        normalise(&mut v);
+        let est = estimator.get_or_insert_with(|| {
+            SensorEstimator::new(
+                EstimatorConfig::builder()
+                    .window(args.window)
+                    .sample_size(sample)
+                    .dimensions(v.len())
+                    .seed(0x5D0D)
+                    .build()
+                    .expect("validated by arg parsing"),
+            )
+        });
+        if i >= warmup {
+            let flagged = match &mdef_rule {
+                Some(rule) => est
+                    .evaluate_mdef(&v, rule)
+                    .map(|e| e.is_outlier)
+                    .unwrap_or(false),
+                None => est
+                    .is_distance_outlier_scaled(&v, &dist_rule)
+                    .unwrap_or(false),
+            };
+            if flagged {
+                outliers += 1;
+                let coords: Vec<String> = v.iter().map(|c| format!("{c}")).collect();
+                if let Err(e) = writeln!(out, "{i},{}", coords.join(",")) {
+                    io_error = Some(e);
+                }
+            }
+        }
+        est.observe(&v).expect("dimensionality fixed by CSV check");
+        Ok(())
+    })?;
+    if let Some(e) = io_error {
+        return Err(e.into());
+    }
+    Ok((readings, outliers))
+}
+
+/// `snod stats`: Figure-5-style per-dimension statistics table.
+pub fn stats(args: &StatsArgs, out: &mut dyn Write) -> Result<u64, CliError> {
+    let reader = open_input(&args.input)?;
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    let n = for_each_reading(reader, |_, v| {
+        points.push(v);
+        Ok(())
+    })?;
+    match per_dimension_stats(&points) {
+        None => writeln!(out, "no data")?,
+        Some(stats) => {
+            writeln!(
+                out,
+                "{:<6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "dim", "min", "max", "mean", "median", "stddev", "skew"
+            )?;
+            for (j, s) in stats.iter().enumerate() {
+                writeln!(
+                    out,
+                    "{:<6} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+                    j, s.min, s.max, s.mean, s.median, s.std_dev, s.skew
+                )?;
+            }
+        }
+    }
+    Ok(n)
+}
+
+/// `snod simulate`: run a distributed algorithm over a synthetic
+/// hierarchy and report detections plus network cost.
+pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    use snod_core::pipeline::{Algorithm, OutlierPipeline};
+    use snod_core::{D3Config, MgddConfig, UpdateStrategy};
+    use snod_data::SensorStreams;
+    use snod_outlier::MdefConfig;
+
+    let window = 2_000usize;
+    let est = EstimatorConfig::builder()
+        .window(window)
+        .sample_size(window / 20)
+        .seed(0x51D)
+        .build()
+        .expect("valid configuration");
+    let algorithm = match args.algorithm.as_str() {
+        "d3" => Algorithm::D3(D3Config {
+            estimator: est,
+            rule: DistanceOutlierConfig::new(window as f64 * 0.0045, 0.01),
+            sample_fraction: args.fraction,
+        }),
+        "mgdd" => Algorithm::Mgdd(
+            MgddConfig {
+                estimator: est,
+                rule: MdefConfig::new(0.08, 0.01, 3.0).expect("valid rule"),
+                sample_fraction: args.fraction,
+                updates: UpdateStrategy::EveryAcceptance,
+            },
+            vec![],
+        ),
+        _ => Algorithm::Centralized(
+            DistanceOutlierConfig::new(window as f64 * 0.0045, 0.01),
+            window,
+        ),
+    };
+    // Quad-ish hierarchy: fan-out 4 until a single root remains.
+    let mut fanouts = Vec::new();
+    let mut n = args.leaves;
+    while n > 1 {
+        fanouts.push(4usize);
+        n = n.div_ceil(4);
+    }
+    let sim = snod_simnet::SimConfig::default().with_drop_probability(args.loss);
+    let pipeline = OutlierPipeline::balanced(args.leaves, &fanouts, sim, algorithm)
+        .map_err(|e| format!("pipeline setup failed: {e}"))?;
+    let topo = pipeline.topology().clone();
+    let mut streams = SensorStreams::generate(args.leaves, |i| {
+        GaussianMixtureStream::new(1, 77 + i as u64)
+    });
+    let mut source = move |node: snod_simnet::NodeId, _seq: u64| {
+        let leaf = OutlierPipeline::leaf_position(&topo, node)?;
+        Some(streams.next_for(leaf))
+    };
+    let report = pipeline
+        .run(&mut source, args.readings)
+        .map_err(|e| format!("simulation failed: {e}"))?;
+
+    writeln!(
+        out,
+        "{} over {} leaves ({} nodes), {} readings/leaf, f={}, loss={}",
+        args.algorithm,
+        args.leaves,
+        pipeline.topology().node_count(),
+        args.readings,
+        args.fraction,
+        args.loss
+    )?;
+    for (level, dets) in &report.detections_by_level {
+        writeln!(out, "  level {level}: {} detections", dets.len())?;
+    }
+    let s = &report.stats;
+    writeln!(
+        out,
+        "  network: {} messages ({:.2}/s), {} bytes, {} dropped, {:.4} J",
+        s.messages,
+        s.messages_per_second(),
+        s.bytes,
+        s.dropped,
+        s.total_joules()
+    )?;
+    Ok(())
+}
+
+/// `snod demo`: self-contained synthetic run.
+pub fn demo(out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "demo: (45, 0.01)-outliers over the paper's synthetic workload\n"
+    )?;
+    let mut stream = GaussianMixtureStream::new(1, 2_024);
+    let mut est = SensorEstimator::new(
+        EstimatorConfig::builder()
+            .window(5_000)
+            .sample_size(250)
+            .seed(1)
+            .build()
+            .expect("valid"),
+    );
+    let rule = DistanceOutlierConfig::new(45.0, 0.01);
+    let mut flagged = 0;
+    for i in 0..15_000u64 {
+        let v = stream.next_reading();
+        if i >= 5_000 && est.is_distance_outlier_scaled(&v, &rule).unwrap_or(false) {
+            flagged += 1;
+            if flagged <= 10 {
+                writeln!(out, "reading {i}: {:.4} flagged", v[0])?;
+            }
+        }
+        est.observe(&v).expect("1-d");
+    }
+    writeln!(
+        out,
+        "\n{flagged} outliers in 10,000 scored readings; estimator used {} bytes",
+        est.memory_bytes(2)
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::DetectArgs;
+
+    fn synthetic_csv(n: usize) -> String {
+        let mut s = String::from("# synthetic\n");
+        for i in 0..n {
+            if i % 300 == 299 {
+                s.push_str("0.95\n");
+            } else {
+                s.push_str(&format!("{}\n", 0.45 + 0.002 * ((i % 25) as f64)));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn detect_flags_injected_values() {
+        let csv = synthetic_csv(3_000);
+        let path = std::env::temp_dir().join("snod_cli_detect_test.csv");
+        std::fs::write(&path, csv).unwrap();
+        let args = DetectArgs {
+            window: 800,
+            sample: Some(80),
+            radius: 0.02,
+            neighbors: 10.0,
+            warmup: Some(800),
+            input: Some(path.to_string_lossy().into_owned()),
+            ..DetectArgs::default()
+        };
+        let mut out = Vec::new();
+        let (readings, outliers) = detect(&args, &mut out).unwrap();
+        assert_eq!(readings, 3_000);
+        assert!(outliers >= 5, "only {outliers} flagged");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.lines().all(|l| l.contains("0.95")), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn normalisation_maps_into_unit_interval() {
+        let path = std::env::temp_dir().join("snod_cli_norm_test.csv");
+        std::fs::write(&path, "-10\n0\n30\n").unwrap();
+        let args = DetectArgs {
+            window: 10,
+            min: Some(-10.0),
+            max: Some(30.0),
+            input: Some(path.to_string_lossy().into_owned()),
+            ..DetectArgs::default()
+        };
+        let mut out = Vec::new();
+        let (readings, _) = detect(&args, &mut out).unwrap();
+        assert_eq!(readings, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_prints_per_dimension_rows() {
+        let path = std::env::temp_dir().join("snod_cli_stats_test.csv");
+        std::fs::write(&path, "0.1,0.9\n0.2,0.8\n0.3,0.7\n").unwrap();
+        let args = StatsArgs {
+            input: Some(path.to_string_lossy().into_owned()),
+        };
+        let mut out = Vec::new();
+        let n = stats(&args, &mut out).unwrap();
+        assert_eq!(n, 3);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("0.2000"), "{text}"); // dim-0 mean
+        assert!(text.contains("0.8000"), "{text}"); // dim-1 mean
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_runs_each_algorithm() {
+        for algorithm in ["d3", "mgdd", "centralized"] {
+            let args = crate::args::SimulateArgs {
+                leaves: 4,
+                readings: 400,
+                algorithm: algorithm.into(),
+                fraction: 0.5,
+                loss: 0.05,
+            };
+            let mut out = Vec::new();
+            simulate(&args, &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains("messages"), "{algorithm}: {text}");
+        }
+    }
+
+    #[test]
+    fn demo_runs() {
+        let mut out = Vec::new();
+        demo(&mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("outliers"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let args = StatsArgs {
+            input: Some("/nonexistent/definitely.csv".into()),
+        };
+        let mut out = Vec::new();
+        assert!(stats(&args, &mut out).is_err());
+    }
+}

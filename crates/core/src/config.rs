@@ -1,0 +1,290 @@
+//! Configuration types with the paper's defaults.
+
+use snod_density::DensityError;
+use snod_outlier::{DistanceOutlierConfig, MdefConfig};
+use snod_sketch::SketchError;
+
+/// Errors surfaced by the core algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A sketch rejected its parameters.
+    Sketch(SketchError),
+    /// A density model rejected its input.
+    Density(DensityError),
+    /// A configuration field was invalid.
+    Config(&'static str),
+    /// The estimator has not observed any data yet.
+    NoData,
+}
+
+impl From<SketchError> for CoreError {
+    fn from(e: SketchError) -> Self {
+        CoreError::Sketch(e)
+    }
+}
+
+impl From<DensityError> for CoreError {
+    fn from(e: DensityError) -> Self {
+        CoreError::Density(e)
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Sketch(e) => write!(f, "sketch error: {e}"),
+            CoreError::Density(e) => write!(f, "density error: {e}"),
+            CoreError::Config(what) => write!(f, "invalid configuration: {what}"),
+            CoreError::NoData => write!(f, "estimator has not observed any data yet"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Per-node estimator parameters (Section 5). Defaults follow the
+/// paper's experiments: `|W| = 10,000`, `|R| = 0.05·|W|`, ε = 0.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    /// Sliding-window length `|W|`.
+    pub window: usize,
+    /// Kernel sample size `|R|`.
+    pub sample_size: usize,
+    /// Data dimensionality `d`.
+    pub dimensions: usize,
+    /// Error parameter ε of the windowed variance sketch.
+    pub variance_epsilon: f64,
+    /// RNG seed for the chain sampler.
+    pub seed: u64,
+}
+
+impl EstimatorConfig {
+    /// Starts a builder with the paper's defaults.
+    pub fn builder() -> EstimatorConfigBuilder {
+        EstimatorConfigBuilder::default()
+    }
+}
+
+/// Builder for [`EstimatorConfig`].
+#[derive(Debug, Clone)]
+pub struct EstimatorConfigBuilder {
+    window: usize,
+    sample_size: Option<usize>,
+    dimensions: usize,
+    variance_epsilon: f64,
+    seed: u64,
+}
+
+impl Default for EstimatorConfigBuilder {
+    fn default() -> Self {
+        Self {
+            window: 10_000,
+            sample_size: None,
+            dimensions: 1,
+            variance_epsilon: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+impl EstimatorConfigBuilder {
+    /// Sets the sliding-window length `|W|`.
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the sample size `|R|` (defaults to `0.05·|W|`).
+    pub fn sample_size(mut self, sample_size: usize) -> Self {
+        self.sample_size = Some(sample_size);
+        self
+    }
+
+    /// Sets the data dimensionality.
+    pub fn dimensions(mut self, dims: usize) -> Self {
+        self.dimensions = dims;
+        self
+    }
+
+    /// Sets the variance-sketch error parameter ε.
+    pub fn variance_epsilon(mut self, eps: f64) -> Self {
+        self.variance_epsilon = eps;
+        self
+    }
+
+    /// Sets the sampler seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<EstimatorConfig, CoreError> {
+        if self.window == 0 {
+            return Err(CoreError::Config("window must be positive"));
+        }
+        if self.dimensions == 0 {
+            return Err(CoreError::Config("dimensionality must be positive"));
+        }
+        if !(self.variance_epsilon > 0.0 && self.variance_epsilon <= 1.0) {
+            return Err(CoreError::Config("variance epsilon must lie in (0, 1]"));
+        }
+        let sample_size = self
+            .sample_size
+            .unwrap_or_else(|| (self.window as f64 * 0.05).round().max(1.0) as usize);
+        if sample_size == 0 {
+            return Err(CoreError::Config("sample size must be positive"));
+        }
+        Ok(EstimatorConfig {
+            window: self.window,
+            sample_size,
+            dimensions: self.dimensions,
+            variance_epsilon: self.variance_epsilon,
+            seed: self.seed,
+        })
+    }
+}
+
+/// Configuration of the D3 algorithm (Section 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct D3Config {
+    /// Per-node estimator parameters.
+    pub estimator: EstimatorConfig,
+    /// The `(D, r)`-outlier rule.
+    pub rule: DistanceOutlierConfig,
+    /// Sample-propagation fraction `f` (paper default 0.5).
+    pub sample_fraction: f64,
+}
+
+impl D3Config {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(0.0..=1.0).contains(&self.sample_fraction) {
+            return Err(CoreError::Config("sample fraction must lie in [0, 1]"));
+        }
+        if !(self.rule.radius > 0.0) {
+            return Err(CoreError::Config("outlier radius must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// How leaders propagate global-model updates to the leaves (Section 8.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateStrategy {
+    /// Push every accepted sample value down immediately (the base MGDD
+    /// scheme: `(f·l)^n` update messages per observation per sensor).
+    EveryAcceptance,
+    /// Push the full model only when its JS-divergence from the last
+    /// broadcast model exceeds `js_threshold` (checked every
+    /// `check_every` accepted values) — the paper's *"update the children
+    /// only when their estimator model has significantly changed"*
+    /// optimisation.
+    OnModelChange {
+        /// JS-divergence threshold in `[0, 1]`.
+        js_threshold: f64,
+        /// Number of accepted values between divergence checks.
+        check_every: u64,
+    },
+}
+
+/// Configuration of the MGDD algorithm (Section 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MgddConfig {
+    /// Per-node estimator parameters.
+    pub estimator: EstimatorConfig,
+    /// The MDEF rule (`r`, `αr`, `k_σ`).
+    pub rule: MdefConfig,
+    /// Sample-propagation fraction `f`.
+    pub sample_fraction: f64,
+    /// Global-model update strategy.
+    pub updates: UpdateStrategy,
+}
+
+impl MgddConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(0.0..=1.0).contains(&self.sample_fraction) {
+            return Err(CoreError::Config("sample fraction must lie in [0, 1]"));
+        }
+        if let UpdateStrategy::OnModelChange {
+            js_threshold,
+            check_every,
+        } = self.updates
+        {
+            if !(0.0..=1.0).contains(&js_threshold) {
+                return Err(CoreError::Config("JS threshold must lie in [0, 1]"));
+            }
+            if check_every == 0 {
+                return Err(CoreError::Config("check interval must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_applies_paper_defaults() {
+        let c = EstimatorConfig::builder().build().unwrap();
+        assert_eq!(c.window, 10_000);
+        assert_eq!(c.sample_size, 500); // 0.05 · |W|
+        assert_eq!(c.dimensions, 1);
+        assert!((c.variance_epsilon - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(EstimatorConfig::builder().window(0).build().is_err());
+        assert!(EstimatorConfig::builder().dimensions(0).build().is_err());
+        assert!(EstimatorConfig::builder()
+            .variance_epsilon(0.0)
+            .build()
+            .is_err());
+        assert!(EstimatorConfig::builder()
+            .window(100)
+            .sample_size(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn d3_config_validates_fraction() {
+        let est = EstimatorConfig::builder().build().unwrap();
+        let bad = D3Config {
+            estimator: est,
+            rule: DistanceOutlierConfig::new(45.0, 0.01),
+            sample_fraction: 1.5,
+        };
+        assert!(bad.validate().is_err());
+        let good = D3Config {
+            sample_fraction: 0.5,
+            ..bad
+        };
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn mgdd_config_validates_update_strategy() {
+        let est = EstimatorConfig::builder().build().unwrap();
+        let rule = MdefConfig::new(0.08, 0.01, 3.0).unwrap();
+        let bad = MgddConfig {
+            estimator: est,
+            rule,
+            sample_fraction: 0.5,
+            updates: UpdateStrategy::OnModelChange {
+                js_threshold: 2.0,
+                check_every: 10,
+            },
+        };
+        assert!(bad.validate().is_err());
+        let good = MgddConfig {
+            updates: UpdateStrategy::EveryAcceptance,
+            ..bad
+        };
+        assert!(good.validate().is_ok());
+    }
+}

@@ -1,0 +1,404 @@
+//! Per-node estimator state (paper Section 5).
+//!
+//! Each sensor maintains exactly what Theorem 1 charges it for:
+//! a chain sample `R` of the current sliding window and an ε-approximate
+//! standard deviation per dimension — `O(d(|R| + ε⁻²·log|W|))` memory in
+//! total. From those two pieces a kernel density model is materialised on
+//! demand ([`SensorEstimator::model`]): the paper's Equation 1 estimator
+//! with the bandwidth rule of Section 4, using the sorted-centre 1-d
+//! variant of Section 5.3 when `d = 1`.
+//!
+//! Leader (parent) nodes use the same type with *count scaling*: their
+//! conceptual window is the union of their descendants' windows
+//! (`|W_p| = Σ|W_i|`, Section 3), while their actual input is the
+//! probabilistically forwarded sample sub-stream.
+
+use snod_density::{DensityError, DensityModel, Kde, Kde1d};
+use snod_outlier::{DistanceOutlierConfig, MdefConfig, MdefDetector, MdefEvaluation};
+use snod_sketch::{ChainSampler, WindowedVariance};
+
+use crate::config::{CoreError, EstimatorConfig};
+
+/// A materialised density model — the 1-d fast path or the generic
+/// d-dimensional product-kernel estimator.
+#[derive(Debug, Clone)]
+pub enum SensorModel {
+    /// Sorted-centre one-dimensional KDE (`O(log|R| + |R′|)` queries).
+    One(Kde1d),
+    /// Generic d-dimensional KDE (`O(d|R|)` queries).
+    Multi(Kde),
+}
+
+impl DensityModel for SensorModel {
+    fn dims(&self) -> usize {
+        match self {
+            SensorModel::One(m) => m.dims(),
+            SensorModel::Multi(m) => m.dims(),
+        }
+    }
+
+    fn window_len(&self) -> f64 {
+        match self {
+            SensorModel::One(m) => m.window_len(),
+            SensorModel::Multi(m) => m.window_len(),
+        }
+    }
+
+    fn pdf(&self, x: &[f64]) -> Result<f64, DensityError> {
+        match self {
+            SensorModel::One(m) => m.pdf(x),
+            SensorModel::Multi(m) => m.pdf(x),
+        }
+    }
+
+    fn box_prob(&self, lo: &[f64], hi: &[f64]) -> Result<f64, DensityError> {
+        match self {
+            SensorModel::One(m) => m.box_prob(lo, hi),
+            SensorModel::Multi(m) => m.box_prob(lo, hi),
+        }
+    }
+}
+
+/// The streaming estimator state of one node.
+#[derive(Debug, Clone)]
+pub struct SensorEstimator {
+    cfg: EstimatorConfig,
+    sampler: ChainSampler<Vec<f64>>,
+    variances: Vec<WindowedVariance>,
+    observed: u64,
+    /// Conceptual window for count scaling (leaf: `|W|`; leader: `Σ|Wᵢ|`).
+    conceptual_window: f64,
+    /// How much conceptual coverage one arrival represents (leaf: 1).
+    per_arrival_coverage: f64,
+    /// `(sample version, model)` cache: the kernel model only changes
+    /// when the chain sample does (σ drift between sample changes is
+    /// absorbed at the next rebuild — the bandwidth rule is smooth in σ).
+    cached: Option<(u64, SensorModel)>,
+}
+
+impl SensorEstimator {
+    /// Creates a leaf estimator.
+    pub fn new(cfg: EstimatorConfig) -> Self {
+        let sampler = ChainSampler::new(cfg.window, cfg.sample_size, cfg.seed)
+            .expect("EstimatorConfig validated window and sample size");
+        let variances = (0..cfg.dimensions)
+            .map(|_| {
+                WindowedVariance::new(cfg.window, cfg.variance_epsilon)
+                    .expect("EstimatorConfig validated window and epsilon")
+            })
+            .collect();
+        Self {
+            cfg,
+            sampler,
+            variances,
+            observed: 0,
+            conceptual_window: cfg.window as f64,
+            per_arrival_coverage: 1.0,
+            cached: None,
+        }
+    }
+
+    /// Turns this into a leader estimator summarising `conceptual_window`
+    /// underlying readings, where each arriving (sub-sampled) value
+    /// represents `per_arrival_coverage` of them.
+    pub fn with_count_scaling(mut self, conceptual_window: f64, per_arrival_coverage: f64) -> Self {
+        assert!(conceptual_window > 0.0 && per_arrival_coverage > 0.0);
+        self.conceptual_window = conceptual_window;
+        self.per_arrival_coverage = per_arrival_coverage;
+        self
+    }
+
+    /// The configuration this estimator was built from.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.cfg
+    }
+
+    /// Feeds one reading. Returns `true` when the chain sample accepted
+    /// it (D3/MGDD forward the value upward, with probability `f`,
+    /// exactly in that case).
+    pub fn observe(&mut self, value: &[f64]) -> Result<bool, CoreError> {
+        if value.len() != self.cfg.dimensions {
+            return Err(CoreError::Density(DensityError::DimensionMismatch {
+                expected: self.cfg.dimensions,
+                got: value.len(),
+            }));
+        }
+        self.observed += 1;
+        for (v, wv) in value.iter().zip(self.variances.iter_mut()) {
+            wv.push(*v);
+        }
+        Ok(self.sampler.push(value.to_vec()))
+    }
+
+    /// Readings observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Estimated per-dimension standard deviations of the window.
+    pub fn sigmas(&self) -> Vec<f64> {
+        self.variances.iter().map(|v| v.std_dev()).collect()
+    }
+
+    /// The current chain sample (with replacement).
+    pub fn sample(&self) -> Vec<Vec<f64>> {
+        self.sampler.sample()
+    }
+
+    /// The window length used to scale probabilities into counts:
+    /// coverage so far, capped at the conceptual window.
+    pub fn window_len(&self) -> f64 {
+        (self.observed as f64 * self.per_arrival_coverage).min(self.conceptual_window)
+    }
+
+    /// Materialises the current density model (paper Equation 1 with the
+    /// Section 4 bandwidths). `Err(NoData)` before the first reading.
+    pub fn model(&self) -> Result<SensorModel, CoreError> {
+        if self.observed == 0 {
+            return Err(CoreError::NoData);
+        }
+        let sample = self.sampler.sample();
+        let sigmas = self.sigmas();
+        let window_len = self.window_len().max(1.0);
+        if self.cfg.dimensions == 1 {
+            let xs: Vec<f64> = sample.iter().map(|p| p[0]).collect();
+            Ok(SensorModel::One(
+                Kde1d::from_sample(&xs, sigmas[0], window_len).map_err(CoreError::Density)?,
+            ))
+        } else {
+            Ok(SensorModel::Multi(
+                Kde::from_sample(&sample, &sigmas, window_len).map_err(CoreError::Density)?,
+            ))
+        }
+    }
+
+    /// Like [`Self::model`] but reuses the previous build while the chain
+    /// sample is unchanged — the hot path for per-reading outlier checks
+    /// (the sample changes on only ~`2|R|/|W|` of readings).
+    pub fn cached_model(&mut self) -> Result<&SensorModel, CoreError> {
+        if self.observed == 0 {
+            return Err(CoreError::NoData);
+        }
+        let version = self.sampler.version();
+        let stale = match &self.cached {
+            Some((v, _)) => *v != version,
+            None => true,
+        };
+        if stale {
+            let model = self.model()?;
+            self.cached = Some((version, model));
+        }
+        Ok(&self.cached.as_ref().expect("cache just filled").1)
+    }
+
+    /// Tests a new observation against the `(D, r)` rule using the
+    /// current model (the paper's `IsOutlier()` procedure).
+    pub fn is_distance_outlier(
+        &mut self,
+        p: &[f64],
+        rule: &DistanceOutlierConfig,
+    ) -> Result<bool, CoreError> {
+        let model = self.cached_model()?;
+        snod_outlier::distance::is_distance_outlier(model, p, rule).map_err(CoreError::Density)
+    }
+
+    /// Like [`Self::is_distance_outlier`] but with the threshold scaled
+    /// by `window_len() / |W|`, keeping the *density* bar `t/|W|`
+    /// constant while the window is still filling — and for leader nodes
+    /// whose arrival stream is a uniform sub-sample of their subtree's
+    /// readings, which makes the same density bar apply region-wide.
+    pub fn is_distance_outlier_scaled(
+        &mut self,
+        p: &[f64],
+        rule: &DistanceOutlierConfig,
+    ) -> Result<bool, CoreError> {
+        let scale = (self.window_len() / self.cfg.window as f64).max(f64::EPSILON);
+        let eff = DistanceOutlierConfig {
+            radius: rule.radius,
+            min_neighbors: rule.min_neighbors * scale,
+        };
+        self.is_distance_outlier(p, &eff)
+    }
+
+    /// Runs the MDEF test for a new observation against the current
+    /// model.
+    pub fn evaluate_mdef(
+        &mut self,
+        p: &[f64],
+        rule: &MdefConfig,
+    ) -> Result<MdefEvaluation, CoreError> {
+        let detector = MdefDetector::new(*rule);
+        let model = self.cached_model()?;
+        detector.evaluate(model, p).map_err(CoreError::Density)
+    }
+
+    /// Actual memory footprint in bytes under the paper's §10.3
+    /// accounting (`value_bytes` bytes per stored number; the paper
+    /// assumes 2).
+    pub fn memory_bytes(&self, value_bytes: usize) -> usize {
+        let sample = self.sampler.memory_bytes(self.cfg.dimensions * value_bytes);
+        let variance: usize = self
+            .variances
+            .iter()
+            .map(|v| v.memory_bytes(value_bytes))
+            .sum();
+        sample + variance
+    }
+
+    /// High-water memory of the variance component plus current sample
+    /// memory (the two terms of Theorem 1).
+    pub fn max_variance_memory_bytes(&self, value_bytes: usize) -> usize {
+        self.variances
+            .iter()
+            .map(|v| v.max_memory_bytes(value_bytes))
+            .sum()
+    }
+
+    /// Theoretical memory bound of the variance component
+    /// (`O((d/ε²)·log|W|)` with the constants of the BDMO analysis).
+    pub fn variance_memory_bound(&self, value_bytes: usize) -> usize {
+        self.variances
+            .iter()
+            .map(|v| v.theoretical_memory_bound(value_bytes))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_config() -> EstimatorConfig {
+        EstimatorConfig::builder()
+            .window(1_000)
+            .sample_size(100)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn no_data_errors_until_first_observation() {
+        let est = SensorEstimator::new(leaf_config());
+        assert!(matches!(est.model(), Err(CoreError::NoData)));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut est = SensorEstimator::new(leaf_config());
+        assert!(est.observe(&[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn model_tracks_the_stream() {
+        let mut est = SensorEstimator::new(leaf_config());
+        for i in 0..2_000 {
+            est.observe(&[0.4 + 0.01 * ((i % 10) as f64)]).unwrap();
+        }
+        let model = est.model().unwrap();
+        // Nearly the whole window lies in [0.38, 0.52].
+        let n = model.neighborhood_count(&[0.45], 0.07).unwrap();
+        assert!(n > 800.0, "count {n}");
+        // Nothing lives near 0.9.
+        let far = model.neighborhood_count(&[0.9], 0.05).unwrap();
+        assert!(far < 50.0, "count {far}");
+    }
+
+    #[test]
+    fn window_len_saturates_at_conceptual_window() {
+        let mut est = SensorEstimator::new(leaf_config());
+        for _ in 0..100 {
+            est.observe(&[0.5]).unwrap();
+        }
+        assert_eq!(est.window_len(), 100.0);
+        for _ in 0..2_000 {
+            est.observe(&[0.5]).unwrap();
+        }
+        assert_eq!(est.window_len(), 1_000.0);
+    }
+
+    #[test]
+    fn count_scaling_for_leaders() {
+        let mut est = SensorEstimator::new(leaf_config()).with_count_scaling(8_000.0, 40.0);
+        for _ in 0..100 {
+            est.observe(&[0.5]).unwrap();
+        }
+        assert_eq!(est.window_len(), 4_000.0); // 100 arrivals × 40 coverage
+        for _ in 0..200 {
+            est.observe(&[0.5]).unwrap();
+        }
+        assert_eq!(est.window_len(), 8_000.0); // capped
+    }
+
+    #[test]
+    fn distance_outlier_detection_end_to_end() {
+        let mut est = SensorEstimator::new(leaf_config());
+        for i in 0..1_500 {
+            est.observe(&[0.5 + 0.002 * ((i % 20) as f64)]).unwrap();
+        }
+        let rule = DistanceOutlierConfig::new(20.0, 0.02);
+        assert!(!est.is_distance_outlier(&[0.52], &rule).unwrap());
+        assert!(est.is_distance_outlier(&[0.9], &rule).unwrap());
+    }
+
+    #[test]
+    fn two_dimensional_estimator() {
+        let cfg = EstimatorConfig::builder()
+            .window(500)
+            .sample_size(50)
+            .dimensions(2)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut est = SensorEstimator::new(cfg);
+        for i in 0..1_000 {
+            let t = (i % 25) as f64 / 25.0;
+            est.observe(&[0.4 + 0.05 * t, 0.6 + 0.05 * t]).unwrap();
+        }
+        let model = est.model().unwrap();
+        assert_eq!(model.dims(), 2);
+        let dense = model.neighborhood_count(&[0.42, 0.62], 0.05).unwrap();
+        let sparse = model.neighborhood_count(&[0.9, 0.1], 0.05).unwrap();
+        assert!(
+            dense > 10.0 * sparse.max(1.0),
+            "dense {dense} sparse {sparse}"
+        );
+    }
+
+    #[test]
+    fn memory_accounting_is_within_sensor_budget() {
+        // Paper §7: |W| = 20,000, |R| = 2,000, ε = 0.2 → < 10 KB total.
+        let cfg = EstimatorConfig::builder()
+            .window(20_000)
+            .sample_size(2_000)
+            .variance_epsilon(0.2)
+            .seed(1)
+            .build()
+            .unwrap();
+        let mut est = SensorEstimator::new(cfg);
+        let mut state = 7u64;
+        for _ in 0..40_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            est.observe(&[(state % 1_000) as f64 / 1_000.0]).unwrap();
+        }
+        let bytes = est.memory_bytes(2);
+        assert!(bytes < 65_536, "memory {bytes} B");
+        assert!(est.max_variance_memory_bytes(2) <= est.variance_memory_bound(2));
+    }
+
+    #[test]
+    fn mdef_evaluation_runs_against_model() {
+        let mut est = SensorEstimator::new(leaf_config());
+        for i in 0..2_000 {
+            est.observe(&[0.40 + 0.1 * ((i % 100) as f64) / 100.0])
+                .unwrap();
+        }
+        let rule = MdefConfig::new(0.08, 0.01, 3.0).unwrap();
+        let core = est.evaluate_mdef(&[0.45], &rule).unwrap();
+        assert!(!core.is_outlier, "core flagged: {core:?}");
+        let skirt = est.evaluate_mdef(&[0.58], &rule).unwrap();
+        assert!(skirt.mdef > core.mdef, "no gradient: {skirt:?} vs {core:?}");
+    }
+}

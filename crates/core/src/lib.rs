@@ -1,0 +1,50 @@
+//! # snod-core — the paper's algorithms
+//!
+//! This crate assembles the substrates into the systems the VLDB'06 paper
+//! actually proposes:
+//!
+//! * [`SensorEstimator`] — the per-node estimator state of Section 5: a
+//!   chain sample `R` of the sliding window plus streaming per-dimension
+//!   standard deviations, materialised on demand into a kernel density
+//!   model (with the 1-d fast path of Section 5.3).
+//! * [`D3Node`] / [`run_d3`] — algorithm **D3** (Distributed Deviation
+//!   Detection, Section 7): every leaf checks each reading against its
+//!   local model; flagged values climb the hierarchy and are re-checked
+//!   against each ancestor's model (sound by Theorem 3).
+//! * [`MgddNode`] / [`run_mgdd`] — algorithm **MGDD** (Multi-Granular
+//!   Deviation Detection, Section 8): leaders maintain region models and
+//!   stream incremental updates down to the leaves, which evaluate the
+//!   MDEF test against each granularity's *global* model.
+//! * [`CentralizedNode`] / [`run_centralized`] — the baseline that ships
+//!   every reading to the top-level leader (Section 8.1's comparison
+//!   point and the upper curve of Figure 11).
+//! * [`apps`] — the Section 9 applications: online range queries, faulty
+//!   sensor detection via model divergence, and windowed outlier-count
+//!   alarms.
+//!
+//! The [`pipeline`] module offers a one-call API over all of the above
+//! for downstream users who just want "outliers out of my sensor
+//! streams".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+mod centralized;
+mod config;
+mod d3;
+mod estimator;
+mod mgdd;
+mod monitor;
+pub mod pipeline;
+mod timeslice;
+
+pub use centralized::{run_centralized, CentralizedNode, CentralizedPayload};
+pub use config::{
+    CoreError, D3Config, EstimatorConfig, EstimatorConfigBuilder, MgddConfig, UpdateStrategy,
+};
+pub use d3::{run_d3, D3Node, D3Payload, Detection};
+pub use estimator::{SensorEstimator, SensorModel};
+pub use mgdd::{run_mgdd, run_mgdd_with_levels, MgddNode, MgddPayload};
+pub use monitor::{run_monitor, FaultAlarm, ModelReport, MonitorConfig, MonitorNode};
+pub use timeslice::TimeSlicedEstimator;

@@ -1,0 +1,284 @@
+//! Distributed faulty-sensor detection (paper Section 9, run as a
+//! network application rather than a local computation).
+//!
+//! *"Give a warning when the values of a given sensor are significantly
+//! different from the values of its neighbors over the most recent time
+//! window W … a parent sensor can compute the difference between the
+//! estimator models received from its children, to determine if any of
+//! them is faulty."*
+//!
+//! Leaves periodically report their estimator model (sample + σ) to
+//! their leader; the leader keeps the latest model per child and, on
+//! every update, compares each child against its siblings with the
+//! JS-divergence of Section 6, raising a [`FaultAlarm`] whenever a
+//! child's mean divergence crosses the threshold. Needs at least three
+//! children to attribute the fault.
+
+use std::collections::HashMap;
+
+use snod_density::js_divergence_models;
+use snod_simnet::{Ctx, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire};
+
+use crate::config::{CoreError, EstimatorConfig};
+use crate::estimator::{SensorEstimator, SensorModel};
+
+/// Monitor wire messages: periodic model reports from children.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// The reporting child's kernel sample.
+    pub sample: Vec<Vec<f64>>,
+    /// Its per-dimension σ estimates.
+    pub sigmas: Vec<f64>,
+    /// Its conceptual window length.
+    pub window_len: f64,
+}
+
+impl Wire for ModelReport {
+    fn size_bytes(&self) -> usize {
+        self.sample.iter().map(|v| v.len() * 2).sum::<usize>() + self.sigmas.len() * 2 + 2
+    }
+}
+
+/// One raised fault alarm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultAlarm {
+    /// When the alarm fired.
+    pub time_ns: u64,
+    /// The child judged faulty.
+    pub child: NodeId,
+    /// Its mean JS-divergence from the siblings at that instant.
+    pub divergence: f64,
+}
+
+/// Configuration of the monitor application.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Per-leaf estimator parameters.
+    pub estimator: EstimatorConfig,
+    /// Readings between model reports.
+    pub report_every: u64,
+    /// Mean sibling JS-divergence above which a child is flagged.
+    pub threshold: f64,
+    /// Grid resolution for the divergence computation.
+    pub grid_k: usize,
+}
+
+/// Per-node monitor state.
+pub struct MonitorNode {
+    cfg: MonitorConfig,
+    level: u8,
+    est: SensorEstimator,
+    since_report: u64,
+    /// Leader: latest model per child.
+    child_models: HashMap<NodeId, SensorModel>,
+    /// Children currently considered faulty (for edge-triggered alarms).
+    currently_flagged: HashMap<NodeId, bool>,
+    /// Alarms raised by this leader, in order.
+    pub alarms: Vec<FaultAlarm>,
+}
+
+impl MonitorNode {
+    /// Builds the node for `node` in `topo`.
+    pub fn new(node: NodeId, topo: &Hierarchy, cfg: &MonitorConfig) -> Self {
+        let mut est_cfg = cfg.estimator;
+        est_cfg.seed = est_cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (node.0 as u64);
+        Self {
+            cfg: *cfg,
+            level: topo.level_of(node),
+            est: SensorEstimator::new(est_cfg),
+            since_report: 0,
+            child_models: HashMap::new(),
+            currently_flagged: HashMap::new(),
+            alarms: Vec::new(),
+        }
+    }
+
+    /// Re-evaluates sibling divergences after a model update.
+    ///
+    /// The attribution statistic is each child's **minimum** divergence
+    /// to any sibling: a healthy child always has at least one healthy
+    /// sibling nearby, while a faulty child disagrees with *everyone*.
+    /// (A mean would be polluted: one stuck sensor inflates every
+    /// healthy sibling's mean by `d_stuck / (l−1)`. The min is robust to
+    /// any number of *distinct* simultaneous faults; two sensors failing
+    /// identically would still cover for each other — an inherent limit
+    /// of purely mutual comparison.)
+    fn reassess(&mut self, time_ns: u64) {
+        if self.child_models.len() < 3 {
+            return; // cannot attribute a fault among fewer than 3
+        }
+        let children: Vec<NodeId> = self.child_models.keys().copied().collect();
+        for &child in &children {
+            let mine = &self.child_models[&child];
+            let mut min_div = f64::INFINITY;
+            for (&other, model) in &self.child_models {
+                if other != child {
+                    if let Ok(d) = js_divergence_models(mine, model, self.cfg.grid_k) {
+                        min_div = min_div.min(d);
+                    }
+                }
+            }
+            if !min_div.is_finite() {
+                continue;
+            }
+            let above = min_div > self.cfg.threshold;
+            let was_above = self.currently_flagged.get(&child).copied().unwrap_or(false);
+            if above && !was_above {
+                self.alarms.push(FaultAlarm {
+                    time_ns,
+                    child,
+                    divergence: min_div,
+                });
+            }
+            self.currently_flagged.insert(child, above);
+        }
+    }
+}
+
+impl SensorApp<ModelReport> for MonitorNode {
+    fn on_reading(&mut self, ctx: &mut Ctx<'_, ModelReport>, value: &[f64]) {
+        self.est
+            .observe(value)
+            .expect("stream dimensionality matches configuration");
+        self.since_report += 1;
+        if self.since_report >= self.cfg.report_every
+            && self.est.observed() >= self.est.config().sample_size as u64
+        {
+            self.since_report = 0;
+            ctx.send_parent(ModelReport {
+                sample: self.est.sample(),
+                sigmas: self.est.sigmas(),
+                window_len: self.est.window_len(),
+            });
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ModelReport>, from: NodeId, report: ModelReport) {
+        debug_assert!(self.level > 1, "leaves receive no reports");
+        // Rebuild the child's model from its report.
+        let model = if report.sigmas.len() == 1 {
+            let xs: Vec<f64> = report.sample.iter().map(|v| v[0]).collect();
+            snod_density::Kde1d::from_sample(&xs, report.sigmas[0], report.window_len.max(1.0))
+                .map(SensorModel::One)
+        } else {
+            snod_density::Kde::from_sample(
+                &report.sample,
+                &report.sigmas,
+                report.window_len.max(1.0),
+            )
+            .map(SensorModel::Multi)
+        };
+        if let Ok(model) = model {
+            self.child_models.insert(from, model);
+            self.reassess(ctx.time_ns);
+        }
+    }
+}
+
+/// Runs the monitor over `topo`; returns the network for alarm
+/// harvesting.
+pub fn run_monitor<S: StreamSource>(
+    topo: Hierarchy,
+    cfg: &MonitorConfig,
+    sim: SimConfig,
+    source: &mut S,
+    readings_per_leaf: u64,
+) -> Result<Network<ModelReport, MonitorNode>, CoreError> {
+    if cfg.report_every == 0 {
+        return Err(CoreError::Config("report interval must be positive"));
+    }
+    if cfg.grid_k == 0 {
+        return Err(CoreError::Config("grid resolution must be positive"));
+    }
+    let mut net = Network::new(topo, sim, |node, topo| MonitorNode::new(node, topo, cfg));
+    net.run(source, readings_per_leaf);
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig {
+            estimator: EstimatorConfig::builder()
+                .window(400)
+                .sample_size(60)
+                .seed(12)
+                .build()
+                .unwrap(),
+            report_every: 100,
+            threshold: 0.35,
+            grid_k: 32,
+        }
+    }
+
+    /// 4 siblings around 0.5; leaf 2 drifts to 0.8 after `fault_at`.
+    fn source(fault_at: u64) -> impl FnMut(NodeId, u64) -> Option<Vec<f64>> {
+        move |node: NodeId, seq: u64| {
+            let base = if node.0 == 2 && seq >= fault_at {
+                0.8
+            } else {
+                0.5
+            };
+            let jitter = (((seq * 31 + node.0 as u64 * 7) % 100) as f64 / 100.0 - 0.5) * 0.03;
+            Some(vec![base + jitter])
+        }
+    }
+
+    #[test]
+    fn drifting_child_raises_exactly_one_edge_alarm() {
+        let topo = Hierarchy::balanced(4, &[4]).unwrap();
+        let mut src = source(1_000);
+        let net = run_monitor(topo, &cfg(), SimConfig::default(), &mut src, 2_400).unwrap();
+        let root = net.topology().root();
+        let alarms = &net.app(root).alarms;
+        assert!(!alarms.is_empty(), "no alarm raised");
+        assert!(
+            alarms.iter().all(|a| a.child == NodeId(2)),
+            "wrong child blamed: {alarms:?}"
+        );
+        assert_eq!(alarms.len(), 1, "alarm not edge-triggered: {alarms:?}");
+        assert!(alarms[0].divergence > 0.35);
+        // The alarm fires only after the fault plus a window of drift.
+        assert!(alarms[0].time_ns > 1_000 * 1_000_000_000);
+    }
+
+    #[test]
+    fn healthy_siblings_raise_no_alarm() {
+        let topo = Hierarchy::balanced(4, &[4]).unwrap();
+        let mut src = source(u64::MAX);
+        let net = run_monitor(topo, &cfg(), SimConfig::default(), &mut src, 2_000).unwrap();
+        let root = net.topology().root();
+        assert!(net.app(root).alarms.is_empty());
+    }
+
+    #[test]
+    fn two_children_are_never_blamed() {
+        // With 2 children the divergence is symmetric: no attribution.
+        let topo = Hierarchy::balanced(2, &[2]).unwrap();
+        let mut src = source(500);
+        let net = run_monitor(topo, &cfg(), SimConfig::default(), &mut src, 1_500).unwrap();
+        let root = net.topology().root();
+        assert!(net.app(root).alarms.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let topo = Hierarchy::balanced(4, &[4]).unwrap();
+        let mut bad = cfg();
+        bad.report_every = 0;
+        let mut src = source(u64::MAX);
+        assert!(run_monitor(topo, &bad, SimConfig::default(), &mut src, 10).is_err());
+    }
+
+    #[test]
+    fn report_traffic_is_periodic() {
+        let topo = Hierarchy::balanced(4, &[4]).unwrap();
+        let mut src = source(u64::MAX);
+        let net = run_monitor(topo, &cfg(), SimConfig::default(), &mut src, 1_000).unwrap();
+        // Each leaf reports every 100 readings once the sample is warm
+        // (first report at reading 100 > |R| = 60): 10 per leaf.
+        assert_eq!(net.stats().messages, 4 * 10);
+    }
+}

@@ -1,0 +1,222 @@
+//! One-call API over the distributed detectors.
+//!
+//! Downstream users who just want "outliers out of my streams" build an
+//! [`OutlierPipeline`], hand it a stream source, and get back a
+//! [`PipelineReport`] with the detections grouped by hierarchy level and
+//! the full network statistics. The figure-reproduction binaries and the
+//! examples are all written against this module.
+
+use std::collections::BTreeMap;
+
+use snod_simnet::{Hierarchy, NodeId, SimConfig, StreamSource};
+
+use crate::centralized::run_centralized;
+use crate::config::{CoreError, D3Config, MgddConfig};
+use crate::d3::{run_d3, Detection};
+use crate::mgdd::run_mgdd_with_levels;
+
+/// Which detector the pipeline runs.
+#[derive(Debug, Clone)]
+pub enum Algorithm {
+    /// Distributed distance-based detection (Section 7).
+    D3(D3Config),
+    /// Multi-granular MDEF detection (Section 8), with the given
+    /// broadcast levels (empty = top level only).
+    Mgdd(MgddConfig, Vec<u8>),
+    /// The centralized baseline (everything to the root).
+    Centralized(snod_outlier::DistanceOutlierConfig, usize),
+}
+
+/// A configured, reusable pipeline.
+#[derive(Debug, Clone)]
+pub struct OutlierPipeline {
+    topo: Hierarchy,
+    sim: SimConfig,
+    algorithm: Algorithm,
+}
+
+/// What a pipeline run produced.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Detections grouped by the hierarchy level that flagged them
+    /// (for MGDD: the granularity of the global model used).
+    pub detections_by_level: BTreeMap<u8, Vec<Detection>>,
+    /// Message/byte/energy accounting of the run.
+    pub stats: snod_simnet::NetStats,
+}
+
+impl PipelineReport {
+    /// Total number of detections across levels.
+    pub fn total_detections(&self) -> usize {
+        self.detections_by_level.values().map(Vec::len).sum()
+    }
+}
+
+impl OutlierPipeline {
+    /// Builds a pipeline over an explicit hierarchy.
+    pub fn new(topo: Hierarchy, sim: SimConfig, algorithm: Algorithm) -> Self {
+        Self {
+            topo,
+            sim,
+            algorithm,
+        }
+    }
+
+    /// Convenience: a balanced hierarchy of `leaves` sensors under the
+    /// given leader fan-outs.
+    pub fn balanced(
+        leaves: usize,
+        fanouts: &[usize],
+        sim: SimConfig,
+        algorithm: Algorithm,
+    ) -> Result<Self, CoreError> {
+        let topo = Hierarchy::balanced(leaves, fanouts)
+            .map_err(|_| CoreError::Config("invalid hierarchy shape"))?;
+        Ok(Self::new(topo, sim, algorithm))
+    }
+
+    /// The hierarchy this pipeline runs on.
+    pub fn topology(&self) -> &Hierarchy {
+        &self.topo
+    }
+
+    /// Maps a leaf node id to its stream index (position among leaves).
+    pub fn leaf_position(topo: &Hierarchy, node: NodeId) -> Option<usize> {
+        topo.leaves().iter().position(|&l| l == node)
+    }
+
+    /// Runs the pipeline: each leaf consumes `readings_per_leaf` values
+    /// from `source`.
+    pub fn run<S: StreamSource>(
+        &self,
+        source: &mut S,
+        readings_per_leaf: u64,
+    ) -> Result<PipelineReport, CoreError> {
+        let mut by_level: BTreeMap<u8, Vec<Detection>> = BTreeMap::new();
+        let stats;
+        match &self.algorithm {
+            Algorithm::D3(cfg) => {
+                let net = run_d3(self.topo.clone(), cfg, self.sim, source, readings_per_leaf)?;
+                for (_, app) in net.apps() {
+                    for d in &app.detections {
+                        by_level.entry(d.level).or_default().push(d.clone());
+                    }
+                }
+                stats = net.stats().clone();
+            }
+            Algorithm::Mgdd(cfg, levels) => {
+                let levels = if levels.is_empty() {
+                    vec![self.topo.level_count() as u8]
+                } else {
+                    levels.clone()
+                };
+                let net = run_mgdd_with_levels(
+                    self.topo.clone(),
+                    cfg,
+                    self.sim,
+                    source,
+                    readings_per_leaf,
+                    &levels,
+                )?;
+                for (_, app) in net.apps() {
+                    for d in &app.detections {
+                        by_level.entry(d.level).or_default().push(d.clone());
+                    }
+                }
+                stats = net.stats().clone();
+            }
+            Algorithm::Centralized(rule, window_per_leaf) => {
+                let net = run_centralized(
+                    self.topo.clone(),
+                    *rule,
+                    *window_per_leaf,
+                    self.sim,
+                    source,
+                    readings_per_leaf,
+                )?;
+                for (_, app) in net.apps() {
+                    for d in &app.detections {
+                        by_level.entry(d.level).or_default().push(d.clone());
+                    }
+                }
+                stats = net.stats().clone();
+            }
+        }
+        Ok(PipelineReport {
+            detections_by_level: by_level,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EstimatorConfig;
+    use snod_outlier::DistanceOutlierConfig;
+
+    fn d3_algorithm() -> Algorithm {
+        Algorithm::D3(D3Config {
+            estimator: EstimatorConfig::builder()
+                .window(400)
+                .sample_size(50)
+                .seed(3)
+                .build()
+                .unwrap(),
+            rule: DistanceOutlierConfig::new(8.0, 0.02),
+            sample_fraction: 0.5,
+        })
+    }
+
+    fn source_with_spikes() -> impl FnMut(NodeId, u64) -> Option<Vec<f64>> {
+        |node: NodeId, seq: u64| {
+            if node.0 == 1 && seq % 120 == 100 {
+                Some(vec![0.92])
+            } else {
+                Some(vec![0.5 + 0.002 * ((seq % 30) as f64)])
+            }
+        }
+    }
+
+    #[test]
+    fn d3_pipeline_reports_by_level() {
+        let p =
+            OutlierPipeline::balanced(4, &[2, 2], SimConfig::default(), d3_algorithm()).unwrap();
+        let mut src = source_with_spikes();
+        let report = p.run(&mut src, 800).unwrap();
+        assert!(report.total_detections() > 0);
+        assert!(report.detections_by_level.contains_key(&1));
+        assert!(report.stats.messages > 0);
+    }
+
+    #[test]
+    fn centralized_pipeline_detects_at_root_level_only() {
+        let rule = DistanceOutlierConfig::new(8.0, 0.02);
+        let p = OutlierPipeline::balanced(
+            4,
+            &[2, 2],
+            SimConfig::default(),
+            Algorithm::Centralized(rule, 400),
+        )
+        .unwrap();
+        let mut src = source_with_spikes();
+        let report = p.run(&mut src, 800).unwrap();
+        let levels: Vec<u8> = report.detections_by_level.keys().copied().collect();
+        assert!(levels.iter().all(|&l| l == 3), "levels {levels:?}");
+    }
+
+    #[test]
+    fn leaf_position_maps_ids() {
+        let p = OutlierPipeline::balanced(4, &[4], SimConfig::default(), d3_algorithm()).unwrap();
+        let topo = p.topology();
+        for (i, &leaf) in topo.leaves().iter().enumerate() {
+            assert_eq!(OutlierPipeline::leaf_position(topo, leaf), Some(i));
+        }
+        assert_eq!(OutlierPipeline::leaf_position(topo, topo.root()), None);
+    }
+
+    #[test]
+    fn invalid_hierarchy_is_rejected() {
+        assert!(OutlierPipeline::balanced(0, &[4], SimConfig::default(), d3_algorithm()).is_err());
+    }
+}

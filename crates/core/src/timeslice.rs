@@ -1,0 +1,266 @@
+//! Spatio-temporal range queries (paper Section 9, "Online Query
+//! Processing").
+//!
+//! *"What is the average temperature in region (X, Y) during the time
+//! interval [t₁, t₂]? … the sensors can estimate the density model for
+//! the observations during the specified time interval and answer the
+//! queries based on the estimated model."*
+//!
+//! A [`TimeSlicedEstimator`] keeps one small kernel model per *epoch*
+//! (a fixed number of readings) for the most recent `K` epochs. A query
+//! over a time interval composes the box-probability answers of the
+//! epochs it covers — counts add, means combine count-weighted — so the
+//! memory cost is `K` sketches rather than raw retention.
+
+use std::collections::VecDeque;
+
+use crate::apps::estimate_range_mean;
+use crate::config::{CoreError, EstimatorConfig};
+use crate::estimator::SensorEstimator;
+
+/// One sealed epoch: its index and the estimator summarising it.
+#[derive(Debug, Clone)]
+struct Slice {
+    epoch: u64,
+    readings: u64,
+    est: SensorEstimator,
+}
+
+/// Rolling per-epoch density models answering range queries with a
+/// temporal extent.
+#[derive(Debug, Clone)]
+pub struct TimeSlicedEstimator {
+    cfg: EstimatorConfig,
+    epoch_len: u64,
+    max_slices: usize,
+    sealed: VecDeque<Slice>,
+    current: SensorEstimator,
+    current_epoch: u64,
+    in_current: u64,
+}
+
+impl TimeSlicedEstimator {
+    /// Creates a sliced estimator: each epoch covers `epoch_len`
+    /// readings, summarised by an estimator built from `cfg` (its window
+    /// should be ≥ `epoch_len` so an epoch is fully represented); the
+    /// most recent `max_slices` epochs are retained.
+    pub fn new(cfg: EstimatorConfig, epoch_len: u64, max_slices: usize) -> Result<Self, CoreError> {
+        if epoch_len == 0 {
+            return Err(CoreError::Config("epoch length must be positive"));
+        }
+        if max_slices == 0 {
+            return Err(CoreError::Config("must retain at least one epoch"));
+        }
+        Ok(Self {
+            cfg,
+            epoch_len,
+            max_slices,
+            sealed: VecDeque::new(),
+            current: SensorEstimator::new(cfg),
+            current_epoch: 0,
+            in_current: 0,
+        })
+    }
+
+    /// Feeds one reading; epochs roll over automatically.
+    pub fn observe(&mut self, value: &[f64]) -> Result<(), CoreError> {
+        self.current.observe(value)?;
+        self.in_current += 1;
+        if self.in_current == self.epoch_len {
+            let mut cfg = self.cfg;
+            cfg.seed = cfg.seed.wrapping_add(self.current_epoch + 1);
+            let finished = std::mem::replace(&mut self.current, SensorEstimator::new(cfg));
+            self.sealed.push_back(Slice {
+                epoch: self.current_epoch,
+                readings: self.in_current,
+                est: finished,
+            });
+            if self.sealed.len() > self.max_slices {
+                self.sealed.pop_front();
+            }
+            self.current_epoch += 1;
+            self.in_current = 0;
+        }
+        Ok(())
+    }
+
+    /// The epoch currently being filled.
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch
+    }
+
+    /// Range of epochs answerable right now (inclusive), oldest first.
+    pub fn retained_epochs(&self) -> Option<(u64, u64)> {
+        let oldest = self.sealed.front().map(|s| s.epoch);
+        let newest = if self.in_current > 0 {
+            Some(self.current_epoch)
+        } else {
+            self.sealed.back().map(|s| s.epoch)
+        };
+        match (oldest, newest) {
+            (Some(a), Some(b)) => Some((a, b)),
+            (None, Some(b)) => Some((b, b)),
+            _ => None,
+        }
+    }
+
+    /// Iterates the slices overlapping `[from_epoch, to_epoch]`,
+    /// including the in-progress epoch.
+    fn covering(&self, from_epoch: u64, to_epoch: u64) -> Vec<(&SensorEstimator, u64)> {
+        let mut out: Vec<(&SensorEstimator, u64)> = self
+            .sealed
+            .iter()
+            .filter(|s| s.epoch >= from_epoch && s.epoch <= to_epoch)
+            .map(|s| (&s.est, s.readings))
+            .collect();
+        if self.in_current > 0 && self.current_epoch >= from_epoch && self.current_epoch <= to_epoch
+        {
+            out.push((&self.current, self.in_current));
+        }
+        out
+    }
+
+    /// Estimated number of readings inside the box `[lo, hi]` during the
+    /// epochs `[from_epoch, to_epoch]` (inclusive).
+    pub fn range_count(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        from_epoch: u64,
+        to_epoch: u64,
+    ) -> Result<f64, CoreError> {
+        let mut total = 0.0;
+        for (est, readings) in self.covering(from_epoch, to_epoch) {
+            let model = est.model()?;
+            let p =
+                snod_density::DensityModel::box_prob(&model, lo, hi).map_err(CoreError::Density)?;
+            total += p * readings as f64;
+        }
+        Ok(total)
+    }
+
+    /// Estimated mean of the readings inside the box during the epochs —
+    /// the paper's "average temperature in region during [t₁, t₂]".
+    /// `None` when the box holds (estimated) zero mass in the interval.
+    pub fn range_mean(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        from_epoch: u64,
+        to_epoch: u64,
+        grid_k: usize,
+    ) -> Result<Option<Vec<f64>>, CoreError> {
+        let dims = self.cfg.dimensions;
+        let mut mass_total = 0.0;
+        let mut weighted = vec![0.0; dims];
+        for (est, readings) in self.covering(from_epoch, to_epoch) {
+            let model = est.model()?;
+            let p =
+                snod_density::DensityModel::box_prob(&model, lo, hi).map_err(CoreError::Density)?;
+            if p <= f64::EPSILON {
+                continue;
+            }
+            if let Some(mean) = estimate_range_mean(&model, lo, hi, grid_k)? {
+                let w = p * readings as f64;
+                mass_total += w;
+                for (acc, m) in weighted.iter_mut().zip(mean.iter()) {
+                    *acc += w * m;
+                }
+            }
+        }
+        if mass_total <= f64::EPSILON {
+            return Ok(None);
+        }
+        Ok(Some(weighted.into_iter().map(|w| w / mass_total).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> EstimatorConfig {
+        EstimatorConfig::builder()
+            .window(500)
+            .sample_size(100)
+            .seed(4)
+            .build()
+            .unwrap()
+    }
+
+    /// Epoch e readings cluster at 0.2 + 0.1·e.
+    fn fill(ts: &mut TimeSlicedEstimator, epochs: u64, per_epoch: u64) {
+        for e in 0..epochs {
+            let center = 0.2 + 0.1 * e as f64;
+            for i in 0..per_epoch {
+                ts.observe(&[center + 0.002 * ((i % 10) as f64)]).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(TimeSlicedEstimator::new(cfg(), 0, 3).is_err());
+        assert!(TimeSlicedEstimator::new(cfg(), 10, 0).is_err());
+    }
+
+    #[test]
+    fn epochs_roll_over() {
+        let mut ts = TimeSlicedEstimator::new(cfg(), 100, 4).unwrap();
+        fill(&mut ts, 3, 100);
+        assert_eq!(ts.current_epoch(), 3);
+        assert_eq!(ts.retained_epochs(), Some((0, 2)));
+    }
+
+    #[test]
+    fn old_epochs_are_evicted() {
+        let mut ts = TimeSlicedEstimator::new(cfg(), 100, 2).unwrap();
+        fill(&mut ts, 5, 100);
+        assert_eq!(ts.retained_epochs(), Some((3, 4)));
+    }
+
+    #[test]
+    fn counts_are_per_interval() {
+        let mut ts = TimeSlicedEstimator::new(cfg(), 200, 8).unwrap();
+        fill(&mut ts, 4, 200);
+        // Epoch 1 clustered near 0.3: counting around 0.3 in epoch 1 only.
+        let n1 = ts.range_count(&[0.28], &[0.34], 1, 1).unwrap();
+        assert!((n1 - 200.0).abs() < 30.0, "epoch-1 count {n1}");
+        // The same box over epoch 3 (cluster at 0.5) is nearly empty.
+        let n3 = ts.range_count(&[0.28], &[0.34], 3, 3).unwrap();
+        assert!(n3 < 30.0, "epoch-3 count {n3}");
+        // Over all epochs, a wide box counts everything.
+        let all = ts.range_count(&[0.0], &[1.0], 0, 3).unwrap();
+        assert!((all - 800.0).abs() < 40.0, "total {all}");
+    }
+
+    #[test]
+    fn mean_tracks_the_queried_interval() {
+        let mut ts = TimeSlicedEstimator::new(cfg(), 200, 8).unwrap();
+        fill(&mut ts, 4, 200);
+        let m1 = ts.range_mean(&[0.0], &[1.0], 1, 1, 64).unwrap().unwrap();
+        assert!((m1[0] - 0.31).abs() < 0.03, "epoch-1 mean {m1:?}");
+        let m23 = ts.range_mean(&[0.0], &[1.0], 2, 3, 64).unwrap().unwrap();
+        assert!((m23[0] - 0.46).abs() < 0.03, "epoch-2..3 mean {m23:?}");
+    }
+
+    #[test]
+    fn empty_interval_returns_none() {
+        let mut ts = TimeSlicedEstimator::new(cfg(), 100, 4).unwrap();
+        fill(&mut ts, 2, 100);
+        assert!(ts.range_mean(&[0.8], &[0.9], 0, 1, 16).unwrap().is_none());
+        // Epochs that were never observed contribute nothing.
+        assert_eq!(ts.range_count(&[0.0], &[1.0], 7, 9).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn in_progress_epoch_is_queryable() {
+        let mut ts = TimeSlicedEstimator::new(cfg(), 100, 4).unwrap();
+        fill(&mut ts, 1, 100); // epoch 0 sealed
+        for _ in 0..50 {
+            ts.observe(&[0.9]).unwrap();
+        }
+        let n = ts.range_count(&[0.85], &[0.95], 1, 1).unwrap();
+        assert!((n - 50.0).abs() < 10.0, "in-progress count {n}");
+    }
+}

@@ -1,0 +1,284 @@
+//! The distribution-shift workload of Figure 6 and its analytic truth.
+//!
+//! *"We consider Gaussian distributions and vary the underlying
+//! distribution after every 4096 measurements (from μ = 0.3, σ = 0.05 to
+//! μ = 0.5, σ = 0.05) to measure the latency with which the sensors
+//! adjust to the changes in distribution."*
+//!
+//! [`TrueDistribution`] is the analytic model the estimates are compared
+//! against: it implements [`snod_density::DensityModel`], so the same
+//! [`snod_density::js_divergence_models`] call measures
+//! estimated-vs-true distance (Figure 6's y-axis).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+use snod_density::{DensityError, DensityModel};
+
+use crate::streams::DataStream;
+
+/// Paper's Figure 6: the distribution alternates every 4096 readings.
+pub const DRIFT_PERIOD: u64 = 4_096;
+/// First regime: μ = 0.3, σ = 0.05.
+pub const REGIME_A: (f64, f64) = (0.3, 0.05);
+/// Second regime: μ = 0.5, σ = 0.05.
+pub const REGIME_B: (f64, f64) = (0.5, 0.05);
+
+/// Gaussian readings whose mean flips between regimes every
+/// [`DRIFT_PERIOD`] measurements.
+#[derive(Debug, Clone)]
+pub struct DriftingGaussianStream {
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl DriftingGaussianStream {
+    /// Deterministic stream with the paper's regimes.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            emitted: 0,
+        }
+    }
+
+    /// The regime `(μ, σ)` in force for reading number `seq` (0-based).
+    pub fn regime_at(seq: u64) -> (f64, f64) {
+        if (seq / DRIFT_PERIOD).is_multiple_of(2) {
+            REGIME_A
+        } else {
+            REGIME_B
+        }
+    }
+
+    /// Readings emitted so far.
+    pub fn position(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The analytic distribution currently generating values.
+    pub fn current_truth(&self) -> TrueDistribution {
+        let (mean, std) = Self::regime_at(self.emitted);
+        TrueDistribution::gaussian_1d(mean, std)
+    }
+}
+
+impl DataStream for DriftingGaussianStream {
+    fn dims(&self) -> usize {
+        1
+    }
+
+    fn next_reading(&mut self) -> Vec<f64> {
+        let (mean, std) = Self::regime_at(self.emitted);
+        self.emitted += 1;
+        let normal = Normal::new(mean, std).expect("valid normal");
+        vec![normal.sample(&mut self.rng).clamp(0.0, 1.0)]
+    }
+}
+
+/// An analytic mixture-of-Gaussians (optionally with a uniform component)
+/// over `[0, 1]^d`, usable wherever an estimator model is — in
+/// particular as the "true distribution" side of a JS-distance.
+#[derive(Debug, Clone)]
+pub struct TrueDistribution {
+    dims: usize,
+    /// `(weight, means, std)` per Gaussian component (isotropic).
+    components: Vec<(f64, Vec<f64>, f64)>,
+    /// Optional uniform component `(weight, lo, hi)` applied per axis.
+    uniform: Option<(f64, f64, f64)>,
+}
+
+impl TrueDistribution {
+    /// One-dimensional Gaussian.
+    pub fn gaussian_1d(mean: f64, std: f64) -> Self {
+        Self {
+            dims: 1,
+            components: vec![(1.0, vec![mean], std)],
+            uniform: None,
+        }
+    }
+
+    /// A mixture over `[0, 1]^d` with equal-weight isotropic components
+    /// at `means` and standard deviation `std`.
+    pub fn mixture(dims: usize, means: &[f64], std: f64) -> Self {
+        let w = 1.0 / means.len() as f64;
+        Self {
+            dims,
+            components: means.iter().map(|&m| (w, vec![m; dims], std)).collect(),
+            uniform: None,
+        }
+    }
+
+    /// The paper's synthetic workload as an analytic model: three
+    /// clusters plus the 0.5% uniform noise component on `[0.5, 1]^d`.
+    pub fn paper_synthetic(dims: usize) -> Self {
+        let noise = crate::synthetic::NOISE_FRACTION;
+        let w = (1.0 - noise) / 3.0;
+        Self {
+            dims,
+            components: crate::synthetic::MIXTURE_MEANS
+                .iter()
+                .map(|&m| (w, vec![m; dims], crate::synthetic::MIXTURE_STD))
+                .collect(),
+            uniform: Some((noise, 0.5, 1.0)),
+        }
+    }
+
+    fn phi(z: f64) -> f64 {
+        // Standard normal CDF via erf (Abramowitz–Stegun 7.1.26).
+        0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+    }
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+impl DensityModel for TrueDistribution {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn window_len(&self) -> f64 {
+        1.0
+    }
+
+    fn pdf(&self, x: &[f64]) -> Result<f64, DensityError> {
+        if x.len() != self.dims {
+            return Err(DensityError::DimensionMismatch {
+                expected: self.dims,
+                got: x.len(),
+            });
+        }
+        let mut total = 0.0;
+        for (w, means, std) in &self.components {
+            let mut dens = *w;
+            for (xi, mi) in x.iter().zip(means.iter()) {
+                let z = (xi - mi) / std;
+                dens *= (-0.5 * z * z).exp() / (std * (2.0 * std::f64::consts::PI).sqrt());
+            }
+            total += dens;
+        }
+        if let Some((w, lo, hi)) = self.uniform {
+            if x.iter().all(|&c| (lo..=hi).contains(&c)) {
+                total += w / (hi - lo).powi(self.dims as i32);
+            }
+        }
+        Ok(total)
+    }
+
+    fn box_prob(&self, lo: &[f64], hi: &[f64]) -> Result<f64, DensityError> {
+        if lo.len() != self.dims || hi.len() != self.dims {
+            return Err(DensityError::DimensionMismatch {
+                expected: self.dims,
+                got: lo.len().max(hi.len()),
+            });
+        }
+        let mut total = 0.0;
+        for (w, means, std) in &self.components {
+            let mut mass = *w;
+            for j in 0..self.dims {
+                mass *= (Self::phi((hi[j] - means[j]) / std) - Self::phi((lo[j] - means[j]) / std))
+                    .max(0.0);
+            }
+            total += mass;
+        }
+        if let Some((w, ulo, uhi)) = self.uniform {
+            let mut mass = w;
+            for j in 0..self.dims {
+                let overlap = (hi[j].min(uhi) - lo[j].max(ulo)).max(0.0);
+                mass *= overlap / (uhi - ulo);
+            }
+            total += mass;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snod_density::js_divergence_models;
+    use snod_sketch::DatasetStats;
+
+    #[test]
+    fn regimes_alternate_every_period() {
+        assert_eq!(DriftingGaussianStream::regime_at(0), REGIME_A);
+        assert_eq!(DriftingGaussianStream::regime_at(4_095), REGIME_A);
+        assert_eq!(DriftingGaussianStream::regime_at(4_096), REGIME_B);
+        assert_eq!(DriftingGaussianStream::regime_at(8_191), REGIME_B);
+        assert_eq!(DriftingGaussianStream::regime_at(8_192), REGIME_A);
+    }
+
+    #[test]
+    fn stream_tracks_its_regime() {
+        let mut s = DriftingGaussianStream::new(9);
+        let first: Vec<f64> = (0..4_096).map(|_| s.next_reading()[0]).collect();
+        let second: Vec<f64> = (0..4_096).map(|_| s.next_reading()[0]).collect();
+        let sa = DatasetStats::from_slice(&first).unwrap();
+        let sb = DatasetStats::from_slice(&second).unwrap();
+        assert!((sa.mean - 0.3).abs() < 0.01, "regime A mean {}", sa.mean);
+        assert!((sb.mean - 0.5).abs() < 0.01, "regime B mean {}", sb.mean);
+    }
+
+    #[test]
+    fn true_distribution_pdf_integrates_to_one() {
+        let t = TrueDistribution::paper_synthetic(1);
+        let steps = 20_000;
+        let h = 1.0 / steps as f64;
+        let mut integral = 0.0;
+        for i in 0..=steps {
+            let x = i as f64 * h;
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            integral += w * t.pdf(&[x]).unwrap();
+        }
+        // Tails outside [0,1] are tiny (clusters are ≥ 6σ inside).
+        assert!((integral * h - 1.0).abs() < 0.01, "∫pdf = {}", integral * h);
+    }
+
+    #[test]
+    fn box_prob_consistent_with_pdf() {
+        let t = TrueDistribution::gaussian_1d(0.4, 0.05);
+        // P within ±1σ ≈ 0.683
+        let p = t.box_prob(&[0.35], &[0.45]).unwrap();
+        assert!((p - 0.6827).abs() < 1e-3, "p {p}");
+    }
+
+    #[test]
+    fn two_dimensional_mixture_mass() {
+        let t = TrueDistribution::mixture(2, &[0.3, 0.5], 0.02);
+        let all = t.box_prob(&[-1.0, -1.0], &[2.0, 2.0]).unwrap();
+        assert!((all - 1.0).abs() < 1e-6);
+        let around_03 = t.box_prob(&[0.2, 0.2], &[0.4, 0.4]).unwrap();
+        assert!((around_03 - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn js_between_regimes_is_large() {
+        let a = TrueDistribution::gaussian_1d(REGIME_A.0, REGIME_A.1);
+        let b = TrueDistribution::gaussian_1d(REGIME_B.0, REGIME_B.1);
+        let d = js_divergence_models(&a, &b, 128).unwrap();
+        assert!(d > 0.5, "regime JS distance {d}");
+        let self_d = js_divergence_models(&a, &a, 128).unwrap();
+        assert!(self_d < 1e-9);
+    }
+
+    #[test]
+    fn current_truth_follows_the_stream() {
+        let mut s = DriftingGaussianStream::new(21);
+        for _ in 0..DRIFT_PERIOD {
+            s.next_reading();
+        }
+        let t = s.current_truth();
+        // Now in regime B: mass concentrated near 0.5.
+        let p = t.box_prob(&[0.45], &[0.55]).unwrap();
+        assert!(p > 0.6, "p {p}");
+    }
+}

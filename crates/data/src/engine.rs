@@ -1,0 +1,174 @@
+//! Calibrated stand-in for the paper's proprietary engine dataset.
+//!
+//! The original data — *"the operation of an engine reported every 5
+//! minutes by 15 sensors … June 1st 2002 to December 1st 2002 … time
+//! sequences of 50,000 values"* — is not public. This generator matches
+//! the published Figure 5 statistics (min 0.020, max 0.427, mean 0.410,
+//! median 0.419, σ 0.053, skew −6.844) and the qualitative narrative:
+//! *"the smooth nature of the data set, except for the measurements
+//! observed from October 28th to November 1st, where a major failure was
+//! detected in the systems and they reported deviating values."*
+//!
+//! Mechanism: a tight operating band around 0.417 (the smooth regime),
+//! rare short fault excursions toward low values (the heavy left tail
+//! that produces skew ≈ −6.8), and one sustained *major failure* segment
+//! defaulting to ~70% through a 50,000-reading stream (the Oct 28 – Nov 1
+//! analog on a Jun 1 – Dec 1 span).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use crate::streams::DataStream;
+
+/// Figure 5 row for the engine dataset (min, max, mean, median, σ, skew).
+pub const ENGINE_FIG5: [f64; 6] = [0.020, 0.427, 0.410, 0.419, 0.053, -6.844];
+
+/// Operating-band centre.
+const BASE_MEAN: f64 = 0.417;
+/// Operating-band jitter.
+const BASE_STD: f64 = 0.006;
+/// Hard clamp matching the published min/max.
+const MIN_VALUE: f64 = 0.020;
+const MAX_VALUE: f64 = 0.427;
+/// Probability of entering an ambient fault excursion per reading.
+const FAULT_ENTER_P: f64 = 0.002;
+/// Geometric continuation probability of an excursion (mean length 5).
+const FAULT_STAY_P: f64 = 0.8;
+
+/// One engine sensor's stream.
+#[derive(Debug, Clone)]
+pub struct EngineStream {
+    rng: StdRng,
+    normal: Normal<f64>,
+    fault_normal: Normal<f64>,
+    in_fault: bool,
+    emitted: u64,
+    /// Reading range of the sustained major failure, if any.
+    major_failure: Option<(u64, u64)>,
+}
+
+impl EngineStream {
+    /// A stream with the default major-failure window at readings
+    /// 34,000–34,600 (the Oct 28 – Nov 1 analog of a Jun–Dec stream at
+    /// 5-minute cadence).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            normal: Normal::new(BASE_MEAN, BASE_STD).expect("valid normal"),
+            fault_normal: Normal::new(0.09, 0.04).expect("valid normal"),
+            in_fault: false,
+            emitted: 0,
+            major_failure: Some((34_000, 34_600)),
+        }
+    }
+
+    /// Overrides (or removes) the major-failure window.
+    pub fn with_major_failure(mut self, window: Option<(u64, u64)>) -> Self {
+        self.major_failure = window;
+        self
+    }
+
+    /// Whether reading `seq` falls inside the major failure.
+    pub fn in_major_failure(&self, seq: u64) -> bool {
+        self.major_failure
+            .map(|(lo, hi)| (lo..hi).contains(&seq))
+            .unwrap_or(false)
+    }
+
+    /// Readings emitted so far.
+    pub fn position(&self) -> u64 {
+        self.emitted
+    }
+
+    fn fault_value(&mut self) -> f64 {
+        self.fault_normal
+            .sample(&mut self.rng)
+            .clamp(MIN_VALUE, 0.25)
+    }
+}
+
+impl DataStream for EngineStream {
+    fn dims(&self) -> usize {
+        1
+    }
+
+    fn next_reading(&mut self) -> Vec<f64> {
+        let seq = self.emitted;
+        self.emitted += 1;
+        if self.in_major_failure(seq) {
+            return vec![self.fault_value()];
+        }
+        if self.in_fault {
+            if self.rng.gen::<f64>() < FAULT_STAY_P {
+                return vec![self.fault_value()];
+            }
+            self.in_fault = false;
+        } else if self.rng.gen::<f64>() < FAULT_ENTER_P {
+            self.in_fault = true;
+            return vec![self.fault_value()];
+        }
+        vec![self
+            .normal
+            .sample(&mut self.rng)
+            .clamp(MIN_VALUE, MAX_VALUE)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snod_sketch::DatasetStats;
+
+    fn full_stream(seed: u64) -> Vec<f64> {
+        let mut s = EngineStream::new(seed);
+        (0..50_000).map(|_| s.next_reading()[0]).collect()
+    }
+
+    #[test]
+    fn matches_figure5_statistics() {
+        let xs = full_stream(42);
+        let st = DatasetStats::from_slice(&xs).unwrap();
+        assert!(st.min >= 0.020 - 1e-9, "min {}", st.min);
+        assert!(st.max <= 0.427 + 1e-9, "max {}", st.max);
+        assert!((st.mean - 0.410).abs() < 0.010, "mean {}", st.mean);
+        assert!((st.median - 0.419).abs() < 0.010, "median {}", st.median);
+        assert!((st.std_dev - 0.053).abs() < 0.020, "σ {}", st.std_dev);
+        assert!(st.skew < -4.5 && st.skew > -9.0, "skew {}", st.skew);
+    }
+
+    #[test]
+    fn smooth_outside_failures() {
+        // Readings within the first 1000 that are in the operating band
+        // should dominate overwhelmingly.
+        let xs = full_stream(7);
+        let smooth = xs[..1_000]
+            .iter()
+            .filter(|&&x| (x - BASE_MEAN).abs() < 0.05)
+            .count();
+        assert!(smooth > 950, "only {smooth} smooth readings");
+    }
+
+    #[test]
+    fn major_failure_window_deviates() {
+        let xs = full_stream(3);
+        let fail = &xs[34_100..34_500];
+        let low = fail.iter().filter(|&&x| x < 0.3).count();
+        assert!(low > 350, "major failure not deviating: {low}/400 low");
+    }
+
+    #[test]
+    fn failure_window_is_configurable() {
+        let mut s = EngineStream::new(1).with_major_failure(None);
+        assert!(!s.in_major_failure(34_100));
+        let xs: Vec<f64> = (0..50_000).map(|_| s.next_reading()[0]).collect();
+        let low = xs[34_100..34_500].iter().filter(|&&x| x < 0.3).count();
+        assert!(low < 100, "failure still present: {low}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(full_stream(5), full_stream(5));
+        assert_ne!(full_stream(5), full_stream(6));
+    }
+}

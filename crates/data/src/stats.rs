@@ -1,0 +1,62 @@
+//! Per-dimension dataset statistics and the Figure 5 table.
+
+use snod_sketch::DatasetStats;
+
+/// Exact per-dimension statistics of a multi-dimensional dataset.
+/// Returns one [`DatasetStats`] per coordinate; `None` on empty input.
+pub fn per_dimension_stats(points: &[Vec<f64>]) -> Option<Vec<DatasetStats>> {
+    let first = points.first()?;
+    let dims = first.len();
+    let mut out = Vec::with_capacity(dims);
+    for j in 0..dims {
+        let column: Vec<f64> = points.iter().map(|p| p[j]).collect();
+        out.push(DatasetStats::from_slice(&column)?);
+    }
+    Some(out)
+}
+
+/// Renders labelled statistics rows in the layout of the paper's
+/// Figure 5 (Min, Max, Mean, Median, StdDev, Skew).
+pub fn dataset_stats_table(rows: &[(&str, DatasetStats)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}\n",
+        "Dataset", "Min", "Max", "Mean", "Median", "StdDev", "Skew"
+    ));
+    for (name, s) in rows {
+        out.push_str(&format!(
+            "{:<12} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8.3}\n",
+            name, s.min, s.max, s.mean, s.median, s.std_dev, s.skew
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_dimension_splits_columns() {
+        let pts = vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 30.0]];
+        let stats = per_dimension_stats(&pts).unwrap();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].mean, 1.0);
+        assert_eq!(stats[1].mean, 20.0);
+        assert_eq!(stats[1].median, 20.0);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(per_dimension_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let s = DatasetStats::from_slice(&[0.1, 0.2, 0.3]).unwrap();
+        let t = dataset_stats_table(&[("Engine", s), ("Pressure", s)]);
+        assert!(t.contains("Engine"));
+        assert!(t.contains("Pressure"));
+        assert!(t.lines().count() == 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! The synthetic workload of Section 10.
+//!
+//! *"The synthetic datasets are time sequences that are 35,000
+//! observations long each, and their values were normalized to fit in the
+//! [0, 1] interval. Each dataset is a mixture of three Gaussian
+//! distributions with uniform noise; the mean is selected at random from
+//! (0.3, 0.35, 0.45), and the standard deviation is selected as 0.03, so
+//! that it doesn't cover the entire space. Subsequently, we add 0.5% (of
+//! the dataset size) noise values, uniformly at random in the interval
+//! [0.5, 1]."*
+//!
+//! The noise values in `[0.5, 1]` are far from every cluster, which is
+//! what makes them the (distance-based) ground-truth outliers of the
+//! accuracy experiments. In two dimensions the clusters sit on the
+//! diagonal at `(m, m)` for the same three means, with the noise uniform
+//! in `[0.5, 1]²`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use crate::streams::DataStream;
+
+/// The paper's cluster means.
+pub const MIXTURE_MEANS: [f64; 3] = [0.3, 0.35, 0.45];
+/// The paper's cluster standard deviation.
+pub const MIXTURE_STD: f64 = 0.03;
+/// Fraction of readings that are uniform noise.
+pub const NOISE_FRACTION: f64 = 0.005;
+/// Noise interval `[0.5, 1]`.
+pub const NOISE_RANGE: (f64, f64) = (0.5, 1.0);
+
+/// Stream of mixture-of-Gaussians readings with sparse uniform noise.
+///
+/// ```
+/// use snod_data::{GaussianMixtureStream, DataStream};
+/// let mut s = GaussianMixtureStream::new(1, 42);
+/// let xs = s.take_readings(1_000);
+/// // Almost everything is near the clusters …
+/// let clustered = xs.iter().filter(|v| v[0] < 0.55).count();
+/// assert!(clustered > 980);
+/// // … and everything is normalised into [0, 1].
+/// assert!(xs.iter().all(|v| (0.0..=1.0).contains(&v[0])));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianMixtureStream {
+    dims: usize,
+    rng: StdRng,
+    normal: Normal<f64>,
+    /// Per-component mixture weights (uniform by default).
+    weights: [f64; 3],
+}
+
+impl GaussianMixtureStream {
+    /// Creates a `dims`-dimensional stream (1 or 2 in the paper) with a
+    /// deterministic seed. Different sensors should use different seeds.
+    pub fn new(dims: usize, seed: u64) -> Self {
+        assert!(dims >= 1, "dimensionality must be positive");
+        Self {
+            dims,
+            rng: StdRng::seed_from_u64(seed),
+            normal: Normal::new(0.0, MIXTURE_STD).expect("valid normal"),
+            weights: [1.0 / 3.0; 3],
+        }
+    }
+
+    /// Skews the mixture weights so different sensors emphasise different
+    /// clusters (the hierarchy experiments exploit this: a value common
+    /// at one sensor can be rare in the region).
+    pub fn with_weights(mut self, weights: [f64; 3]) -> Self {
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "weights must have positive mass");
+        self.weights = [weights[0] / sum, weights[1] / sum, weights[2] / sum];
+        self
+    }
+
+    /// Whether the next reading will be drawn as noise. Exposed for the
+    /// ground-truth bookkeeping in the experiment harness.
+    fn draw_is_noise(&mut self) -> bool {
+        self.rng.gen::<f64>() < NOISE_FRACTION
+    }
+
+    fn draw_component(&mut self) -> f64 {
+        let u = self.rng.gen::<f64>();
+        let mut acc = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            acc += w;
+            if u < acc {
+                return MIXTURE_MEANS[i];
+            }
+        }
+        MIXTURE_MEANS[2]
+    }
+}
+
+impl DataStream for GaussianMixtureStream {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn next_reading(&mut self) -> Vec<f64> {
+        if self.draw_is_noise() {
+            let (lo, hi) = NOISE_RANGE;
+            return (0..self.dims).map(|_| self.rng.gen_range(lo..hi)).collect();
+        }
+        let mean = self.draw_component();
+        (0..self.dims)
+            .map(|_| (mean + self.normal.sample(&mut self.rng)).clamp(0.0, 1.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snod_sketch::DatasetStats;
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        let mut s = GaussianMixtureStream::new(2, 7);
+        for _ in 0..10_000 {
+            let v = s.next_reading();
+            assert_eq!(v.len(), 2);
+            assert!(v.iter().all(|&c| (0.0..=1.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn noise_fraction_is_about_half_a_percent() {
+        let mut s = GaussianMixtureStream::new(1, 11);
+        let n = 200_000;
+        let noise = (0..n)
+            .map(|_| s.next_reading()[0])
+            .filter(|&x| x >= 0.55) // clusters end well below 0.55 (4σ)
+            .count();
+        let frac = noise as f64 / n as f64;
+        assert!(
+            (frac - NOISE_FRACTION).abs() < 0.002,
+            "noise fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn cluster_statistics_match_the_mixture() {
+        let mut s = GaussianMixtureStream::new(1, 13);
+        let xs: Vec<f64> = (0..50_000).map(|_| s.next_reading()[0]).collect();
+        let stats = DatasetStats::from_slice(&xs).unwrap();
+        // Mixture mean ≈ (0.3 + 0.35 + 0.45)/3 ≈ 0.367 (noise pulls it
+        // up slightly).
+        assert!((stats.mean - 0.367).abs() < 0.01, "mean {}", stats.mean);
+        assert!(stats.std_dev > 0.04 && stats.std_dev < 0.12);
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = GaussianMixtureStream::new(1, 1);
+        let mut b = GaussianMixtureStream::new(1, 2);
+        let xa: Vec<f64> = (0..100).map(|_| a.next_reading()[0]).collect();
+        let xb: Vec<f64> = (0..100).map(|_| b.next_reading()[0]).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let mut a = GaussianMixtureStream::new(2, 5);
+        let mut b = GaussianMixtureStream::new(2, 5);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_reading(), b.next_reading());
+        }
+    }
+
+    #[test]
+    fn weights_shift_cluster_emphasis() {
+        let mut s = GaussianMixtureStream::new(1, 3).with_weights([1.0, 0.0, 0.0]);
+        let xs: Vec<f64> = (0..5_000).map(|_| s.next_reading()[0]).collect();
+        let near_03 = xs.iter().filter(|&&x| (x - 0.3).abs() < 0.1).count();
+        assert!(near_03 > 4_800, "only {near_03} readings near 0.3");
+    }
+}

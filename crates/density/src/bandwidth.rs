@@ -1,0 +1,75 @@
+//! The paper's kernel bandwidth rule (Section 4).
+//!
+//! *"we set the bandwidth of the kernel function in the i-th dimension as
+//! Bᵢ = √5 · σᵢ · |R|^(−1/(d+4))"* — Scott's rule specialised to the
+//! Epanechnikov kernel. σᵢ is the standard deviation of the window values
+//! in dimension `i` (estimated online by
+//! [`snod-sketch`](https://docs.rs/snod-sketch)'s `WindowedVariance`), and
+//! `|R|` is the kernel sample size.
+
+/// Minimum bandwidth used when σ collapses to zero (a constant stream);
+/// keeps the estimator well-defined instead of degenerating to Dirac
+/// spikes.
+pub const MIN_BANDWIDTH: f64 = 1e-9;
+
+/// Bandwidth for one dimension: `√5 · σ · n^(−1/(d+4))`.
+///
+/// ```
+/// use snod_density::scott_bandwidth;
+/// let b = scott_bandwidth(0.1, 1_000, 1);
+/// assert!((b - 5f64.sqrt() * 0.1 * 1_000f64.powf(-0.2)).abs() < 1e-12);
+/// ```
+pub fn scott_bandwidth(sigma: f64, sample_size: usize, dims: usize) -> f64 {
+    let n = sample_size.max(1) as f64;
+    let d = dims.max(1) as f64;
+    let b = 5f64.sqrt() * sigma * n.powf(-1.0 / (d + 4.0));
+    b.max(MIN_BANDWIDTH)
+}
+
+/// Per-dimension bandwidths from per-dimension standard deviations.
+pub fn scott_bandwidths(sigmas: &[f64], sample_size: usize) -> Vec<f64> {
+    let d = sigmas.len();
+    sigmas
+        .iter()
+        .map(|&s| scott_bandwidth(s, sample_size, d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_with_sample_size() {
+        let b1 = scott_bandwidth(0.1, 100, 1);
+        let b2 = scott_bandwidth(0.1, 10_000, 1);
+        assert!(b2 < b1);
+    }
+
+    #[test]
+    fn grows_with_sigma() {
+        assert!(scott_bandwidth(0.2, 100, 1) > scott_bandwidth(0.1, 100, 1));
+    }
+
+    #[test]
+    fn exponent_depends_on_dimensionality() {
+        // d=1 → n^(−1/5); d=2 → n^(−1/6); the d=2 bandwidth is larger.
+        let b1 = scott_bandwidth(0.1, 1_000, 1);
+        let b2 = scott_bandwidth(0.1, 1_000, 2);
+        assert!(b2 > b1);
+    }
+
+    #[test]
+    fn zero_sigma_falls_back_to_floor() {
+        assert_eq!(scott_bandwidth(0.0, 100, 1), MIN_BANDWIDTH);
+    }
+
+    #[test]
+    fn vector_version_matches_scalar() {
+        let sigmas = [0.05, 0.2];
+        let bs = scott_bandwidths(&sigmas, 500);
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0], scott_bandwidth(0.05, 500, 2));
+        assert_eq!(bs[1], scott_bandwidth(0.2, 500, 2));
+    }
+}

@@ -1,0 +1,186 @@
+//! Distribution distances (paper Section 6).
+//!
+//! The paper measures how far apart two estimator models are with the
+//! **Jensen–Shannon divergence** (Equation 7), because the plain
+//! Kullback–Leibler divergence is undefined whenever the kernel model
+//! assigns zero probability to a region where the other model does not —
+//! which Epanechnikov kernels (finite support) routinely do.
+//!
+//! All divergences use base-2 logarithms so that JS ∈ [0, 1], matching
+//! the paper's statement that *"the distance ranges from 0 to 1"*
+//! (Section 10.1, Figure 6).
+
+use crate::grid::GridDiscretization;
+use crate::model::DensityModel;
+use crate::DensityError;
+
+/// Normalises a non-negative vector to sum 1. Returns `None` when the
+/// total mass is zero.
+fn normalize(p: &[f64]) -> Option<Vec<f64>> {
+    let sum: f64 = p.iter().sum();
+    if sum <= 0.0 {
+        None
+    } else {
+        Some(p.iter().map(|&x| x / sum).collect())
+    }
+}
+
+/// Kullback–Leibler divergence `D(p ‖ q)` in bits between two discrete
+/// distributions given as (unnormalised) non-negative vectors.
+///
+/// Returns `f64::INFINITY` when `p` has mass where `q` has none — the
+/// exact failure mode that motivates the JS variant (Section 6).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share support");
+    let (Some(p), Some(q)) = (normalize(p), normalize(q)) else {
+        return 0.0;
+    };
+    let mut d = 0.0;
+    for (pi, qi) in p.iter().zip(q.iter()) {
+        if *pi > 0.0 {
+            if *qi <= 0.0 {
+                return f64::INFINITY;
+            }
+            d += pi * (pi / qi).log2();
+        }
+    }
+    d.max(0.0)
+}
+
+/// Jensen–Shannon divergence (Equation 7):
+/// `JS(p, q) = ½·[D(p ‖ m) + D(q ‖ m)]` with `m = (p + q)/2`.
+/// Always finite, symmetric, and in `[0, 1]` (base-2 logs).
+///
+/// ```
+/// use snod_density::js_divergence;
+/// let p = [0.5, 0.5, 0.0];
+/// let q = [0.0, 0.5, 0.5];
+/// let js = js_divergence(&p, &q);
+/// assert!(js > 0.0 && js <= 1.0);
+/// assert!((js - js_divergence(&q, &p)).abs() < 1e-12); // symmetric
+/// assert!(js_divergence(&p, &p) < 1e-12);              // identity
+/// ```
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share support");
+    let (Some(p), Some(q)) = (normalize(p), normalize(q)) else {
+        return 0.0;
+    };
+    let mut d = 0.0;
+    for (pi, qi) in p.iter().zip(q.iter()) {
+        let m = 0.5 * (pi + qi);
+        if *pi > 0.0 {
+            d += 0.5 * pi * (pi / m).log2();
+        }
+        if *qi > 0.0 {
+            d += 0.5 * qi * (qi / m).log2();
+        }
+    }
+    d.clamp(0.0, 1.0)
+}
+
+/// JS-divergence between two density models, discretised on a `k`-cell
+/// grid per dimension (the paper's Equation 8 with grid interval
+/// `bs = 1/k`). Complexity `O(d·k^d·|R|)`.
+pub fn js_divergence_models<A, B>(a: &A, b: &B, grid_k: usize) -> Result<f64, DensityError>
+where
+    A: DensityModel + ?Sized,
+    B: DensityModel + ?Sized,
+{
+    if a.dims() != b.dims() {
+        return Err(DensityError::DimensionMismatch {
+            expected: a.dims(),
+            got: b.dims(),
+        });
+    }
+    let grid = GridDiscretization::new(a.dims(), grid_k)?;
+    let pa = grid.cell_probs(a)?;
+    let pb = grid.cell_probs(b)?;
+    Ok(js_divergence(&pa, &pb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kde::Kde;
+    use crate::kde1d::Kde1d;
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn kl_infinite_on_unsupported_mass() {
+        assert!(kl_divergence(&[1.0, 0.0], &[0.0, 1.0]).is_infinite());
+    }
+
+    #[test]
+    fn kl_asymmetric_in_general() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn js_bounded_and_maximal_on_disjoint_support() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let js = js_divergence(&p, &q);
+        assert!(
+            (js - 1.0).abs() < 1e-12,
+            "disjoint JS should be 1, got {js}"
+        );
+    }
+
+    #[test]
+    fn js_handles_unnormalised_input() {
+        let p = [2.0, 2.0];
+        let q = [1.0, 1.0];
+        assert!(js_divergence(&p, &q) < 1e-12);
+    }
+
+    #[test]
+    fn js_handles_zero_mass_vectors() {
+        assert_eq!(js_divergence(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn js_between_models_detects_shift() {
+        let a_pts: Vec<f64> = (0..200).map(|i| 0.30 + 0.0005 * (i % 100) as f64).collect();
+        let b_pts: Vec<f64> = (0..200).map(|i| 0.70 + 0.0005 * (i % 100) as f64).collect();
+        let a = Kde1d::from_sample(&a_pts, 0.03, 1_000.0).unwrap();
+        let b = Kde1d::from_sample(&b_pts, 0.03, 1_000.0).unwrap();
+        let same = js_divergence_models(&a, &a, 64).unwrap();
+        let diff = js_divergence_models(&a, &b, 64).unwrap();
+        assert!(same < 1e-9, "self-distance {same}");
+        assert!(diff > 0.9, "shifted distance {diff}");
+    }
+
+    #[test]
+    fn js_between_close_models_is_small() {
+        let a_pts: Vec<f64> = (0..500).map(|i| 0.40 + 0.0004 * (i % 250) as f64).collect();
+        let b_pts: Vec<f64> = (0..500).map(|i| 0.41 + 0.0004 * (i % 250) as f64).collect();
+        let a = Kde1d::from_sample(&a_pts, 0.05, 1_000.0).unwrap();
+        let b = Kde1d::from_sample(&b_pts, 0.05, 1_000.0).unwrap();
+        let d = js_divergence_models(&a, &b, 64).unwrap();
+        assert!(d < 0.05, "close models diverge by {d}");
+    }
+
+    #[test]
+    fn js_models_dimension_mismatch() {
+        let a = Kde1d::from_sample(&[0.5], 0.1, 10.0).unwrap();
+        let b = Kde::from_sample(&[vec![0.5, 0.5]], &[0.1, 0.1], 10.0).unwrap();
+        assert!(js_divergence_models(&a, &b, 8).is_err());
+    }
+
+    #[test]
+    fn js_works_across_model_types() {
+        // KDE vs histogram of the same underlying data should be close.
+        let xs: Vec<f64> = (0..2_000).map(|i| (i % 500) as f64 / 500.0).collect();
+        let kde = Kde1d::from_sample(&xs, 0.29, 2_000.0).unwrap();
+        let hist = crate::histogram::EquiDepthHistogram::from_window(&xs, 100).unwrap();
+        let d = js_divergence_models(&kde, &hist, 64).unwrap();
+        assert!(d < 0.05, "KDE vs histogram of same data: {d}");
+    }
+}

@@ -1,0 +1,366 @@
+//! The d-dimensional product-kernel density estimator (paper Section 4).
+//!
+//! Given a sample `R` of the window and per-dimension bandwidths `Bᵢ`,
+//! the estimated density is Equation 1:
+//!
+//! ```text
+//! f(x) = 1/|R| · Σ_{t ∈ R} k(x₁ − t₁, …, x_d − t_d)
+//! ```
+//!
+//! with the product Epanechnikov kernel of Equation 2. Because each
+//! one-dimensional factor has a closed-form CDF, the probability of an
+//! axis-aligned box — and hence the neighborhood count `N(p, r)` — is an
+//! exact `O(d·|R|)` sum (Theorem 2), no numerical integration involved.
+
+use crate::kernel::{EpanechnikovKernel, Kernel1d};
+use crate::model::{check_dims, DensityModel};
+use crate::{scott_bandwidths, DensityError};
+
+/// Kernel density estimator over `d`-dimensional points in `[0, 1]^d`.
+///
+/// ```
+/// use snod_density::{Kde, DensityModel};
+/// // 200 sample points clustered near 0.5
+/// let pts: Vec<Vec<f64>> = (0..200).map(|i| vec![0.5 + 0.001 * (i % 20) as f64]).collect();
+/// let kde = Kde::from_sample(&pts, &[0.05], 1_000.0).unwrap();
+/// // the cluster is dense, the far tail is not
+/// assert!(kde.neighborhood_count(&[0.5], 0.05).unwrap() > 500.0);
+/// assert!(kde.neighborhood_count(&[0.95], 0.05).unwrap() < 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kde<K: Kernel1d = EpanechnikovKernel> {
+    dims: usize,
+    /// Flattened row-major sample: `centers[i*dims + j]` is coordinate `j`
+    /// of sample point `i`. Points are sorted by their first coordinate
+    /// so finite-support queries can prune on dimension 0.
+    centers: Vec<f64>,
+    /// `centers[i*dims]` for binary-searching the dimension-0 range.
+    first_coords: Vec<f64>,
+    bandwidths: Vec<f64>,
+    window_len: f64,
+    kernel: K,
+}
+
+impl Kde<EpanechnikovKernel> {
+    /// Builds an Epanechnikov estimator from a sample of points, applying
+    /// the paper's bandwidth rule `Bᵢ = √5·σᵢ·|R|^(−1/(d+4))` to the given
+    /// per-dimension standard deviations.
+    pub fn from_sample(
+        sample: &[Vec<f64>],
+        sigmas: &[f64],
+        window_len: f64,
+    ) -> Result<Self, DensityError> {
+        let dims = sigmas.len();
+        if dims == 0 {
+            return Err(DensityError::NonPositiveParameter("dimensionality"));
+        }
+        let mut centers = Vec::with_capacity(sample.len() * dims);
+        for p in sample {
+            check_dims(dims, p)?;
+            centers.extend_from_slice(p);
+        }
+        let bandwidths = scott_bandwidths(sigmas, sample.len());
+        Self::new(dims, centers, bandwidths, window_len, EpanechnikovKernel)
+    }
+}
+
+impl<K: Kernel1d> Kde<K> {
+    /// Builds an estimator from a flattened row-major sample with explicit
+    /// bandwidths and kernel. Sample points are re-ordered (sorted by
+    /// their first coordinate) to enable query pruning.
+    pub fn new(
+        dims: usize,
+        centers: Vec<f64>,
+        bandwidths: Vec<f64>,
+        window_len: f64,
+        kernel: K,
+    ) -> Result<Self, DensityError> {
+        if dims == 0 {
+            return Err(DensityError::NonPositiveParameter("dimensionality"));
+        }
+        if centers.is_empty() {
+            return Err(DensityError::EmptySample);
+        }
+        if !centers.len().is_multiple_of(dims) {
+            return Err(DensityError::RaggedSample);
+        }
+        if bandwidths.len() != dims {
+            return Err(DensityError::DimensionMismatch {
+                expected: dims,
+                got: bandwidths.len(),
+            });
+        }
+        if bandwidths.iter().any(|&b| !(b > 0.0)) {
+            return Err(DensityError::NonPositiveParameter("bandwidth"));
+        }
+        if !(window_len > 0.0) {
+            return Err(DensityError::NonPositiveParameter("window length"));
+        }
+        // Sort points by first coordinate (sample order carries no
+        // meaning); NaNs are rejected implicitly by partial_cmp ordering
+        // of generator-produced data.
+        let mut rows: Vec<&[f64]> = centers.chunks_exact(dims).collect();
+        rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("non-NaN sample"));
+        let sorted: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let first_coords: Vec<f64> = sorted.iter().step_by(dims).copied().collect();
+        Ok(Self {
+            dims,
+            centers: sorted,
+            first_coords,
+            bandwidths,
+            window_len,
+            kernel,
+        })
+    }
+
+    /// Index range of points whose dimension-0 kernel support intersects
+    /// `[lo0, hi0]` — the pruning window for finite-support kernels.
+    fn dim0_range(&self, lo0: f64, hi0: f64) -> (usize, usize) {
+        let reach = self.kernel.support();
+        if reach.is_infinite() {
+            return (0, self.first_coords.len());
+        }
+        let span = reach * self.bandwidths[0];
+        let start = self.first_coords.partition_point(|&c| c < lo0 - span);
+        let end = self.first_coords.partition_point(|&c| c <= hi0 + span);
+        (start, end)
+    }
+
+    /// Number of kernels, i.e. the sample size `|R|`.
+    pub fn sample_size(&self) -> usize {
+        self.centers.len() / self.dims
+    }
+
+    /// Per-dimension bandwidths `Bᵢ`.
+    pub fn bandwidths(&self) -> &[f64] {
+        &self.bandwidths
+    }
+
+    /// The sample points backing this estimator, flattened row-major.
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+
+    /// Iterates over the sample points as coordinate slices.
+    pub fn points(&self) -> impl Iterator<Item = &[f64]> {
+        self.centers.chunks_exact(self.dims)
+    }
+}
+
+impl<K: Kernel1d> DensityModel for Kde<K> {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn window_len(&self) -> f64 {
+        self.window_len
+    }
+
+    fn pdf(&self, x: &[f64]) -> Result<f64, DensityError> {
+        check_dims(self.dims, x)?;
+        let norm: f64 = self.bandwidths.iter().product();
+        let (s, e) = self.dim0_range(x[0], x[0]);
+        let mut sum = 0.0;
+        'points: for t in self.centers[s * self.dims..e * self.dims].chunks_exact(self.dims) {
+            let mut prod = 1.0;
+            for j in 0..self.dims {
+                let u = (x[j] - t[j]) / self.bandwidths[j];
+                let k = self.kernel.density(u);
+                if k == 0.0 {
+                    continue 'points;
+                }
+                prod *= k;
+            }
+            sum += prod;
+        }
+        Ok(sum / (self.sample_size() as f64 * norm))
+    }
+
+    fn box_prob(&self, lo: &[f64], hi: &[f64]) -> Result<f64, DensityError> {
+        check_dims(self.dims, lo)?;
+        check_dims(self.dims, hi)?;
+        let (s, e) = self.dim0_range(lo[0], hi[0]);
+        let mut sum = 0.0;
+        'points: for t in self.centers[s * self.dims..e * self.dims].chunks_exact(self.dims) {
+            let mut prod = 1.0;
+            for j in 0..self.dims {
+                let b = self.bandwidths[j];
+                let m = self.kernel.mass((lo[j] - t[j]) / b, (hi[j] - t[j]) / b);
+                if m == 0.0 {
+                    continue 'points;
+                }
+                prod *= m;
+            }
+            sum += prod;
+        }
+        Ok(sum / self.sample_size() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GaussianKernel;
+
+    fn uniform_sample(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![(i as f64 + 0.5) / n as f64]).collect()
+    }
+
+    #[test]
+    fn construction_validates_input() {
+        assert!(matches!(
+            Kde::from_sample(&[], &[0.1], 100.0),
+            Err(DensityError::EmptySample)
+        ));
+        assert!(Kde::from_sample(&[vec![0.5, 0.5]], &[0.1], 100.0).is_err());
+        assert!(Kde::new(1, vec![0.5], vec![0.0], 100.0, EpanechnikovKernel).is_err());
+        assert!(Kde::new(1, vec![0.5], vec![0.1], 0.0, EpanechnikovKernel).is_err());
+        assert!(Kde::new(
+            2,
+            vec![0.5, 0.5, 0.5],
+            vec![0.1, 0.1],
+            100.0,
+            EpanechnikovKernel
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pdf_is_nonnegative_and_integrates_to_one() {
+        let kde = Kde::from_sample(&uniform_sample(50), &[0.29], 1_000.0).unwrap();
+        let steps = 4_000;
+        let (lo, hi) = (-0.5, 1.5);
+        let h = (hi - lo) / steps as f64;
+        let mut integral = 0.0;
+        for i in 0..=steps {
+            let x = lo + i as f64 * h;
+            let p = kde.pdf(&[x]).unwrap();
+            assert!(p >= 0.0);
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            integral += w * p;
+        }
+        assert!(
+            (integral * h - 1.0).abs() < 1e-3,
+            "integral {}",
+            integral * h
+        );
+    }
+
+    #[test]
+    fn box_prob_matches_numeric_integral_of_pdf() {
+        let kde = Kde::from_sample(&uniform_sample(30), &[0.29], 1_000.0).unwrap();
+        let (a, b) = (0.2, 0.6);
+        let steps = 20_000;
+        let h = (b - a) / steps as f64;
+        let mut numeric = 0.0;
+        for i in 0..=steps {
+            let x = a + i as f64 * h;
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            numeric += w * kde.pdf(&[x]).unwrap();
+        }
+        numeric *= h;
+        let exact = kde.box_prob(&[a], &[b]).unwrap();
+        assert!(
+            (numeric - exact).abs() < 1e-4,
+            "numeric {numeric} exact {exact}"
+        );
+    }
+
+    #[test]
+    fn neighborhood_count_scales_with_window() {
+        let pts = uniform_sample(100);
+        let small = Kde::from_sample(&pts, &[0.29], 100.0).unwrap();
+        let large = Kde::from_sample(&pts, &[0.29], 10_000.0).unwrap();
+        let ns = small.neighborhood_count(&[0.5], 0.1).unwrap();
+        let nl = large.neighborhood_count(&[0.5], 0.1).unwrap();
+        assert!((nl / ns - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_dimensional_box_prob_is_product_for_factorised_sample() {
+        // A single kernel at (0.5, 0.5): the box mass factorises exactly.
+        let kde = Kde::new(2, vec![0.5, 0.5], vec![0.1, 0.2], 100.0, EpanechnikovKernel).unwrap();
+        let p = kde.box_prob(&[0.45, 0.4], &[0.55, 0.6]).unwrap();
+        let k = EpanechnikovKernel;
+        let px = k.mass(-0.5, 0.5);
+        let py = k.mass(-0.5, 0.5);
+        assert!((p - px * py).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whole_domain_has_probability_one() {
+        let kde = Kde::from_sample(&uniform_sample(64), &[0.2], 500.0).unwrap();
+        let p = kde.box_prob(&[-10.0], &[10.0]).unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let kde = Kde::from_sample(&uniform_sample(10), &[0.2], 100.0).unwrap();
+        assert!(matches!(
+            kde.pdf(&[0.5, 0.5]),
+            Err(DensityError::DimensionMismatch {
+                expected: 1,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn gaussian_kernel_also_integrates() {
+        let kde = Kde::new(1, vec![0.3, 0.5, 0.7], vec![0.1], 100.0, GaussianKernel).unwrap();
+        let p = kde.box_prob(&[-5.0], &[5.0]).unwrap();
+        assert!((p - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dim0_pruning_preserves_exact_results() {
+        // Shuffled 2-d sample: pruned queries must equal a naive
+        // all-points evaluation.
+        let pts: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                vec![
+                    ((i * 83) % 301) as f64 / 301.0,
+                    ((i * 131) % 307) as f64 / 307.0,
+                ]
+            })
+            .collect();
+        let kde = Kde::from_sample(&pts, &[0.08, 0.12], 5_000.0).unwrap();
+        let naive_box = |lo: &[f64], hi: &[f64]| -> f64 {
+            let k = EpanechnikovKernel;
+            let b = kde.bandwidths();
+            let sum: f64 = pts
+                .iter()
+                .map(|t| {
+                    (0..2)
+                        .map(|j| k.mass((lo[j] - t[j]) / b[j], (hi[j] - t[j]) / b[j]))
+                        .product::<f64>()
+                })
+                .sum();
+            sum / pts.len() as f64
+        };
+        for (lo, hi) in [
+            ([0.4, 0.4], [0.6, 0.6]),
+            ([0.0, 0.0], [0.1, 1.0]),
+            ([0.9, 0.2], [1.0, 0.3]),
+        ] {
+            let fast = kde.box_prob(&lo, &hi).unwrap();
+            let slow = naive_box(&lo, &hi);
+            assert!(
+                (fast - slow).abs() < 1e-12,
+                "{lo:?}..{hi:?}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_region_counts_higher_than_sparse() {
+        // 90 points near 0.3, 10 near 0.8.
+        let mut pts: Vec<Vec<f64>> = (0..90).map(|i| vec![0.3 + 0.0005 * i as f64]).collect();
+        pts.extend((0..10).map(|i| vec![0.8 + 0.0005 * i as f64]));
+        let kde = Kde::from_sample(&pts, &[0.2], 1_000.0).unwrap();
+        let dense = kde.neighborhood_count(&[0.32], 0.05).unwrap();
+        let sparse = kde.neighborhood_count(&[0.8], 0.05).unwrap();
+        assert!(dense > 5.0 * sparse, "dense {dense} sparse {sparse}");
+    }
+}

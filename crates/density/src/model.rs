@@ -1,0 +1,62 @@
+//! The [`DensityModel`] abstraction.
+//!
+//! D3 and MGDD only need three operations from an estimator: the density
+//! at a point, the probability mass of an axis-aligned box, and the
+//! derived neighborhood count `N(p, r) = P[p−r, p+r] · |W|` (paper
+//! Equation 4). Both the kernel estimators and the histogram baseline
+//! provide them, so the detectors in `snod-outlier` are written against
+//! this trait and the kernel-vs-histogram comparison of Figure 7 is a
+//! one-line swap.
+
+use crate::DensityError;
+
+/// An approximation of the distribution of the values inside a sliding
+/// window of `window_len()` elements over `dims()`-dimensional data in
+/// `[0, 1]^d`.
+pub trait DensityModel: Send + Sync {
+    /// Data dimensionality `d`.
+    fn dims(&self) -> usize;
+
+    /// The window length `|W|` this model summarises; scales probabilities
+    /// into counts.
+    fn window_len(&self) -> f64;
+
+    /// Estimated probability density at `x`.
+    fn pdf(&self, x: &[f64]) -> Result<f64, DensityError>;
+
+    /// Estimated probability mass of the axis-aligned box `[lo, hi]`.
+    fn box_prob(&self, lo: &[f64], hi: &[f64]) -> Result<f64, DensityError>;
+
+    /// `P(p, r) = P[p − r, p + r]` — probability mass of the L∞ ball of
+    /// radius `r` around `p` (paper Equation 5).
+    fn range_prob(&self, p: &[f64], r: f64) -> Result<f64, DensityError> {
+        if p.len() != self.dims() {
+            return Err(DensityError::DimensionMismatch {
+                expected: self.dims(),
+                got: p.len(),
+            });
+        }
+        let lo: Vec<f64> = p.iter().map(|&c| c - r).collect();
+        let hi: Vec<f64> = p.iter().map(|&c| c + r).collect();
+        self.box_prob(&lo, &hi)
+    }
+
+    /// `N(p, r) = P(p, r) · |W|` — the estimated number of window values
+    /// within distance `r` of `p` (paper Equation 4). This is the
+    /// primitive both outlier definitions are built on.
+    fn neighborhood_count(&self, p: &[f64], r: f64) -> Result<f64, DensityError> {
+        Ok(self.range_prob(p, r)? * self.window_len())
+    }
+}
+
+/// Validates that `x` has the model's dimensionality.
+pub(crate) fn check_dims(expected: usize, x: &[f64]) -> Result<(), DensityError> {
+    if x.len() == expected {
+        Ok(())
+    } else {
+        Err(DensityError::DimensionMismatch {
+            expected,
+            got: x.len(),
+        })
+    }
+}

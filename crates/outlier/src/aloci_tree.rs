@@ -1,0 +1,416 @@
+//! Multi-granularity aLOCI over a dyadic cell tree — the full algorithm
+//! of Papadimitriou et al. (the paper's reference 36).
+//!
+//! The VLDB'06 paper fixes one `(r, αr)` pair; the original aLOCI tests
+//! MDEF at *every* granularity: counting cells of side `2^{-l}` inside
+//! sampling cells of side `2^{-(l-k)}` (`α = 2^{-k}`), for a range of
+//! levels `l`, flagging a point that is deviant at **any** granularity.
+//! This catches outliers whose natural scale differs from any single
+//! radius — e.g. a point sitting between a tight and a diffuse cluster.
+//!
+//! The tree supports insertion *and removal*, so it can run over sliding
+//! windows; per-point detection reads `O(levels · 2^{k·d})` cell
+//! counters.
+//!
+//! As in the original aLOCI, **several shifted grids** are maintained
+//! (dyadic cells suffer boundary effects: a point just across a cell
+//! boundary from its cluster would otherwise see an empty neighborhood).
+//! Each query level uses the grid whose counting cell is best centred on
+//! the query point.
+
+use std::collections::HashMap;
+
+use crate::mdef::MdefConfig;
+
+/// Deterministic grid shifts (applied per coordinate before cell
+/// flooring). Four grids, as the aLOCI paper recommends (10–30 % extra
+/// space per grid, large boundary-robustness gain).
+const GRID_SHIFTS: [f64; 4] = [0.0, 0.137, 0.389, 0.683];
+
+/// Configuration of the multi-granularity detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlociTreeConfig {
+    /// Finest counting level: cells of side `2^{-max_level}`.
+    pub max_level: u32,
+    /// Coarsest counting level tested.
+    pub min_level: u32,
+    /// `α = 2^{-alpha_shift}` — the sampling cell is `alpha_shift`
+    /// levels coarser than the counting cell (LOCI recommends α ≈ 1/16;
+    /// 3 gives 1/8).
+    pub alpha_shift: u32,
+    /// Significance factor `k_σ` and the degeneracy margin, shared with
+    /// the single-granularity detector.
+    pub k_sigma: f64,
+    /// Minimum MDEF regardless of σ (see [`MdefConfig::min_deviation`]).
+    pub min_deviation: f64,
+    /// Minimum neighborhood mass to call a verdict at a level (LOCI's
+    /// `n_min`, guarding tiny-sample significance claims).
+    pub min_mass: f64,
+}
+
+impl Default for AlociTreeConfig {
+    fn default() -> Self {
+        Self {
+            max_level: 7, // cells of 1/128
+            min_level: 4, // cells of 1/16
+            alpha_shift: 3,
+            k_sigma: 3.0,
+            min_deviation: 0.05,
+            min_mass: 8.0,
+        }
+    }
+}
+
+impl AlociTreeConfig {
+    /// Validates level ordering.
+    pub fn validate(&self) -> bool {
+        self.min_level <= self.max_level
+            && self.alpha_shift >= 1
+            && self.k_sigma > 0.0
+            && self.min_mass >= 0.0
+            && self.max_level + 1 < 30
+    }
+}
+
+/// Verdict detail for one granularity level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelVerdict {
+    /// Counting-cell side = `2^{-level}`.
+    pub level: u32,
+    /// `n(p)` at this granularity (self-excluded).
+    pub count: f64,
+    /// Count-weighted local average `n̂`.
+    pub avg: f64,
+    /// `MDEF` at this granularity.
+    pub mdef: f64,
+    /// `σ_MDEF` (standard error, as in the single-granularity detector).
+    pub sigma_mdef: f64,
+    /// Whether this granularity flags the point.
+    pub flagged: bool,
+}
+
+/// A dyadic cell-count forest (one tree per grid shift) over `[0, 1]^d`
+/// supporting sliding-window maintenance and multi-granularity MDEF
+/// detection.
+#[derive(Debug, Clone)]
+pub struct AlociTree {
+    dims: usize,
+    cfg: AlociTreeConfig,
+    /// `grids[shift]` maps level → cell counts for that shifted grid.
+    grids: Vec<HashMap<u32, HashMap<Vec<i64>, f64>>>,
+}
+
+impl AlociTree {
+    /// An empty forest for `dims`-dimensional points.
+    pub fn new(dims: usize, cfg: AlociTreeConfig) -> Option<Self> {
+        if dims == 0 || !cfg.validate() {
+            return None;
+        }
+        let coarsest = cfg.min_level.saturating_sub(cfg.alpha_shift);
+        let grids = GRID_SHIFTS
+            .iter()
+            .map(|_| {
+                (coarsest..=cfg.max_level)
+                    .map(|l| (l, HashMap::new()))
+                    .collect()
+            })
+            .collect();
+        Some(Self { dims, cfg, grids })
+    }
+
+    fn key(&self, p: &[f64], level: u32, shift: f64) -> Vec<i64> {
+        let scale = (1u64 << level) as f64;
+        p.iter()
+            .map(|&c| ((c + shift) * scale).floor() as i64)
+            .collect()
+    }
+
+    /// Distance (L∞, in cell-width units) from `p` to the centre of its
+    /// counting cell in the shifted grid — the grid-selection criterion.
+    fn center_offset(&self, p: &[f64], level: u32, shift: f64) -> f64 {
+        let scale = (1u64 << level) as f64;
+        p.iter()
+            .map(|&c| {
+                let pos = (c + shift) * scale;
+                (pos - pos.floor() - 0.5).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Inserts a point into every grid and level.
+    pub fn insert(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dims, "dimensionality mismatch");
+        for (g, grid) in self.grids.iter_mut().enumerate() {
+            let shift = GRID_SHIFTS[g];
+            let levels: Vec<u32> = grid.keys().copied().collect();
+            for l in levels {
+                let scale = (1u64 << l) as f64;
+                let k: Vec<i64> = p
+                    .iter()
+                    .map(|&c| ((c + shift) * scale).floor() as i64)
+                    .collect();
+                *grid
+                    .get_mut(&l)
+                    .expect("level exists")
+                    .entry(k)
+                    .or_insert(0.0) += 1.0;
+            }
+        }
+    }
+
+    /// Removes a previously inserted point from every grid and level.
+    pub fn remove(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dims, "dimensionality mismatch");
+        for (g, grid) in self.grids.iter_mut().enumerate() {
+            let shift = GRID_SHIFTS[g];
+            let levels: Vec<u32> = grid.keys().copied().collect();
+            for l in levels {
+                let scale = (1u64 << l) as f64;
+                let k: Vec<i64> = p
+                    .iter()
+                    .map(|&c| ((c + shift) * scale).floor() as i64)
+                    .collect();
+                let map = grid.get_mut(&l).expect("level exists");
+                if let Some(c) = map.get_mut(&k) {
+                    *c -= 1.0;
+                    if *c <= 0.0 {
+                        map.remove(&k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of cells stored across all grids and levels (memory
+    /// diagnostic).
+    pub fn cell_count(&self) -> usize {
+        self.grids
+            .iter()
+            .flat_map(|g| g.values())
+            .map(HashMap::len)
+            .sum()
+    }
+
+    /// Evaluates `p` at every granularity; the point is an outlier when
+    /// any level with sufficient neighborhood mass flags it. For each
+    /// level, the shifted grid whose counting cell is best centred on
+    /// `p` is used (the aLOCI grid-selection rule). `p` is scored as a
+    /// new observation (exclude it from its own cells if `indexed` is
+    /// true).
+    pub fn evaluate(&self, p: &[f64], indexed: bool) -> Vec<LevelVerdict> {
+        assert_eq!(p.len(), self.dims, "dimensionality mismatch");
+        let mut out = Vec::new();
+        for level in self.cfg.min_level..=self.cfg.max_level {
+            let sampling_level = level - self.cfg.alpha_shift;
+            // Grid selection: best-centred counting cell.
+            let g = (0..GRID_SHIFTS.len())
+                .min_by(|&a, &b| {
+                    self.center_offset(p, level, GRID_SHIFTS[a])
+                        .partial_cmp(&self.center_offset(p, level, GRID_SHIFTS[b]))
+                        .expect("finite offsets")
+                })
+                .expect("grids exist");
+            let shift = GRID_SHIFTS[g];
+            let counting = &self.grids[g][&level];
+            let own_key = self.key(p, level, shift);
+            let discount = if indexed { 1.0 } else { 0.0 };
+            let own = (counting.get(&own_key).copied().unwrap_or(discount) - discount).max(0.0);
+
+            // Child counting cells of p's sampling cell in the same grid.
+            let s_key = self.key(p, sampling_level, shift);
+            let span = 1i64 << self.cfg.alpha_shift;
+            let total = (span as usize).pow(self.dims as u32);
+            let mut w_sum = 0.0;
+            let mut w_mean = 0.0;
+            let mut w_sq = 0.0;
+            let mut nonempty = 0usize;
+            let mut child = vec![0i64; self.dims];
+            for flat in 0..total {
+                let mut rem = flat;
+                for j in 0..self.dims {
+                    child[j] = s_key[j] * span + (rem % span as usize) as i64;
+                    rem /= span as usize;
+                }
+                if let Some(&c) = counting.get(&child) {
+                    let c = if child == own_key {
+                        (c - discount).max(0.0)
+                    } else {
+                        c
+                    };
+                    if c > 0.0 {
+                        w_sum += c;
+                        w_mean += c * c;
+                        w_sq += c * c * c;
+                        nonempty += 1;
+                    }
+                }
+            }
+            if w_sum < self.cfg.min_mass {
+                continue; // too little mass to make a significance claim
+            }
+            let avg = w_mean / w_sum;
+            let var = (w_sq / w_sum - avg * avg).max(0.0);
+            let sigma = var.sqrt() / (nonempty.max(1) as f64).sqrt() / avg;
+            let mdef = 1.0 - own / avg;
+            let flagged = mdef > self.cfg.k_sigma * sigma && mdef > self.cfg.min_deviation;
+            out.push(LevelVerdict {
+                level,
+                count: own,
+                avg,
+                mdef,
+                sigma_mdef: sigma,
+                flagged,
+            });
+        }
+        out
+    }
+
+    /// The any-granularity verdict.
+    pub fn is_outlier(&self, p: &[f64], indexed: bool) -> bool {
+        self.evaluate(p, indexed).iter().any(|v| v.flagged)
+    }
+
+    /// Convenience: derives a tree configuration from the paper's
+    /// single-granularity [`MdefConfig`] — counting cells near `2αr`,
+    /// sampling cells near `2r`, same `k_σ`.
+    pub fn config_from_mdef(rule: &MdefConfig) -> AlociTreeConfig {
+        let counting_level = (1.0 / (2.0 * rule.counting_radius)).log2().round() as u32;
+        let alpha_shift = (rule.sampling_radius / rule.counting_radius)
+            .log2()
+            .round()
+            .max(1.0) as u32;
+        AlociTreeConfig {
+            max_level: counting_level + 1,
+            min_level: counting_level.saturating_sub(1).max(alpha_shift),
+            alpha_shift,
+            k_sigma: rule.k_sigma,
+            min_deviation: rule.min_deviation,
+            min_mass: 8.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_tree() -> AlociTree {
+        // Dense uniform block on [0.40, 0.50].
+        let mut t = AlociTree::new(1, AlociTreeConfig::default()).expect("valid");
+        for i in 0..4_000 {
+            t.insert(&[0.40 + 0.10 * (i as f64 + 0.5) / 4_000.0]);
+        }
+        t
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(AlociTree::new(0, AlociTreeConfig::default()).is_none());
+        let bad = AlociTreeConfig {
+            min_level: 9,
+            max_level: 5,
+            ..AlociTreeConfig::default()
+        };
+        assert!(AlociTree::new(1, bad).is_none());
+    }
+
+    #[test]
+    fn skirt_point_is_flagged_core_is_not() {
+        let t = block_tree();
+        assert!(t.is_outlier(&[0.55], false), "skirt not flagged");
+        assert!(!t.is_outlier(&[0.45], false), "core flagged");
+    }
+
+    #[test]
+    fn removal_restores_state() {
+        let mut t = block_tree();
+        let cells_before = t.cell_count();
+        for _ in 0..50 {
+            t.insert(&[0.55]);
+        }
+        // The clump registers: some level now sees ~50 neighbors of 0.55.
+        // (It may *still* be flagged at coarse granularity — a 50-point
+        // clump beside a 4,000-point block is genuinely deviant there;
+        // that is exactly what multi-granularity detection is for.)
+        let max_count = t
+            .evaluate(&[0.55], false)
+            .iter()
+            .map(|v| v.count)
+            .fold(0.0, f64::max);
+        assert!(max_count >= 49.0, "clump not visible: {max_count}");
+        for _ in 0..50 {
+            t.remove(&[0.55]);
+        }
+        assert_eq!(t.cell_count(), cells_before);
+        assert!(t.is_outlier(&[0.55], false), "state not restored");
+        let restored = t
+            .evaluate(&[0.55], false)
+            .iter()
+            .map(|v| v.count)
+            .fold(0.0, f64::max);
+        assert_eq!(restored, 0.0, "counts not restored");
+    }
+
+    #[test]
+    fn multi_granularity_catches_mixed_scale_outliers() {
+        // A tight cluster and a diffuse cluster; a point in the diffuse
+        // cluster's interior is normal, a point just outside the tight
+        // cluster is deviant at fine levels even though coarse levels
+        // blur it into the diffuse mass.
+        let mut t = AlociTree::new(1, AlociTreeConfig::default()).expect("valid");
+        for i in 0..3_000 {
+            t.insert(&[0.250 + 0.008 * (i as f64 + 0.5) / 3_000.0]); // tight
+        }
+        for i in 0..3_000 {
+            t.insert(&[0.60 + 0.25 * (i as f64 + 0.5) / 3_000.0]); // diffuse
+        }
+        assert!(!t.is_outlier(&[0.70], false), "diffuse interior flagged");
+        let verdicts = t.evaluate(&[0.27], false);
+        assert!(
+            verdicts.iter().any(|v| v.flagged),
+            "tight-cluster skirt missed at every level: {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn indexed_points_discount_themselves() {
+        let mut t = block_tree();
+        t.insert(&[0.55]);
+        // As an indexed point, 0.55 must still look deviant (its own
+        // single count is discounted).
+        assert!(t.is_outlier(&[0.55], true));
+    }
+
+    #[test]
+    fn insufficient_mass_gives_no_verdicts() {
+        let mut t = AlociTree::new(1, AlociTreeConfig::default()).expect("valid");
+        for i in 0..4 {
+            t.insert(&[0.4 + 0.01 * i as f64]);
+        }
+        // Fewer than min_mass points anywhere: no level may claim
+        // significance.
+        assert!(t.evaluate(&[0.9], false).is_empty());
+        assert!(!t.is_outlier(&[0.9], false));
+    }
+
+    #[test]
+    fn two_dimensional_detection() {
+        let mut t = AlociTree::new(2, AlociTreeConfig::default()).expect("valid");
+        for i in 0..5_000 {
+            let u = (i as f64 + 0.5) / 5_000.0;
+            t.insert(&[0.40 + 0.10 * u, 0.40 + 0.10 * ((i % 97) as f64 / 97.0)]);
+        }
+        assert!(t.is_outlier(&[0.56, 0.45], false));
+        assert!(!t.is_outlier(&[0.45, 0.45], false));
+    }
+
+    #[test]
+    fn config_derivation_matches_paper_parameters() {
+        let rule = MdefConfig::new(0.08, 0.01, 3.0).unwrap();
+        let cfg = AlociTree::config_from_mdef(&rule);
+        // 2αr = 0.02 → counting level ≈ log2(50) ≈ 6; α = 1/8 → shift 3.
+        assert_eq!(cfg.alpha_shift, 3);
+        assert!((5..=7).contains(&cfg.max_level.saturating_sub(1)));
+        assert!(cfg.validate());
+    }
+}

@@ -1,0 +1,362 @@
+//! Exact offline baselines (paper Section 10, "Comparisons").
+//!
+//! *"We use offline algorithms to compute the true outliers for each
+//! instance of the sliding window."*
+//!
+//! * [`distance_outliers`] — `BruteForce-D`: for every point, compute its
+//!   distance to all other window points; `O(d·|W|²)`, guaranteed exact.
+//! * [`mdef_outliers_aloci`] — `BruteForce-M`: aLOCI over the exact
+//!   window, *"approximates the average neighborhood count and the
+//!   standard deviation of neighborhood count based on an interval count
+//!   over the measurements in the sliding window"*.
+//! * [`mdef_outliers_exact`] — full LOCI (exact per-point sampling
+//!   neighborhoods), kept as a stricter reference for tests.
+//!
+//! All neighborhoods are L∞ balls so they are commensurable with the
+//! density models' box queries.
+//!
+//! **Self-exclusion.** Every point is scored as a *new observation tested
+//! against the rest of the window*: its own occurrence is excluded from
+//! its neighborhood counts. This matches the online detectors exactly —
+//! a freshly arrived value is (almost surely) not represented in the
+//! kernel sample its verdict is computed from — and it is what makes the
+//! paper's synthetic ground truth meaningful: a sparse-noise value with
+//! no *other* value within `αr` has `n(p, αr) = 0` against a local
+//! average of ≈ 1, i.e. `MDEF = 1` with tiny `σ_MDEF`, and is flagged.
+//! With self-inclusive counts the same value would have `MDEF = 0` and
+//! the MDEF ground truth on the paper's workload would be empty.
+
+use crate::distance::DistanceOutlierConfig;
+use crate::mdef::MdefConfig;
+
+/// L∞ (Chebyshev) distance between two points.
+pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// `BruteForce-D`: exact `(D, r)`-outlier flags for every window point,
+/// with the point itself excluded from its own neighbor count.
+pub fn distance_outliers(points: &[Vec<f64>], cfg: &DistanceOutlierConfig) -> Vec<bool> {
+    let n = points.len();
+    let mut flags = vec![false; n];
+    for i in 0..n {
+        let mut neighbors = 0usize;
+        for j in 0..n {
+            if j != i && linf_distance(&points[i], &points[j]) <= cfg.radius {
+                neighbors += 1;
+                if neighbors as f64 >= cfg.min_neighbors {
+                    break;
+                }
+            }
+        }
+        flags[i] = (neighbors as f64) < cfg.min_neighbors;
+    }
+    flags
+}
+
+/// Exact counting-neighborhood counts `n(p, αr)` for every point,
+/// excluding the point itself.
+fn counting_counts(points: &[Vec<f64>], ar: f64) -> Vec<f64> {
+    let n = points.len();
+    let mut counts = vec![0.0; n];
+    for i in 0..n {
+        let mut c = 0usize;
+        for j in 0..n {
+            if j != i && linf_distance(&points[i], &points[j]) <= ar {
+                c += 1;
+            }
+        }
+        counts[i] = c as f64;
+    }
+    counts
+}
+
+/// Full LOCI: exact MDEF flags using true per-point sampling
+/// neighborhoods. `O(|W|²)` — the strictest reference. Each point `p` is
+/// scored against the window *without* `p`: its own count drops `p`, its
+/// sampling neighborhood excludes `p`, and neighbors' counts are adjusted
+/// for `p`'s absence.
+pub fn mdef_outliers_exact(points: &[Vec<f64>], cfg: &MdefConfig) -> Vec<bool> {
+    let n = points.len();
+    // Full-window counts including the point itself.
+    let full: Vec<f64> = {
+        let excl = counting_counts(points, cfg.counting_radius);
+        excl.into_iter().map(|c| c + 1.0).collect()
+    };
+    let mut flags = vec![false; n];
+    for i in 0..n {
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        let mut m = 0usize;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let d = linf_distance(&points[i], &points[j]);
+            if d <= cfg.sampling_radius {
+                // q's count in the window without p.
+                let adj = full[j] - if d <= cfg.counting_radius { 1.0 } else { 0.0 };
+                sum += adj;
+                sq += adj * adj;
+                m += 1;
+            }
+        }
+        if m == 0 {
+            flags[i] = true;
+            continue;
+        }
+        let avg = sum / m as f64;
+        if avg <= 0.0 {
+            flags[i] = true;
+            continue;
+        }
+        let var = (sq / m as f64 - avg * avg).max(0.0);
+        let own = full[i] - 1.0; // p's count without p
+        let mdef = 1.0 - own / avg;
+        let sigma_mdef = var.sqrt() / avg;
+        flags[i] = cfg.flags(mdef, sigma_mdef);
+    }
+    flags
+}
+
+/// `BruteForce-M`: aLOCI over the exact window. The domain is divided
+/// into cells of width `2αr` (aligned to the origin, as in the paper's
+/// Figure 3); per-point statistics use the counts of the cells that
+/// intersect the sampling box.
+pub fn mdef_outliers_aloci(points: &[Vec<f64>], cfg: &MdefConfig) -> Vec<bool> {
+    let Some(first) = points.first() else {
+        return Vec::new();
+    };
+    let d = first.len();
+    let cell = 2.0 * cfg.counting_radius;
+
+    // Exact per-cell counts, keyed by the integer cell coordinates.
+    use std::collections::HashMap;
+    let mut cells: HashMap<Vec<i64>, f64> = HashMap::new();
+    for p in points {
+        let key: Vec<i64> = p.iter().map(|&c| (c / cell).floor() as i64).collect();
+        *cells.entry(key).or_insert(0.0) += 1.0;
+    }
+
+    let mut flags = vec![false; points.len()];
+    let mut key = vec![0i64; d];
+    for (i, p) in points.iter().enumerate() {
+        // The point's own counting-neighborhood count: its cell's count
+        // minus itself (new-observation semantics).
+        for (j, &c) in p.iter().enumerate() {
+            key[j] = (c / cell).floor() as i64;
+        }
+        let own = (cells.get(&key).copied().unwrap_or(1.0) - 1.0).max(0.0);
+
+        // Cells intersecting the sampling box.
+        let mut lo = Vec::with_capacity(d);
+        let mut len = Vec::with_capacity(d);
+        for j in 0..d {
+            let a = ((p[j] - cfg.sampling_radius) / cell).floor() as i64;
+            let b = ((p[j] + cfg.sampling_radius) / cell).floor() as i64;
+            lo.push(a);
+            len.push((b - a + 1) as usize);
+        }
+        let total: usize = len.iter().product();
+        let mut w_sum = 0.0;
+        let mut w_mean = 0.0;
+        let mut w_sq = 0.0;
+        let mut nonempty = 0usize;
+        let mut probe = vec![0i64; d];
+        for flat in 0..total {
+            let mut rem = flat;
+            for j in (0..d).rev() {
+                probe[j] = lo[j] + (rem % len[j]) as i64;
+                rem /= len[j];
+            }
+            if let Some(&c) = cells.get(&probe) {
+                // Exclude p from its own cell in the neighborhood stats.
+                let c = if probe == key { (c - 1.0).max(0.0) } else { c };
+                if c > 0.0 {
+                    w_sum += c;
+                    w_mean += c * c;
+                    w_sq += c * c * c;
+                    nonempty += 1;
+                }
+            }
+        }
+        if w_sum <= 0.0 {
+            flags[i] = true;
+            continue;
+        }
+        let avg = w_mean / w_sum;
+        let var = (w_sq / w_sum - avg * avg).max(0.0);
+        let mdef = 1.0 - own / avg;
+        flags[i] = cfg.flags(mdef, cfg.effective_sigma(var.sqrt(), nonempty) / avg);
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_with_outliers() -> Vec<Vec<f64>> {
+        // 200 points in a tight cluster, 3 isolated points.
+        let mut pts: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![0.40 + 0.0002 * (i % 50) as f64])
+            .collect();
+        pts.push(vec![0.85]);
+        pts.push(vec![0.90]);
+        pts.push(vec![0.10]);
+        pts
+    }
+
+    #[test]
+    fn linf_reference_values() {
+        assert_eq!(linf_distance(&[0.0, 0.0], &[0.3, 0.1]), 0.3);
+        assert_eq!(linf_distance(&[1.0], &[0.25]), 0.75);
+        assert_eq!(linf_distance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn brute_force_d_finds_exactly_the_isolated_points() {
+        let pts = cluster_with_outliers();
+        let cfg = DistanceOutlierConfig::new(10.0, 0.02);
+        let flags = distance_outliers(&pts, &cfg);
+        let outliers: Vec<usize> = flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(outliers, vec![200, 201, 202]);
+    }
+
+    #[test]
+    fn brute_force_d_threshold_one_flags_only_fully_isolated_points() {
+        // Self-excluded counts: t = 1 flags exactly the points with no
+        // *other* value within r.
+        let pts = cluster_with_outliers();
+        let cfg = DistanceOutlierConfig::new(1.0, 0.02);
+        let flags = distance_outliers(&pts, &cfg);
+        assert!(flags[..200].iter().all(|&f| !f));
+        assert!(flags[200] && flags[201] && flags[202]);
+    }
+
+    /// Dense uniform block on [0.40, 0.50] plus skirt points sitting just
+    /// outside it — the canonical MDEF outliers, whose sampling
+    /// neighborhood is dominated by the homogeneous core. (With k_σ = 3
+    /// and MDEF ≤ 1 a flag requires σ_MDEF < 1/3, so the core must be
+    /// homogeneous across 2αr cells for *anything* to be flagged.)
+    fn cluster_with_skirt() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let n = 2_000usize;
+        let mut pts: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![0.40 + 0.10 * (i as f64 + 0.5) / n as f64])
+            .collect();
+        let skirt = vec![pts.len(), pts.len() + 1];
+        pts.push(vec![0.55]);
+        pts.push(vec![0.35]);
+        (pts, skirt)
+    }
+
+    #[test]
+    fn mdef_exact_flags_skirt_not_core() {
+        let (pts, skirt) = cluster_with_skirt();
+        let cfg = MdefConfig::new(0.08, 0.01, 3.0).unwrap();
+        let flags = mdef_outliers_exact(&pts, &cfg);
+        for &i in &skirt {
+            assert!(flags[i], "skirt point {i} not flagged");
+        }
+        // The interior of the block stays clean (edges may flag — their
+        // own counts are genuinely half the local average).
+        let core_flagged = flags
+            .iter()
+            .enumerate()
+            .filter(|(i, &f)| f && (pts[*i][0] - 0.45).abs() < 0.03)
+            .count();
+        assert!(core_flagged < 40, "{core_flagged} core points flagged");
+    }
+
+    #[test]
+    fn mdef_aloci_agrees_with_exact_on_clear_cases() {
+        let (pts, skirt) = cluster_with_skirt();
+        let cfg = MdefConfig::new(0.08, 0.01, 3.0).unwrap();
+        let aloci = mdef_outliers_aloci(&pts, &cfg);
+        for &i in &skirt {
+            assert!(aloci[i], "skirt point {i} not flagged by aLOCI");
+        }
+        let core_flagged = aloci
+            .iter()
+            .enumerate()
+            .filter(|(i, &f)| f && (pts[*i][0] - 0.45).abs() < 0.03)
+            .count();
+        assert!(core_flagged < 60, "{core_flagged} core points flagged");
+    }
+
+    #[test]
+    fn deep_isolation_is_flagged_under_new_observation_semantics() {
+        // With the point excluded from its own neighborhood, a deeply
+        // isolated value sees an *empty* sampling neighborhood and is
+        // flagged. (Under self-inclusive LOCI it would have MDEF = 0 and
+        // be invisible — the self-exclusion is what makes the sparse
+        // noise of the paper's synthetic workload detectable at all.)
+        let (mut pts, _) = cluster_with_skirt();
+        let lone = pts.len();
+        pts.push(vec![0.90]);
+        let cfg = MdefConfig::new(0.08, 0.01, 3.0).unwrap();
+        let exact = mdef_outliers_exact(&pts, &cfg);
+        let aloci = mdef_outliers_aloci(&pts, &cfg);
+        assert!(exact[lone], "exact LOCI missed an empty neighborhood");
+        assert!(aloci[lone], "aLOCI missed an empty neighborhood");
+    }
+
+    #[test]
+    fn sparse_noise_pair_is_flagged() {
+        // Two noise values 0.03 apart, far from the cluster: each sees
+        // the other in its sampling neighborhood (count ≈ 1) but has no
+        // αr-neighbor of its own → MDEF = 1, σ_MDEF = 0 → flagged. This
+        // is the paper's synthetic ground-truth mechanism.
+        let (mut pts, _) = cluster_with_skirt();
+        let a = pts.len();
+        pts.push(vec![0.80]);
+        pts.push(vec![0.83]);
+        let cfg = MdefConfig::new(0.08, 0.01, 3.0).unwrap();
+        let exact = mdef_outliers_exact(&pts, &cfg);
+        let aloci = mdef_outliers_aloci(&pts, &cfg);
+        assert!(exact[a] && exact[a + 1], "exact LOCI missed noise pair");
+        assert!(aloci[a] && aloci[a + 1], "aLOCI missed noise pair");
+    }
+
+    #[test]
+    fn mdef_respects_local_density_differences() {
+        // Two clusters of very different density; members of the sparse
+        // cluster must not be flagged (the motivating case for MDEF).
+        let mut pts: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![0.30 + 0.0001 * (i % 100) as f64])
+            .collect();
+        pts.extend((0..20).map(|i| vec![0.70 + 0.004 * i as f64]));
+        let cfg = MdefConfig::new(0.05, 0.01, 3.0).unwrap();
+        let flags = mdef_outliers_exact(&pts, &cfg);
+        let sparse_flagged = flags[300..].iter().filter(|&&f| f).count();
+        assert!(sparse_flagged <= 3, "{sparse_flagged}/20 sparse flagged");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_flags() {
+        let cfg = MdefConfig::new(0.08, 0.01, 3.0).unwrap();
+        assert!(mdef_outliers_aloci(&[], &cfg).is_empty());
+        let dcfg = DistanceOutlierConfig::new(5.0, 0.1);
+        assert!(distance_outliers(&[], &dcfg).is_empty());
+    }
+
+    #[test]
+    fn two_dimensional_distance_outliers() {
+        let mut pts: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![0.5 + 0.001 * (i % 10) as f64, 0.5 + 0.001 * (i / 10) as f64])
+            .collect();
+        pts.push(vec![0.9, 0.1]);
+        let cfg = DistanceOutlierConfig::new(5.0, 0.05);
+        let flags = distance_outliers(&pts, &cfg);
+        assert!(flags[100]);
+        assert!(flags[..100].iter().all(|&f| !f));
+    }
+}

@@ -1,0 +1,172 @@
+//! Precision and recall — the measures of interest of Section 10.
+//!
+//! *"Precision represents the fraction of the values reported by our
+//! algorithm as outliers that are true outliers. Recall represents the
+//! fraction of the true outliers that our algorithm identified
+//! correctly."*
+//!
+//! Scores are accumulated as raw true-positive / false-positive /
+//! false-negative counts so that the 12-run experiment averages of the
+//! paper can be computed either per-run (macro) or pooled (micro).
+
+/// Confusion counts for outlier detection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrecisionRecall {
+    /// Predicted outliers that are true outliers.
+    pub true_positives: u64,
+    /// Predicted outliers that are not true outliers.
+    pub false_positives: u64,
+    /// True outliers the algorithm missed.
+    pub false_negatives: u64,
+}
+
+impl PrecisionRecall {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores aligned per-point flags: `predicted[i]` vs `truth[i]`.
+    ///
+    /// # Panics
+    /// Panics when the slices differ in length (a scoring bug, not a data
+    /// condition).
+    pub fn from_flags(predicted: &[bool], truth: &[bool]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "flag vectors must align");
+        let mut pr = Self::new();
+        for (&p, &t) in predicted.iter().zip(truth.iter()) {
+            pr.record(p, t);
+        }
+        pr
+    }
+
+    /// Adds a single prediction/truth pair.
+    pub fn record(&mut self, predicted: bool, truth: bool) {
+        match (predicted, truth) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_positives += 1,
+            (false, true) => self.false_negatives += 1,
+            (false, false) => {}
+        }
+    }
+
+    /// Pools counts from another accumulator (micro-averaging).
+    pub fn merge(&mut self, other: &PrecisionRecall) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// Micro-average of several runs.
+    pub fn aggregate<'a, I: IntoIterator<Item = &'a PrecisionRecall>>(runs: I) -> Self {
+        let mut total = Self::new();
+        for r in runs {
+            total.merge(r);
+        }
+        total
+    }
+
+    /// `tp / (tp + fp)`; defined as 1.0 when nothing was predicted
+    /// (vacuously precise — matches how the paper's plots treat windows
+    /// with no reported outliers).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; defined as 1.0 when there were no true outliers.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl std::fmt::Display for PrecisionRecall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "precision {:.1}% recall {:.1}% (tp {} fp {} fn {})",
+            100.0 * self.precision(),
+            100.0 * self.recall(),
+            self.true_positives,
+            self.false_positives,
+            self.false_negatives
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection() {
+        let pr = PrecisionRecall::from_flags(&[true, false, true], &[true, false, true]);
+        assert_eq!(pr.precision(), 1.0);
+        assert_eq!(pr.recall(), 1.0);
+        assert_eq!(pr.f1(), 1.0);
+    }
+
+    #[test]
+    fn false_positive_hurts_precision_only() {
+        let pr = PrecisionRecall::from_flags(&[true, true], &[true, false]);
+        assert_eq!(pr.precision(), 0.5);
+        assert_eq!(pr.recall(), 1.0);
+    }
+
+    #[test]
+    fn false_negative_hurts_recall_only() {
+        let pr = PrecisionRecall::from_flags(&[true, false], &[true, true]);
+        assert_eq!(pr.precision(), 1.0);
+        assert_eq!(pr.recall(), 0.5);
+    }
+
+    #[test]
+    fn empty_prediction_is_vacuously_precise() {
+        let pr = PrecisionRecall::from_flags(&[false, false], &[true, false]);
+        assert_eq!(pr.precision(), 1.0);
+        assert_eq!(pr.recall(), 0.0);
+    }
+
+    #[test]
+    fn no_true_outliers_gives_full_recall() {
+        let pr = PrecisionRecall::from_flags(&[false, false], &[false, false]);
+        assert_eq!(pr.recall(), 1.0);
+        assert_eq!(pr.precision(), 1.0);
+    }
+
+    #[test]
+    fn aggregate_pools_counts() {
+        let a = PrecisionRecall::from_flags(&[true], &[true]);
+        let b = PrecisionRecall::from_flags(&[true], &[false]);
+        let total = PrecisionRecall::aggregate([&a, &b]);
+        assert_eq!(total.true_positives, 1);
+        assert_eq!(total.false_positives, 1);
+        assert_eq!(total.precision(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "flag vectors must align")]
+    fn mismatched_lengths_panic() {
+        let _ = PrecisionRecall::from_flags(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,343 @@
+//! TAG-style in-network aggregation (Madden et al., OSDI 2002).
+//!
+//! The paper's simulator is built *"on top of the TAG simulator"*, whose
+//! core service is epoch-based in-network aggregation: leaves fold their
+//! readings into partial state records, parents merge children's partials
+//! with their own and forward one record per epoch, and the root emits
+//! one aggregate value per epoch — `O(depth)` messages per epoch per
+//! node instead of flooding raw readings. This module provides that
+//! service over [`crate::Network`], both as the substrate the paper
+//! assumes and as the natural companion query type ("what is the average
+//! temperature?") to the outlier queries of `snod-core`.
+//!
+//! Partial state records are associative and commutative, so any merge
+//! order up any tree yields the exact answer (asserted by tests).
+
+use crate::message::Wire;
+use crate::network::{Ctx, SensorApp};
+use crate::node::NodeId;
+use crate::topology::Hierarchy;
+
+/// The aggregate functions TAG supports natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Number of readings.
+    Count,
+    /// Sum of readings.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// A mergeable partial state record covering all five aggregates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialState {
+    /// Readings folded in.
+    pub count: f64,
+    /// Sum of folded readings.
+    pub sum: f64,
+    /// Minimum folded reading (∞ when empty).
+    pub min: f64,
+    /// Maximum folded reading (−∞ when empty).
+    pub max: f64,
+}
+
+impl Default for PartialState {
+    fn default() -> Self {
+        Self {
+            count: 0.0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl PartialState {
+    /// Folds one reading.
+    pub fn fold(&mut self, v: f64) {
+        self.count += 1.0;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another partial record (associative, commutative).
+    pub fn merge(&mut self, other: &PartialState) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Evaluates one aggregate; `None` when no readings were folded (or
+    /// AVG of zero readings).
+    pub fn eval(&self, agg: Aggregate) -> Option<f64> {
+        if self.count == 0.0 {
+            return None;
+        }
+        Some(match agg {
+            Aggregate::Count => self.count,
+            Aggregate::Sum => self.sum,
+            Aggregate::Avg => self.sum / self.count,
+            Aggregate::Min => self.min,
+            Aggregate::Max => self.max,
+        })
+    }
+}
+
+/// One partial state record on the wire, tagged with its epoch.
+#[derive(Debug, Clone)]
+pub struct TagPayload {
+    /// Epoch the record summarises.
+    pub epoch: u64,
+    /// The merged partial state.
+    pub state: PartialState,
+}
+
+impl Wire for TagPayload {
+    fn size_bytes(&self) -> usize {
+        // epoch (2 B at 16-bit accounting) + four numbers.
+        2 + 4 * 2
+    }
+}
+
+/// Per-node TAG aggregation state. Leaves fold readings per epoch;
+/// parents merge children's records and forward one per epoch; the root
+/// records `(epoch, PartialState)` results.
+pub struct TagNode {
+    /// Readings per epoch (leaves only).
+    epoch_len: u64,
+    /// Which coordinate of multi-dimensional readings to aggregate.
+    dimension: usize,
+    /// Leaf: the epoch currently being filled.
+    current_epoch: u64,
+    current: PartialState,
+    readings_in_epoch: u64,
+    /// Parent: per-epoch merge buffers `(epoch, state, children heard)`.
+    pending: Vec<(u64, PartialState, usize)>,
+    child_count: usize,
+    is_root: bool,
+    /// Root: completed `(epoch, state)` results, in arrival order.
+    pub results: Vec<(u64, PartialState)>,
+}
+
+impl TagNode {
+    /// Builds the node for `node` in `topo`.
+    pub fn new(node: NodeId, topo: &Hierarchy, epoch_len: u64, dimension: usize) -> Self {
+        assert!(epoch_len > 0, "epoch length must be positive");
+        Self {
+            epoch_len,
+            dimension,
+            current_epoch: 0,
+            current: PartialState::default(),
+            readings_in_epoch: 0,
+            pending: Vec::new(),
+            child_count: topo.children(node).len(),
+            is_root: topo.parent(node).is_none(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sends or records a finished epoch record.
+    fn emit(&mut self, ctx: &mut Ctx<'_, TagPayload>, epoch: u64, state: PartialState) {
+        if self.is_root {
+            self.results.push((epoch, state));
+        } else {
+            ctx.send_parent(TagPayload { epoch, state });
+        }
+    }
+
+    /// Parent-side: merge a child's record; flush when all children
+    /// reported the epoch. Straggler epochs are flushed as-is when a
+    /// record for a *later* epoch arrives from every child (loss
+    /// tolerance: an epoch never blocks forever behind a lost frame).
+    fn merge_child(&mut self, ctx: &mut Ctx<'_, TagPayload>, payload: TagPayload) {
+        match self
+            .pending
+            .iter_mut()
+            .find(|(e, _, _)| *e == payload.epoch)
+        {
+            Some((_, state, heard)) => {
+                state.merge(&payload.state);
+                *heard += 1;
+            }
+            None => self.pending.push((payload.epoch, payload.state, 1)),
+        }
+        // Flush complete epochs.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].2 >= self.child_count {
+                let (epoch, state, _) = self.pending.remove(i);
+                self.emit(ctx, epoch, state);
+            } else {
+                i += 1;
+            }
+        }
+        // Flush stragglers: any pending epoch at least two behind the
+        // newest observed epoch is never going to complete.
+        if let Some(newest) = self.pending.iter().map(|(e, _, _)| *e).max() {
+            let mut i = 0;
+            while i < self.pending.len() {
+                if self.pending[i].0 + 2 <= newest {
+                    let (epoch, state, _) = self.pending.remove(i);
+                    self.emit(ctx, epoch, state);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+impl SensorApp<TagPayload> for TagNode {
+    fn on_reading(&mut self, ctx: &mut Ctx<'_, TagPayload>, value: &[f64]) {
+        let v = value.get(self.dimension).copied().unwrap_or(f64::NAN);
+        self.current.fold(v);
+        self.readings_in_epoch += 1;
+        if self.readings_in_epoch == self.epoch_len {
+            let state = std::mem::take(&mut self.current);
+            let epoch = self.current_epoch;
+            self.readings_in_epoch = 0;
+            self.current_epoch += 1;
+            self.emit(ctx, epoch, state);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, TagPayload>, _from: NodeId, payload: TagPayload) {
+        self.merge_child(ctx, payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, SimConfig};
+
+    fn run_tag(
+        leaves: usize,
+        fanouts: &[usize],
+        epoch_len: u64,
+        readings: u64,
+        drop: f64,
+    ) -> Vec<(u64, PartialState)> {
+        let topo = Hierarchy::balanced(leaves, fanouts).unwrap();
+        let sim = SimConfig::default().with_drop_probability(drop);
+        let mut net = Network::new(topo, sim, |n, t| TagNode::new(n, t, epoch_len, 0));
+        // Leaf i at reading s emits i + s/1000 (deterministic, distinct).
+        let mut src = |node: NodeId, seq: u64| Some(vec![node.0 as f64 + seq as f64 / 1_000.0]);
+        net.run(&mut src, readings);
+        let root = net.topology().root();
+        let mut results = net.app(root).results.clone();
+        results.sort_by_key(|(e, _)| *e);
+        results
+    }
+
+    #[test]
+    fn exact_aggregates_per_epoch_without_loss() {
+        let (leaves, epoch_len, readings) = (8u64, 25u64, 100u64);
+        let results = run_tag(leaves as usize, &[4, 2], epoch_len, readings, 0.0);
+        assert_eq!(results.len(), (readings / epoch_len) as usize);
+        for (epoch, state) in &results {
+            assert_eq!(state.count, (leaves * epoch_len) as f64, "epoch {epoch}");
+            // SUM: Σ_leaf Σ_s (leaf + s/1000) over the epoch's s range.
+            let s0 = epoch * epoch_len;
+            let per_leaf_seq: f64 = (s0..s0 + epoch_len).map(|s| s as f64 / 1_000.0).sum();
+            let expected_sum: f64 = (0..leaves)
+                .map(|l| l as f64 * epoch_len as f64 + per_leaf_seq)
+                .sum();
+            assert!((state.sum - expected_sum).abs() < 1e-9, "epoch {epoch}");
+            // MIN is leaf 0's first reading of the epoch; MAX leaf 7's last.
+            assert!((state.min - s0 as f64 / 1_000.0).abs() < 1e-12);
+            let expected_max = (leaves - 1) as f64 + (s0 + epoch_len - 1) as f64 / 1_000.0;
+            assert!((state.max - expected_max).abs() < 1e-12);
+            assert!(state.eval(Aggregate::Avg).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn message_cost_is_one_record_per_node_per_epoch() {
+        let topo = Hierarchy::balanced(8, &[4, 2]).unwrap();
+        let mut net = Network::new(topo, SimConfig::default(), |n, t| TagNode::new(n, t, 10, 0));
+        let mut src = |_: NodeId, _: u64| Some(vec![1.0]);
+        net.run(&mut src, 100);
+        // 10 epochs × (8 leaves + 2 mid leaders) sends; the root sends none.
+        assert_eq!(net.stats().messages, 10 * 10);
+    }
+
+    #[test]
+    fn lossy_runs_degrade_counts_but_keep_reporting() {
+        let results = run_tag(8, &[4, 2], 25, 200, 0.25);
+        assert!(results.len() >= 4, "only {} epochs reported", results.len());
+        let full = (8 * 25) as f64;
+        assert!(results.iter().any(|(_, s)| s.count < full));
+        for (_, s) in &results {
+            assert!(s.count <= full, "over-counted: {}", s.count);
+            // AVG stays in the data range even under loss.
+            let avg = s.eval(Aggregate::Avg).unwrap();
+            assert!((0.0..=8.2).contains(&avg));
+        }
+    }
+
+    #[test]
+    fn partial_state_merge_is_associative_and_commutative() {
+        let mut rng_state = 5u64;
+        let mut next = || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state % 1_000) as f64 / 1_000.0
+        };
+        for _ in 0..50 {
+            let mut a = PartialState::default();
+            let mut b = PartialState::default();
+            let mut c = PartialState::default();
+            for _ in 0..7 {
+                a.fold(next());
+                b.fold(next());
+            }
+            c.fold(next());
+            // Sums are associative only up to floating-point rounding;
+            // everything else must match exactly.
+            let close = |x: &PartialState, y: &PartialState| {
+                x.count == y.count
+                    && x.min == y.min
+                    && x.max == y.max
+                    && (x.sum - y.sum).abs() < 1e-12
+            };
+            // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+            let mut left = a;
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b;
+            bc.merge(&c);
+            let mut right = a;
+            right.merge(&bc);
+            assert!(close(&left, &right), "{left:?} vs {right:?}");
+            // a ∪ b == b ∪ a
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            assert!(close(&ab, &ba), "{ab:?} vs {ba:?}");
+        }
+    }
+
+    #[test]
+    fn empty_state_evaluates_to_none() {
+        let s = PartialState::default();
+        for agg in [
+            Aggregate::Count,
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::Min,
+            Aggregate::Max,
+        ] {
+            assert_eq!(s.eval(agg), None);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Leader election and rotation (paper Section 2).
+//!
+//! *"The hierarchical decomposition of the sensor network, as well as the
+//! selection of the leaders for each level of the hierarchy, can be
+//! achieved using any of the techniques proposed in the literature
+//! [17, 33, 47]. These techniques ensure the leadership role is rotated
+//! among the nodes of the network, and describe protocols that achieve
+//! this in an energy efficient manner."*
+//!
+//! The paper treats leaders as logical roles; this module provides the
+//! piece it defers to: a deterministic, energy-aware **assignment of
+//! leader roles to physical leaf sensors**, with rotation across epochs.
+//! Each logical leader slot of a [`Hierarchy`] is mapped to one of the
+//! leaf sensors in its subtree; re-electing every epoch spreads the extra
+//! transmit/receive load (the dominant energy cost) across the cell, in
+//! the spirit of LEACH-style cluster-head rotation.
+
+use crate::node::NodeId;
+use crate::topology::Hierarchy;
+
+/// How a cell picks its leader each epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElectionPolicy {
+    /// The cell member with the most remaining energy wins (ties broken
+    /// by id — deterministic).
+    MaxEnergy,
+    /// Strict round-robin over the cell members by epoch number.
+    RoundRobin,
+}
+
+/// The leader assignment for one epoch: a mapping from each logical
+/// leader slot to the physical leaf sensor playing that role.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaderAssignment {
+    /// `assignment[slot.index()]` = physical leaf for leader `slot`
+    /// (identity for leaf slots).
+    assignment: Vec<NodeId>,
+}
+
+impl LeaderAssignment {
+    /// The physical sensor playing `slot`'s role.
+    pub fn physical(&self, slot: NodeId) -> NodeId {
+        self.assignment[slot.index()]
+    }
+
+    /// Iterates `(logical slot, physical sensor)` for all leader slots
+    /// that differ from their own id (i.e. actual delegations).
+    pub fn delegations(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| *i != n.index())
+            .map(|(i, n)| (NodeId(i as u32), *n))
+    }
+}
+
+/// Tracks per-sensor remaining energy and elects leaders per epoch.
+#[derive(Debug, Clone)]
+pub struct Electorate {
+    topo: Hierarchy,
+    policy: ElectionPolicy,
+    /// Remaining energy per leaf sensor (J), indexed by node id.
+    energy: Vec<f64>,
+    epoch: u64,
+}
+
+impl Electorate {
+    /// All leaf sensors start with `initial_joules` of battery.
+    pub fn new(topo: Hierarchy, policy: ElectionPolicy, initial_joules: f64) -> Self {
+        let energy = vec![initial_joules; topo.node_count()];
+        Self {
+            topo,
+            policy,
+            energy,
+            epoch: 0,
+        }
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Remaining energy of `leaf`.
+    pub fn remaining(&self, leaf: NodeId) -> f64 {
+        self.energy[leaf.index()]
+    }
+
+    /// Charges `joules` of leader work to the sensor elected for `slot`
+    /// under `assignment`.
+    pub fn charge(&mut self, assignment: &LeaderAssignment, slot: NodeId, joules: f64) {
+        let phys = assignment.physical(slot);
+        self.energy[phys.index()] -= joules;
+    }
+
+    /// Elects leaders for the next epoch and advances the epoch counter.
+    pub fn elect(&mut self) -> LeaderAssignment {
+        let mut assignment: Vec<NodeId> = (0..self.topo.node_count())
+            .map(|i| NodeId(i as u32))
+            .collect();
+        for level in 2..=self.topo.level_count() {
+            for &slot in self.topo.level(level) {
+                let members = self.topo.descendant_leaves(slot);
+                debug_assert!(!members.is_empty());
+                let winner = match self.policy {
+                    ElectionPolicy::MaxEnergy => members
+                        .iter()
+                        .copied()
+                        .max_by(|a, b| {
+                            self.energy[a.index()]
+                                .partial_cmp(&self.energy[b.index()])
+                                .expect("finite energy")
+                                .then(b.cmp(a)) // deterministic tie-break: lower id wins
+                        })
+                        .expect("non-empty cell"),
+                    ElectionPolicy::RoundRobin => members[(self.epoch as usize) % members.len()],
+                };
+                assignment[slot.index()] = winner;
+            }
+        }
+        self.epoch += 1;
+        LeaderAssignment { assignment }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Hierarchy {
+        Hierarchy::balanced(8, &[4, 2]).unwrap()
+    }
+
+    #[test]
+    fn leaders_are_elected_from_their_own_subtree() {
+        let mut e = Electorate::new(topo(), ElectionPolicy::MaxEnergy, 100.0);
+        let a = e.elect();
+        let topo = topo();
+        for level in 2..=topo.level_count() {
+            for &slot in topo.level(level) {
+                let phys = a.physical(slot);
+                assert!(
+                    topo.descendant_leaves(slot).contains(&phys),
+                    "slot {slot} elected outsider {phys}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_through_the_cell() {
+        let t = topo();
+        let mut e = Electorate::new(t.clone(), ElectionPolicy::RoundRobin, 100.0);
+        let slot = t.level(2)[0];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            seen.insert(e.elect().physical(slot));
+        }
+        assert_eq!(seen.len(), 4, "rotation revisited a member early");
+    }
+
+    #[test]
+    fn max_energy_policy_avoids_drained_sensors() {
+        let t = topo();
+        let mut e = Electorate::new(t.clone(), ElectionPolicy::MaxEnergy, 100.0);
+        let slot = t.level(2)[0];
+        let first = e.elect();
+        let first_leader = first.physical(slot);
+        // Drain the current leader heavily; the next election must pick
+        // someone else.
+        e.charge(&first, slot, 50.0);
+        let second = e.elect();
+        assert_ne!(second.physical(slot), first_leader);
+    }
+
+    #[test]
+    fn rotation_balances_energy_drain() {
+        let t = topo();
+        let mut e = Electorate::new(t.clone(), ElectionPolicy::MaxEnergy, 100.0);
+        let slot = t.level(2)[0];
+        for _ in 0..40 {
+            let a = e.elect();
+            e.charge(&a, slot, 1.0);
+        }
+        // Energy across the 4 cell members stays within one charge unit.
+        let cell = t.descendant_leaves(slot);
+        let energies: Vec<f64> = cell.iter().map(|&n| e.remaining(n)).collect();
+        let min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = energies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min <= 1.0 + 1e-9, "unbalanced drain: {energies:?}");
+    }
+
+    #[test]
+    fn leaf_slots_are_identity() {
+        let t = topo();
+        let mut e = Electorate::new(t.clone(), ElectionPolicy::RoundRobin, 10.0);
+        let a = e.elect();
+        for &leaf in t.leaves() {
+            assert_eq!(a.physical(leaf), leaf);
+        }
+        // Delegations cover exactly the leader slots.
+        assert_eq!(a.delegations().count(), t.node_count() - t.leaves().len());
+    }
+}

@@ -1,0 +1,86 @@
+//! # snod-simnet — hierarchical sensor-network simulator
+//!
+//! The paper evaluates its algorithms on a simulator built on top of TAG
+//! (Madden et al., OSDI 2002), using it to *"define the topology of the
+//! network and the type of messages exchanged, to disseminate queries,
+//! and to gather statistics"*, extended with the hierarchical (virtual
+//! grid) organisation of Section 2. TAG's source is not available, so
+//! this crate is the substitute substrate: a deterministic discrete-event
+//! simulator providing the same observable quantities — message counts,
+//! bytes on the air, per-level traffic, energy — for an application
+//! callback running on every node.
+//!
+//! * [`Hierarchy`] — the tiered virtual-grid organisation of Figure 1:
+//!   leaf sensors at the bottom, one leader per cell per tier.
+//! * [`Network`] — the event engine: schedules sensor readings, delivers
+//!   messages with configurable latency, and accounts for every byte.
+//! * [`SensorApp`] — the callback trait the paper's algorithms (D3, MGDD,
+//!   centralized) implement in `snod-core`.
+//! * [`NetStats`] / [`EnergyModel`] — the statistics behind Figure 11 and
+//!   the §10.3 communication-cost discussion.
+//!
+//! The simulator is single-threaded and deterministic: identical inputs
+//! (topology, streams, seeds) replay identical executions, which the
+//! integration tests rely on.
+//!
+//! ```
+//! use snod_simnet::{Ctx, Hierarchy, Network, NodeId, SensorApp, SimConfig};
+//!
+//! // A trivial application: every leaf forwards its readings upward.
+//! struct Forward;
+//! impl SensorApp<Vec<f64>> for Forward {
+//!     fn on_reading(&mut self, ctx: &mut Ctx<'_, Vec<f64>>, value: &[f64]) {
+//!         ctx.send_parent(value.to_vec());
+//!     }
+//!     fn on_message(&mut self, _: &mut Ctx<'_, Vec<f64>>, _: NodeId, _: Vec<f64>) {}
+//! }
+//!
+//! let topo = Hierarchy::balanced(4, &[4]).unwrap();
+//! let mut net = Network::new(topo, SimConfig::default(), |_, _| Forward);
+//! let mut source = |_: NodeId, seq: u64| Some(vec![seq as f64]);
+//! net.run(&mut source, 10);
+//! assert_eq!(net.stats().messages, 40); // 4 leaves × 10 readings
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod election;
+mod energy;
+mod event;
+mod message;
+mod network;
+mod node;
+mod stats;
+mod topology;
+
+pub use aggregate::{Aggregate, PartialState, TagNode, TagPayload};
+pub use election::{ElectionPolicy, Electorate, LeaderAssignment};
+pub use energy::EnergyModel;
+pub use event::{Event, EventQueue};
+pub use message::{Envelope, Wire};
+pub use network::{Ctx, Network, SensorApp, SimConfig, StreamSource};
+pub use node::{Location, NodeId, NodeRole};
+pub use stats::NetStats;
+pub use topology::Hierarchy;
+
+/// Errors raised while building simulations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A structural parameter (leaf count, fan-out) was zero.
+    ZeroSize(&'static str),
+    /// A node id was out of range for the topology.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ZeroSize(what) => write!(f, "{what} must be positive"),
+            SimError::UnknownNode(id) => write!(f, "node {id:?} is not part of the topology"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,61 @@
+//! Messages on the (simulated) air.
+//!
+//! The simulator is agnostic to what applications say to each other: any
+//! payload implementing [`Wire`] can be sent, and its reported size is
+//! what the statistics and the energy model charge. The paper assumes a
+//! 16-bit architecture (2 bytes per number, §10.3); `snod-core`'s payload
+//! type follows that accounting.
+
+use crate::node::NodeId;
+
+/// A payload that knows its size on the wire.
+pub trait Wire: Clone {
+    /// Serialized size in bytes (excluding the link-layer header, which
+    /// [`Envelope::wire_bytes`] adds).
+    fn size_bytes(&self) -> usize;
+}
+
+/// Link-layer header overhead per message, in bytes (source, destination,
+/// type, length — a deliberately small TinyOS-like header).
+pub const HEADER_BYTES: usize = 8;
+
+/// A payload in flight between two nodes.
+#[derive(Debug, Clone)]
+pub struct Envelope<P> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Application payload.
+    pub payload: P,
+}
+
+impl<P: Wire> Envelope<P> {
+    /// Total bytes on the air: payload plus header.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.size_bytes() + HEADER_BYTES
+    }
+}
+
+/// Blanket impl: raw readings are `d` numbers of 2 bytes each.
+impl Wire for Vec<f64> {
+    fn size_bytes(&self) -> usize {
+        self.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_payload_size_is_two_bytes_per_number() {
+        let e = Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            payload: vec![0.1, 0.2],
+        };
+        assert_eq!(e.payload.size_bytes(), 4);
+        assert_eq!(e.wire_bytes(), 4 + HEADER_BYTES);
+    }
+}

@@ -1,0 +1,506 @@
+//! The simulation engine.
+//!
+//! [`Network`] owns one application object per node (the paper's
+//! *"continuous query on every node"*) and drives them with two kinds of
+//! events: periodic sensor readings at the leaves, and message deliveries
+//! between nodes. Applications react through [`SensorApp`] callbacks and
+//! talk to the network through [`Ctx`], which restricts them to the
+//! hierarchy links (parent/children) — exactly the communication pattern
+//! of the paper's algorithms.
+
+use crate::energy::EnergyModel;
+use crate::event::{Event, EventQueue};
+use crate::message::{Envelope, Wire};
+use crate::node::NodeId;
+use crate::stats::NetStats;
+use crate::topology::Hierarchy;
+
+/// Timing and fault parameters of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Interval between consecutive readings of one sensor
+    /// (the paper's Figure 11 assumes one reading per second).
+    pub reading_period_ns: u64,
+    /// One-hop link latency.
+    pub link_latency_ns: u64,
+    /// Stagger leaf reading phases across the period (avoids artificial
+    /// synchronisation of all sensors on the same instant).
+    pub stagger_readings: bool,
+    /// Probability that any sent message is lost on the air (lossy
+    /// radio). Dropped messages are still charged transmit energy and
+    /// counted in [`crate::NetStats::dropped`].
+    pub drop_probability: f64,
+    /// Seed for the loss process (losses are deterministic per seed).
+    pub loss_seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            reading_period_ns: 1_000_000_000, // 1 s
+            link_latency_ns: 5_000_000,       // 5 ms
+            stagger_readings: true,
+            drop_probability: 0.0,
+            loss_seed: 0x10_55,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns a copy with the given message-loss probability.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0, 1]");
+        self.drop_probability = p;
+        self
+    }
+}
+
+/// Supplies the per-sensor data streams. `seq` is the 0-based reading
+/// index; returning `None` ends that sensor's stream early.
+pub trait StreamSource {
+    /// The `seq`-th reading of leaf `node`.
+    fn next(&mut self, node: NodeId, seq: u64) -> Option<Vec<f64>>;
+}
+
+impl<F: FnMut(NodeId, u64) -> Option<Vec<f64>>> StreamSource for F {
+    fn next(&mut self, node: NodeId, seq: u64) -> Option<Vec<f64>> {
+        self(node, seq)
+    }
+}
+
+/// Application callbacks, one instance per node.
+pub trait SensorApp<P: Wire> {
+    /// A new sensor reading arrived at this (leaf) node.
+    fn on_reading(&mut self, ctx: &mut Ctx<'_, P>, value: &[f64]);
+    /// A message from `from` was delivered to this node.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, P>, from: NodeId, payload: P);
+}
+
+/// The application's window onto the network during a callback.
+pub struct Ctx<'a, P> {
+    /// The node the callback runs on.
+    pub node: NodeId,
+    /// Current simulated time.
+    pub time_ns: u64,
+    topo: &'a Hierarchy,
+    outbox: Vec<(NodeId, P)>,
+}
+
+impl<'a, P> Ctx<'a, P> {
+    /// The hierarchy (read-only).
+    pub fn topology(&self) -> &Hierarchy {
+        self.topo
+    }
+
+    /// This node's leader, `None` at the root.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.topo.parent(self.node)
+    }
+
+    /// This node's children.
+    pub fn children(&self) -> &[NodeId] {
+        self.topo.children(self.node)
+    }
+
+    /// This node's tier (1 = leaf).
+    pub fn level(&self) -> u8 {
+        self.topo.level_of(self.node)
+    }
+
+    /// Queues `payload` for delivery to `to`.
+    pub fn send(&mut self, to: NodeId, payload: P) {
+        self.outbox.push((to, payload));
+    }
+
+    /// Queues `payload` for the parent; returns `false` at the root.
+    pub fn send_parent(&mut self, payload: P) -> bool {
+        match self.parent() {
+            Some(p) => {
+                self.send(p, payload);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Queues `payload` for every child (cloned per child).
+    pub fn send_children(&mut self, payload: P)
+    where
+        P: Clone,
+    {
+        for &c in self.topo.children(self.node) {
+            self.outbox.push((c, payload.clone()));
+        }
+    }
+}
+
+/// A running simulation: topology + per-node applications + event queue.
+pub struct Network<P: Wire, A: SensorApp<P>> {
+    topo: Hierarchy,
+    apps: Vec<A>,
+    cfg: SimConfig,
+    energy: EnergyModel,
+    queue: EventQueue<P>,
+    stats: NetStats,
+    clock_ns: u64,
+    loss_rng: rand::rngs::StdRng,
+    /// Scheduled node failures `(time_ns, node)`, unsorted.
+    failures: Vec<(u64, NodeId)>,
+    /// Per-node dead flags.
+    dead: Vec<bool>,
+}
+
+impl<P: Wire, A: SensorApp<P>> Network<P, A> {
+    /// Builds a network, constructing one application per node via
+    /// `make_app`.
+    pub fn new(
+        topo: Hierarchy,
+        cfg: SimConfig,
+        mut make_app: impl FnMut(NodeId, &Hierarchy) -> A,
+    ) -> Self {
+        let apps: Vec<A> = (0..topo.node_count())
+            .map(|i| make_app(NodeId(i as u32), &topo))
+            .collect();
+        let stats = NetStats::new(topo.node_count(), topo.level_count());
+        let dead = vec![false; topo.node_count()];
+        Self {
+            topo,
+            apps,
+            cfg,
+            energy: EnergyModel::default(),
+            queue: EventQueue::new(),
+            stats,
+            clock_ns: 0,
+            loss_rng: rand::SeedableRng::seed_from_u64(cfg.loss_seed),
+            failures: Vec::new(),
+            dead,
+        }
+    }
+
+    /// Schedules `node` to fail (permanently stop reading, relaying and
+    /// receiving) at simulated time `time_ns`. Must be called before
+    /// [`Self::run`].
+    pub fn schedule_failure(&mut self, node: NodeId, time_ns: u64) {
+        self.failures.push((time_ns, node));
+    }
+
+    /// Whether `node` has failed.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead[node.index()]
+    }
+
+    /// Replaces the default energy model.
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy = model;
+        self
+    }
+
+    /// Runs the simulation: every leaf takes `readings_per_leaf` readings
+    /// from `source`, and all resulting message traffic is processed to
+    /// quiescence.
+    pub fn run<S: StreamSource>(&mut self, source: &mut S, readings_per_leaf: u64) {
+        if readings_per_leaf == 0 {
+            return;
+        }
+        let leaves: Vec<NodeId> = self.topo.leaves().to_vec();
+        let n = leaves.len().max(1) as u64;
+        for (i, &leaf) in leaves.iter().enumerate() {
+            let phase = if self.cfg.stagger_readings {
+                (i as u64 * self.cfg.reading_period_ns) / n
+            } else {
+                0
+            };
+            self.queue
+                .schedule(phase, Event::Reading { node: leaf, seq: 0 });
+        }
+        while let Some((time, event)) = self.queue.pop() {
+            self.clock_ns = self.clock_ns.max(time);
+            // Apply any failures due by now.
+            if !self.failures.is_empty() {
+                let due: Vec<NodeId> = self
+                    .failures
+                    .iter()
+                    .filter(|(t, _)| *t <= time)
+                    .map(|(_, n)| *n)
+                    .collect();
+                if !due.is_empty() {
+                    self.failures.retain(|(t, _)| *t > time);
+                    for n in due {
+                        self.dead[n.index()] = true;
+                    }
+                }
+            }
+            match event {
+                Event::Reading { node, seq } => {
+                    if self.dead[node.index()] {
+                        continue; // a failed sensor stops reading for good
+                    }
+                    if let Some(value) = source.next(node, seq) {
+                        self.dispatch(time, node, |app, ctx| app.on_reading(ctx, &value));
+                        if seq + 1 < readings_per_leaf {
+                            self.queue.schedule(
+                                time + self.cfg.reading_period_ns,
+                                Event::Reading { node, seq: seq + 1 },
+                            );
+                        }
+                    }
+                }
+                Event::Deliver { from, to, payload } => {
+                    if self.dead[to.index()] {
+                        continue; // delivered into the void
+                    }
+                    self.stats.rx_joules += self
+                        .energy
+                        .rx_joules(payload.size_bytes() + crate::message::HEADER_BYTES);
+                    self.dispatch(time, to, |app, ctx| app.on_message(ctx, from, payload));
+                }
+            }
+        }
+        self.stats.elapsed_ns = self.clock_ns;
+    }
+
+    /// Runs one callback on `node` and flushes its outbox into the queue.
+    fn dispatch(&mut self, time: u64, node: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_, P>)) {
+        let mut ctx = Ctx {
+            node,
+            time_ns: time,
+            topo: &self.topo,
+            outbox: Vec::new(),
+        };
+        f(&mut self.apps[node.index()], &mut ctx);
+        let outbox = ctx.outbox;
+        for (to, payload) in outbox {
+            let env = Envelope {
+                from: node,
+                to,
+                payload,
+            };
+            let bytes = env.wire_bytes();
+            let dist = self.topo.location(node).distance(&self.topo.location(to));
+            self.stats
+                .record_send(node, self.topo.level_of(node), bytes);
+            // Transmit energy is spent whether or not the frame survives.
+            self.stats.tx_joules += self.energy.tx_joules(bytes, dist);
+            if self.cfg.drop_probability > 0.0
+                && rand::Rng::gen::<f64>(&mut self.loss_rng) < self.cfg.drop_probability
+            {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.queue.schedule(
+                time + self.cfg.link_latency_ns,
+                Event::Deliver {
+                    from: env.from,
+                    to: env.to,
+                    payload: env.payload,
+                },
+            );
+        }
+    }
+
+    /// Traffic and energy statistics of the run so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Hierarchy {
+        &self.topo
+    }
+
+    /// The application instance at `node`.
+    pub fn app(&self, node: NodeId) -> &A {
+        &self.apps[node.index()]
+    }
+
+    /// Mutable access to the application at `node` (for post-run
+    /// extraction of results).
+    pub fn app_mut(&mut self, node: NodeId) -> &mut A {
+        &mut self.apps[node.index()]
+    }
+
+    /// Iterates over `(node, app)` pairs.
+    pub fn apps(&self) -> impl Iterator<Item = (NodeId, &A)> {
+        self.apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (NodeId(i as u32), a))
+    }
+
+    /// Final simulated clock (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Leaves forward every reading to their parent; leaders count what
+    /// they hear and forward a fraction upward (every other message).
+    struct Relay {
+        received: u64,
+        forwarded: u64,
+        readings: u64,
+    }
+
+    impl Relay {
+        fn new() -> Self {
+            Self {
+                received: 0,
+                forwarded: 0,
+                readings: 0,
+            }
+        }
+    }
+
+    impl SensorApp<Vec<f64>> for Relay {
+        fn on_reading(&mut self, ctx: &mut Ctx<'_, Vec<f64>>, value: &[f64]) {
+            self.readings += 1;
+            ctx.send_parent(value.to_vec());
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<f64>>, _from: NodeId, payload: Vec<f64>) {
+            self.received += 1;
+            if self.received % 2 == 0 {
+                if ctx.send_parent(payload) {
+                    self.forwarded += 1;
+                }
+            }
+        }
+    }
+
+    fn run_relay(readings: u64) -> Network<Vec<f64>, Relay> {
+        let topo = Hierarchy::balanced(8, &[4, 2]).unwrap();
+        let mut net = Network::new(topo, SimConfig::default(), |_, _| Relay::new());
+        let mut source = |node: NodeId, seq: u64| Some(vec![node.0 as f64 + seq as f64 * 0.001]);
+        net.run(&mut source, readings);
+        net
+    }
+
+    #[test]
+    fn leaves_read_the_requested_number_of_values() {
+        let net = run_relay(10);
+        for &leaf in net.topology().leaves() {
+            assert_eq!(net.app(leaf).readings, 10);
+        }
+    }
+
+    #[test]
+    fn every_leaf_message_reaches_its_parent() {
+        let net = run_relay(5);
+        // 8 leaves × 5 readings = 40 messages into level-2 leaders.
+        let total_level2: u64 = net
+            .topology()
+            .level(2)
+            .iter()
+            .map(|&l| net.app(l).received)
+            .sum();
+        assert_eq!(total_level2, 40);
+    }
+
+    #[test]
+    fn halving_relay_reaches_root_with_half_traffic() {
+        let net = run_relay(8);
+        // 64 leaf messages reach the two level-2 leaders, which forward
+        // every second one: 32 arrive at the root.
+        let root = net.topology().root();
+        assert_eq!(net.app(root).received, 32);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let net = run_relay(5);
+        let s = net.stats();
+        // 40 leaf sends + 20 level-2 forwards = 60 messages.
+        assert_eq!(s.messages, 60);
+        assert_eq!(s.messages_per_level[0], 40);
+        assert_eq!(s.messages_per_level[1], 20);
+        // Each message: 1 value (2 bytes) + 8 header = 10 bytes.
+        assert_eq!(s.bytes, 600);
+        assert!(s.tx_joules > 0.0 && s.rx_joules > 0.0);
+        assert!(s.elapsed_ns > 0);
+        assert!(s.messages_per_second() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a = run_relay(7);
+        let b = run_relay(7);
+        assert_eq!(a.stats().messages, b.stats().messages);
+        assert_eq!(a.stats().bytes, b.stats().bytes);
+        assert_eq!(a.now_ns(), b.now_ns());
+    }
+
+    #[test]
+    fn stream_can_end_early() {
+        let topo = Hierarchy::balanced(2, &[2]).unwrap();
+        let mut net = Network::new(topo, SimConfig::default(), |_, _| Relay::new());
+        // Streams dry up after 3 readings even though 100 were requested.
+        let mut source = |_node: NodeId, seq: u64| if seq < 3 { Some(vec![0.5]) } else { None };
+        net.run(&mut source, 100);
+        for &leaf in net.topology().leaves() {
+            assert_eq!(net.app(leaf).readings, 3);
+        }
+    }
+
+    #[test]
+    fn lossy_radio_drops_messages_but_charges_energy() {
+        let topo = Hierarchy::balanced(4, &[4]).unwrap();
+        let cfg = SimConfig::default().with_drop_probability(0.5);
+        let mut net = Network::new(topo, cfg, |_, _| Relay::new());
+        let mut source = |_: NodeId, _: u64| Some(vec![0.5]);
+        net.run(&mut source, 200);
+        let s = net.stats();
+        // 800 leaf sends; roughly half are dropped.
+        assert_eq!(s.messages, 800);
+        assert!(
+            s.dropped > 250 && s.dropped < 550,
+            "dropped {} of 800",
+            s.dropped
+        );
+        let root = net.topology().root();
+        assert_eq!(net.app(root).received as u64 + s.dropped, 800);
+        // Energy was charged for every transmit attempt.
+        assert!(s.tx_joules > 0.0);
+    }
+
+    #[test]
+    fn failed_leaf_stops_reading() {
+        let topo = Hierarchy::balanced(2, &[2]).unwrap();
+        let mut net = Network::new(topo, SimConfig::default(), |_, _| Relay::new());
+        // Leaf 0 dies after ~50 seconds (readings are 1/s).
+        net.schedule_failure(NodeId(0), 50_000_000_000);
+        let mut source = |_: NodeId, _: u64| Some(vec![0.5]);
+        net.run(&mut source, 200);
+        assert!(net.is_dead(NodeId(0)));
+        assert!(net.app(NodeId(0)).readings <= 51);
+        assert_eq!(net.app(NodeId(1)).readings, 200);
+    }
+
+    #[test]
+    fn failed_leader_silences_its_subtree_upward() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let mut net = Network::new(topo.clone(), SimConfig::default(), |_, _| Relay::new());
+        // Kill one level-2 leader immediately: its two leaves keep
+        // reading, but nothing from them reaches the root.
+        let leader = topo.level(2)[0];
+        net.schedule_failure(leader, 0);
+        let mut source = |_: NodeId, _: u64| Some(vec![0.5]);
+        net.run(&mut source, 100);
+        let root = net.topology().root();
+        // Only the surviving leader's messages arrive (it halves them).
+        assert_eq!(net.app(root).received, 100);
+        assert_eq!(net.app(leader).received, 0);
+    }
+
+    #[test]
+    fn zero_readings_is_a_noop() {
+        let topo = Hierarchy::balanced(2, &[2]).unwrap();
+        let mut net = Network::new(topo, SimConfig::default(), |_, _| Relay::new());
+        let mut source = |_: NodeId, _: u64| Some(vec![0.5]);
+        net.run(&mut source, 0);
+        assert_eq!(net.stats().messages, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Node identity, roles and placement.
+
+/// Identifier of a node in a [`crate::Hierarchy`] — an index into the
+/// topology's node table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Role of a node in the tiered organisation (paper Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// A sensor at the lowest tier, reading values from its own stream.
+    Leaf,
+    /// A leader (parent) node at tier `level` (2 = first leader tier).
+    Leader {
+        /// Tier in the hierarchy, counting the leaf tier as 1.
+        level: u8,
+    },
+}
+
+impl NodeRole {
+    /// The tier this role lives at (leaves are level 1).
+    pub fn level(self) -> u8 {
+        match self {
+            NodeRole::Leaf => 1,
+            NodeRole::Leader { level } => level,
+        }
+    }
+
+    /// True for leaf sensors.
+    pub fn is_leaf(self) -> bool {
+        matches!(self, NodeRole::Leaf)
+    }
+}
+
+/// Position of a node on the 2-d plane (paper Section 2: *"each having a
+/// location on a 2-d plane"*). Used by the energy model and for
+/// visualising topologies; coordinates live in `[0, 1]²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Location {
+    /// Horizontal coordinate in `[0, 1]`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1]`.
+    pub y: f64,
+}
+
+impl Location {
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Location) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_levels() {
+        assert_eq!(NodeRole::Leaf.level(), 1);
+        assert_eq!(NodeRole::Leader { level: 3 }.level(), 3);
+        assert!(NodeRole::Leaf.is_leaf());
+        assert!(!NodeRole::Leader { level: 2 }.is_leaf());
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Location { x: 0.0, y: 0.0 };
+        let b = Location { x: 0.3, y: 0.4 };
+        assert!((a.distance(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

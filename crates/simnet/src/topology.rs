@@ -1,0 +1,403 @@
+//! The tiered virtual-grid hierarchy (paper Section 2, Figure 1).
+//!
+//! The network is organised in tiers: leaf sensors at the bottom, and at
+//! each higher tier one leader per cell of an increasingly coarse virtual
+//! grid, up to a single leader for the whole network. *"At each cell at
+//! the lowest tier of the grid, there is one leader (or parent) node,
+//! that is responsible for processing the measurements of all the sensors
+//! in the cell."* Leader election itself is out of scope for the paper
+//! (it defers to [17, 33, 47]); here leader assignment is deterministic,
+//! which also makes simulations replayable.
+//!
+//! Two constructors cover the paper's experiments:
+//!
+//! * [`Hierarchy::balanced`] — explicit per-tier fan-outs, e.g.
+//!   `balanced(32, &[4, 2, 4])` builds the 32-leaf / 8 / 4 / 1 four-level
+//!   hierarchy used in the accuracy experiments (§10.2).
+//! * [`Hierarchy::virtual_grid`] — a `side × side` leaf grid with
+//!   quad-tree cells, the literal Figure 1 shape, used for the
+//!   communication-scaling experiment (Figure 11).
+
+use crate::node::{Location, NodeId, NodeRole};
+use crate::SimError;
+
+/// An immutable tiered hierarchy of nodes.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    roles: Vec<NodeRole>,
+    locations: Vec<Location>,
+    parents: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    /// Node ids per level; `levels[0]` is the leaf tier (level 1).
+    levels: Vec<Vec<NodeId>>,
+}
+
+impl Hierarchy {
+    /// Builds a balanced hierarchy: `leaf_count` leaves, then one tier
+    /// per entry of `fanouts`, where each leader adopts (up to)
+    /// `fanouts[t]` nodes of the tier below. The final tier must reduce
+    /// to a single root.
+    ///
+    /// ```
+    /// use snod_simnet::Hierarchy;
+    /// // The paper's §10.2 setup: 32 leaf streams under 3 leader tiers.
+    /// let h = Hierarchy::balanced(32, &[4, 2, 4]).unwrap();
+    /// assert_eq!(h.leaves().len(), 32);
+    /// assert_eq!(h.level_count(), 4);
+    /// assert_eq!(h.node_count(), 32 + 8 + 4 + 1);
+    /// ```
+    pub fn balanced(leaf_count: usize, fanouts: &[usize]) -> Result<Self, SimError> {
+        if leaf_count == 0 {
+            return Err(SimError::ZeroSize("leaf count"));
+        }
+        if fanouts.contains(&0) {
+            return Err(SimError::ZeroSize("fan-out"));
+        }
+        let mut roles = Vec::new();
+        let mut parents: Vec<Option<NodeId>> = Vec::new();
+        let mut children: Vec<Vec<NodeId>> = Vec::new();
+        let mut levels: Vec<Vec<NodeId>> = Vec::new();
+
+        let mut current: Vec<NodeId> = (0..leaf_count)
+            .map(|i| {
+                roles.push(NodeRole::Leaf);
+                parents.push(None);
+                children.push(Vec::new());
+                NodeId(i as u32)
+            })
+            .collect();
+        levels.push(current.clone());
+
+        for (tier, &fanout) in fanouts.iter().enumerate() {
+            let mut next = Vec::new();
+            for group in current.chunks(fanout) {
+                let leader = NodeId(roles.len() as u32);
+                roles.push(NodeRole::Leader {
+                    level: (tier + 2) as u8,
+                });
+                parents.push(None);
+                children.push(group.to_vec());
+                for &c in group {
+                    parents[c.index()] = Some(leader);
+                }
+                next.push(leader);
+            }
+            levels.push(next.clone());
+            current = next;
+        }
+
+        // Leaf placement on a near-square grid; leaders at child centroids.
+        let side = (leaf_count as f64).sqrt().ceil() as usize;
+        let mut locations = vec![Location { x: 0.0, y: 0.0 }; roles.len()];
+        for (i, leaf) in levels[0].iter().enumerate() {
+            locations[leaf.index()] = Location {
+                x: (i % side) as f64 / side.max(1) as f64,
+                y: (i / side) as f64 / side.max(1) as f64,
+            };
+        }
+        for level in levels.iter().skip(1) {
+            for &leader in level {
+                let kids = &children[leader.index()];
+                let n = kids.len() as f64;
+                let (sx, sy) = kids.iter().fold((0.0, 0.0), |(sx, sy), c| {
+                    let l = locations[c.index()];
+                    (sx + l.x, sy + l.y)
+                });
+                locations[leader.index()] = Location {
+                    x: sx / n,
+                    y: sy / n,
+                };
+            }
+        }
+
+        Ok(Self {
+            roles,
+            locations,
+            parents,
+            children,
+            levels,
+        })
+    }
+
+    /// A `side × side` leaf grid organised by quad-tree cells (fan-out 4
+    /// per tier) until a single root remains — the literal shape of the
+    /// paper's Figure 1. `side` is rounded up to a power of two.
+    pub fn virtual_grid(side: usize) -> Result<Self, SimError> {
+        if side == 0 {
+            return Err(SimError::ZeroSize("grid side"));
+        }
+        let side = side.next_power_of_two();
+        let tiers = side.trailing_zeros() as usize; // log2(side) quad tiers
+        let fanouts = vec![4usize; tiers];
+        // Build by explicit quad-tree grouping (chunks() in `balanced`
+        // would group linearly, breaking 2-d cell locality).
+        let leaf_count = side * side;
+        let mut roles = Vec::new();
+        let mut parents: Vec<Option<NodeId>> = Vec::new();
+        let mut children: Vec<Vec<NodeId>> = Vec::new();
+        let mut levels: Vec<Vec<NodeId>> = Vec::new();
+        let mut locations = Vec::new();
+
+        // Leaf tier, row-major on the plane.
+        let mut grid: Vec<Vec<NodeId>> = Vec::with_capacity(side);
+        for y in 0..side {
+            let mut row = Vec::with_capacity(side);
+            for x in 0..side {
+                let id = NodeId(roles.len() as u32);
+                roles.push(NodeRole::Leaf);
+                parents.push(None);
+                children.push(Vec::new());
+                locations.push(Location {
+                    x: (x as f64 + 0.5) / side as f64,
+                    y: (y as f64 + 0.5) / side as f64,
+                });
+                row.push(id);
+            }
+            grid.push(row);
+        }
+        levels.push(grid.iter().flatten().copied().collect());
+
+        let mut dim = side;
+        for (tier, _) in fanouts.iter().enumerate() {
+            let next_dim = dim / 2;
+            let mut next_grid: Vec<Vec<NodeId>> = Vec::with_capacity(next_dim);
+            for cy in 0..next_dim {
+                let mut row = Vec::with_capacity(next_dim);
+                for cx in 0..next_dim {
+                    let kids = vec![
+                        grid[2 * cy][2 * cx],
+                        grid[2 * cy][2 * cx + 1],
+                        grid[2 * cy + 1][2 * cx],
+                        grid[2 * cy + 1][2 * cx + 1],
+                    ];
+                    let leader = NodeId(roles.len() as u32);
+                    roles.push(NodeRole::Leader {
+                        level: (tier + 2) as u8,
+                    });
+                    let (sx, sy) = kids.iter().fold((0.0, 0.0), |(sx, sy), c| {
+                        let l: Location = locations[c.index()];
+                        (sx + l.x, sy + l.y)
+                    });
+                    locations.push(Location {
+                        x: sx / 4.0,
+                        y: sy / 4.0,
+                    });
+                    parents.push(None);
+                    children.push(kids.clone());
+                    for &c in &kids {
+                        parents[c.index()] = Some(leader);
+                    }
+                    row.push(leader);
+                }
+                next_grid.push(row);
+            }
+            levels.push(next_grid.iter().flatten().copied().collect());
+            grid = next_grid;
+            dim = next_dim;
+        }
+        let _ = leaf_count;
+
+        Ok(Self {
+            roles,
+            locations,
+            parents,
+            children,
+            levels,
+        })
+    }
+
+    /// Total number of nodes (leaves + leaders).
+    pub fn node_count(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Number of tiers, counting the leaf tier.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Node ids at tier `level` (1-based; level 1 = leaves).
+    pub fn level(&self, level: usize) -> &[NodeId] {
+        &self.levels[level - 1]
+    }
+
+    /// All leaf sensors.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.levels[0]
+    }
+
+    /// The single node at the highest tier.
+    pub fn root(&self) -> NodeId {
+        *self
+            .levels
+            .last()
+            .expect("non-empty hierarchy")
+            .first()
+            .expect("top tier has a node")
+    }
+
+    /// Role of `node`.
+    pub fn role(&self, node: NodeId) -> NodeRole {
+        self.roles[node.index()]
+    }
+
+    /// Tier of `node` (1 = leaf).
+    pub fn level_of(&self, node: NodeId) -> u8 {
+        self.roles[node.index()].level()
+    }
+
+    /// The leader `node` reports to, `None` for the root.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parents[node.index()]
+    }
+
+    /// The nodes reporting to `node` (empty for leaves).
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// Location of `node` on the unit square.
+    pub fn location(&self, node: NodeId) -> Location {
+        self.locations[node.index()]
+    }
+
+    /// Leaf sensors in the subtree rooted at `node` (the sensors whose
+    /// combined sliding window the leader summarises — paper Section 3).
+    pub fn descendant_leaves(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            if self.role(n).is_leaf() {
+                out.push(n);
+            } else {
+                stack.extend(self.children(n).iter().copied());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Validates that `node` exists.
+    pub fn check(&self, node: NodeId) -> Result<(), SimError> {
+        if node.index() < self.roles.len() {
+            Ok(())
+        } else {
+            Err(SimError::UnknownNode(node))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_paper_setup() {
+        let h = Hierarchy::balanced(32, &[4, 2, 4]).unwrap();
+        assert_eq!(h.node_count(), 45);
+        assert_eq!(h.level(1).len(), 32);
+        assert_eq!(h.level(2).len(), 8);
+        assert_eq!(h.level(3).len(), 4);
+        assert_eq!(h.level(4).len(), 1);
+        assert_eq!(h.level_of(h.root()), 4);
+    }
+
+    #[test]
+    fn balanced_rejects_zero_parameters() {
+        assert!(Hierarchy::balanced(0, &[4]).is_err());
+        assert!(Hierarchy::balanced(8, &[0]).is_err());
+    }
+
+    #[test]
+    fn parent_child_links_are_consistent() {
+        let h = Hierarchy::balanced(32, &[4, 2, 4]).unwrap();
+        for level in 1..=h.level_count() {
+            for &n in h.level(level) {
+                if let Some(p) = h.parent(n) {
+                    assert!(h.children(p).contains(&n));
+                    assert_eq!(h.level_of(p), h.level_of(n) + 1);
+                } else {
+                    assert_eq!(n, h.root());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_leaf_reaches_the_root() {
+        let h = Hierarchy::balanced(32, &[4, 2, 4]).unwrap();
+        for &leaf in h.leaves() {
+            let mut n = leaf;
+            let mut hops = 0;
+            while let Some(p) = h.parent(n) {
+                n = p;
+                hops += 1;
+                assert!(hops <= h.level_count());
+            }
+            assert_eq!(n, h.root());
+        }
+    }
+
+    #[test]
+    fn descendant_leaves_partition_the_network() {
+        let h = Hierarchy::balanced(32, &[4, 2, 4]).unwrap();
+        // The root covers every leaf.
+        assert_eq!(h.descendant_leaves(h.root()).len(), 32);
+        // Level-2 leaders partition the leaves.
+        let mut seen = Vec::new();
+        for &l in h.level(2) {
+            seen.extend(h.descendant_leaves(l));
+        }
+        seen.sort();
+        assert_eq!(seen, h.leaves());
+    }
+
+    #[test]
+    fn virtual_grid_is_a_quad_tree() {
+        let h = Hierarchy::virtual_grid(4).unwrap();
+        assert_eq!(h.leaves().len(), 16);
+        assert_eq!(h.level_count(), 3); // 16 → 4 → 1
+        assert_eq!(h.level(2).len(), 4);
+        assert_eq!(h.level(3).len(), 1);
+        for &l in h.level(2) {
+            assert_eq!(h.children(l).len(), 4);
+            // children of a quad cell are mutually close on the plane
+            let locs: Vec<_> = h.children(l).iter().map(|&c| h.location(c)).collect();
+            for a in &locs {
+                for b in &locs {
+                    assert!(a.distance(b) < 0.5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_grid_rounds_to_power_of_two() {
+        let h = Hierarchy::virtual_grid(3).unwrap();
+        assert_eq!(h.leaves().len(), 16);
+    }
+
+    #[test]
+    fn leader_location_is_child_centroid() {
+        let h = Hierarchy::virtual_grid(2).unwrap();
+        let root = h.root();
+        let loc = h.location(root);
+        assert!((loc.x - 0.5).abs() < 1e-12);
+        assert!((loc.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_rejects_unknown_nodes() {
+        let h = Hierarchy::balanced(4, &[4]).unwrap();
+        assert!(h.check(NodeId(0)).is_ok());
+        assert!(h.check(NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn single_leaf_degenerate_hierarchy() {
+        let h = Hierarchy::balanced(1, &[]).unwrap();
+        assert_eq!(h.node_count(), 1);
+        assert_eq!(h.root(), NodeId(0));
+        assert!(h.parent(NodeId(0)).is_none());
+    }
+}

@@ -1,0 +1,206 @@
+//! Greenwald–Khanna ε-approximate quantile sketch (SIGMOD 2001).
+//!
+//! The paper cites order-statistics maintenance in sensor networks
+//! (Greenwald & Khanna, PODS 2004 — reference [19]) as a related
+//! capability of distribution approximation. We use this sketch for the
+//! equi-depth histogram baseline (bucket boundaries are quantiles) and to
+//! answer median/percentile queries in the §9 applications.
+//!
+//! A summary is a sorted list of tuples `(v, g, Δ)` where `g` is the gap in
+//! minimum rank to the previous tuple and `Δ` bounds the rank uncertainty.
+//! The invariant `g + Δ ≤ ⌊2εn⌋` guarantees any rank query is answered
+//! within `εn`.
+
+use crate::SketchError;
+
+#[derive(Debug, Clone, Copy)]
+struct Tuple {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// ε-approximate quantiles over an unbounded stream.
+///
+/// ```
+/// use snod_sketch::GkSketch;
+/// let mut gk = GkSketch::new(0.01).unwrap();
+/// for i in 0..10_000 {
+///     gk.insert(i as f64);
+/// }
+/// let med = gk.quantile(0.5).unwrap();
+/// assert!((med - 5_000.0).abs() <= 0.01 * 10_000.0 + 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GkSketch {
+    eps: f64,
+    tuples: Vec<Tuple>,
+    n: u64,
+    since_compress: u64,
+}
+
+impl GkSketch {
+    /// Creates a sketch with rank error at most `eps·n`.
+    pub fn new(eps: f64) -> Result<Self, SketchError> {
+        if !(eps > 0.0 && eps <= 1.0) {
+            return Err(SketchError::InvalidEpsilon);
+        }
+        Ok(Self {
+            eps,
+            tuples: Vec::new(),
+            n: 0,
+            since_compress: 0,
+        })
+    }
+
+    /// Inserts one value.
+    pub fn insert(&mut self, v: f64) {
+        let pos = self.tuples.partition_point(|t| t.v < v);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            0
+        } else {
+            (2.0 * self.eps * self.n as f64).floor() as u64
+        };
+        self.tuples.insert(pos, Tuple { v, g: 1, delta });
+        self.n += 1;
+        self.since_compress += 1;
+        if self.since_compress as f64 >= 1.0 / (2.0 * self.eps) {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let cap = (2.0 * self.eps * self.n as f64).floor() as u64;
+        let mut i = self.tuples.len() - 2;
+        while i >= 1 {
+            let merged_g = self.tuples[i].g + self.tuples[i + 1].g;
+            if merged_g + self.tuples[i + 1].delta <= cap {
+                self.tuples[i + 1].g = merged_g;
+                self.tuples.remove(i);
+            }
+            i -= 1;
+        }
+    }
+
+    /// The φ-quantile (φ ∈ [0, 1]) with rank error at most `εn`.
+    /// Returns `None` while the sketch is empty.
+    pub fn quantile(&self, phi: f64) -> Option<f64> {
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        let rank = (phi * self.n as f64).ceil().max(1.0) as u64;
+        let allow = (self.eps * self.n as f64).ceil() as u64;
+        let mut rmin = 0u64;
+        for (i, t) in self.tuples.iter().enumerate() {
+            rmin += t.g;
+            let rmax = rmin + t.delta;
+            if rmax >= rank.saturating_sub(allow) && rmin + allow >= rank {
+                return Some(t.v);
+            }
+            // If the next tuple would overshoot, answer with this one.
+            if i + 1 < self.tuples.len() {
+                let next = &self.tuples[i + 1];
+                if rmin + next.g + next.delta > rank + allow {
+                    return Some(t.v);
+                }
+            }
+        }
+        self.tuples.last().map(|t| t.v)
+    }
+
+    /// `k` equi-depth boundaries (the `1/k … (k−1)/k` quantiles), used to
+    /// build equi-depth histograms.
+    pub fn equi_depth_boundaries(&self, buckets: usize) -> Vec<f64> {
+        (1..buckets)
+            .filter_map(|i| self.quantile(i as f64 / buckets as f64))
+            .collect()
+    }
+
+    /// Values observed so far.
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    /// Tuples currently stored (the sketch's memory footprint in entries).
+    pub fn tuple_count(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(GkSketch::new(0.0).is_err());
+        assert!(GkSketch::new(1.1).is_err());
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let gk = GkSketch::new(0.1).unwrap();
+        assert_eq!(gk.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_on_sorted_input() {
+        let n = 20_000u64;
+        let eps = 0.01;
+        let mut gk = GkSketch::new(eps).unwrap();
+        for i in 0..n {
+            gk.insert(i as f64);
+        }
+        for &phi in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let q = gk.quantile(phi).unwrap();
+            let truth = phi * n as f64;
+            assert!(
+                (q - truth).abs() <= 2.0 * eps * n as f64,
+                "phi {phi}: got {q}, want ~{truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_shuffled_input() {
+        // Deterministic shuffle via multiplicative hashing.
+        let n = 10_007u64; // prime
+        let eps = 0.02;
+        let mut gk = GkSketch::new(eps).unwrap();
+        for i in 0..n {
+            let v = (i * 48_271) % n;
+            gk.insert(v as f64);
+        }
+        let med = gk.quantile(0.5).unwrap();
+        assert!((med - n as f64 / 2.0).abs() <= 2.0 * eps * n as f64);
+    }
+
+    #[test]
+    fn memory_is_sublinear() {
+        let mut gk = GkSketch::new(0.01).unwrap();
+        for i in 0..100_000 {
+            gk.insert((i as f64).sin());
+        }
+        assert!(
+            gk.tuple_count() < 10_000,
+            "tuples {} not sublinear",
+            gk.tuple_count()
+        );
+    }
+
+    #[test]
+    fn equi_depth_boundaries_are_sorted() {
+        let mut gk = GkSketch::new(0.01).unwrap();
+        for i in 0..5_000 {
+            gk.insert((i % 997) as f64);
+        }
+        let b = gk.equi_depth_boundaries(10);
+        assert_eq!(b.len(), 9);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,216 @@
+//! First-moment summaries of datasets and streams.
+//!
+//! The paper's Figure 5 tabulates min / max / mean / median / stddev / skew
+//! for the real datasets. [`DatasetStats`] computes those exactly from a
+//! slice (used by the `fig05_dataset_stats` experiment to validate our
+//! calibrated generators), and [`StreamingMoments`] maintains the same
+//! moments online with Welford-style updates — the paper's §9 mentions
+//! *"monitoring the first moments of the data distribution (i.e., mean,
+//! standard deviation, and skew)"* as a supported application.
+
+/// Streaming min/max/mean/σ/skewness via numerically stable one-pass
+/// central-moment updates (Welford / Pébay).
+///
+/// ```
+/// use snod_sketch::StreamingMoments;
+/// let mut m = StreamingMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamingMoments {
+    n: u64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+}
+
+impl StreamingMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let n = self.n as f64;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let term = delta * delta_n * (n - 1.0);
+        self.m3 += term * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term;
+        self.mean += delta_n;
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Minimum observed value (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observed value (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Fisher skewness `√n·M₃ / M₂^{3/2}` (0 when degenerate).
+    pub fn skewness(&self) -> f64 {
+        if self.m2 <= 0.0 || self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n.sqrt() * self.m3 / self.m2.powf(1.5)
+    }
+}
+
+/// Exact offline statistics of a dataset — one row of the paper's Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of middle pair for even lengths).
+    pub median: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Fisher skewness.
+    pub skew: f64,
+}
+
+impl DatasetStats {
+    /// Computes exact statistics of `xs`. Returns `None` for empty input.
+    pub fn from_slice(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut m = StreamingMoments::new();
+        for &x in xs {
+            m.push(x);
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN data"));
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Self {
+            min: m.min(),
+            max: m.max(),
+            mean: m.mean(),
+            median,
+            std_dev: m.std_dev(),
+            skew: m.skewness(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slice_yields_none() {
+        assert_eq!(DatasetStats::from_slice(&[]), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = DatasetStats::from_slice(&[3.0]).unwrap();
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.skew, 0.0);
+    }
+
+    #[test]
+    fn symmetric_data_has_zero_skew() {
+        let xs: Vec<f64> = (-50..=50).map(|i| i as f64).collect();
+        let s = DatasetStats::from_slice(&xs).unwrap();
+        assert!(s.skew.abs() < 1e-9);
+        assert_eq!(s.median, 0.0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn left_skewed_data_has_negative_skew() {
+        // Mostly high values with a long left tail — like the paper's
+        // engine dataset (skew −6.844).
+        let mut xs = vec![0.42; 990];
+        xs.extend(std::iter::repeat(0.05).take(10));
+        let s = DatasetStats::from_slice(&xs).unwrap();
+        assert!(s.skew < -5.0, "skew {}", s.skew);
+    }
+
+    #[test]
+    fn even_length_median_averages_middle_pair() {
+        let s = DatasetStats::from_slice(&[1.0, 2.0, 3.0, 10.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn streaming_matches_exact_on_random_walk() {
+        let mut xs = Vec::new();
+        let mut v = 0.0;
+        let mut state = 99u64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            v += ((state % 2_001) as f64 - 1_000.0) / 1_000.0;
+            xs.push(v);
+        }
+        let exact = DatasetStats::from_slice(&xs).unwrap();
+        let mut m = StreamingMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        assert!((m.mean() - exact.mean).abs() < 1e-9);
+        assert!((m.std_dev() - exact.std_dev).abs() < 1e-9);
+        assert!((m.skewness() - exact.skew).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Classic reservoir sampling (Vitter's Algorithm R).
+//!
+//! Reservoir sampling draws a uniform *without-replacement* sample from the
+//! whole stream prefix, not from a sliding window. The paper discusses it
+//! as the simplest density estimator ("the simplest statistical estimator
+//! … is random sampling") and we keep it as a baseline to demonstrate why
+//! the chain sampler is needed: a reservoir goes stale under distribution
+//! drift because old elements never expire.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SketchError;
+
+/// Uniform without-replacement sample of size `k` over an unbounded stream.
+///
+/// ```
+/// use snod_sketch::ReservoirSampler;
+/// let mut r = ReservoirSampler::new(5, 1).unwrap();
+/// for i in 0..100 {
+///     r.push(i);
+/// }
+/// assert_eq!(r.sample().len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    reservoir: Vec<T>,
+    capacity: usize,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Creates a reservoir of size `capacity` with a deterministic `seed`.
+    pub fn new(capacity: usize, seed: u64) -> Result<Self, SketchError> {
+        if capacity == 0 {
+            return Err(SketchError::ZeroSize("reservoir capacity"));
+        }
+        Ok(Self {
+            reservoir: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Offers one stream element to the reservoir.
+    pub fn push(&mut self, value: T) {
+        self.seen += 1;
+        if self.reservoir.len() < self.capacity {
+            self.reservoir.push(value);
+        } else {
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.reservoir[j as usize] = value;
+            }
+        }
+    }
+
+    /// The current sample (unordered).
+    pub fn sample(&self) -> &[T] {
+        &self.reservoir
+    }
+
+    /// Total number of elements observed.
+    pub fn stream_len(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_capacity_then_stays() {
+        let mut r = ReservoirSampler::new(8, 42).unwrap();
+        for i in 0..4 {
+            r.push(i);
+        }
+        assert_eq!(r.sample().len(), 4);
+        for i in 4..1_000 {
+            r.push(i);
+        }
+        assert_eq!(r.sample().len(), 8);
+    }
+
+    #[test]
+    fn sample_contains_only_seen_values() {
+        let mut r = ReservoirSampler::new(16, 7).unwrap();
+        for i in 0..500u32 {
+            r.push(i);
+        }
+        assert!(r.sample().iter().all(|&v| v < 500));
+    }
+
+    #[test]
+    fn inclusion_probability_is_roughly_uniform() {
+        // Probability any fixed element stays in a k-of-n reservoir is k/n.
+        // Count how often element 0 survives across many seeded runs.
+        let (k, n, runs) = (10usize, 200u32, 2_000u64);
+        let mut hits = 0;
+        for seed in 0..runs {
+            let mut r = ReservoirSampler::new(k, seed).unwrap();
+            for i in 0..n {
+                r.push(i);
+            }
+            if r.sample().contains(&0) {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / runs as f64;
+        let expect = k as f64 / n as f64;
+        assert!(
+            (p - expect).abs() < 0.02,
+            "inclusion probability {p} deviates from {expect}"
+        );
+    }
+}

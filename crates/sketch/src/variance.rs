@@ -1,0 +1,395 @@
+//! ε-approximate variance over a sliding window
+//! (Babcock, Datar, Motwani, O'Callaghan — PODS 2003).
+//!
+//! The paper's kernel bandwidth rule `Bᵢ = √5·σᵢ·|R|^(−1/(d+4))` needs the
+//! standard deviation σ of the values currently in the window. Keeping the
+//! whole window just for σ would defeat the memory budget, so each sensor
+//! maintains this bucket sketch instead: Theorem 1 of the paper charges it
+//! `O((1/ε²)·log|W|)` memory per dimension.
+//!
+//! Each bucket stores the triple `(n, μ, V)` — count, mean and sum of
+//! squared deviations — for a contiguous run of stream elements. Two
+//! buckets combine exactly:
+//!
+//! ```text
+//! n  = n₁ + n₂
+//! μ  = (n₁μ₁ + n₂μ₂) / n
+//! V  = V₁ + V₂ + n₁n₂/(n₁+n₂) · (μ₁ − μ₂)²
+//! ```
+//!
+//! Adjacent buckets are merged greedily (oldest first) whenever the merged
+//! bucket's `V` stays small relative to the combined `V` of all newer
+//! buckets (`9·V_merged ≤ ε²·V_newer`), which keeps the error contributed
+//! by the single straddling bucket at query time below `ε·V`. The struct
+//! tracks its high-water bucket count so the §10.3 memory experiment can
+//! compare actual usage against the theoretical bound.
+
+use std::collections::VecDeque;
+
+use crate::SketchError;
+
+/// Exact summary `(n, μ, V)` of a contiguous run of elements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Bucket {
+    /// Stream index (1-based) of the oldest element in the bucket.
+    oldest: u64,
+    /// Stream index of the newest element in the bucket.
+    newest: u64,
+    n: u64,
+    mean: f64,
+    /// Sum of squared deviations from the bucket mean.
+    v: f64,
+}
+
+impl Bucket {
+    fn singleton(t: u64, x: f64) -> Self {
+        Self {
+            oldest: t,
+            newest: t,
+            n: 1,
+            mean: x,
+            v: 0.0,
+        }
+    }
+
+    fn combine(a: &Bucket, b: &Bucket) -> Bucket {
+        let n = a.n + b.n;
+        let mean = (a.n as f64 * a.mean + b.n as f64 * b.mean) / n as f64;
+        let d = a.mean - b.mean;
+        let v = a.v + b.v + (a.n as f64 * b.n as f64 / n as f64) * d * d;
+        Bucket {
+            oldest: a.oldest.min(b.oldest),
+            newest: a.newest.max(b.newest),
+            n,
+            mean,
+            v,
+        }
+    }
+}
+
+/// Running statistics combined across several buckets.
+#[derive(Debug, Clone, Copy)]
+struct Combined {
+    n: f64,
+    mean: f64,
+    v: f64,
+}
+
+impl Combined {
+    const EMPTY: Combined = Combined {
+        n: 0.0,
+        mean: 0.0,
+        v: 0.0,
+    };
+
+    fn add(self, n: f64, mean: f64, v: f64) -> Combined {
+        if n == 0.0 {
+            return self;
+        }
+        if self.n == 0.0 {
+            return Combined { n, mean, v };
+        }
+        let total = self.n + n;
+        let m = (self.n * self.mean + n * mean) / total;
+        let d = self.mean - mean;
+        Combined {
+            n: total,
+            mean: m,
+            v: self.v + v + (self.n * n / total) * d * d,
+        }
+    }
+}
+
+/// ε-approximate variance and standard deviation over the last `|W|`
+/// stream values.
+///
+/// ```
+/// use snod_sketch::WindowedVariance;
+/// let mut wv = WindowedVariance::new(1_000, 0.2).unwrap();
+/// for i in 0..20_000 {
+///     wv.push((i % 100) as f64);
+/// }
+/// // true variance of 0..=99 repeated is (100²−1)/12 ≈ 833.25
+/// let sigma = wv.std_dev();
+/// assert!((sigma - 833.25f64.sqrt()).abs() / 833.25f64.sqrt() < 0.25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedVariance {
+    buckets: VecDeque<Bucket>,
+    window: u64,
+    eps: f64,
+    time: u64,
+    max_buckets_seen: usize,
+}
+
+impl WindowedVariance {
+    /// Creates an estimator over `window` elements with error parameter
+    /// `eps ∈ (0, 1]` (the paper's experiments use ε up to 0.2).
+    pub fn new(window: usize, eps: f64) -> Result<Self, SketchError> {
+        if window == 0 {
+            return Err(SketchError::ZeroSize("window capacity"));
+        }
+        if !(eps > 0.0 && eps <= 1.0) {
+            return Err(SketchError::InvalidEpsilon);
+        }
+        Ok(Self {
+            buckets: VecDeque::new(),
+            window: window as u64,
+            eps,
+            time: 0,
+            max_buckets_seen: 0,
+        })
+    }
+
+    /// Feeds one value into the sketch.
+    pub fn push(&mut self, x: f64) {
+        self.time += 1;
+        self.expire();
+        self.buckets.push_back(Bucket::singleton(self.time, x));
+        self.merge_pass();
+        self.max_buckets_seen = self.max_buckets_seen.max(self.buckets.len());
+    }
+
+    fn expire(&mut self) {
+        let horizon = self.time.saturating_sub(self.window);
+        while let Some(front) = self.buckets.front() {
+            if front.newest <= horizon {
+                self.buckets.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Greedy oldest-first merge pass maintaining
+    /// `9·V_merged ≤ ε²·V_newer-suffix` for every merge performed.
+    fn merge_pass(&mut self) {
+        loop {
+            let m = self.buckets.len();
+            if m < 3 {
+                return;
+            }
+            // Suffix-combined V for every position, computed newest→oldest:
+            // suffix[i] = combined stats of buckets[i..].
+            let mut suffix = vec![Combined::EMPTY; m + 1];
+            for i in (0..m).rev() {
+                let b = &self.buckets[i];
+                suffix[i] = suffix[i + 1].add(b.n as f64, b.mean, b.v);
+            }
+            let threshold = self.eps * self.eps / 9.0;
+            let mut merged_any = false;
+            // Never merge into the newest bucket: it must stay a singleton
+            // candidate so the straddling-bucket analysis applies.
+            for i in 0..m - 2 {
+                let cand = Bucket::combine(&self.buckets[i], &self.buckets[i + 1]);
+                if cand.v <= threshold * suffix[i + 2].v {
+                    self.buckets[i] = cand;
+                    self.buckets.remove(i + 1);
+                    merged_any = true;
+                    break;
+                }
+            }
+            if !merged_any {
+                return;
+            }
+        }
+    }
+
+    /// Estimated *population* variance of the current window. The oldest
+    /// bucket may straddle the window boundary; its live share is estimated
+    /// proportionally, which is exactly where the ε error enters.
+    pub fn variance(&self) -> f64 {
+        let horizon = self.time.saturating_sub(self.window);
+        let mut acc = Combined::EMPTY;
+        for b in &self.buckets {
+            if b.oldest > horizon {
+                acc = acc.add(b.n as f64, b.mean, b.v);
+            } else {
+                // Straddling bucket: `live` of its `n` elements remain.
+                let live = b.newest.saturating_sub(horizon) as f64;
+                if live > 0.0 {
+                    let share = live / b.n as f64;
+                    acc = acc.add(live, b.mean, b.v * share);
+                }
+            }
+        }
+        if acc.n <= 1.0 {
+            0.0
+        } else {
+            acc.v / acc.n
+        }
+    }
+
+    /// Estimated standard deviation σ of the window.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().max(0.0).sqrt()
+    }
+
+    /// Estimated mean of the window values.
+    pub fn mean(&self) -> f64 {
+        let horizon = self.time.saturating_sub(self.window);
+        let mut acc = Combined::EMPTY;
+        for b in &self.buckets {
+            let live = if b.oldest > horizon {
+                b.n as f64
+            } else {
+                b.newest.saturating_sub(horizon) as f64
+            };
+            if live > 0.0 {
+                acc = acc.add(live, b.mean, 0.0);
+            }
+        }
+        acc.mean
+    }
+
+    /// Number of elements currently covered (exact up to the straddling
+    /// bucket's proportional estimate).
+    pub fn live_count(&self) -> u64 {
+        self.time.min(self.window)
+    }
+
+    /// Values observed so far.
+    pub fn stream_len(&self) -> u64 {
+        self.time
+    }
+
+    /// Buckets currently stored.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// High-water mark of [`Self::bucket_count`] over the sketch lifetime.
+    pub fn max_buckets_seen(&self) -> usize {
+        self.max_buckets_seen
+    }
+
+    /// Actual memory in bytes: each bucket stores five numbers
+    /// (`oldest`, `newest`, `n`, `μ`, `V`) of `value_bytes` bytes each
+    /// (the paper's §10.3 assumes a 16-bit architecture, 2 bytes/number).
+    pub fn memory_bytes(&self, value_bytes: usize) -> usize {
+        self.bucket_count() * 5 * value_bytes
+    }
+
+    /// High-water memory in bytes under the same accounting.
+    pub fn max_memory_bytes(&self, value_bytes: usize) -> usize {
+        self.max_buckets_seen * 5 * value_bytes
+    }
+
+    /// Theoretical bucket bound `(9/ε²)·log₂(|W|)` against which §10.3
+    /// compares actual usage.
+    pub fn theoretical_bucket_bound(&self) -> usize {
+        let w = self.window as f64;
+        ((9.0 / (self.eps * self.eps)) * w.log2()).ceil() as usize
+    }
+
+    /// Theoretical memory bound in bytes (same per-bucket accounting as
+    /// [`Self::memory_bytes`]).
+    pub fn theoretical_memory_bound(&self, value_bytes: usize) -> usize {
+        self.theoretical_bucket_bound() * 5 * value_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_window_variance(xs: &[f64], window: usize, upto: usize) -> f64 {
+        let lo = upto.saturating_sub(window);
+        let w = &xs[lo..upto];
+        let n = w.len() as f64;
+        let mean = w.iter().sum::<f64>() / n;
+        w.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(WindowedVariance::new(0, 0.1).is_err());
+        assert!(WindowedVariance::new(10, 0.0).is_err());
+        assert!(WindowedVariance::new(10, 2.0).is_err());
+    }
+
+    #[test]
+    fn exact_before_window_fills_with_small_input() {
+        let mut wv = WindowedVariance::new(100, 0.1).unwrap();
+        for &x in &[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            wv.push(x);
+        }
+        // Classic example: population variance 4, σ = 2.
+        assert!((wv.variance() - 4.0).abs() < 0.6, "var {}", wv.variance());
+    }
+
+    #[test]
+    fn tracks_uniform_ramp_within_tolerance() {
+        let w = 500;
+        let xs: Vec<f64> = (0..5_000).map(|i| (i % 250) as f64 / 250.0).collect();
+        let mut wv = WindowedVariance::new(w, 0.2).unwrap();
+        for (i, &x) in xs.iter().enumerate() {
+            wv.push(x);
+            if i > w {
+                let truth = exact_window_variance(&xs, w, i + 1);
+                let est = wv.variance();
+                assert!(
+                    (est - truth).abs() <= 0.25 * truth + 1e-9,
+                    "at {i}: est {est} truth {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adapts_after_distribution_shift() {
+        // Constant 0.0 then constant-amplitude alternation; variance must
+        // converge to the new regime once the window slides past the shift.
+        let w = 200;
+        let mut wv = WindowedVariance::new(w, 0.1).unwrap();
+        for _ in 0..1_000 {
+            wv.push(0.0);
+        }
+        for i in 0..1_000u32 {
+            wv.push(if i % 2 == 0 { -1.0 } else { 1.0 });
+        }
+        // After the window is entirely past the shift, variance ≈ 1.
+        assert!((wv.variance() - 1.0).abs() < 0.15, "var {}", wv.variance());
+    }
+
+    #[test]
+    fn memory_stays_below_theoretical_bound() {
+        let mut wv = WindowedVariance::new(10_000, 0.2).unwrap();
+        let mut state = 1u64;
+        for _ in 0..50_000 {
+            // xorshift pseudo-random values in [0,1)
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            wv.push((state % 10_000) as f64 / 10_000.0);
+        }
+        assert!(
+            wv.max_buckets_seen() <= wv.theoretical_bucket_bound(),
+            "buckets {} exceed bound {}",
+            wv.max_buckets_seen(),
+            wv.theoretical_bucket_bound()
+        );
+    }
+
+    #[test]
+    fn zero_variance_stream() {
+        let mut wv = WindowedVariance::new(64, 0.1).unwrap();
+        for _ in 0..1_000 {
+            wv.push(3.5);
+        }
+        assert!(wv.variance().abs() < 1e-12);
+        assert!((wv.mean() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_tracks_window() {
+        let mut wv = WindowedVariance::new(100, 0.1).unwrap();
+        for _ in 0..500 {
+            wv.push(1.0);
+        }
+        for _ in 0..500 {
+            wv.push(5.0);
+        }
+        assert!((wv.mean() - 5.0).abs() < 0.3, "mean {}", wv.mean());
+    }
+}

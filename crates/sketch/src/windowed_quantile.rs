@@ -1,0 +1,210 @@
+//! Sliding-window quantiles (Arasu–Manku style block decomposition).
+//!
+//! The paper's Section 9 applications and its references [19, 41]
+//! (Greenwald–Khanna in sensor networks; "Medians and Beyond") revolve
+//! around order statistics *over windows*. [`GkSketch`] summarises a
+//! whole stream; this structure makes it windowed: the stream is cut
+//! into blocks of `window / blocks` elements, each block carries its own
+//! GK sketch, expired blocks are dropped whole, and a query merges the
+//! live blocks' quantile surfaces by weighted rank.
+//!
+//! Memory: `O(blocks · (1/ε)·log(block))`; the window boundary is
+//! honoured at block granularity (the classic Arasu–Manku trade-off).
+
+use std::collections::VecDeque;
+
+use crate::gk::GkSketch;
+use crate::SketchError;
+
+/// ε-approximate quantiles over the last `window` stream values.
+///
+/// ```
+/// use snod_sketch::WindowedQuantile;
+/// let mut wq = WindowedQuantile::new(1_000, 8, 0.02).unwrap();
+/// for i in 0..10_000u64 {
+///     wq.push(i as f64);
+/// }
+/// // The window holds ~[9000, 10000): the median is ~9500.
+/// let med = wq.quantile(0.5).unwrap();
+/// assert!((med - 9_500.0).abs() < 200.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedQuantile {
+    block_len: u64,
+    eps: f64,
+    /// Live blocks, oldest first; each `(start index, sketch, count)`.
+    blocks: VecDeque<(u64, GkSketch, u64)>,
+    window: u64,
+    pushed: u64,
+}
+
+impl WindowedQuantile {
+    /// Creates a sketch over `window` values using `blocks` sub-sketches
+    /// of rank error `eps` each.
+    pub fn new(window: usize, blocks: usize, eps: f64) -> Result<Self, SketchError> {
+        if window == 0 {
+            return Err(SketchError::ZeroSize("window capacity"));
+        }
+        if blocks == 0 || blocks > window {
+            return Err(SketchError::ZeroSize("block count"));
+        }
+        if !(eps > 0.0 && eps <= 1.0) {
+            return Err(SketchError::InvalidEpsilon);
+        }
+        Ok(Self {
+            block_len: (window / blocks).max(1) as u64,
+            eps,
+            blocks: VecDeque::new(),
+            window: window as u64,
+            pushed: 0,
+        })
+    }
+
+    /// Feeds one value.
+    pub fn push(&mut self, v: f64) {
+        let start_new = match self.blocks.back() {
+            Some((_, _, count)) => *count >= self.block_len,
+            None => true,
+        };
+        if start_new {
+            self.blocks.push_back((
+                self.pushed,
+                GkSketch::new(self.eps).expect("validated eps"),
+                0,
+            ));
+        }
+        let (_, sketch, count) = self.blocks.back_mut().expect("block just ensured");
+        sketch.insert(v);
+        *count += 1;
+        self.pushed += 1;
+        // Expire blocks that lie entirely before the window horizon.
+        let horizon = self.pushed.saturating_sub(self.window);
+        while let Some((start, _, count)) = self.blocks.front() {
+            if start + count <= horizon {
+                self.blocks.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Values currently covered (exact up to the straddling block).
+    pub fn covered(&self) -> u64 {
+        self.blocks.iter().map(|(_, _, c)| c).sum()
+    }
+
+    /// The φ-quantile of the (block-aligned) window. `None` while empty.
+    pub fn quantile(&self, phi: f64) -> Option<f64> {
+        if self.blocks.is_empty() {
+            return None;
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        // Sample each block's quantile surface at m points and select by
+        // weighted rank across blocks.
+        let m = ((2.0 / self.eps).ceil() as usize).clamp(8, 256);
+        let mut weighted: Vec<(f64, f64)> = Vec::with_capacity(self.blocks.len() * m);
+        for (_, sketch, count) in &self.blocks {
+            let w = *count as f64 / m as f64;
+            for i in 0..m {
+                let q = sketch.quantile((i as f64 + 0.5) / m as f64)?;
+                weighted.push((q, w));
+            }
+        }
+        weighted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN quantiles"));
+        let total: f64 = weighted.iter().map(|(_, w)| w).sum();
+        let target = phi * total;
+        let mut acc = 0.0;
+        for (v, w) in &weighted {
+            acc += w;
+            if acc >= target {
+                return Some(*v);
+            }
+        }
+        weighted.last().map(|(v, _)| *v)
+    }
+
+    /// The window median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Total GK tuples stored across blocks (memory diagnostic).
+    pub fn tuple_count(&self) -> usize {
+        self.blocks.iter().map(|(_, s, _)| s.tuple_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(WindowedQuantile::new(0, 4, 0.1).is_err());
+        assert!(WindowedQuantile::new(100, 0, 0.1).is_err());
+        assert!(WindowedQuantile::new(100, 200, 0.1).is_err());
+        assert!(WindowedQuantile::new(100, 4, 0.0).is_err());
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let wq = WindowedQuantile::new(100, 4, 0.1).unwrap();
+        assert_eq!(wq.median(), None);
+    }
+
+    #[test]
+    fn tracks_shifting_windows() {
+        let mut wq = WindowedQuantile::new(1_000, 10, 0.02).unwrap();
+        for i in 0..5_000u64 {
+            wq.push(i as f64);
+        }
+        // Window ≈ [4000, 5000): quartiles at ~4250/4500/4750, block
+        // granularity adds up to one block (100) of slack.
+        for (phi, expect) in [(0.25, 4_250.0), (0.5, 4_500.0), (0.75, 4_750.0)] {
+            let q = wq.quantile(phi).unwrap();
+            assert!((q - expect).abs() < 150.0, "phi {phi}: {q} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn adapts_after_distribution_change() {
+        let mut wq = WindowedQuantile::new(500, 10, 0.05).unwrap();
+        for _ in 0..2_000 {
+            wq.push(0.2);
+        }
+        for _ in 0..600 {
+            wq.push(0.9);
+        }
+        // The window now holds only the new regime.
+        assert!((wq.median().unwrap() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_blocks_interpolate_by_weight() {
+        let mut wq = WindowedQuantile::new(400, 4, 0.02).unwrap();
+        // Window half 0.1s, half 0.9s → median at the boundary, and the
+        // 0.25/0.75 quantiles firmly in each half.
+        for _ in 0..400 {
+            wq.push(0.1);
+        }
+        for _ in 0..200 {
+            wq.push(0.9);
+        }
+        assert!((wq.quantile(0.2).unwrap() - 0.1).abs() < 1e-9);
+        assert!((wq.quantile(0.8).unwrap() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_is_sublinear_in_window() {
+        let mut wq = WindowedQuantile::new(10_000, 10, 0.02).unwrap();
+        for i in 0..50_000u64 {
+            wq.push(((i * 48_271) % 10_007) as f64);
+        }
+        assert!(wq.covered() <= 10_000);
+        assert!(
+            wq.tuple_count() < 4_000,
+            "tuples {} not sublinear",
+            wq.tuple_count()
+        );
+    }
+}

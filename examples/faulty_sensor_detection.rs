@@ -1,0 +1,88 @@
+//! The §9 applications: finding faulty sensors by comparing estimator
+//! models, and windowed outlier-count alarms.
+//!
+//! *"a parent sensor can compute the difference between the estimator
+//! models received from its children, to determine if any of them is
+//! faulty"* — the difference being the Jensen–Shannon divergence of
+//! Section 6 — and *"give a warning if the number of outliers in a given
+//! region exceeds a given threshold T over the most recent time window
+//! W"*, which we answer from an exponential histogram so the alarm stays
+//! within sketch memory.
+//!
+//! Run with: `cargo run --release --example faulty_sensor_detection`
+
+use sensor_outliers::core::apps::{detect_faulty_sensors, model_distance, OutlierCountAlarm};
+use sensor_outliers::core::{EstimatorConfig, SensorEstimator};
+use sensor_outliers::data::{DataStream, EnvironmentStream};
+
+fn main() {
+    let window = 3_000usize;
+    let sensors = 6usize;
+    let cfg = |seed: u64| {
+        EstimatorConfig::builder()
+            .window(window)
+            .sample_size(150)
+            .dimensions(2)
+            .seed(seed)
+            .build()
+            .expect("valid configuration")
+    };
+
+    // Six sibling sensors in one region; sensor 4 drifts after a while
+    // (stuck dew-point element reporting maximal humidity).
+    let mut streams: Vec<EnvironmentStream> = (0..sensors)
+        .map(|i| EnvironmentStream::new(500 + i as u64))
+        .collect();
+    let mut ests: Vec<SensorEstimator> = (0..sensors)
+        .map(|i| SensorEstimator::new(cfg(i as u64)))
+        .collect();
+
+    for t in 0..(2 * window) {
+        for (i, (s, e)) in streams.iter_mut().zip(ests.iter_mut()).enumerate() {
+            let mut v = s.next_reading();
+            if i == 4 && t > window {
+                v[1] = 0.28; // stuck at the sensor's ceiling
+            }
+            e.observe(&v).expect("2-d reading");
+        }
+    }
+
+    // The leader gathers the children's models and compares them.
+    let models: Vec<_> = ests
+        .iter()
+        .map(|e| e.model().expect("estimators warmed up"))
+        .collect();
+    println!("pairwise JS-divergence from sensor 0:");
+    for (i, m) in models.iter().enumerate() {
+        let d = model_distance(&models[0], m, 24).expect("same dimensionality");
+        println!("  sensor {i}: {d:.4}");
+    }
+
+    let flagged = detect_faulty_sensors(&models, 24, 0.25).expect("same dimensionality");
+    println!("\nflagged as faulty (min sibling divergence > 0.25): {flagged:?}");
+    assert_eq!(flagged, vec![4], "the stuck sensor should stand out");
+
+    // Outlier-count alarm over the most recent 1,000 readings.
+    let mut alarm = OutlierCountAlarm::new(1_000, 20, 0.1).expect("valid alarm");
+    println!("\noutlier-count alarm (T = 20 over last 1,000 readings):");
+    for burst in [5u32, 10, 30, 0, 0] {
+        for i in 0..200 {
+            alarm.record(i < burst);
+        }
+        println!(
+            "  after a burst of {burst:>2} outliers in 200 readings: estimate {:>3}, alarmed: {}",
+            alarm.estimate(),
+            alarm.alarmed()
+        );
+    }
+    // Once the bursts slide out of the 1,000-reading window, the alarm
+    // clears by itself.
+    for _ in 0..1_000 {
+        alarm.record(false);
+    }
+    println!(
+        "  after 1,000 further clean readings:                estimate {:>3}, alarmed: {}",
+        alarm.estimate(),
+        alarm.alarmed()
+    );
+}

@@ -1,0 +1,106 @@
+//! The paper's motivating scenario (§1): a machine fitted with sensors
+//! monitoring its operation.
+//!
+//! *"These sensors measure quantities such as temperature, pressure, and
+//! vibration amplitude … in some cases we have to monitor two specific
+//! attributes together, such as operating frequency and vibration
+//! amplitude, or otherwise we would miss interesting deviations."*
+//!
+//! This example monitors a 2-d (frequency, vibration) stream where each
+//! attribute alone stays within its normal band during a bearing fault —
+//! only the *joint* deviation (high frequency with high vibration) is
+//! anomalous. A 1-d detector per attribute misses it; the 2-d kernel
+//! model catches it.
+//!
+//! Run with: `cargo run --release --example machine_monitoring`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sensor_outliers::core::{EstimatorConfig, SensorEstimator};
+use sensor_outliers::outlier::DistanceOutlierConfig;
+
+/// Normal operation: frequency and vibration are *negatively* coupled
+/// (high RPM → smoother). During the fault window, vibration is high at
+/// high frequency — each marginal stays in range.
+fn reading(rng: &mut StdRng, in_fault: bool) -> Vec<f64> {
+    let freq = 0.4 + 0.2 * rng.gen::<f64>();
+    let coupled = if in_fault {
+        0.55 + 0.25 * (freq - 0.4) / 0.2 // rises with frequency: anomalous
+    } else {
+        0.75 - 0.25 * (freq - 0.4) / 0.2 // falls with frequency: normal
+    };
+    let vib = (coupled + 0.02 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0);
+    vec![freq, vib]
+}
+
+fn main() {
+    let window = 8_000;
+    let cfg2d = EstimatorConfig::builder()
+        .window(window)
+        .sample_size(400)
+        .dimensions(2)
+        .seed(5)
+        .build()
+        .expect("valid configuration");
+    let mut joint = SensorEstimator::new(cfg2d);
+
+    let cfg1d = EstimatorConfig::builder()
+        .window(window)
+        .sample_size(400)
+        .seed(6)
+        .build()
+        .expect("valid configuration");
+    let mut freq_only = SensorEstimator::new(cfg1d.clone_for_seed(7));
+    let mut vib_only = SensorEstimator::new(cfg1d);
+
+    let rule = DistanceOutlierConfig::new(40.0, 0.04);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let fault = 9_000..9_050u32;
+    let (mut joint_hits, mut freq_hits, mut vib_hits) = (0u32, 0u32, 0u32);
+
+    for i in 0..12_000u32 {
+        let v = reading(&mut rng, fault.contains(&i));
+        if i >= window as u32 {
+            if joint.is_distance_outlier_scaled(&v, &rule).expect("2-d") {
+                joint_hits += 1;
+                if fault.contains(&i) {
+                    println!(
+                        "t={i}: joint detector flags (freq {:.3}, vib {:.3}) during fault",
+                        v[0], v[1]
+                    );
+                }
+            }
+            freq_hits += freq_only
+                .is_distance_outlier_scaled(&v[..1], &rule)
+                .expect("1-d") as u32;
+            vib_hits += vib_only
+                .is_distance_outlier_scaled(&v[1..], &rule)
+                .expect("1-d") as u32;
+        }
+        joint.observe(&v).expect("2-d reading");
+        freq_only.observe(&v[..1]).expect("1-d reading");
+        vib_only.observe(&v[1..]).expect("1-d reading");
+    }
+
+    println!("\nfault window: {} readings", fault.len());
+    println!("joint (freq, vib) detector : {joint_hits} flags");
+    println!("frequency-only detector    : {freq_hits} flags");
+    println!("vibration-only detector    : {vib_hits} flags");
+    println!("\nthe marginals stay inside their normal bands during the fault,");
+    println!("so only the multi-dimensional model sees the deviation (paper §1).");
+}
+
+/// Tiny helper so the two 1-d estimators get distinct sampler seeds.
+trait CloneForSeed {
+    fn clone_for_seed(&self, seed: u64) -> Self;
+}
+
+impl CloneForSeed for EstimatorConfig {
+    fn clone_for_seed(&self, seed: u64) -> Self {
+        let mut c = *self;
+        c.seed = seed;
+        c
+    }
+}

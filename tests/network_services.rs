@@ -1,0 +1,91 @@
+//! Integration tests for the network services around the outlier
+//! pipelines: TAG aggregation, the distributed faulty-sensor monitor,
+//! and their behaviour under radio loss.
+
+use sensor_outliers::core::{run_monitor, EstimatorConfig, MonitorConfig};
+use sensor_outliers::data::{DataStream, EnvironmentStream, SensorStreams};
+use sensor_outliers::simnet::{Aggregate, Hierarchy, Network, NodeId, SimConfig, TagNode};
+
+#[test]
+fn tag_aggregation_tracks_environmental_averages() {
+    let topo = Hierarchy::balanced(8, &[4, 2]).unwrap();
+    let mut net = Network::new(topo, SimConfig::default(), |n, t| {
+        TagNode::new(n, t, 50, 0) // aggregate the pressure coordinate
+    });
+    let mut streams = SensorStreams::generate(8, |i| EnvironmentStream::new(200 + i as u64));
+    let topo2 = net.topology().clone();
+    let mut source = move |node: NodeId, _seq: u64| {
+        let leaf = topo2.leaves().iter().position(|&l| l == node)?;
+        Some(streams.next_for(leaf))
+    };
+    net.run(&mut source, 500);
+    let root = net.topology().root();
+    let results = &net.app(root).results;
+    assert_eq!(results.len(), 10, "10 epochs of 50 readings");
+    for (epoch, state) in results {
+        assert_eq!(state.count, 400.0, "epoch {epoch}");
+        let avg = state.eval(Aggregate::Avg).unwrap();
+        // Environmental pressure lives around 0.68.
+        assert!((avg - 0.68).abs() < 0.1, "epoch {epoch}: avg {avg}");
+        assert!(state.eval(Aggregate::Min).unwrap() <= avg);
+        assert!(state.eval(Aggregate::Max).unwrap() >= avg);
+    }
+}
+
+#[test]
+fn monitor_blames_the_stuck_sensor_over_the_network() {
+    let topo = Hierarchy::balanced(4, &[4]).unwrap();
+    let cfg = MonitorConfig {
+        estimator: EstimatorConfig::builder()
+            .window(600)
+            .sample_size(80)
+            .dimensions(2)
+            .seed(9)
+            .build()
+            .unwrap(),
+        report_every: 150,
+        threshold: 0.3,
+        grid_k: 16,
+    };
+    // Sibling sensors observe the same regional weather, differing only
+    // by instrument noise — healthy models agree, so the stuck one
+    // stands out.
+    let mut streams =
+        SensorStreams::generate(4, |i| EnvironmentStream::for_region(300, 400 + i as u64));
+    let topo2 = topo.clone();
+    let mut source = move |node: NodeId, seq: u64| {
+        let leaf = topo2.leaves().iter().position(|&l| l == node)?;
+        let mut v = streams.next_for(leaf);
+        if leaf == 1 && seq > 1_200 {
+            v[1] = 0.282; // dew-point element stuck at its ceiling
+        }
+        Some(v)
+    };
+    let net = run_monitor(topo, &cfg, SimConfig::default(), &mut source, 3_000).unwrap();
+    let root = net.topology().root();
+    let alarms = &net.app(root).alarms;
+    assert!(!alarms.is_empty(), "stuck sensor never flagged");
+    assert!(
+        alarms.iter().all(|a| a.child == NodeId(1)),
+        "wrong sensor blamed: {alarms:?}"
+    );
+}
+
+#[test]
+fn tag_under_loss_never_overcounts() {
+    let topo = Hierarchy::balanced(8, &[4, 2]).unwrap();
+    let sim = SimConfig::default().with_drop_probability(0.2);
+    let mut net = Network::new(topo, sim, |n, t| TagNode::new(n, t, 25, 0));
+    let mut source = |_: NodeId, _: u64| Some(vec![0.5]);
+    net.run(&mut source, 250);
+    let root = net.topology().root();
+    let results = &net.app(root).results;
+    assert!(!results.is_empty(), "loss silenced aggregation entirely");
+    for (_, state) in results {
+        assert!(state.count <= 200.0, "overcount: {}", state.count);
+        if let Some(avg) = state.eval(Aggregate::Avg) {
+            assert!((avg - 0.5).abs() < 1e-9);
+        }
+    }
+    assert!(net.stats().dropped > 0);
+}

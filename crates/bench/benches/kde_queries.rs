@@ -57,6 +57,48 @@ fn bench_dimensionality(c: &mut Criterion) {
     group.finish();
 }
 
+/// The MGDD counting pattern: one neighborhood count per MDEF cell, all
+/// with the same radius. Batched answers all of them in one sorted
+/// sweep; scalar pays a fresh binary search (and, in d > 1, a fresh
+/// prune) per query.
+fn bench_batched_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_vs_scalar");
+    let n = 1_000;
+    let q = 64usize;
+    let r = 0.05;
+
+    let queries_1d: Vec<f64> = (0..q).map(|i| i as f64 / q as f64).collect();
+    let fast = Kde1d::from_sample(&sample_1d(n), 0.29, 10_000.0).unwrap();
+    group.bench_with_input(BenchmarkId::new("kde1d_scalar", q), &q, |b, _| {
+        b.iter(|| {
+            queries_1d
+                .iter()
+                .map(|&p| fast.neighborhood_count(black_box(&[p]), r).unwrap())
+                .sum::<f64>()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("kde1d_batched", q), &q, |b, _| {
+        b.iter(|| fast.neighborhood_counts(black_box(&queries_1d), r).unwrap())
+    });
+
+    let kde = Kde::from_sample(&sample_nd(n, 2), &[0.2, 0.2], 10_000.0).unwrap();
+    let queries_2d: Vec<f64> = (0..q)
+        .flat_map(|i| [i as f64 / q as f64, 0.5])
+        .collect();
+    group.bench_with_input(BenchmarkId::new("kde2d_scalar", q), &q, |b, _| {
+        b.iter(|| {
+            queries_2d
+                .chunks_exact(2)
+                .map(|p| kde.neighborhood_count(black_box(p), r).unwrap())
+                .sum::<f64>()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("kde2d_batched", q), &q, |b, _| {
+        b.iter(|| kde.neighborhood_counts(black_box(&queries_2d), r).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_model_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_build");
     for &r in &[250usize, 1_000] {
@@ -83,6 +125,7 @@ criterion_group! {
     config = quick_config();
     targets = bench_range_queries,
     bench_dimensionality,
+    bench_batched_vs_scalar,
     bench_model_build
 }
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use snod_core::pipeline::{Algorithm, OutlierPipeline};
-use snod_core::{D3Config, EstimatorConfig, MgddConfig, UpdateStrategy};
+use snod_core::{D3Config, EstimatorConfig, MgddConfig, RebuildPolicy, UpdateStrategy};
 use snod_outlier::{DistanceOutlierConfig, MdefConfig};
 use snod_simnet::{NodeId, SimConfig};
 
@@ -24,7 +24,29 @@ fn bench_pipelines(c: &mut Criterion) {
     let readings = 2_000u64;
     let leaves = 16usize;
 
-    let algorithms: Vec<(&str, Algorithm)> = vec![
+    // MGDD with the pre-epoch maintenance policy: every replica push
+    // pays a full model rebuild. The default `est` uses the epoch
+    // policy, so "mgdd" vs "mgdd_rebuild_always" measures the
+    // incremental-maintenance speedup end to end.
+    let mut est_rebuild_always = est;
+    est_rebuild_always.rebuild = RebuildPolicy::always();
+
+    let mgdd_cfg = |estimator: EstimatorConfig| MgddConfig {
+        estimator,
+        rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
+        sample_fraction: 0.5,
+        updates: UpdateStrategy::EveryAcceptance,
+    };
+
+    // "mgdd_parallel" runs the same workload with synchronous reading
+    // phases and one worker per core — the per-level parallel engine.
+    let parallel_sim = SimConfig {
+        stagger_readings: false,
+        ..SimConfig::default()
+    }
+    .with_worker_threads(0);
+
+    let algorithms: Vec<(&str, Algorithm, SimConfig)> = vec![
         (
             "d3",
             Algorithm::D3(D3Config {
@@ -32,34 +54,37 @@ fn bench_pipelines(c: &mut Criterion) {
                 rule: DistanceOutlierConfig::new(10.0, 0.01),
                 sample_fraction: 0.5,
             }),
+            SimConfig::default(),
         ),
         (
             "mgdd",
-            Algorithm::Mgdd(
-                MgddConfig {
-                    estimator: est,
-                    rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
-                    sample_fraction: 0.5,
-                    updates: UpdateStrategy::EveryAcceptance,
-                },
-                vec![],
-            ),
+            Algorithm::Mgdd(mgdd_cfg(est), vec![]),
+            SimConfig::default(),
+        ),
+        (
+            "mgdd_rebuild_always",
+            Algorithm::Mgdd(mgdd_cfg(est_rebuild_always), vec![]),
+            SimConfig::default(),
+        ),
+        (
+            "mgdd_parallel",
+            Algorithm::Mgdd(mgdd_cfg(est), vec![]),
+            parallel_sim,
         ),
         (
             "centralized",
             Algorithm::Centralized(DistanceOutlierConfig::new(10.0, 0.01), 1_000),
+            SimConfig::default(),
         ),
     ];
 
     let mut group = c.benchmark_group("pipeline_throughput");
     group.sample_size(10);
     group.throughput(Throughput::Elements(readings * leaves as u64));
-    for (name, alg) in algorithms {
+    for (name, alg, sim) in algorithms {
         group.bench_with_input(BenchmarkId::from_parameter(name), &alg, |b, alg| {
             b.iter(|| {
-                let p =
-                    OutlierPipeline::balanced(leaves, &[4, 2], SimConfig::default(), alg.clone())
-                        .unwrap();
+                let p = OutlierPipeline::balanced(leaves, &[4, 2], sim, alg.clone()).unwrap();
                 let mut src = source;
                 p.run(&mut src, readings).unwrap()
             })

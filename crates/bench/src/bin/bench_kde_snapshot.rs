@@ -1,0 +1,139 @@
+//! Timing snapshot for the batched KDE query engine and the epoch-based
+//! incremental model maintenance, written to `BENCH_kde.json` in the
+//! working directory.
+//!
+//! Methodology: every measurement is the best wall-clock time over
+//! several runs (best-of is robust to scheduler noise); a speedup is
+//! `baseline / optimised`. Absolute timings vary by host — the snapshot
+//! documents the *ratios* discussed in DESIGN.md §Performance
+//! architecture:
+//!
+//! * `batched` — the MGDD counting pattern (one uniform-radius
+//!   neighborhood count per MDEF cell) answered by one sorted sweep
+//!   ([`DensityModel::neighborhood_counts`]) vs one scalar query per
+//!   cell.
+//! * `incremental` — the MGDD leaf replica pattern (push one relayed
+//!   value, reassess against the model) under the epoch
+//!   [`RebuildPolicy`] vs `RebuildPolicy::always()`, which reproduces
+//!   the old rebuild-on-every-push behaviour.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use snod_core::{IncrementalReplica, RebuildPolicy};
+use snod_density::{DensityModel, Kde, Kde1d};
+
+const RUNS: usize = 5;
+
+fn best_secs<F: FnMut()>(mut f: F) -> f64 {
+    // One untimed warm-up run populates caches and allocator pools.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn sample_1d(n: usize) -> Vec<f64> {
+    (0..n as u64)
+        .map(|i| ((i * 2_654_435_761) % n as u64) as f64 / n as f64)
+        .collect()
+}
+
+/// Batched vs scalar: `q` uniform-radius counts against a 1-d model.
+fn kde1d_pair(n: usize, q: usize, reps: usize) -> (f64, f64) {
+    // σ and radius mirror the MDEF defaults: counting queries use the
+    // narrow cell radius αr = 0.01, where per-query search overhead is
+    // visible next to the kernel arithmetic.
+    let kde = Kde1d::from_sample(&sample_1d(n), 0.1, 10_000.0).unwrap();
+    let queries: Vec<f64> = (0..q).map(|i| i as f64 / q as f64).collect();
+    let r = 0.01;
+    let scalar = best_secs(|| {
+        for _ in 0..reps {
+            for &p in &queries {
+                black_box(kde.neighborhood_count(black_box(&[p]), r).unwrap());
+            }
+        }
+    });
+    let batched = best_secs(|| {
+        for _ in 0..reps {
+            black_box(kde.neighborhood_counts(black_box(&queries), r).unwrap());
+        }
+    });
+    (scalar, batched)
+}
+
+/// Batched vs scalar in 2-d (frontier prunes on dimension 0).
+fn kde2d_pair(n: usize, q: usize, reps: usize) -> (f64, f64) {
+    let rows: Vec<Vec<f64>> = (0..n as u64)
+        .map(|i| {
+            vec![
+                ((i * 2_654_435_761) % n as u64) as f64 / n as f64,
+                ((i * 40_503 + 7) % n as u64) as f64 / n as f64,
+            ]
+        })
+        .collect();
+    let kde = Kde::from_sample(&rows, &[0.1, 0.1], 10_000.0).unwrap();
+    let flat: Vec<f64> = (0..q).flat_map(|i| [i as f64 / q as f64, 0.5]).collect();
+    let r = 0.01;
+    let scalar = best_secs(|| {
+        for _ in 0..reps {
+            for p in flat.chunks_exact(2) {
+                black_box(kde.neighborhood_count(black_box(p), r).unwrap());
+            }
+        }
+    });
+    let batched = best_secs(|| {
+        for _ in 0..reps {
+            black_box(kde.neighborhood_counts(black_box(&flat), r).unwrap());
+        }
+    });
+    (scalar, batched)
+}
+
+/// The MGDD leaf hot path: every relayed push updates the replica and
+/// reassesses one point against its model.
+fn replica_run(policy: RebuildPolicy, pushes: usize) -> f64 {
+    best_secs(|| {
+        let mut replica = IncrementalReplica::new(100, policy);
+        for i in 0..pushes as u64 {
+            let v = ((i * 37) % 1_009) as f64 / 1_009.0;
+            replica.push(vec![v], vec![0.1], 1_000.0);
+            if replica.sample_len() >= 10 {
+                let m = replica.model().unwrap();
+                black_box(m.neighborhood_count(&[0.5], 0.05).unwrap());
+            }
+        }
+    })
+}
+
+fn main() {
+    let (s1, b1) = kde1d_pair(1_000, 64, 200);
+    let (s2, b2) = kde2d_pair(1_000, 64, 200);
+    let rebuild = replica_run(RebuildPolicy::always(), 20_000);
+    let epoch = replica_run(RebuildPolicy::default(), 20_000);
+    let hot_path = rebuild / epoch;
+
+    let json = format!(
+        "{{\n  \"methodology\": \"best of {RUNS} runs; speedup = baseline_secs / optimised_secs\",\n  \
+         \"batched_query_engine\": {{\n    \
+         \"kde1d_q64_r1000\": {{\"scalar_secs\": {s1:.6}, \"batched_secs\": {b1:.6}, \"speedup\": {r1:.2}}},\n    \
+         \"kde2d_q64_r1000\": {{\"scalar_secs\": {s2:.6}, \"batched_secs\": {b2:.6}, \"speedup\": {r2:.2}}}\n  }},\n  \
+         \"incremental_maintenance\": {{\n    \
+         \"pushes\": 20000, \"replica_cap\": 100,\n    \
+         \"rebuild_always_secs\": {rebuild:.6}, \"epoch_default_secs\": {epoch:.6}, \"speedup\": {hot_path:.2}\n  }},\n  \
+         \"mgdd_hot_path_speedup\": {hot_path:.2}\n}}\n",
+        r1 = s1 / b1,
+        r2 = s2 / b2,
+    );
+    std::fs::write("BENCH_kde.json", &json).expect("write BENCH_kde.json");
+    print!("{json}");
+    eprintln!(
+        "kde1d batched {:.2}x, kde2d batched {:.2}x, incremental maintenance {hot_path:.2}x",
+        s1 / b1,
+        s2 / b2,
+    );
+}

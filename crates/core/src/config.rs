@@ -42,6 +42,84 @@ impl std::fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+/// When an incrementally maintained kernel model is fully rebuilt.
+///
+/// Between rebuilds the kernel *centres* track the data exactly (FIFO
+/// replicas merge each push in `O(log|R| + shift)`; estimators serve the
+/// cached model), while the *bandwidths* stay at their last-rebuild
+/// values. The paper's rule `Bᵢ = √5·σᵢ·|R|^(−1/(d+4))` makes the
+/// resulting error boundable: a relative σ drift of at most `ε` perturbs
+/// every bandwidth by at most the same factor `(1+ε)`, and since the
+/// Epanechnikov CDF is Lipschitz in its bandwidth, every probability
+/// (hence every neighborhood count `N(p, r)`) moves by `O(ε)` of the
+/// kernel mass that straddles the query boundary — the bulk of the mass,
+/// strictly inside or outside the query box, contributes error zero.
+/// MDEF, a *ratio* of such counts, is even less sensitive. The policy
+/// therefore caps `ε` via [`sigma_tolerance`](Self::sigma_tolerance) and
+/// additionally forces a rebuild every
+/// [`rebuild_every`](Self::rebuild_every) pushes, which also bounds the
+/// drift of the `|R|^(−1/(d+4))` factor to
+/// `(1 + rebuild_every/|R|)^(1/(d+4))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildPolicy {
+    /// Hard epoch length: force a full rebuild after this many
+    /// model-changing pushes (1 = rebuild on every push, the pre-epoch
+    /// behaviour).
+    pub rebuild_every: u64,
+    /// Early-rebuild trigger: maximum tolerated relative drift of any
+    /// dimension's σ since the bandwidths were last derived.
+    pub sigma_tolerance: f64,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        Self {
+            rebuild_every: 32,
+            sigma_tolerance: 0.1,
+        }
+    }
+}
+
+impl RebuildPolicy {
+    /// A policy reproducing the pre-epoch behaviour: full rebuild on
+    /// every push.
+    pub fn always() -> Self {
+        Self {
+            rebuild_every: 1,
+            sigma_tolerance: 0.0,
+        }
+    }
+
+    /// Validates the policy.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.rebuild_every == 0 {
+            return Err(CoreError::Config("rebuild interval must be positive"));
+        }
+        if !(self.sigma_tolerance >= 0.0) {
+            return Err(CoreError::Config("sigma tolerance must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// Whether any dimension's σ has drifted beyond the tolerance since
+    /// the bandwidths were derived from `built`.
+    pub fn sigma_drift_exceeded(&self, built: &[f64], current: &[f64]) -> bool {
+        if built.len() != current.len() {
+            return true;
+        }
+        built.iter().zip(current).any(|(&b, &s)| {
+            let denom = b.abs().max(f64::EPSILON);
+            ((s - b) / denom).abs() > self.sigma_tolerance
+        })
+    }
+
+    /// The epoch decision: rebuild when the push budget is exhausted or
+    /// the σ drift exceeds the tolerance.
+    pub fn should_rebuild(&self, pushes_since_rebuild: u64, built: &[f64], current: &[f64]) -> bool {
+        pushes_since_rebuild >= self.rebuild_every || self.sigma_drift_exceeded(built, current)
+    }
+}
+
 /// Per-node estimator parameters (Section 5). Defaults follow the
 /// paper's experiments: `|W| = 10,000`, `|R| = 0.05·|W|`, ε = 0.2.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +134,10 @@ pub struct EstimatorConfig {
     pub variance_epsilon: f64,
     /// RNG seed for the chain sampler.
     pub seed: u64,
+    /// Epoch policy for the incrementally maintained kernel models (both
+    /// the node's own cached model and any FIFO replica built from its
+    /// broadcasts — `MgddConfig` and `MonitorConfig` expose it here).
+    pub rebuild: RebuildPolicy,
 }
 
 impl EstimatorConfig {
@@ -73,6 +155,7 @@ pub struct EstimatorConfigBuilder {
     dimensions: usize,
     variance_epsilon: f64,
     seed: u64,
+    rebuild: RebuildPolicy,
 }
 
 impl Default for EstimatorConfigBuilder {
@@ -83,6 +166,7 @@ impl Default for EstimatorConfigBuilder {
             dimensions: 1,
             variance_epsilon: 0.2,
             seed: 0,
+            rebuild: RebuildPolicy::default(),
         }
     }
 }
@@ -118,6 +202,12 @@ impl EstimatorConfigBuilder {
         self
     }
 
+    /// Sets the epoch-based model rebuild policy.
+    pub fn rebuild_policy(mut self, rebuild: RebuildPolicy) -> Self {
+        self.rebuild = rebuild;
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<EstimatorConfig, CoreError> {
         if self.window == 0 {
@@ -135,12 +225,14 @@ impl EstimatorConfigBuilder {
         if sample_size == 0 {
             return Err(CoreError::Config("sample size must be positive"));
         }
+        self.rebuild.validate()?;
         Ok(EstimatorConfig {
             window: self.window,
             sample_size,
             dimensions: self.dimensions,
             variance_epsilon: self.variance_epsilon,
             seed: self.seed,
+            rebuild: self.rebuild,
         })
     }
 }
@@ -249,6 +341,45 @@ mod tests {
             .sample_size(0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn rebuild_policy_defaults_and_validation() {
+        let c = EstimatorConfig::builder().build().unwrap();
+        assert_eq!(c.rebuild, RebuildPolicy::default());
+        assert!(EstimatorConfig::builder()
+            .rebuild_policy(RebuildPolicy {
+                rebuild_every: 0,
+                sigma_tolerance: 0.1,
+            })
+            .build()
+            .is_err());
+        assert!(EstimatorConfig::builder()
+            .rebuild_policy(RebuildPolicy {
+                rebuild_every: 8,
+                sigma_tolerance: -0.5,
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rebuild_policy_decisions() {
+        let p = RebuildPolicy {
+            rebuild_every: 10,
+            sigma_tolerance: 0.1,
+        };
+        // Push budget.
+        assert!(!p.should_rebuild(9, &[1.0], &[1.0]));
+        assert!(p.should_rebuild(10, &[1.0], &[1.0]));
+        // σ drift, relative to the built value.
+        assert!(!p.should_rebuild(1, &[1.0], &[1.05]));
+        assert!(p.should_rebuild(1, &[1.0], &[1.2]));
+        assert!(p.should_rebuild(1, &[1.0, 2.0], &[1.0, 1.5]));
+        // Dimensionality change always rebuilds.
+        assert!(p.should_rebuild(1, &[1.0], &[1.0, 1.0]));
+        // `always()` reproduces the pre-epoch behaviour.
+        assert!(RebuildPolicy::always().should_rebuild(1, &[1.0], &[1.0]));
     }
 
     #[test]

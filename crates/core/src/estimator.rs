@@ -57,6 +57,68 @@ impl DensityModel for SensorModel {
             SensorModel::Multi(m) => m.box_prob(lo, hi),
         }
     }
+
+    fn neighborhood_counts(&self, points: &[f64], r: f64) -> Result<Vec<f64>, DensityError> {
+        // Explicit delegation so the sorted-sweep overrides are reached
+        // instead of the trait's scalar-loop default.
+        match self {
+            SensorModel::One(m) => m.neighborhood_counts(points, r),
+            SensorModel::Multi(m) => m.neighborhood_counts(points, r),
+        }
+    }
+}
+
+impl SensorModel {
+    /// Incrementally merges one value into the model's kernel centres
+    /// (`O(log|R| + shift)`; bandwidths untouched — see
+    /// [`crate::RebuildPolicy`]).
+    pub fn insert_value(&mut self, value: &[f64]) -> Result<(), DensityError> {
+        match self {
+            SensorModel::One(m) => {
+                if value.len() != 1 {
+                    return Err(DensityError::DimensionMismatch {
+                        expected: 1,
+                        got: value.len(),
+                    });
+                }
+                m.insert_center(value[0])
+            }
+            SensorModel::Multi(m) => m.insert_point(value),
+        }
+    }
+
+    /// Incrementally removes one value from the model's kernel centres;
+    /// `Ok(false)` when no matching centre exists (or it is the last one).
+    pub fn remove_value(&mut self, value: &[f64]) -> Result<bool, DensityError> {
+        match self {
+            SensorModel::One(m) => {
+                if value.len() != 1 {
+                    return Err(DensityError::DimensionMismatch {
+                        expected: 1,
+                        got: value.len(),
+                    });
+                }
+                Ok(m.remove_center(value[0]))
+            }
+            SensorModel::Multi(m) => m.remove_point(value),
+        }
+    }
+
+    /// Replaces the window length that scales probabilities into counts.
+    pub fn set_window_len(&mut self, window_len: f64) -> Result<(), DensityError> {
+        match self {
+            SensorModel::One(m) => m.set_window_len(window_len),
+            SensorModel::Multi(m) => m.set_window_len(window_len),
+        }
+    }
+
+    /// The kernel sample size `|R|` of the model.
+    pub fn sample_size(&self) -> usize {
+        match self {
+            SensorModel::One(m) => m.sample_size(),
+            SensorModel::Multi(m) => m.sample_size(),
+        }
+    }
 }
 
 /// The streaming estimator state of one node.
@@ -70,10 +132,20 @@ pub struct SensorEstimator {
     conceptual_window: f64,
     /// How much conceptual coverage one arrival represents (leaf: 1).
     per_arrival_coverage: f64,
-    /// `(sample version, model)` cache: the kernel model only changes
-    /// when the chain sample does (σ drift between sample changes is
-    /// absorbed at the next rebuild — the bandwidth rule is smooth in σ).
-    cached: Option<(u64, SensorModel)>,
+    /// Epoch-cached model (see [`Self::cached_model`]).
+    cached: Option<ModelCache>,
+    /// Completed full rebuilds of the cached model.
+    epochs: u64,
+}
+
+/// The epoch cache of [`SensorEstimator::cached_model`].
+#[derive(Debug, Clone)]
+struct ModelCache {
+    /// Chain-sample version the model was built from.
+    version: u64,
+    /// σ snapshot the bandwidths were derived from.
+    built_sigmas: Vec<f64>,
+    model: SensorModel,
 }
 
 impl SensorEstimator {
@@ -95,6 +167,7 @@ impl SensorEstimator {
             conceptual_window: cfg.window as f64,
             per_arrival_coverage: 1.0,
             cached: None,
+            epochs: 0,
         }
     }
 
@@ -161,34 +234,72 @@ impl SensorEstimator {
         let sigmas = self.sigmas();
         let window_len = self.window_len().max(1.0);
         if self.cfg.dimensions == 1 {
-            let xs: Vec<f64> = sample.iter().map(|p| p[0]).collect();
             Ok(SensorModel::One(
-                Kde1d::from_sample(&xs, sigmas[0], window_len).map_err(CoreError::Density)?,
+                Kde1d::from_sample_iter(sample.iter().map(|p| p[0]), sigmas[0], window_len)
+                    .map_err(CoreError::Density)?,
             ))
         } else {
             Ok(SensorModel::Multi(
-                Kde::from_sample(&sample, &sigmas, window_len).map_err(CoreError::Density)?,
+                Kde::from_sample_iter(sample.iter().map(Vec::as_slice), &sigmas, window_len)
+                    .map_err(CoreError::Density)?,
             ))
         }
     }
 
-    /// Like [`Self::model`] but reuses the previous build while the chain
-    /// sample is unchanged — the hot path for per-reading outlier checks
-    /// (the sample changes on only ~`2|R|/|W|` of readings).
+    /// Like [`Self::model`] but epoch-cached — the hot path for
+    /// per-reading outlier checks.
+    ///
+    /// The previous build is reused while the chain sample is unchanged
+    /// (it changes on only ~`2|R|/|W|` of readings), **and** across sample
+    /// changes while the [`crate::RebuildPolicy`] allows it: the served
+    /// model then lags the live sample by at most `rebuild_every` sample
+    /// versions with σ drift below `sigma_tolerance`, which bounds its
+    /// error (see the policy's documentation). A rebuild is exact — at
+    /// every epoch boundary this returns precisely what [`Self::model`]
+    /// builds from scratch.
     pub fn cached_model(&mut self) -> Result<&SensorModel, CoreError> {
         if self.observed == 0 {
             return Err(CoreError::NoData);
         }
         let version = self.sampler.version();
-        let stale = match &self.cached {
-            Some((v, _)) => *v != version,
+        // With an unchanged sample (pushes = 0) only σ drift can force a
+        // rebuild — the streaming σ moves on every reading even when the
+        // chain sample does not.
+        let rebuild = match &self.cached {
             None => true,
+            Some(c) => {
+                let pushes = version.wrapping_sub(c.version);
+                self.cfg
+                    .rebuild
+                    .should_rebuild(pushes, &c.built_sigmas, &self.sigmas())
+            }
         };
-        if stale {
+        if rebuild {
             let model = self.model()?;
-            self.cached = Some((version, model));
+            self.cached = Some(ModelCache {
+                version,
+                built_sigmas: self.sigmas(),
+                model,
+            });
+            self.epochs += 1;
         }
-        Ok(&self.cached.as_ref().expect("cache just filled").1)
+        Ok(&self.cached.as_ref().expect("cache just filled").model)
+    }
+
+    /// Completed full rebuilds of the epoch cache (diagnostics; lets
+    /// callers detect epoch boundaries).
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// How many sample versions the cached model lags the live sample —
+    /// 0 right after a rebuild, never more than the policy's
+    /// `rebuild_every`.
+    pub fn model_staleness(&self) -> u64 {
+        match &self.cached {
+            Some(c) => self.sampler.version().wrapping_sub(c.version),
+            None => 0,
+        }
     }
 
     /// Tests a new observation against the `(D, r)` rule using the
@@ -386,6 +497,54 @@ mod tests {
         let bytes = est.memory_bytes(2);
         assert!(bytes < 65_536, "memory {bytes} B");
         assert!(est.max_variance_memory_bytes(2) <= est.variance_memory_bound(2));
+    }
+
+    #[test]
+    fn epoch_cache_staleness_is_bounded_by_policy() {
+        use crate::config::RebuildPolicy;
+        let cfg = EstimatorConfig::builder()
+            .window(500)
+            .sample_size(100)
+            .seed(9)
+            .rebuild_policy(RebuildPolicy {
+                rebuild_every: 4,
+                sigma_tolerance: 1e9, // only the push budget triggers
+            })
+            .build()
+            .unwrap();
+        let mut est = SensorEstimator::new(cfg);
+        for i in 0..2_000 {
+            est.observe(&[0.3 + 0.001 * ((i % 100) as f64)]).unwrap();
+            est.cached_model().unwrap();
+            assert!(
+                est.model_staleness() < 4,
+                "staleness {} exceeds budget",
+                est.model_staleness()
+            );
+        }
+        assert!(est.epochs() > 1, "cache never cycled an epoch");
+    }
+
+    #[test]
+    fn rebuild_always_policy_matches_from_scratch_model() {
+        use crate::config::RebuildPolicy;
+        use snod_density::DensityModel as _;
+        let cfg = EstimatorConfig::builder()
+            .window(300)
+            .sample_size(50)
+            .seed(4)
+            .rebuild_policy(RebuildPolicy::always())
+            .build()
+            .unwrap();
+        let mut est = SensorEstimator::new(cfg);
+        for i in 0..600 {
+            est.observe(&[0.2 + 0.002 * ((i % 50) as f64)]).unwrap();
+            let fresh = est.model().unwrap();
+            let q = fresh.neighborhood_count(&[0.25], 0.05).unwrap();
+            let cached = est.cached_model().unwrap();
+            assert_eq!(cached.neighborhood_count(&[0.25], 0.05).unwrap(), q);
+            assert_eq!(est.model_staleness(), 0);
+        }
     }
 
     #[test]

@@ -37,14 +37,17 @@ mod estimator;
 mod mgdd;
 mod monitor;
 pub mod pipeline;
+mod replica;
 mod timeslice;
 
 pub use centralized::{run_centralized, CentralizedNode, CentralizedPayload};
 pub use config::{
-    CoreError, D3Config, EstimatorConfig, EstimatorConfigBuilder, MgddConfig, UpdateStrategy,
+    CoreError, D3Config, EstimatorConfig, EstimatorConfigBuilder, MgddConfig, RebuildPolicy,
+    UpdateStrategy,
 };
 pub use d3::{run_d3, D3Node, D3Payload, Detection};
 pub use estimator::{SensorEstimator, SensorModel};
 pub use mgdd::{run_mgdd, run_mgdd_with_levels, MgddNode, MgddPayload};
 pub use monitor::{run_monitor, FaultAlarm, ModelReport, MonitorConfig, MonitorNode};
+pub use replica::IncrementalReplica;
 pub use timeslice::TimeSlicedEstimator;

@@ -21,18 +21,17 @@
 //! levels, giving the multi-granularity flexibility of Section 3's
 //! example (outliers "with respect to an entire region").
 
-use std::collections::VecDeque;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use snod_density::{js_divergence_models, Kde, Kde1d};
+use snod_density::js_divergence_models;
 use snod_outlier::MdefDetector;
 use snod_simnet::{Ctx, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire};
 
 use crate::config::{CoreError, MgddConfig, UpdateStrategy};
 use crate::d3::Detection;
 use crate::estimator::{SensorEstimator, SensorModel};
+use crate::replica::IncrementalReplica;
 
 /// MGDD wire messages.
 #[derive(Debug, Clone)]
@@ -80,78 +79,6 @@ impl Wire for MgddPayload {
     }
 }
 
-/// A leaf's replica of one leader's global estimator model.
-#[derive(Debug, Clone)]
-struct GlobalReplica {
-    values: VecDeque<Vec<f64>>,
-    cap: usize,
-    sigmas: Vec<f64>,
-    window_len: f64,
-    /// Model cache, invalidated whenever the replica content changes.
-    cached: Option<SensorModel>,
-}
-
-impl GlobalReplica {
-    fn new(cap: usize) -> Self {
-        Self {
-            values: VecDeque::with_capacity(cap),
-            cap,
-            sigmas: Vec::new(),
-            window_len: 1.0,
-            cached: None,
-        }
-    }
-
-    fn push(&mut self, value: Vec<f64>, sigmas: Vec<f64>, window_len: f64) {
-        if self.values.len() == self.cap {
-            self.values.pop_front();
-        }
-        self.values.push_back(value);
-        self.sigmas = sigmas;
-        self.window_len = window_len;
-        self.cached = None;
-    }
-
-    fn replace(&mut self, sample: Vec<Vec<f64>>, sigmas: Vec<f64>, window_len: f64) {
-        self.values = sample.into_iter().collect();
-        while self.values.len() > self.cap {
-            self.values.pop_front();
-        }
-        self.sigmas = sigmas;
-        self.window_len = window_len;
-        self.cached = None;
-    }
-
-    /// Enough data to make statistical judgements (half the capacity).
-    fn is_warm(&self) -> bool {
-        self.values.len() >= (self.cap / 2).max(1)
-    }
-
-    fn model(&mut self) -> Result<&SensorModel, CoreError> {
-        if self.cached.is_none() {
-            if self.values.is_empty() || self.sigmas.is_empty() {
-                return Err(CoreError::NoData);
-            }
-            let dims = self.sigmas.len();
-            let model = if dims == 1 {
-                let xs: Vec<f64> = self.values.iter().map(|v| v[0]).collect();
-                SensorModel::One(
-                    Kde1d::from_sample(&xs, self.sigmas[0], self.window_len.max(1.0))
-                        .map_err(CoreError::Density)?,
-                )
-            } else {
-                let sample: Vec<Vec<f64>> = self.values.iter().cloned().collect();
-                SensorModel::Multi(
-                    Kde::from_sample(&sample, &self.sigmas, self.window_len.max(1.0))
-                        .map_err(CoreError::Density)?,
-                )
-            };
-            self.cached = Some(model);
-        }
-        Ok(self.cached.as_ref().expect("cache just filled"))
-    }
-}
-
 /// Per-node MGDD state (leaf and leader behaviour in one type; the role
 /// decides which paths run).
 pub struct MgddNode {
@@ -161,8 +88,9 @@ pub struct MgddNode {
     level: u8,
     /// Does this leader broadcast global updates?
     broadcasts: bool,
-    /// Leaf replicas of broadcasting leaders' models, by origin level.
-    replicas: Vec<(u8, GlobalReplica)>,
+    /// Leaf replicas of broadcasting leaders' models, by origin level —
+    /// maintained incrementally under `cfg.estimator.rebuild`.
+    replicas: Vec<(u8, IncrementalReplica)>,
     /// Model snapshot at the last full broadcast (model-change strategy).
     last_broadcast: Option<SensorModel>,
     /// Accepted values since the last model-change check.
@@ -187,7 +115,12 @@ impl MgddNode {
         let replicas = if level == 1 {
             broadcast_levels
                 .iter()
-                .map(|&l| (l, GlobalReplica::new(cfg.estimator.sample_size)))
+                .map(|&l| {
+                    (
+                        l,
+                        IncrementalReplica::new(cfg.estimator.sample_size, cfg.estimator.rebuild),
+                    )
+                })
                 .collect()
         } else {
             Vec::new()
@@ -427,7 +360,7 @@ mod tests {
             assert!(
                 node.replicas[0].1.is_warm(),
                 "replica at {leaf} never warmed up ({} values)",
-                node.replicas[0].1.values.len()
+                node.replicas[0].1.sample_len()
             );
         }
     }

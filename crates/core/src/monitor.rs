@@ -63,14 +63,26 @@ pub struct MonitorConfig {
     pub grid_k: usize,
 }
 
+/// A leader's view of one child: the materialised model plus the epoch
+/// state that decides when a fresh report warrants rebuilding it.
+struct ChildModel {
+    model: SensorModel,
+    /// σ snapshot the model was built from.
+    built_sigmas: Vec<f64>,
+    /// Reports absorbed (skipped) since the model was last rebuilt.
+    reports_since_rebuild: u64,
+}
+
 /// Per-node monitor state.
 pub struct MonitorNode {
     cfg: MonitorConfig,
     level: u8,
     est: SensorEstimator,
     since_report: u64,
-    /// Leader: latest model per child.
-    child_models: HashMap<NodeId, SensorModel>,
+    /// Leader: latest model per child, rebuilt per the epoch policy in
+    /// `cfg.estimator.rebuild` (statistically unchanged reports keep the
+    /// existing model and skip the `O(children²·grid)` reassessment).
+    child_models: HashMap<NodeId, ChildModel>,
     /// Children currently considered faulty (for edge-triggered alarms).
     currently_flagged: HashMap<NodeId, bool>,
     /// Alarms raised by this leader, in order.
@@ -109,11 +121,11 @@ impl MonitorNode {
         }
         let children: Vec<NodeId> = self.child_models.keys().copied().collect();
         for &child in &children {
-            let mine = &self.child_models[&child];
+            let mine = &self.child_models[&child].model;
             let mut min_div = f64::INFINITY;
-            for (&other, model) in &self.child_models {
+            for (&other, cm) in &self.child_models {
                 if other != child {
-                    if let Ok(d) = js_divergence_models(mine, model, self.cfg.grid_k) {
+                    if let Ok(d) = js_divergence_models(mine, &cm.model, self.cfg.grid_k) {
                         min_div = min_div.min(d);
                     }
                 }
@@ -155,21 +167,43 @@ impl SensorApp<ModelReport> for MonitorNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, ModelReport>, from: NodeId, report: ModelReport) {
         debug_assert!(self.level > 1, "leaves receive no reports");
-        // Rebuild the child's model from its report.
+        // Epoch gate: a report from a statistically unchanged child (σ
+        // within tolerance, rebuild budget not yet spent) keeps the
+        // existing model — no KDE rebuild, no sibling reassessment. A
+        // drifting child trips the σ tolerance immediately, so faults
+        // are still caught on the report that shows them.
+        let policy = self.cfg.estimator.rebuild;
+        if let Some(cm) = self.child_models.get_mut(&from) {
+            cm.reports_since_rebuild += 1;
+            if !policy.should_rebuild(cm.reports_since_rebuild, &cm.built_sigmas, &report.sigmas) {
+                return;
+            }
+        }
+        // (Re)build the child's model from its report.
         let model = if report.sigmas.len() == 1 {
-            let xs: Vec<f64> = report.sample.iter().map(|v| v[0]).collect();
-            snod_density::Kde1d::from_sample(&xs, report.sigmas[0], report.window_len.max(1.0))
-                .map(SensorModel::One)
+            snod_density::Kde1d::from_sample_iter(
+                report.sample.iter().map(|v| v[0]),
+                report.sigmas[0],
+                report.window_len.max(1.0),
+            )
+            .map(SensorModel::One)
         } else {
-            snod_density::Kde::from_sample(
-                &report.sample,
+            snod_density::Kde::from_sample_iter(
+                report.sample.iter().map(Vec::as_slice),
                 &report.sigmas,
                 report.window_len.max(1.0),
             )
             .map(SensorModel::Multi)
         };
         if let Ok(model) = model {
-            self.child_models.insert(from, model);
+            self.child_models.insert(
+                from,
+                ChildModel {
+                    model,
+                    built_sigmas: report.sigmas,
+                    reports_since_rebuild: 0,
+                },
+            );
             self.reassess(ctx.time_ns);
         }
     }

@@ -1,0 +1,112 @@
+//! Property tests: epoch-maintained models agree with from-scratch
+//! rebuilds.
+//!
+//! Two guarantees are checked bit-for-bit:
+//!
+//! * An [`IncrementalReplica`]'s kernel *centres* mirror its FIFO after
+//!   every push, rebuild or not; and at every epoch boundary (full
+//!   rebuild) the whole model — bandwidth included — equals one built
+//!   from scratch over the same data and σ.
+//! * A [`snod_core::SensorEstimator`] under `RebuildPolicy::always()`
+//!   serves a cached model identical to an uncached build on every
+//!   reading.
+
+use proptest::prelude::*;
+
+use snod_core::{EstimatorConfig, IncrementalReplica, RebuildPolicy, SensorModel};
+use snod_density::{DensityModel, Kde1d};
+
+fn unit_values(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, 24..n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary pushes with drifting σ: centres track the FIFO at all
+    /// times, and each epoch boundary yields exactly the from-scratch
+    /// model.
+    #[test]
+    fn replica_epoch_boundaries_match_scratch_rebuild(
+        values in unit_values(160),
+        cap in 8usize..40,
+        rebuild_every in 2u64..12,
+        sigma_step in 0.0f64..0.05,
+    ) {
+        let policy = RebuildPolicy { rebuild_every, sigma_tolerance: 0.25 };
+        let mut replica = IncrementalReplica::new(cap, policy);
+        let mut last_epochs = 0;
+        for (i, &v) in values.iter().enumerate() {
+            let sigma = 0.1 + sigma_step * ((i / 8) % 5) as f64;
+            replica.push(vec![v], vec![sigma], 64.0);
+            if replica.sample_len() < 4 {
+                continue;
+            }
+            let (centers, bandwidth) = match replica.model().unwrap() {
+                SensorModel::One(m) => (m.centers().to_vec(), m.bandwidth()),
+                SensorModel::Multi(_) => unreachable!("1-d replica"),
+            };
+            // Invariant 1: centres mirror the FIFO, rebuild or not.
+            let mut want: Vec<f64> = replica.values().map(|p| p[0]).collect();
+            want.sort_by(f64::total_cmp);
+            prop_assert_eq!(&centers, &want, "centres diverged at push {}", i);
+            if replica.epochs() > last_epochs {
+                last_epochs = replica.epochs();
+                // Invariant 2: a fresh epoch equals from-scratch —
+                // bandwidth derived from the *current* σ and |R|.
+                let scratch = Kde1d::from_sample(&want, sigma, 64.0).unwrap();
+                prop_assert!(bandwidth.to_bits() == scratch.bandwidth().to_bits());
+                for q in [0.15, 0.5, 0.85] {
+                    let a = replica.model().unwrap().neighborhood_count(&[q], 0.1).unwrap();
+                    let b = scratch.neighborhood_count(&[q], 0.1).unwrap();
+                    prop_assert!(a.to_bits() == b.to_bits(), "{} != {} at q {}", a, b, q);
+                }
+            }
+            prop_assert!(replica.pushes_since_rebuild() <= rebuild_every);
+        }
+    }
+
+    /// `RebuildPolicy::always()` degenerates the epoch cache to the
+    /// rebuild-on-every-push behaviour: cached and uncached models agree
+    /// on every reading, bit for bit.
+    #[test]
+    fn estimator_always_policy_equals_uncached(values in unit_values(220)) {
+        let cfg = EstimatorConfig::builder()
+            .window(100)
+            .sample_size(32)
+            .seed(9)
+            .rebuild_policy(RebuildPolicy::always())
+            .build()
+            .unwrap();
+        let mut est = snod_core::SensorEstimator::new(cfg);
+        for &v in &values {
+            est.observe(&[v]).unwrap();
+            let fresh = est.model().unwrap().neighborhood_count(&[0.5], 0.1).unwrap();
+            let cached = est.cached_model().unwrap().neighborhood_count(&[0.5], 0.1).unwrap();
+            prop_assert!(cached.to_bits() == fresh.to_bits(), "{} != {}", cached, fresh);
+            prop_assert_eq!(est.model_staleness(), 0);
+        }
+    }
+
+    /// Under any policy the served model's staleness never exceeds the
+    /// push budget.
+    #[test]
+    fn estimator_staleness_is_bounded(
+        values in unit_values(200),
+        rebuild_every in 1u64..16,
+    ) {
+        let cfg = EstimatorConfig::builder()
+            .window(100)
+            .sample_size(32)
+            .seed(5)
+            .rebuild_policy(RebuildPolicy { rebuild_every, sigma_tolerance: 1e9 })
+            .build()
+            .unwrap();
+        let mut est = snod_core::SensorEstimator::new(cfg);
+        for &v in &values {
+            est.observe(&[v]).unwrap();
+            est.cached_model().unwrap();
+            prop_assert!(est.model_staleness() < rebuild_every);
+        }
+    }
+}

@@ -62,6 +62,32 @@ impl Kde<EpanechnikovKernel> {
         let bandwidths = scott_bandwidths(sigmas, sample.len());
         Self::new(dims, centers, bandwidths, window_len, EpanechnikovKernel)
     }
+
+    /// Like [`Kde::from_sample`] but consumes borrowed coordinate slices,
+    /// so callers holding a `VecDeque<Vec<f64>>` window can build a model
+    /// without first cloning it into a `Vec<Vec<f64>>`.
+    pub fn from_sample_iter<'a, I>(
+        rows: I,
+        sigmas: &[f64],
+        window_len: f64,
+    ) -> Result<Self, DensityError>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let dims = sigmas.len();
+        if dims == 0 {
+            return Err(DensityError::NonPositiveParameter("dimensionality"));
+        }
+        let mut centers = Vec::new();
+        let mut n = 0usize;
+        for p in rows {
+            check_dims(dims, p)?;
+            centers.extend_from_slice(p);
+            n += 1;
+        }
+        let bandwidths = scott_bandwidths(sigmas, n);
+        Self::new(dims, centers, bandwidths, window_len, EpanechnikovKernel)
+    }
 }
 
 impl<K: Kernel1d> Kde<K> {
@@ -145,6 +171,90 @@ impl<K: Kernel1d> Kde<K> {
     pub fn points(&self) -> impl Iterator<Item = &[f64]> {
         self.centers.chunks_exact(self.dims)
     }
+
+    /// Merges a new sample point into the first-coordinate-sorted arrays in
+    /// `O(log|R| + shift)`. Bandwidths are deliberately **not** recomputed —
+    /// see the epoch-based rebuild policy in `snod-core`.
+    pub fn insert_point(&mut self, p: &[f64]) -> Result<(), DensityError> {
+        check_dims(self.dims, p)?;
+        if p.iter().any(|c| c.is_nan()) {
+            return Err(DensityError::NonFiniteValue("sample point"));
+        }
+        let i = self.first_coords.partition_point(|&c| c < p[0]);
+        self.first_coords.insert(i, p[0]);
+        let at = i * self.dims;
+        self.centers.splice(at..at, p.iter().copied());
+        Ok(())
+    }
+
+    /// Removes one sample point equal to `p`; returns whether one was
+    /// found. Removing the last remaining point is refused (returns
+    /// `Ok(false)`) so the estimator never becomes empty.
+    pub fn remove_point(&mut self, p: &[f64]) -> Result<bool, DensityError> {
+        check_dims(self.dims, p)?;
+        let mut i = self.first_coords.partition_point(|&c| c < p[0]);
+        while i < self.first_coords.len() && self.first_coords[i] == p[0] {
+            if &self.centers[i * self.dims..(i + 1) * self.dims] == p {
+                if self.first_coords.len() == 1 {
+                    return Ok(false);
+                }
+                self.first_coords.remove(i);
+                self.centers.drain(i * self.dims..(i + 1) * self.dims);
+                return Ok(true);
+            }
+            i += 1;
+        }
+        Ok(false)
+    }
+
+    /// Replaces the per-dimension bandwidths (an epoch-boundary rebuild in
+    /// place when the centres are already current).
+    pub fn set_bandwidths(&mut self, bandwidths: &[f64]) -> Result<(), DensityError> {
+        if bandwidths.len() != self.dims {
+            return Err(DensityError::DimensionMismatch {
+                expected: self.dims,
+                got: bandwidths.len(),
+            });
+        }
+        if bandwidths.iter().any(|&b| !(b > 0.0)) {
+            return Err(DensityError::NonPositiveParameter("bandwidth"));
+        }
+        self.bandwidths.clear();
+        self.bandwidths.extend_from_slice(bandwidths);
+        Ok(())
+    }
+
+    /// Replaces the window length `|W|` that scales probabilities into
+    /// counts.
+    pub fn set_window_len(&mut self, window_len: f64) -> Result<(), DensityError> {
+        if !(window_len > 0.0) {
+            return Err(DensityError::NonPositiveParameter("window length"));
+        }
+        self.window_len = window_len;
+        Ok(())
+    }
+
+    /// The probability mass of the L∞ ball of radius `r` around `q`,
+    /// restricted to the (pre-pruned) point range `[s, e)`. Summation
+    /// order matches [`DensityModel::box_prob`] exactly.
+    fn ball_prob_in_range(&self, q: &[f64], r: f64, s: usize, e: usize) -> f64 {
+        let mut sum = 0.0;
+        'points: for t in self.centers[s * self.dims..e * self.dims].chunks_exact(self.dims) {
+            let mut prod = 1.0;
+            for j in 0..self.dims {
+                let b = self.bandwidths[j];
+                let m = self
+                    .kernel
+                    .mass((q[j] - r - t[j]) / b, (q[j] + r - t[j]) / b);
+                if m == 0.0 {
+                    continue 'points;
+                }
+                prod *= m;
+            }
+            sum += prod;
+        }
+        sum / self.sample_size() as f64
+    }
 }
 
 impl<K: Kernel1d> DensityModel for Kde<K> {
@@ -194,6 +304,47 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
             sum += prod;
         }
         Ok(sum / self.sample_size() as f64)
+    }
+
+    /// Batched sweep: queries sorted by their dimension-0 lower edge share
+    /// one monotonically advancing pruning frontier over the
+    /// first-coordinate-sorted sample, replacing the per-query binary
+    /// search and the two `Vec` allocations of the scalar
+    /// [`DensityModel::range_prob`] path.
+    fn neighborhood_counts(&self, points: &[f64], r: f64) -> Result<Vec<f64>, DensityError> {
+        let d = self.dims;
+        if !points.len().is_multiple_of(d) {
+            return Err(DensityError::RaggedSample);
+        }
+        let n = points.len() / d;
+        let mut out = vec![0.0; n];
+        let reach = self.kernel.support();
+        if reach.is_infinite() {
+            // No pruning possible; every query touches every kernel.
+            for (o, q) in out.iter_mut().zip(points.chunks_exact(d)) {
+                *o = self.ball_prob_in_range(q, r, 0, self.sample_size()) * self.window_len;
+            }
+            return Ok(out);
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            points[a as usize * d].total_cmp(&points[b as usize * d])
+        });
+        let span = reach * self.bandwidths[0];
+        let len = self.first_coords.len();
+        let (mut s, mut e) = (0usize, 0usize);
+        for &qi in &order {
+            let q = &points[qi as usize * d..(qi as usize + 1) * d];
+            let (lo0, hi0) = (q[0] - r, q[0] + r);
+            while s < len && self.first_coords[s] < lo0 - span {
+                s += 1;
+            }
+            while e < len && self.first_coords[e] <= hi0 + span {
+                e += 1;
+            }
+            out[qi as usize] = self.ball_prob_in_range(q, r, s, e) * self.window_len;
+        }
+        Ok(out)
     }
 }
 
@@ -351,6 +502,98 @@ mod tests {
                 "{lo:?}..{hi:?}: {fast} vs {slow}"
             );
         }
+    }
+
+    #[test]
+    fn batched_counts_match_scalar_exactly_in_2d() {
+        let pts: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                vec![
+                    ((i * 83) % 301) as f64 / 301.0,
+                    ((i * 131) % 307) as f64 / 307.0,
+                ]
+            })
+            .collect();
+        let kde = Kde::from_sample(&pts, &[0.08, 0.12], 5_000.0).unwrap();
+        let queries: Vec<f64> = vec![
+            0.9, 0.2, // unsorted on dim 0 on purpose
+            0.1, 0.8, //
+            0.1, 0.8, // duplicate
+            0.5, 0.5, //
+            -0.3, 0.4, // out of support
+        ];
+        for r in [0.02, 0.1, 0.4] {
+            let batch = kde.neighborhood_counts(&queries, r).unwrap();
+            for (i, q) in queries.chunks_exact(2).enumerate() {
+                let scalar = kde.neighborhood_count(q, r).unwrap();
+                assert_eq!(batch[i], scalar, "q={q:?} r={r}");
+            }
+        }
+        assert!(matches!(
+            kde.neighborhood_counts(&queries[..3], 0.1),
+            Err(DensityError::RaggedSample)
+        ));
+    }
+
+    #[test]
+    fn batched_counts_match_scalar_for_gaussian_kernel() {
+        let kde = Kde::new(
+            2,
+            vec![0.3, 0.4, 0.6, 0.7, 0.5, 0.5],
+            vec![0.1, 0.1],
+            500.0,
+            GaussianKernel,
+        )
+        .unwrap();
+        let queries = [0.7, 0.2, 0.4, 0.6];
+        let batch = kde.neighborhood_counts(&queries, 0.15).unwrap();
+        for (i, q) in queries.chunks_exact(2).enumerate() {
+            assert_eq!(batch[i], kde.neighborhood_count(q, 0.15).unwrap());
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_points_preserve_query_results() {
+        let pts: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![((i * 37) % 61) as f64 / 61.0, ((i * 13) % 59) as f64 / 59.0])
+            .collect();
+        let mut inc = Kde::from_sample(&pts[..40], &[0.2, 0.2], 1_000.0).unwrap();
+        for p in &pts[40..] {
+            inc.insert_point(p).unwrap();
+        }
+        for p in &pts[..10] {
+            assert!(inc.remove_point(p).unwrap());
+        }
+        assert!(!inc.remove_point(&[0.123, 0.456]).unwrap());
+        let flat: Vec<f64> = pts[10..].iter().flatten().copied().collect();
+        let scratch = Kde::new(
+            2,
+            flat,
+            inc.bandwidths().to_vec(),
+            1_000.0,
+            EpanechnikovKernel,
+        )
+        .unwrap();
+        assert_eq!(inc.sample_size(), scratch.sample_size());
+        for (q, r) in [([0.5, 0.5], 0.1), ([0.2, 0.8], 0.3), ([0.9, 0.1], 0.05)] {
+            assert_eq!(
+                inc.neighborhood_count(&q, r).unwrap(),
+                scratch.neighborhood_count(&q, r).unwrap()
+            );
+        }
+        assert!(inc.insert_point(&[f64::NAN, 0.5]).is_err());
+        assert!(inc.insert_point(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn from_sample_iter_matches_from_sample() {
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![((i * 7) % 50) as f64 / 50.0, ((i * 11) % 50) as f64 / 50.0])
+            .collect();
+        let a = Kde::from_sample(&pts, &[0.15, 0.25], 800.0).unwrap();
+        let b = Kde::from_sample_iter(pts.iter().map(Vec::as_slice), &[0.15, 0.25], 800.0).unwrap();
+        assert_eq!(a.bandwidths(), b.bandwidths());
+        assert_eq!(a.centers(), b.centers());
     }
 
     #[test]

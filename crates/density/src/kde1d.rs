@@ -38,6 +38,18 @@ impl Kde1d<EpanechnikovKernel> {
         let bandwidth = scott_bandwidth(sigma, sample.len(), 1);
         Self::new(sample.to_vec(), bandwidth, window_len, EpanechnikovKernel)
     }
+
+    /// Like [`Kde1d::from_sample`] but consumes the values straight from an
+    /// iterator, so callers projecting a coordinate out of richer records
+    /// (e.g. `window.iter().map(|v| v[0])`) need no intermediate `Vec`.
+    pub fn from_sample_iter<I>(values: I, sigma: f64, window_len: f64) -> Result<Self, DensityError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let centers: Vec<f64> = values.into_iter().collect();
+        let bandwidth = scott_bandwidth(sigma, centers.len(), 1);
+        Self::new(centers, bandwidth, window_len, EpanechnikovKernel)
+    }
 }
 
 impl<K: Kernel1d> Kde1d<K> {
@@ -75,6 +87,59 @@ impl<K: Kernel1d> Kde1d<K> {
     /// The bandwidth `B`.
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth
+    }
+
+    /// The kernel centres in ascending order.
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+
+    /// Merges a new centre into the sorted array in `O(log|R| + shift)`.
+    ///
+    /// The bandwidth is deliberately **not** recomputed: under epoch-based
+    /// maintenance the centres track the window exactly while the kernel
+    /// widths stay at their last-rebuild values until the owner decides the
+    /// drift warrants a full rebuild (see `snod-core`'s rebuild policy).
+    pub fn insert_center(&mut self, x: f64) -> Result<(), DensityError> {
+        if x.is_nan() {
+            return Err(DensityError::NonFiniteValue("kernel centre"));
+        }
+        let i = self.centers.partition_point(|&c| c < x);
+        self.centers.insert(i, x);
+        Ok(())
+    }
+
+    /// Removes one centre equal to `x` in `O(log|R| + shift)`; returns
+    /// whether one was found. Removing the last remaining centre is
+    /// refused (returns `false`) so the estimator never becomes empty.
+    pub fn remove_center(&mut self, x: f64) -> bool {
+        let i = self.centers.partition_point(|&c| c < x);
+        if i < self.centers.len() && self.centers[i] == x && self.centers.len() > 1 {
+            self.centers.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replaces the bandwidth (an epoch-boundary rebuild in place when the
+    /// centres are already current).
+    pub fn set_bandwidth(&mut self, bandwidth: f64) -> Result<(), DensityError> {
+        if !(bandwidth > 0.0) {
+            return Err(DensityError::NonPositiveParameter("bandwidth"));
+        }
+        self.bandwidth = bandwidth;
+        Ok(())
+    }
+
+    /// Replaces the window length `|W|` that scales probabilities into
+    /// counts.
+    pub fn set_window_len(&mut self, window_len: f64) -> Result<(), DensityError> {
+        if !(window_len > 0.0) {
+            return Err(DensityError::NonPositiveParameter("window length"));
+        }
+        self.window_len = window_len;
+        Ok(())
     }
 
     /// Index range of centres whose kernel support intersects `[lo, hi]` —
@@ -135,6 +200,52 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
             .sum();
         Ok(sum / self.centers.len() as f64)
     }
+
+    /// Batched sweep: queries are visited in ascending order so the
+    /// support-pruning frontier `[s, e)` only ever moves forward — the
+    /// whole batch costs `O(q·log q + |R| + Σ|R′|)` instead of
+    /// `O(q·log|R| + Σ|R′|)`, with no per-query allocation (the scalar
+    /// path goes through [`DensityModel::range_prob`], which builds two
+    /// temporary `Vec`s per call).
+    fn neighborhood_counts(&self, points: &[f64], r: f64) -> Result<Vec<f64>, DensityError> {
+        let mut out = vec![0.0; points.len()];
+        if r <= 0.0 {
+            // box_prob short-circuits degenerate intervals to zero mass.
+            return Ok(out);
+        }
+        let reach = self.kernel.support();
+        if reach.is_infinite() {
+            // No pruning possible; every query touches every kernel.
+            for (o, &p) in out.iter_mut().zip(points) {
+                *o = self.box_prob(&[p - r], &[p + r])? * self.window_len;
+            }
+            return Ok(out);
+        }
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| points[a as usize].total_cmp(&points[b as usize]));
+        let span = reach * self.bandwidth;
+        let len = self.centers.len();
+        let (mut s, mut e) = (0usize, 0usize);
+        for &qi in &order {
+            let p = points[qi as usize];
+            let (a, b) = (p - r, p + r);
+            while s < len && self.centers[s] < a - span {
+                s += 1;
+            }
+            while e < len && self.centers[e] <= b + span {
+                e += 1;
+            }
+            let sum: f64 = self.centers[s..e]
+                .iter()
+                .map(|&c| {
+                    self.kernel
+                        .mass((a - c) / self.bandwidth, (b - c) / self.bandwidth)
+                })
+                .sum();
+            out[qi as usize] = sum / len as f64 * self.window_len;
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +304,102 @@ mod tests {
         assert!(Kde1d::from_sample(&[], 0.1, 100.0).is_err());
         assert!(Kde1d::new(vec![0.5], -0.1, 100.0, EpanechnikovKernel).is_err());
         assert!(Kde1d::new(vec![0.5], 0.1, -1.0, EpanechnikovKernel).is_err());
+    }
+
+    #[test]
+    fn batched_counts_match_scalar_exactly() {
+        let kde = Kde1d::from_sample(&sample(), 0.28, 2_000.0).unwrap();
+        // Unsorted, duplicated and out-of-support queries.
+        let queries = [0.93, 0.1, 0.1, -0.4, 0.5, 1.7, 0.02, 0.5001];
+        for r in [0.01, 0.1, 0.35] {
+            let batch = kde.neighborhood_counts(&queries, r).unwrap();
+            for (i, &q) in queries.iter().enumerate() {
+                let scalar = kde.neighborhood_count(&[q], r).unwrap();
+                assert_eq!(batch[i], scalar, "q={q} r={r}");
+            }
+        }
+        assert_eq!(kde.neighborhood_counts(&queries, 0.0).unwrap(), vec![0.0; 8]);
+        assert!(kde.neighborhood_counts(&[], 0.1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batched_counts_match_scalar_for_gaussian_kernel() {
+        // Infinite support exercises the no-pruning fallback.
+        let kde = Kde1d::new(
+            vec![0.2, 0.5, 0.8],
+            0.1,
+            500.0,
+            crate::kernel::GaussianKernel,
+        )
+        .unwrap();
+        let queries = [0.9, 0.1, 0.55];
+        let batch = kde.neighborhood_counts(&queries, 0.2).unwrap();
+        for (i, &q) in queries.iter().enumerate() {
+            let scalar = kde.neighborhood_count(&[q], 0.2).unwrap();
+            assert_eq!(batch[i], scalar);
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_maintain_sorted_centers() {
+        let mut kde = Kde1d::from_sample(&[0.5, 0.1, 0.9], 0.3, 100.0).unwrap();
+        kde.insert_center(0.4).unwrap();
+        kde.insert_center(0.0).unwrap();
+        kde.insert_center(1.2).unwrap();
+        assert_eq!(kde.centers(), &[0.0, 0.1, 0.4, 0.5, 0.9, 1.2]);
+        assert!(kde.remove_center(0.5));
+        assert!(!kde.remove_center(0.5), "already gone");
+        assert!(!kde.remove_center(0.77), "never present");
+        assert_eq!(kde.centers(), &[0.0, 0.1, 0.4, 0.9, 1.2]);
+        assert!(kde.insert_center(f64::NAN).is_err());
+        // Removals stop before emptying the estimator.
+        for x in [0.0, 0.1, 0.4, 0.9] {
+            assert!(kde.remove_center(x));
+        }
+        assert!(!kde.remove_center(1.2));
+        assert_eq!(kde.sample_size(), 1);
+    }
+
+    #[test]
+    fn incrementally_built_model_matches_from_scratch() {
+        let xs = sample();
+        let mut inc = Kde1d::from_sample(&xs[..150], 0.28, 2_000.0).unwrap();
+        for &x in &xs[150..] {
+            inc.insert_center(x).unwrap();
+        }
+        for &x in &xs[..50] {
+            assert!(inc.remove_center(x));
+        }
+        // Same centres, same bandwidth ⇒ identical queries.
+        let scratch = Kde1d::new(xs[50..].to_vec(), inc.bandwidth(), 2_000.0, EpanechnikovKernel)
+            .unwrap();
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            assert_eq!(
+                inc.neighborhood_count(&[q], 0.1).unwrap(),
+                scratch.neighborhood_count(&[q], 0.1).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn setters_validate_and_apply() {
+        let mut kde = Kde1d::from_sample(&sample(), 0.28, 100.0).unwrap();
+        assert!(kde.set_bandwidth(0.0).is_err());
+        assert!(kde.set_window_len(-1.0).is_err());
+        kde.set_bandwidth(0.5).unwrap();
+        kde.set_window_len(400.0).unwrap();
+        assert_eq!(kde.bandwidth(), 0.5);
+        assert_eq!(kde.window_len(), 400.0);
+    }
+
+    #[test]
+    fn from_sample_iter_matches_from_sample() {
+        let xs = sample();
+        let a = Kde1d::from_sample(&xs, 0.28, 1_000.0).unwrap();
+        let b = Kde1d::from_sample_iter(xs.iter().copied(), 0.28, 1_000.0).unwrap();
+        assert_eq!(a.bandwidth(), b.bandwidth());
+        assert_eq!(a.centers(), b.centers());
     }
 
     #[test]

@@ -66,6 +66,9 @@ pub enum DensityError {
     NonPositiveParameter(&'static str),
     /// The flattened sample length was not a multiple of the dimensionality.
     RaggedSample,
+    /// A value that must be a real number (e.g. a kernel centre handed to
+    /// an incremental update) was NaN.
+    NonFiniteValue(&'static str),
 }
 
 impl std::fmt::Display for DensityError {
@@ -82,6 +85,7 @@ impl std::fmt::Display for DensityError {
                     "flattened sample length must be a multiple of the dimensionality"
                 )
             }
+            DensityError::NonFiniteValue(p) => write!(f, "{p} must not be NaN"),
         }
     }
 }

@@ -47,6 +47,29 @@ pub trait DensityModel: Send + Sync {
     fn neighborhood_count(&self, p: &[f64], r: f64) -> Result<f64, DensityError> {
         Ok(self.range_prob(p, r)? * self.window_len())
     }
+
+    /// Batched [`neighborhood_count`](Self::neighborhood_count): answers one
+    /// range query of radius `r` per point in the flattened row-major
+    /// `points` slice (`points.len()` must be a multiple of [`dims`](Self::dims)),
+    /// returning the counts in input order.
+    ///
+    /// The default implementation is the scalar loop; sorted-centre
+    /// estimators ([`crate::Kde`], [`crate::Kde1d`]) override it with a
+    /// single sweep that sorts the queries by their dimension-0 lower edge
+    /// and advances the support-pruning frontier monotonically instead of
+    /// re-running a binary search per query. All implementations must
+    /// return exactly what the scalar loop would (same summation order,
+    /// hence bit-identical floats).
+    fn neighborhood_counts(&self, points: &[f64], r: f64) -> Result<Vec<f64>, DensityError> {
+        let d = self.dims();
+        if !points.len().is_multiple_of(d) {
+            return Err(DensityError::RaggedSample);
+        }
+        points
+            .chunks_exact(d)
+            .map(|p| self.neighborhood_count(p, r))
+            .collect()
+    }
 }
 
 /// Validates that `x` has the model's dimensionality.

@@ -1,0 +1,123 @@
+//! Property tests: the batched range-count sweep
+//! ([`DensityModel::neighborhood_counts`]) is *exactly* equivalent to
+//! the scalar query path, for every dimensionality the MDEF engine uses
+//! (d ∈ {1, 2, 3}) and for both finite- and infinite-support kernels.
+//!
+//! Equality is asserted bit-for-bit, not within a tolerance: the sweep
+//! evaluates the same floating-point expressions over the same kernel
+//! centres in the same order as the scalar path, so any difference is a
+//! bug in the frontier logic, not round-off.
+
+use proptest::prelude::*;
+
+use snod_density::{DensityModel, GaussianKernel, Kde, Kde1d};
+
+fn unit_values(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, 4..n)
+}
+
+fn unit_rows(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, d..=d), 4..n)
+}
+
+/// Flattens query rows and checks batched == scalar on any model.
+fn assert_batch_matches_scalar<M: DensityModel>(
+    model: &M,
+    queries: &[Vec<f64>],
+    r: f64,
+) -> Result<(), TestCaseError> {
+    let flat: Vec<f64> = queries.iter().flat_map(|q| q.iter().copied()).collect();
+    let batched = model.neighborhood_counts(&flat, r).unwrap();
+    prop_assert_eq!(batched.len(), queries.len());
+    for (q, &got) in queries.iter().zip(&batched) {
+        let want = model.neighborhood_count(q, r).unwrap();
+        prop_assert!(
+            got.to_bits() == want.to_bits(),
+            "batch {} != scalar {} at query {:?} (r = {})",
+            got,
+            want,
+            q,
+            r
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// 1-d sorted sweep (Epanechnikov, the paper's kernel).
+    #[test]
+    fn kde1d_batch_equals_scalar(
+        sample in unit_values(200),
+        queries in unit_values(40),
+        r in 0.001f64..0.4,
+        sigma in 0.02f64..0.3,
+    ) {
+        let kde = Kde1d::from_sample(&sample, sigma, 1_000.0).unwrap();
+        let rows: Vec<Vec<f64>> = queries.iter().map(|&q| vec![q]).collect();
+        assert_batch_matches_scalar(&kde, &rows, r)?;
+    }
+
+    /// 1-d with an infinite-support kernel: the sweep cannot prune and
+    /// must fall back to full evaluation, still bit-identically.
+    #[test]
+    fn kde1d_gaussian_batch_equals_scalar(
+        sample in unit_values(120),
+        queries in unit_values(24),
+        r in 0.001f64..0.4,
+    ) {
+        let kde = Kde1d::new(sample, 0.08, 500.0, GaussianKernel).unwrap();
+        let rows: Vec<Vec<f64>> = queries.iter().map(|&q| vec![q]).collect();
+        assert_batch_matches_scalar(&kde, &rows, r)?;
+    }
+
+    /// 2-d product-kernel sweep (frontier prunes on dimension 0 only).
+    #[test]
+    fn kde2d_batch_equals_scalar(
+        sample in unit_rows(2, 80),
+        queries in unit_rows(2, 24),
+        r in 0.001f64..0.4,
+    ) {
+        let kde = Kde::from_sample(&sample, &[0.1, 0.15], 1_000.0).unwrap();
+        assert_batch_matches_scalar(&kde, &queries, r)?;
+    }
+
+    /// 3-d product-kernel sweep.
+    #[test]
+    fn kde3d_batch_equals_scalar(
+        sample in unit_rows(3, 60),
+        queries in unit_rows(3, 16),
+        r in 0.001f64..0.4,
+    ) {
+        let kde = Kde::from_sample(&sample, &[0.1, 0.12, 0.2], 1_000.0).unwrap();
+        assert_batch_matches_scalar(&kde, &queries, r)?;
+    }
+
+    /// Duplicated and coincident query points must not confuse the
+    /// monotone frontier (it only ever advances).
+    #[test]
+    fn repeated_queries_are_consistent(
+        sample in unit_values(100),
+        q in 0.0f64..1.0,
+        r in 0.001f64..0.3,
+    ) {
+        let kde = Kde1d::from_sample(&sample, 0.1, 1_000.0).unwrap();
+        let flat = vec![q, q, q];
+        let batched = kde.neighborhood_counts(&flat, r).unwrap();
+        prop_assert!(batched[0].to_bits() == batched[1].to_bits());
+        prop_assert!(batched[1].to_bits() == batched[2].to_bits());
+    }
+}
+
+#[test]
+fn empty_query_batch_is_empty() {
+    let kde = Kde1d::from_sample(&[0.2, 0.5, 0.8], 0.1, 100.0).unwrap();
+    assert!(kde.neighborhood_counts(&[], 0.1).unwrap().is_empty());
+}
+
+#[test]
+fn ragged_query_batch_is_rejected() {
+    let kde = Kde::from_sample(&[vec![0.2, 0.4], vec![0.6, 0.1]], &[0.1, 0.1], 100.0).unwrap();
+    assert!(kde.neighborhood_counts(&[0.5, 0.5, 0.5], 0.1).is_err());
+}

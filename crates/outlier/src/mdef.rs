@@ -154,9 +154,6 @@ impl MdefDetector {
         let r = self.cfg.sampling_radius;
         let cell = 2.0 * ar;
 
-        // Counting neighborhood of p itself.
-        let count = model.neighborhood_count(p, ar)?;
-
         // Cells of width 2αr (per dimension, aligned to the domain origin)
         // that intersect the sampling box [p − r, p + r].
         let mut lo_idx = Vec::with_capacity(d);
@@ -170,6 +167,28 @@ impl MdefDetector {
         }
         let total_cells: usize = n_cells.iter().product();
 
+        // All counting queries of one evaluation share the radius αr, so
+        // they go to the model as a single batch: the counting
+        // neighborhood of p itself, then one query per cell centre (the
+        // flat-index order emits centres ascending in dimension 0, which
+        // the sorted-sweep implementations exploit).
+        let mut queries = Vec::with_capacity((1 + total_cells) * d);
+        queries.extend_from_slice(p);
+        for flat in 0..total_cells {
+            let mut rem = flat;
+            let at = queries.len();
+            queries.resize(at + d, 0.0);
+            for j in (0..d).rev() {
+                let off = rem % n_cells[j];
+                rem /= n_cells[j];
+                queries[at + j] = (lo_idx[j] + off as i64) as f64 * cell + ar;
+            }
+        }
+        let counts = model.neighborhood_counts(&queries, ar)?;
+
+        // Counting neighborhood of p itself.
+        let count = counts[0];
+
         // Weighted first and second moments of the per-cell counts c_i,
         // weighting each cell by its own count (each of the ~c_i points in
         // cell i has counting-neighborhood count ≈ c_i).
@@ -177,15 +196,7 @@ impl MdefDetector {
         let mut w_mean = 0.0;
         let mut w_sq = 0.0;
         let mut nonempty = 0usize;
-        let mut center = vec![0.0; d];
-        for flat in 0..total_cells {
-            let mut rem = flat;
-            for j in (0..d).rev() {
-                let off = rem % n_cells[j];
-                rem /= n_cells[j];
-                center[j] = (lo_idx[j] + off as i64) as f64 * cell + ar;
-            }
-            let c = model.neighborhood_count(&center, ar)?;
+        for &c in &counts[1..] {
             // Estimated fractional counts below one reading are noise
             // floor, not population: skip them like empty cells.
             if c >= 0.5 {

@@ -92,6 +92,12 @@ impl<P> EventQueue<P> {
         self.heap.pop().map(|Reverse(e)| (e.time_ns, e.event))
     }
 
+    /// Firing time of the earliest pending event, without removing it.
+    /// Lets the engine drain a whole same-instant batch.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.time_ns)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -19,9 +19,37 @@
 //! * [`NetStats`] / [`EnergyModel`] — the statistics behind Figure 11 and
 //!   the §10.3 communication-cost discussion.
 //!
-//! The simulator is single-threaded and deterministic: identical inputs
-//! (topology, streams, seeds) replay identical executions, which the
-//! integration tests rely on.
+//! ## Determinism, sequential *and* parallel
+//!
+//! Identical inputs (topology, streams, seeds) replay identical
+//! executions, which the integration tests rely on — **including** when
+//! [`SimConfig::worker_threads`] enables the parallel engine. The
+//! argument:
+//!
+//! 1. **Batches.** Events are totally ordered by `(time, scheduling
+//!    seq)`. The parallel engine drains one *batch* — every event
+//!    sharing the earliest timestamp — at a time, in heap order. A
+//!    callback can only schedule events at `time + latency`/`period`
+//!    (or at the same instant with zero latency, which lands in a
+//!    *later* scheduling-seq batch exactly where the sequential engine
+//!    would process it), so batch boundaries never cut a
+//!    happens-before edge.
+//! 2. **Isolation.** Application state is per-node and a `Ctx` only
+//!    buffers sends. Within a batch, callbacks on different nodes are
+//!    therefore independent; callbacks on the *same* node are grouped
+//!    and run in batch order on one worker. The assignment of groups to
+//!    threads cannot affect any observable value.
+//! 3. **Side-effect replay.** Everything shared — stream fetches,
+//!    receive/transmit energy sums, message statistics, the loss RNG,
+//!    queue sequence numbers — is executed by the coordinator thread in
+//!    exact batch order: stream fetches and receive accounting in a
+//!    pre-pass, outbox flushing and next-reading scheduling in a
+//!    post-pass. Floating-point accumulation order and RNG draw order
+//!    are thus byte-for-byte those of the sequential engine.
+//!
+//! Hence every statistic, alarm and detection is bit-identical across
+//! `worker_threads` settings; the parallel engine merely overlaps the
+//! (expensive, pure) per-node model computations.
 //!
 //! ```
 //! use snod_simnet::{Ctx, Hierarchy, Network, NodeId, SensorApp, SimConfig};

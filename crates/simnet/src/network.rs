@@ -32,6 +32,13 @@ pub struct SimConfig {
     pub drop_probability: f64,
     /// Seed for the loss process (losses are deterministic per seed).
     pub loss_seed: u64,
+    /// Worker threads running same-instant callbacks on *different*
+    /// nodes concurrently. `1` (the default) forces the classic
+    /// single-threaded engine; `0` means one worker per core. Results
+    /// are bit-identical at every setting — see the crate docs for the
+    /// determinism argument. Parallelism only pays off when many nodes
+    /// act at the same instant (e.g. `stagger_readings = false`).
+    pub worker_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -42,6 +49,7 @@ impl Default for SimConfig {
             stagger_readings: true,
             drop_probability: 0.0,
             loss_seed: 0x10_55,
+            worker_threads: 1,
         }
     }
 }
@@ -52,6 +60,24 @@ impl SimConfig {
         assert!((0.0..=1.0).contains(&p), "probability in [0, 1]");
         self.drop_probability = p;
         self
+    }
+
+    /// Returns a copy with the given worker-thread count (`0` = one per
+    /// core, `1` = single-threaded).
+    pub fn with_worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = n;
+        self
+    }
+
+    /// The resolved worker count (`0` mapped to the machine's
+    /// parallelism).
+    fn resolved_workers(&self) -> usize {
+        match self.worker_threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
     }
 }
 
@@ -134,6 +160,59 @@ impl<'a, P> Ctx<'a, P> {
     }
 }
 
+/// One callback a node must run during a parallel batch.
+enum Task<P> {
+    /// `on_reading` with this value.
+    Read(Vec<f64>),
+    /// `on_message` from this sender with this payload.
+    Msg(NodeId, P),
+}
+
+/// Turns one callback's outbox into scheduled deliveries: per-send
+/// statistics, transmit energy, the loss process, and queue insertion.
+/// This is the single definition of send semantics, shared by the
+/// sequential dispatcher and the parallel post-pass, so the two engines
+/// cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn flush_outbox<P: Wire>(
+    outbox: Vec<(NodeId, P)>,
+    node: NodeId,
+    time: u64,
+    topo: &Hierarchy,
+    cfg: &SimConfig,
+    energy: &EnergyModel,
+    stats: &mut NetStats,
+    loss_rng: &mut rand::rngs::StdRng,
+    queue: &mut EventQueue<P>,
+) {
+    for (to, payload) in outbox {
+        let env = Envelope {
+            from: node,
+            to,
+            payload,
+        };
+        let bytes = env.wire_bytes();
+        let dist = topo.location(node).distance(&topo.location(to));
+        stats.record_send(node, topo.level_of(node), bytes);
+        // Transmit energy is spent whether or not the frame survives.
+        stats.tx_joules += energy.tx_joules(bytes, dist);
+        if cfg.drop_probability > 0.0
+            && rand::Rng::gen::<f64>(loss_rng) < cfg.drop_probability
+        {
+            stats.dropped += 1;
+            continue;
+        }
+        queue.schedule(
+            time + cfg.link_latency_ns,
+            Event::Deliver {
+                from: env.from,
+                to: env.to,
+                payload: env.payload,
+            },
+        );
+    }
+}
+
 /// A running simulation: topology + per-node applications + event queue.
 pub struct Network<P: Wire, A: SensorApp<P>> {
     topo: Hierarchy,
@@ -198,10 +277,31 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
     /// Runs the simulation: every leaf takes `readings_per_leaf` readings
     /// from `source`, and all resulting message traffic is processed to
     /// quiescence.
-    pub fn run<S: StreamSource>(&mut self, source: &mut S, readings_per_leaf: u64) {
+    ///
+    /// With `cfg.worker_threads > 1` (or `0` = one per core) same-instant
+    /// callbacks on different nodes run concurrently; the execution is
+    /// bit-identical to the single-threaded engine either way (see the
+    /// crate-level determinism argument).
+    pub fn run<S: StreamSource>(&mut self, source: &mut S, readings_per_leaf: u64)
+    where
+        P: Send,
+        A: Send,
+    {
         if readings_per_leaf == 0 {
             return;
         }
+        self.seed_initial_readings();
+        let workers = self.cfg.resolved_workers();
+        if workers <= 1 {
+            self.run_sequential(source, readings_per_leaf);
+        } else {
+            self.run_parallel(source, readings_per_leaf, workers);
+        }
+        self.stats.elapsed_ns = self.clock_ns;
+    }
+
+    /// Schedules every leaf's first reading (staggered or synchronous).
+    fn seed_initial_readings(&mut self) {
         let leaves: Vec<NodeId> = self.topo.leaves().to_vec();
         let n = leaves.len().max(1) as u64;
         for (i, &leaf) in leaves.iter().enumerate() {
@@ -213,23 +313,32 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             self.queue
                 .schedule(phase, Event::Reading { node: leaf, seq: 0 });
         }
+    }
+
+    /// Marks every failure due at `time` as dead.
+    fn apply_failures(&mut self, time: u64) {
+        if self.failures.is_empty() {
+            return;
+        }
+        let due: Vec<NodeId> = self
+            .failures
+            .iter()
+            .filter(|(t, _)| *t <= time)
+            .map(|(_, n)| *n)
+            .collect();
+        if !due.is_empty() {
+            self.failures.retain(|(t, _)| *t > time);
+            for n in due {
+                self.dead[n.index()] = true;
+            }
+        }
+    }
+
+    /// The classic one-event-at-a-time engine.
+    fn run_sequential<S: StreamSource>(&mut self, source: &mut S, readings_per_leaf: u64) {
         while let Some((time, event)) = self.queue.pop() {
             self.clock_ns = self.clock_ns.max(time);
-            // Apply any failures due by now.
-            if !self.failures.is_empty() {
-                let due: Vec<NodeId> = self
-                    .failures
-                    .iter()
-                    .filter(|(t, _)| *t <= time)
-                    .map(|(_, n)| *n)
-                    .collect();
-                if !due.is_empty() {
-                    self.failures.retain(|(t, _)| *t > time);
-                    for n in due {
-                        self.dead[n.index()] = true;
-                    }
-                }
-            }
+            self.apply_failures(time);
             match event {
                 Event::Reading { node, seq } => {
                     if self.dead[node.index()] {
@@ -256,7 +365,184 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
                 }
             }
         }
-        self.stats.elapsed_ns = self.clock_ns;
+    }
+
+    /// The batched engine: pops every event sharing the earliest
+    /// timestamp, runs the callbacks across `workers` threads (events on
+    /// the *same* node stay in order on one worker), then replays every
+    /// engine side effect — energy, statistics, the loss process, event
+    /// scheduling — sequentially in batch order. Because those side
+    /// effects are the only cross-node state, the execution is
+    /// bit-identical to [`Self::run_sequential`]; see the crate docs.
+    fn run_parallel<S: StreamSource>(&mut self, source: &mut S, readings_per_leaf: u64, workers: usize)
+    where
+        P: Send,
+        A: Send,
+    {
+        use std::sync::{mpsc, Arc, Mutex};
+
+        /// Where a dispatched callback came from, for the post-pass.
+        enum Origin {
+            Reading { node: NodeId, seq: u64 },
+            Deliver { node: NodeId },
+        }
+
+        let apps: Vec<Mutex<A>> = std::mem::take(&mut self.apps)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let topo = &self.topo;
+        let energy = &self.energy;
+        let cfg = self.cfg;
+        let queue = &mut self.queue;
+        let stats = &mut self.stats;
+        let loss_rng = &mut self.loss_rng;
+        let failures = &mut self.failures;
+        let dead = &mut self.dead;
+        let mut clock_ns = self.clock_ns;
+
+        // Work unit: one node's same-instant callbacks, in batch order.
+        // Result: per-callback outboxes tagged with their batch position.
+        type TaskGroup<P> = Vec<(usize, Task<P>)>;
+        type Outbox<P> = Vec<(NodeId, P)>;
+        type Job<P> = (u32, u64, TaskGroup<P>);
+        type JobResult<P> = Vec<(usize, Outbox<P>)>;
+        let (work_tx, work_rx) = mpsc::channel::<Job<P>>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (res_tx, res_rx) = mpsc::channel::<JobResult<P>>();
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let work_rx = Arc::clone(&work_rx);
+                let res_tx = res_tx.clone();
+                let apps = &apps;
+                s.spawn(move || loop {
+                    let job = work_rx.lock().expect("work queue intact").recv();
+                    let Ok((node, time, tasks)) = job else { break };
+                    let mut app = apps[node as usize].lock().expect("one worker per node");
+                    let mut results = Vec::with_capacity(tasks.len());
+                    for (pos, task) in tasks {
+                        let mut ctx = Ctx {
+                            node: NodeId(node),
+                            time_ns: time,
+                            topo,
+                            outbox: Vec::new(),
+                        };
+                        match task {
+                            Task::Read(value) => app.on_reading(&mut ctx, &value),
+                            Task::Msg(from, payload) => app.on_message(&mut ctx, from, payload),
+                        }
+                        results.push((pos, ctx.outbox));
+                    }
+                    if res_tx.send(results).is_err() {
+                        break;
+                    }
+                });
+            }
+
+            while let Some((time, first)) = queue.pop() {
+                clock_ns = clock_ns.max(time);
+                // Failures are due "by now" for every event in the batch
+                // alike, so applying them once up front matches the
+                // sequential per-event check exactly.
+                if !failures.is_empty() {
+                    let due: Vec<NodeId> = failures
+                        .iter()
+                        .filter(|(t, _)| *t <= time)
+                        .map(|(_, n)| *n)
+                        .collect();
+                    if !due.is_empty() {
+                        failures.retain(|(t, _)| *t > time);
+                        for n in due {
+                            dead[n.index()] = true;
+                        }
+                    }
+                }
+                // Drain the whole same-instant batch, preserving heap
+                // (scheduling) order.
+                let mut batch = vec![first];
+                while queue.peek_time() == Some(time) {
+                    batch.push(queue.pop().expect("peeked event present").1);
+                }
+                // Pre-pass (sequential, batch order): stream fetches and
+                // receive-energy accounting, exactly as the sequential
+                // engine interleaves them.
+                let mut origins: Vec<Origin> = Vec::new();
+                let mut groups: Vec<(u32, TaskGroup<P>)> = Vec::new();
+                let mut group_of: std::collections::HashMap<u32, usize> =
+                    std::collections::HashMap::new();
+                for event in batch {
+                    let (node, task, origin) = match event {
+                        Event::Reading { node, seq } => {
+                            if dead[node.index()] {
+                                continue;
+                            }
+                            let Some(value) = source.next(node, seq) else {
+                                continue;
+                            };
+                            (node, Task::Read(value), Origin::Reading { node, seq })
+                        }
+                        Event::Deliver { from, to, payload } => {
+                            if dead[to.index()] {
+                                continue;
+                            }
+                            stats.rx_joules += energy
+                                .rx_joules(payload.size_bytes() + crate::message::HEADER_BYTES);
+                            (to, Task::Msg(from, payload), Origin::Deliver { node: to })
+                        }
+                    };
+                    let pos = origins.len();
+                    origins.push(origin);
+                    let gi = *group_of.entry(node.0).or_insert_with(|| {
+                        groups.push((node.0, Vec::new()));
+                        groups.len() - 1
+                    });
+                    groups[gi].1.push((pos, task));
+                }
+                // Parallel phase: ship each node's task group to the pool.
+                let n_groups = groups.len();
+                for (node, tasks) in groups.drain(..) {
+                    work_tx.send((node, time, tasks)).expect("workers alive");
+                }
+                let mut outboxes: Vec<Option<Outbox<P>>> =
+                    (0..origins.len()).map(|_| None).collect();
+                for _ in 0..n_groups {
+                    for (pos, outbox) in res_rx.recv().expect("worker alive") {
+                        outboxes[pos] = Some(outbox);
+                    }
+                }
+                // Post-pass (sequential, batch order): flush each
+                // callback's outbox, then schedule its next reading —
+                // the same per-event side-effect order as the
+                // sequential engine, so loss-RNG draws, statistics and
+                // queue sequence numbers line up exactly.
+                for (pos, origin) in origins.iter().enumerate() {
+                    let outbox = outboxes[pos].take().expect("callback completed");
+                    let node = match origin {
+                        Origin::Reading { node, .. } | Origin::Deliver { node } => *node,
+                    };
+                    flush_outbox(outbox, node, time, topo, &cfg, energy, stats, loss_rng, queue);
+                    if let Origin::Reading { node, seq } = origin {
+                        if seq + 1 < readings_per_leaf {
+                            queue.schedule(
+                                time + cfg.reading_period_ns,
+                                Event::Reading {
+                                    node: *node,
+                                    seq: seq + 1,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            drop(work_tx); // workers exit on channel close
+        });
+
+        self.apps = apps
+            .into_iter()
+            .map(|m| m.into_inner().expect("workers finished cleanly"))
+            .collect();
+        self.clock_ns = clock_ns;
     }
 
     /// Runs one callback on `node` and flushes its outbox into the queue.
@@ -268,34 +554,17 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             outbox: Vec::new(),
         };
         f(&mut self.apps[node.index()], &mut ctx);
-        let outbox = ctx.outbox;
-        for (to, payload) in outbox {
-            let env = Envelope {
-                from: node,
-                to,
-                payload,
-            };
-            let bytes = env.wire_bytes();
-            let dist = self.topo.location(node).distance(&self.topo.location(to));
-            self.stats
-                .record_send(node, self.topo.level_of(node), bytes);
-            // Transmit energy is spent whether or not the frame survives.
-            self.stats.tx_joules += self.energy.tx_joules(bytes, dist);
-            if self.cfg.drop_probability > 0.0
-                && rand::Rng::gen::<f64>(&mut self.loss_rng) < self.cfg.drop_probability
-            {
-                self.stats.dropped += 1;
-                continue;
-            }
-            self.queue.schedule(
-                time + self.cfg.link_latency_ns,
-                Event::Deliver {
-                    from: env.from,
-                    to: env.to,
-                    payload: env.payload,
-                },
-            );
-        }
+        flush_outbox(
+            ctx.outbox,
+            node,
+            time,
+            &self.topo,
+            &self.cfg,
+            &self.energy,
+            &mut self.stats,
+            &mut self.loss_rng,
+            &mut self.queue,
+        );
     }
 
     /// Traffic and energy statistics of the run so far.
@@ -502,5 +771,62 @@ mod tests {
         let mut source = |_: NodeId, _: u64| Some(vec![0.5]);
         net.run(&mut source, 0);
         assert_eq!(net.stats().messages, 0);
+    }
+
+    /// Runs the relay workload under `cfg` and returns the network.
+    fn run_relay_cfg(cfg: SimConfig, readings: u64) -> Network<Vec<f64>, Relay> {
+        let topo = Hierarchy::balanced(8, &[4, 2]).unwrap();
+        let mut net = Network::new(topo, cfg, |_, _| Relay::new());
+        // One level-2 leader dies mid-run to exercise the dead-node path.
+        net.schedule_failure(NodeId(9), 60_000_000_000);
+        let mut source = |node: NodeId, seq: u64| Some(vec![node.0 as f64 + seq as f64 * 0.001]);
+        net.run(&mut source, readings);
+        net
+    }
+
+    /// Byte-level comparison of two runs: stats and per-app counters.
+    fn assert_identical(a: &Network<Vec<f64>, Relay>, b: &Network<Vec<f64>, Relay>) {
+        assert_eq!(a.stats().messages, b.stats().messages);
+        assert_eq!(a.stats().bytes, b.stats().bytes);
+        assert_eq!(a.stats().dropped, b.stats().dropped);
+        assert_eq!(a.stats().messages_per_level, b.stats().messages_per_level);
+        // Energy is float accumulation: bit-identical order required.
+        assert!(a.stats().tx_joules.to_bits() == b.stats().tx_joules.to_bits());
+        assert!(a.stats().rx_joules.to_bits() == b.stats().rx_joules.to_bits());
+        assert_eq!(a.now_ns(), b.now_ns());
+        for (node, app) in a.apps() {
+            let other = b.app(node);
+            assert_eq!(
+                (app.readings, app.received, app.forwarded),
+                (other.readings, other.received, other.forwarded),
+                "app state diverged at {node:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_sequential() {
+        // Synchronous readings (no stagger) maximise batch sizes, and a
+        // lossy radio makes the loss-RNG draw order observable.
+        let base = SimConfig {
+            stagger_readings: false,
+            ..SimConfig::default()
+        }
+        .with_drop_probability(0.2);
+        let seq = run_relay_cfg(base.with_worker_threads(1), 120);
+        for workers in [2, 4, 0] {
+            let par = run_relay_cfg(base.with_worker_threads(workers), 120);
+            assert_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_with_staggered_readings() {
+        // Staggered phases make most batches singletons — the degenerate
+        // case must be exact too.
+        let base = SimConfig::default().with_drop_probability(0.1);
+        let seq = run_relay_cfg(base.with_worker_threads(1), 60);
+        let par = run_relay_cfg(base.with_worker_threads(3), 60);
+        assert_identical(&seq, &par);
     }
 }

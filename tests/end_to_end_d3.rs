@@ -4,7 +4,7 @@
 
 use sensor_outliers::core::pipeline::{Algorithm, OutlierPipeline, PipelineReport};
 use sensor_outliers::core::{D3Config, EstimatorConfig};
-use sensor_outliers::data::{DataStream, GaussianMixtureStream, SensorStreams};
+use sensor_outliers::data::{GaussianMixtureStream, SensorStreams};
 use sensor_outliers::outlier::DistanceOutlierConfig;
 use sensor_outliers::simnet::{NodeId, SimConfig};
 

@@ -3,7 +3,7 @@
 //! and their behaviour under radio loss.
 
 use sensor_outliers::core::{run_monitor, EstimatorConfig, MonitorConfig};
-use sensor_outliers::data::{DataStream, EnvironmentStream, SensorStreams};
+use sensor_outliers::data::{EnvironmentStream, SensorStreams};
 use sensor_outliers::simnet::{Aggregate, Hierarchy, Network, NodeId, SimConfig, TagNode};
 
 #[test]

@@ -36,6 +36,7 @@ fn bench_pipelines(c: &mut Criterion) {
         rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
         sample_fraction: 0.5,
         updates: UpdateStrategy::EveryAcceptance,
+        staleness_bound_ns: None,
     };
 
     // "mgdd_parallel" runs the same workload with synchronous reading

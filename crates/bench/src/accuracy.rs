@@ -241,6 +241,7 @@ where
             rule: cfg.mdef_rule,
             sample_fraction: cfg.sample_fraction,
             updates: UpdateStrategy::EveryAcceptance,
+            staleness_bound_ns: None,
         };
         let broadcast_levels: Vec<u8> = (2..=levels as u8).collect();
         let mut streams2 = SensorStreams::generate(cfg.leaves, |i| make_stream(run, i));

@@ -129,6 +129,7 @@ fn main() {
                     rule: MdefConfig::new(0.08, 0.01, 3.0).expect("valid rule"),
                     sample_fraction: f,
                     updates: UpdateStrategy::EveryAcceptance,
+                    staleness_bound_ns: None,
                 },
                 levels,
             ),

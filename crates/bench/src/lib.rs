@@ -7,5 +7,6 @@
 #![forbid(unsafe_code)]
 
 pub mod accuracy;
+pub mod conformance;
 pub mod harness;
 pub mod report;

@@ -140,6 +140,7 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError
                 rule: MdefConfig::new(0.08, 0.01, 3.0).expect("valid rule"),
                 sample_fraction: args.fraction,
                 updates: UpdateStrategy::EveryAcceptance,
+                staleness_bound_ns: None,
             },
             vec![],
         ),

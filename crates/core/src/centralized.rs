@@ -9,7 +9,9 @@
 //! and the communication worst case.
 
 use snod_outlier::{DistanceOutlierConfig, ExactWindowDetector};
-use snod_simnet::{Ctx, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire};
+use snod_simnet::{
+    Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
+};
 
 use crate::config::CoreError;
 use crate::d3::Detection;
@@ -139,12 +141,37 @@ pub fn run_centralized<S: StreamSource>(
     source: &mut S,
     readings_per_leaf: u64,
 ) -> Result<Network<CentralizedPayload, CentralizedNode>, CoreError> {
+    run_centralized_with_faults(
+        topo,
+        rule,
+        window_per_leaf,
+        sim,
+        FaultPlan::none(),
+        source,
+        readings_per_leaf,
+    )
+}
+
+/// Runs the centralized baseline under a fault schedule (raw readings
+/// stay on the best-effort channel: the baseline has no retry budget to
+/// spend on each of its per-hop relays). With [`FaultPlan::none()`]
+/// this is bit-identical to [`run_centralized`].
+pub fn run_centralized_with_faults<S: StreamSource>(
+    topo: Hierarchy,
+    rule: DistanceOutlierConfig,
+    window_per_leaf: usize,
+    sim: SimConfig,
+    plan: FaultPlan,
+    source: &mut S,
+    readings_per_leaf: u64,
+) -> Result<Network<CentralizedPayload, CentralizedNode>, CoreError> {
     if window_per_leaf == 0 {
         return Err(CoreError::Config("window per leaf must be positive"));
     }
     let mut net = Network::new(topo, sim, |node, topo| {
         CentralizedNode::new(node, topo, rule, window_per_leaf)
-    });
+    })
+    .with_fault_plan(plan);
     net.run(source, readings_per_leaf);
     Ok(net)
 }

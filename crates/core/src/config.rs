@@ -291,6 +291,15 @@ pub struct MgddConfig {
     pub sample_fraction: f64,
     /// Global-model update strategy.
     pub updates: UpdateStrategy,
+    /// Graceful-degradation knob for faulty networks: the maximum age
+    /// (in simulated ns) of a global replica before a leaf stops
+    /// trusting it. Past the bound the leaf scores against the
+    /// last-known model only as a last resort (counted in
+    /// `NetStats::degraded_scores`) and, when *every* replica is stale
+    /// or cold, falls back to purely local MDEF detection (counted in
+    /// `NetStats::local_fallbacks`). `None` disables the bound: replicas
+    /// are trusted forever, the pre-fault-layer behaviour.
+    pub staleness_bound_ns: Option<u64>,
 }
 
 impl MgddConfig {
@@ -298,6 +307,9 @@ impl MgddConfig {
     pub fn validate(&self) -> Result<(), CoreError> {
         if !(0.0..=1.0).contains(&self.sample_fraction) {
             return Err(CoreError::Config("sample fraction must lie in [0, 1]"));
+        }
+        if self.staleness_bound_ns == Some(0) {
+            return Err(CoreError::Config("staleness bound must be positive"));
         }
         if let UpdateStrategy::OnModelChange {
             js_threshold,
@@ -410,6 +422,7 @@ mod tests {
                 js_threshold: 2.0,
                 check_every: 10,
             },
+            staleness_bound_ns: None,
         };
         assert!(bad.validate().is_err());
         let good = MgddConfig {
@@ -417,5 +430,31 @@ mod tests {
             ..bad
         };
         assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn mgdd_config_validates_staleness_bound() {
+        let est = EstimatorConfig::builder().build().unwrap();
+        let rule = MdefConfig::new(0.08, 0.01, 3.0).unwrap();
+        let base = MgddConfig {
+            estimator: est,
+            rule,
+            sample_fraction: 0.5,
+            updates: UpdateStrategy::EveryAcceptance,
+            staleness_bound_ns: Some(0),
+        };
+        assert!(base.validate().is_err());
+        assert!(MgddConfig {
+            staleness_bound_ns: Some(1),
+            ..base
+        }
+        .validate()
+        .is_ok());
+        assert!(MgddConfig {
+            staleness_bound_ns: None,
+            ..base
+        }
+        .validate()
+        .is_ok());
     }
 }

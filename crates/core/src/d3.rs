@@ -12,7 +12,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use snod_simnet::{Ctx, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire};
+use snod_simnet::{
+    Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
+};
 
 use crate::config::{CoreError, D3Config};
 use crate::estimator::SensorEstimator;
@@ -104,7 +106,10 @@ impl D3Node {
                     value: p.to_vec(),
                     level: self.level,
                 });
-                ctx.send_parent(D3Payload::Outlier(p.to_vec()));
+                // Flagged values are precious (Theorem 3's soundness
+                // only helps if the report arrives): escalate them on
+                // the reliable channel, retried under a retry policy.
+                ctx.send_parent_reliable(D3Payload::Outlier(p.to_vec()));
             }
             Ok(false) => {}
             Err(CoreError::NoData) => {}
@@ -152,8 +157,25 @@ pub fn run_d3<S: StreamSource>(
     source: &mut S,
     readings_per_leaf: u64,
 ) -> Result<Network<D3Payload, D3Node>, CoreError> {
+    run_d3_with_faults(topo, cfg, sim, FaultPlan::none(), source, readings_per_leaf)
+}
+
+/// Runs D3 under a fault schedule: `plan` drives crashes, link faults
+/// and loss bursts, while `sim` (optionally carrying a
+/// [`snod_simnet::RetryPolicy`]) decides how hard flagged values fight
+/// to reach their parent. With [`FaultPlan::none()`] this is
+/// bit-identical to [`run_d3`].
+pub fn run_d3_with_faults<S: StreamSource>(
+    topo: Hierarchy,
+    cfg: &D3Config,
+    sim: SimConfig,
+    plan: FaultPlan,
+    source: &mut S,
+    readings_per_leaf: u64,
+) -> Result<Network<D3Payload, D3Node>, CoreError> {
     cfg.validate()?;
-    let mut net = Network::new(topo, sim, |node, topo| D3Node::new(node, topo, cfg));
+    let mut net =
+        Network::new(topo, sim, |node, topo| D3Node::new(node, topo, cfg)).with_fault_plan(plan);
     net.run(source, readings_per_leaf);
     Ok(net)
 }
@@ -239,6 +261,83 @@ mod tests {
     fn parent_detections_are_subset_of_child_reports() {
         // Theorem 3: everything a parent flags arrived as a child report.
         let net = run_small(800);
+        let topo = net.topology();
+        for level in 2..=topo.level_count() {
+            for &leader in topo.level(level) {
+                for d in &net.app(leader).detections {
+                    let reported_below = topo.descendant_leaves(leader).iter().any(|&leaf| {
+                        net.app(leaf)
+                            .detections
+                            .iter()
+                            .any(|ld| ld.value == d.value)
+                    });
+                    assert!(reported_below, "parent flagged un-reported value {d:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_is_identical_to_plain_run() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let source_at = || {
+            |node: NodeId, seq: u64| {
+                if node.0 == 0 && seq % 100 == 99 {
+                    Some(vec![0.9])
+                } else {
+                    Some(vec![
+                        0.45 + 0.002 * ((seq % 25) as f64) + 0.001 * node.0 as f64,
+                    ])
+                }
+            }
+        };
+        let mut a = source_at();
+        let plain =
+            run_d3(topo.clone(), &test_config(), SimConfig::default(), &mut a, 600).unwrap();
+        let mut b = source_at();
+        let faulty = run_d3_with_faults(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            FaultPlan::none(),
+            &mut b,
+            600,
+        )
+        .unwrap();
+        assert_eq!(plain.stats(), faulty.stats());
+        for (node, app) in plain.apps() {
+            assert_eq!(app.detections, faulty.app(node).detections);
+        }
+    }
+
+    #[test]
+    fn theorem3_containment_survives_faults() {
+        // Loss bursts, a leaf outage and duplicated links cannot break
+        // Theorem 3's containment: parents only flag values that some
+        // descendant leaf reported (deliveries may be lost, but never
+        // invented).
+        use snod_simnet::{LinkFault, RetryPolicy};
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let plan = FaultPlan::none()
+            .with_seed(11)
+            .burst(100_000_000_000, 300_000_000_000, 0.3)
+            .crash(
+                NodeId(1),
+                400_000_000_000,
+                Some(600_000_000_000),
+            )
+            .link(LinkFault::delay_all(2_000_000, 0).duplicate(0.05));
+        let sim = SimConfig::default().with_reliability(RetryPolicy::default());
+        let mut source = |node: NodeId, seq: u64| {
+            if node.0 == 0 && seq % 100 == 99 {
+                Some(vec![0.9])
+            } else {
+                Some(vec![
+                    0.45 + 0.002 * ((seq % 25) as f64) + 0.001 * node.0 as f64,
+                ])
+            }
+        };
+        let net = run_d3_with_faults(topo, &test_config(), sim, plan, &mut source, 1_000).unwrap();
         let topo = net.topology();
         for level in 2..=topo.level_count() {
             for &leader in topo.level(level) {

@@ -40,14 +40,18 @@ pub mod pipeline;
 mod replica;
 mod timeslice;
 
-pub use centralized::{run_centralized, CentralizedNode, CentralizedPayload};
+pub use centralized::{
+    run_centralized, run_centralized_with_faults, CentralizedNode, CentralizedPayload,
+};
 pub use config::{
     CoreError, D3Config, EstimatorConfig, EstimatorConfigBuilder, MgddConfig, RebuildPolicy,
     UpdateStrategy,
 };
-pub use d3::{run_d3, D3Node, D3Payload, Detection};
+pub use d3::{run_d3, run_d3_with_faults, D3Node, D3Payload, Detection};
 pub use estimator::{SensorEstimator, SensorModel};
-pub use mgdd::{run_mgdd, run_mgdd_with_levels, MgddNode, MgddPayload};
-pub use monitor::{run_monitor, FaultAlarm, ModelReport, MonitorConfig, MonitorNode};
+pub use mgdd::{run_mgdd, run_mgdd_with_faults, run_mgdd_with_levels, MgddNode, MgddPayload};
+pub use monitor::{
+    run_monitor, run_monitor_with_faults, FaultAlarm, ModelReport, MonitorConfig, MonitorNode,
+};
 pub use replica::IncrementalReplica;
 pub use timeslice::TimeSlicedEstimator;

@@ -20,13 +20,30 @@
 //! [`MgddConfig`]-driven runs can additionally enable intermediate
 //! levels, giving the multi-granularity flexibility of Section 3's
 //! example (outliers "with respect to an entire region").
+//!
+//! ## Faults and graceful degradation
+//!
+//! Global-model updates (both deltas and full models) travel with the
+//! simulator's ack/retry protocol when [`SimConfig::with_reliability`]
+//! is set, so transient loss delays rather than silences the downward
+//! stream. When a leaf's replica nonetheless goes stale — its leader
+//! crashed, or the retry budget ran out — the
+//! [`MgddConfig::staleness_bound_ns`] bound kicks in: the leaf scores
+//! against the last-known model only while nothing fresher exists
+//! (surfaced as `NetStats::degraded_scores`) and, once fully orphaned,
+//! falls back to MDEF over its *own* estimator, tagging those
+//! detections with its leaf level (surfaced as
+//! `NetStats::local_fallbacks`). [`run_mgdd_with_faults`] wires a
+//! [`FaultPlan`] into the run.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use snod_density::js_divergence_models;
 use snod_outlier::MdefDetector;
-use snod_simnet::{Ctx, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire};
+use snod_simnet::{
+    Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
+};
 
 use crate::config::{CoreError, MgddConfig, UpdateStrategy};
 use crate::d3::Detection;
@@ -162,10 +179,12 @@ impl MgddNode {
     }
 
     /// Pushes a global-model update downward according to the strategy.
+    /// Updates ride the reliable channel: under a retry policy a lost
+    /// frame is retransmitted instead of silently thinning the replicas.
     fn broadcast(&mut self, ctx: &mut Ctx<'_, MgddPayload>, value: &[f64]) {
         match self.cfg.updates {
             UpdateStrategy::EveryAcceptance => {
-                ctx.send_children(MgddPayload::GlobalDelta {
+                ctx.send_children_reliable(MgddPayload::GlobalDelta {
                     origin_level: self.level,
                     value: value.to_vec(),
                     sigmas: self.est.sigmas(),
@@ -191,7 +210,7 @@ impl MgddNode {
                         .unwrap_or(true),
                 };
                 if changed {
-                    ctx.send_children(MgddPayload::GlobalModel {
+                    ctx.send_children_reliable(MgddPayload::GlobalModel {
                         origin_level: self.level,
                         sample: self.est.sample(),
                         sigmas: self.est.sigmas(),
@@ -204,18 +223,54 @@ impl MgddNode {
     }
 
     /// Leaf-side MDEF check of a new observation against every warm
-    /// global replica (paper Figure 4, MGDD `IsOutlier`).
-    fn check(&mut self, time_ns: u64, p: &[f64]) {
-        let detector = MdefDetector::new(self.cfg.rule);
-        let mut hits = Vec::new();
-        for (origin, replica) in &mut self.replicas {
+    /// global replica (paper Figure 4, MGDD `IsOutlier`), with the
+    /// graceful-degradation ladder of `cfg.staleness_bound_ns`:
+    ///
+    /// 1. fresh replicas (updated within the bound) score normally;
+    /// 2. with *only* stale replicas, the leaf scores against the
+    ///    last-known models and notes a degraded score per verdict;
+    /// 3. orphaned entirely (no warm replica at all), a warm leaf falls
+    ///    back to MDEF over its own estimator, tagging the detection
+    ///    with its own (leaf) level.
+    fn check(&mut self, ctx: &mut Ctx<'_, MgddPayload>, p: &[f64]) {
+        let time_ns = ctx.time_ns;
+        let bound = self.cfg.staleness_bound_ns;
+        let mut fresh = Vec::new();
+        let mut stale = Vec::new();
+        for (i, (_, replica)) in self.replicas.iter().enumerate() {
             if !replica.is_warm() {
                 continue;
             }
+            match bound {
+                Some(b) if replica.is_stale(time_ns, b) => stale.push(i),
+                _ => fresh.push(i),
+            }
+        }
+        let degraded = fresh.is_empty() && !stale.is_empty();
+        let scorable = if degraded { &stale } else { &fresh };
+        let detector = MdefDetector::new(self.cfg.rule);
+        let mut hits = Vec::new();
+        for &i in scorable {
+            let (origin, replica) = &mut self.replicas[i];
             let Ok(model) = replica.model() else { continue };
             if let Ok(eval) = detector.evaluate(model, p) {
+                if degraded {
+                    ctx.note_degraded_score();
+                }
                 if eval.is_outlier {
                     hits.push(*origin);
+                }
+            }
+        }
+        if bound.is_some()
+            && scorable.is_empty()
+            && !self.replicas.is_empty()
+            && self.est.observed() >= self.est.config().sample_size as u64
+        {
+            ctx.note_local_fallback();
+            if let Ok(eval) = self.est.evaluate_mdef(p, &self.cfg.rule) {
+                if eval.is_outlier {
+                    hits.push(self.level);
                 }
             }
         }
@@ -231,7 +286,7 @@ impl MgddNode {
 
 impl SensorApp<MgddPayload> for MgddNode {
     fn on_reading(&mut self, ctx: &mut Ctx<'_, MgddPayload>, value: &[f64]) {
-        self.check(ctx.time_ns, value);
+        self.check(ctx, value);
         self.ingest(ctx, value);
     }
 
@@ -249,11 +304,13 @@ impl SensorApp<MgddPayload> for MgddNode {
                         self.replicas.iter_mut().find(|(l, _)| *l == origin_level)
                     {
                         replica.push(value, sigmas, window_len);
+                        replica.touch(ctx.time_ns);
                     }
                 } else {
                     // Intermediate leader: relay downward (Section 8.1,
-                    // "via the intermediate leaders").
-                    ctx.send_children(MgddPayload::GlobalDelta {
+                    // "via the intermediate leaders"), keeping the
+                    // reliable channel hop by hop.
+                    ctx.send_children_reliable(MgddPayload::GlobalDelta {
                         origin_level,
                         value,
                         sigmas,
@@ -272,9 +329,10 @@ impl SensorApp<MgddPayload> for MgddNode {
                         self.replicas.iter_mut().find(|(l, _)| *l == origin_level)
                     {
                         replica.replace(sample, sigmas, window_len);
+                        replica.touch(ctx.time_ns);
                     }
                 } else {
-                    ctx.send_children(MgddPayload::GlobalModel {
+                    ctx.send_children_reliable(MgddPayload::GlobalModel {
                         origin_level,
                         sample,
                         sigmas,
@@ -308,10 +366,37 @@ pub fn run_mgdd_with_levels<S: StreamSource>(
     readings_per_leaf: u64,
     broadcast_levels: &[u8],
 ) -> Result<Network<MgddPayload, MgddNode>, CoreError> {
+    run_mgdd_with_faults(
+        topo,
+        cfg,
+        sim,
+        FaultPlan::none(),
+        source,
+        readings_per_leaf,
+        broadcast_levels,
+    )
+}
+
+/// Runs MGDD under a fault schedule: `plan` drives crashes, link faults
+/// and loss bursts, while `sim` (optionally carrying a
+/// [`snod_simnet::RetryPolicy`]) decides how hard global-model updates
+/// fight back. With [`FaultPlan::none()`] this is bit-identical to
+/// [`run_mgdd_with_levels`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_mgdd_with_faults<S: StreamSource>(
+    topo: Hierarchy,
+    cfg: &MgddConfig,
+    sim: SimConfig,
+    plan: FaultPlan,
+    source: &mut S,
+    readings_per_leaf: u64,
+    broadcast_levels: &[u8],
+) -> Result<Network<MgddPayload, MgddNode>, CoreError> {
     cfg.validate()?;
     let mut net = Network::new(topo, sim, |node, topo| {
         MgddNode::new(node, topo, cfg, broadcast_levels)
-    });
+    })
+    .with_fault_plan(plan);
     net.run(source, readings_per_leaf);
     Ok(net)
 }
@@ -332,6 +417,7 @@ mod tests {
             rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
             sample_fraction: 0.75,
             updates: UpdateStrategy::EveryAcceptance,
+            staleness_bound_ns: None,
         }
     }
 
@@ -438,6 +524,82 @@ mod tests {
             lazy.stats().messages,
             every.stats().messages
         );
+    }
+
+    #[test]
+    fn fault_free_plan_is_identical_to_plain_run() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let top = topo.level_count() as u8;
+        let mut a = block_source();
+        let plain =
+            run_mgdd(topo.clone(), &test_config(), SimConfig::default(), &mut a, 600).unwrap();
+        let mut b = block_source();
+        let faulty = run_mgdd_with_faults(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            FaultPlan::none(),
+            &mut b,
+            600,
+            &[top],
+        )
+        .unwrap();
+        assert_eq!(plain.stats(), faulty.stats());
+        for &leaf in plain.topology().leaves() {
+            assert_eq!(plain.app(leaf).detections, faulty.app(leaf).detections);
+        }
+    }
+
+    #[test]
+    fn stale_replicas_score_degraded_but_still_detect() {
+        // A 1 ns staleness bound makes every warm replica permanently
+        // stale (updates always arrive at least a latency earlier than
+        // the next reading tick): scoring proceeds against the
+        // last-known models and every verdict is counted as degraded.
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let mut cfg = test_config();
+        cfg.staleness_bound_ns = Some(1);
+        let mut src = block_source();
+        let net = run_mgdd(topo, &cfg, SimConfig::default(), &mut src, 1_200).unwrap();
+        assert!(net.stats().degraded_scores > 0, "no degraded scores");
+        let leaf0 = net.app(NodeId(0));
+        assert!(
+            leaf0
+                .detections
+                .iter()
+                .any(|d| (d.value[0] - 0.55).abs() < 1e-9),
+            "skirt value lost despite last-known-model scoring"
+        );
+    }
+
+    #[test]
+    fn orphaned_leaves_fall_back_to_local_detection() {
+        // The sole broadcaster is dead from t = 0: replicas never warm,
+        // so leaves must detect with their own models, tagged level 1.
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let root = topo.root();
+        let mut cfg = test_config();
+        cfg.staleness_bound_ns = Some(5_000_000_000);
+        let plan = FaultPlan::none().crash(root, 0, None);
+        let top = topo.level_count() as u8;
+        let mut src = block_source();
+        let net = run_mgdd_with_faults(
+            topo,
+            &cfg,
+            SimConfig::default(),
+            plan,
+            &mut src,
+            800,
+            &[top],
+        )
+        .unwrap();
+        assert!(net.stats().local_fallbacks > 0, "no local fallbacks");
+        for &leaf in net.topology().leaves() {
+            assert!(
+                net.app(leaf).detections.iter().all(|d| d.level == 1),
+                "non-local detection without any global model"
+            );
+        }
     }
 
     #[test]

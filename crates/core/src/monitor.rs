@@ -14,10 +14,23 @@
 //! child's mean divergence crosses the threshold. Needs at least three
 //! children to attribute the fault.
 
+//! ## Faults and graceful degradation
+//!
+//! Model reports ride the simulator's reliable channel (ack/retry under
+//! a [`SimConfig::with_reliability`] policy). A leader judges a child
+//! only while its model is younger than
+//! [`MonitorConfig::staleness_bound_ns`]; children whose reports went
+//! silent are held at their last verdict and excluded from the sibling
+//! comparison, each exclusion counted as a degraded score in
+//! `NetStats::degraded_scores`. [`run_monitor_with_faults`] wires a
+//! [`FaultPlan`] into the run.
+
 use std::collections::HashMap;
 
 use snod_density::js_divergence_models;
-use snod_simnet::{Ctx, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire};
+use snod_simnet::{
+    Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
+};
 
 use crate::config::{CoreError, EstimatorConfig};
 use crate::estimator::{SensorEstimator, SensorModel};
@@ -61,6 +74,13 @@ pub struct MonitorConfig {
     pub threshold: f64,
     /// Grid resolution for the divergence computation.
     pub grid_k: usize,
+    /// Maximum age (simulated ns) of a child's model before the leader
+    /// stops judging it against its siblings: a silent child is held at
+    /// its last verdict rather than blamed on stale evidence, and every
+    /// stale exclusion during a reassessment is surfaced in
+    /// `NetStats::degraded_scores`. `None` trusts models forever (the
+    /// pre-fault-layer behaviour).
+    pub staleness_bound_ns: Option<u64>,
 }
 
 /// A leader's view of one child: the materialised model plus the epoch
@@ -71,6 +91,9 @@ struct ChildModel {
     built_sigmas: Vec<f64>,
     /// Reports absorbed (skipped) since the model was last rebuilt.
     reports_since_rebuild: u64,
+    /// Simulated time the child last reported (any report counts, even
+    /// epoch-skipped ones — the child proved it is alive).
+    updated_ns: u64,
 }
 
 /// Per-node monitor state.
@@ -115,16 +138,30 @@ impl MonitorNode {
     /// any number of *distinct* simultaneous faults; two sensors failing
     /// identically would still cover for each other — an inherent limit
     /// of purely mutual comparison.)
-    fn reassess(&mut self, time_ns: u64) {
-        if self.child_models.len() < 3 {
-            return; // cannot attribute a fault among fewer than 3
+    ///
+    /// Children whose model is older than the staleness bound are
+    /// excluded — neither judged nor used as a sibling reference — and
+    /// held at their last verdict. Returns the number of such stale
+    /// exclusions when the comparison still ran (degraded scoring).
+    fn reassess(&mut self, time_ns: u64) -> u64 {
+        let bound = self.cfg.staleness_bound_ns;
+        let mut fresh: Vec<NodeId> = self
+            .child_models
+            .iter()
+            .filter(|(_, cm)| bound.is_none_or(|b| time_ns.saturating_sub(cm.updated_ns) <= b))
+            .map(|(&c, _)| c)
+            .collect();
+        fresh.sort_unstable_by_key(|c| c.0);
+        let stale = (self.child_models.len() - fresh.len()) as u64;
+        if fresh.len() < 3 {
+            return 0; // cannot attribute a fault among fewer than 3
         }
-        let children: Vec<NodeId> = self.child_models.keys().copied().collect();
-        for &child in &children {
+        for &child in &fresh {
             let mine = &self.child_models[&child].model;
             let mut min_div = f64::INFINITY;
-            for (&other, cm) in &self.child_models {
+            for &other in &fresh {
                 if other != child {
+                    let cm = &self.child_models[&other];
                     if let Ok(d) = js_divergence_models(mine, &cm.model, self.cfg.grid_k) {
                         min_div = min_div.min(d);
                     }
@@ -144,6 +181,7 @@ impl MonitorNode {
             }
             self.currently_flagged.insert(child, above);
         }
+        stale
     }
 }
 
@@ -157,7 +195,8 @@ impl SensorApp<ModelReport> for MonitorNode {
             && self.est.observed() >= self.est.config().sample_size as u64
         {
             self.since_report = 0;
-            ctx.send_parent(ModelReport {
+            // Reports are model updates: retried under a retry policy.
+            ctx.send_parent_reliable(ModelReport {
                 sample: self.est.sample(),
                 sigmas: self.est.sigmas(),
                 window_len: self.est.window_len(),
@@ -175,6 +214,9 @@ impl SensorApp<ModelReport> for MonitorNode {
         let policy = self.cfg.estimator.rebuild;
         if let Some(cm) = self.child_models.get_mut(&from) {
             cm.reports_since_rebuild += 1;
+            // Even a skipped report proves the child is alive: refresh
+            // its staleness clock.
+            cm.updated_ns = ctx.time_ns;
             if !policy.should_rebuild(cm.reports_since_rebuild, &cm.built_sigmas, &report.sigmas) {
                 return;
             }
@@ -202,9 +244,13 @@ impl SensorApp<ModelReport> for MonitorNode {
                     model,
                     built_sigmas: report.sigmas,
                     reports_since_rebuild: 0,
+                    updated_ns: ctx.time_ns,
                 },
             );
-            self.reassess(ctx.time_ns);
+            let stale_exclusions = self.reassess(ctx.time_ns);
+            for _ in 0..stale_exclusions {
+                ctx.note_degraded_score();
+            }
         }
     }
 }
@@ -218,13 +264,30 @@ pub fn run_monitor<S: StreamSource>(
     source: &mut S,
     readings_per_leaf: u64,
 ) -> Result<Network<ModelReport, MonitorNode>, CoreError> {
+    run_monitor_with_faults(topo, cfg, sim, FaultPlan::none(), source, readings_per_leaf)
+}
+
+/// Runs the monitor under a fault schedule. With [`FaultPlan::none()`]
+/// this is bit-identical to [`run_monitor`].
+pub fn run_monitor_with_faults<S: StreamSource>(
+    topo: Hierarchy,
+    cfg: &MonitorConfig,
+    sim: SimConfig,
+    plan: FaultPlan,
+    source: &mut S,
+    readings_per_leaf: u64,
+) -> Result<Network<ModelReport, MonitorNode>, CoreError> {
     if cfg.report_every == 0 {
         return Err(CoreError::Config("report interval must be positive"));
     }
     if cfg.grid_k == 0 {
         return Err(CoreError::Config("grid resolution must be positive"));
     }
-    let mut net = Network::new(topo, sim, |node, topo| MonitorNode::new(node, topo, cfg));
+    if cfg.staleness_bound_ns == Some(0) {
+        return Err(CoreError::Config("staleness bound must be positive"));
+    }
+    let mut net =
+        Network::new(topo, sim, |node, topo| MonitorNode::new(node, topo, cfg)).with_fault_plan(plan);
     net.run(source, readings_per_leaf);
     Ok(net)
 }
@@ -244,6 +307,7 @@ mod tests {
             report_every: 100,
             threshold: 0.35,
             grid_k: 32,
+            staleness_bound_ns: None,
         }
     }
 
@@ -295,6 +359,52 @@ mod tests {
         let net = run_monitor(topo, &cfg(), SimConfig::default(), &mut src, 1_500).unwrap();
         let root = net.topology().root();
         assert!(net.app(root).alarms.is_empty());
+    }
+
+    #[test]
+    fn fault_free_plan_is_identical_to_plain_run() {
+        let topo = Hierarchy::balanced(4, &[4]).unwrap();
+        let mut a = source(1_000);
+        let plain = run_monitor(topo.clone(), &cfg(), SimConfig::default(), &mut a, 2_000).unwrap();
+        let mut b = source(1_000);
+        let faulty = run_monitor_with_faults(
+            topo,
+            &cfg(),
+            SimConfig::default(),
+            FaultPlan::none(),
+            &mut b,
+            2_000,
+        )
+        .unwrap();
+        assert_eq!(plain.stats(), faulty.stats());
+        let root = plain.topology().root();
+        assert_eq!(plain.app(root).alarms, faulty.app(root).alarms);
+    }
+
+    #[test]
+    fn silent_child_is_excluded_and_counted_as_degraded() {
+        // Leaf 2 crashes at t = 500 s and never reports again. With a
+        // staleness bound its frozen model must drop out of the sibling
+        // comparison (each exclusion = one degraded score) instead of
+        // being judged on stale evidence; the remaining three healthy
+        // children raise no alarm.
+        let topo = Hierarchy::balanced(4, &[4]).unwrap();
+        let mut c = cfg();
+        c.staleness_bound_ns = Some(150 * 1_000_000_000);
+        // Rebuild (and hence reassess) on every report so exclusions
+        // are visible without waiting out the epoch budget.
+        c.estimator.rebuild = crate::config::RebuildPolicy::always();
+        let plan = FaultPlan::none().crash(NodeId(2), 500 * 1_000_000_000, None);
+        let mut src = source(u64::MAX);
+        let net =
+            run_monitor_with_faults(topo, &c, SimConfig::default(), plan, &mut src, 2_000).unwrap();
+        assert!(net.stats().degraded_scores > 0, "no stale exclusions");
+        let root = net.topology().root();
+        assert!(
+            net.app(root).alarms.is_empty(),
+            "healthy siblings raised alarms: {:?}",
+            net.app(root).alarms
+        );
     }
 
     #[test]

@@ -8,12 +8,12 @@
 
 use std::collections::BTreeMap;
 
-use snod_simnet::{Hierarchy, NodeId, SimConfig, StreamSource};
+use snod_simnet::{FaultPlan, Hierarchy, NodeId, SimConfig, StreamSource};
 
-use crate::centralized::run_centralized;
+use crate::centralized::run_centralized_with_faults;
 use crate::config::{CoreError, D3Config, MgddConfig};
-use crate::d3::{run_d3, Detection};
-use crate::mgdd::run_mgdd_with_levels;
+use crate::d3::{run_d3_with_faults, Detection};
+use crate::mgdd::run_mgdd_with_faults;
 
 /// Which detector the pipeline runs.
 #[derive(Debug, Clone)]
@@ -33,6 +33,7 @@ pub struct OutlierPipeline {
     topo: Hierarchy,
     sim: SimConfig,
     algorithm: Algorithm,
+    plan: FaultPlan,
 }
 
 /// What a pipeline run produced.
@@ -59,7 +60,22 @@ impl OutlierPipeline {
             topo,
             sim,
             algorithm,
+            plan: FaultPlan::none(),
         }
+    }
+
+    /// Returns the pipeline with a fault schedule installed: every run
+    /// replays the plan's crashes, link faults and loss bursts. With
+    /// [`FaultPlan::none()`] (the default) runs are bit-identical to a
+    /// pipeline without a plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     /// Convenience: a balanced hierarchy of `leaves` sensors under the
@@ -96,7 +112,14 @@ impl OutlierPipeline {
         let stats;
         match &self.algorithm {
             Algorithm::D3(cfg) => {
-                let net = run_d3(self.topo.clone(), cfg, self.sim, source, readings_per_leaf)?;
+                let net = run_d3_with_faults(
+                    self.topo.clone(),
+                    cfg,
+                    self.sim,
+                    self.plan.clone(),
+                    source,
+                    readings_per_leaf,
+                )?;
                 for (_, app) in net.apps() {
                     for d in &app.detections {
                         by_level.entry(d.level).or_default().push(d.clone());
@@ -110,10 +133,11 @@ impl OutlierPipeline {
                 } else {
                     levels.clone()
                 };
-                let net = run_mgdd_with_levels(
+                let net = run_mgdd_with_faults(
                     self.topo.clone(),
                     cfg,
                     self.sim,
+                    self.plan.clone(),
                     source,
                     readings_per_leaf,
                     &levels,
@@ -126,11 +150,12 @@ impl OutlierPipeline {
                 stats = net.stats().clone();
             }
             Algorithm::Centralized(rule, window_per_leaf) => {
-                let net = run_centralized(
+                let net = run_centralized_with_faults(
                     self.topo.clone(),
                     *rule,
                     *window_per_leaf,
                     self.sim,
+                    self.plan.clone(),
                     source,
                     readings_per_leaf,
                 )?;
@@ -203,6 +228,24 @@ mod tests {
         let report = p.run(&mut src, 800).unwrap();
         let levels: Vec<u8> = report.detections_by_level.keys().copied().collect();
         assert!(levels.iter().all(|&l| l == 3), "levels {levels:?}");
+    }
+
+    #[test]
+    fn fault_plan_rides_the_pipeline() {
+        // A total blackout burst: every frame sent is dropped, so no
+        // detection can climb above the leaves.
+        let p = OutlierPipeline::balanced(4, &[2, 2], SimConfig::default(), d3_algorithm())
+            .unwrap()
+            .with_fault_plan(FaultPlan::none().burst(0, u64::MAX, 1.0));
+        let mut src = source_with_spikes();
+        let report = p.run(&mut src, 800).unwrap();
+        assert_eq!(report.stats.dropped, report.stats.messages);
+        assert!(report.total_detections() > 0, "leaves went silent too");
+        assert!(
+            report.detections_by_level.keys().all(|&l| l == 1),
+            "a detection crossed a dead network: {:?}",
+            report.detections_by_level.keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]

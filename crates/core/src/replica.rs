@@ -39,6 +39,8 @@ pub struct IncrementalReplica {
     pushes_since_rebuild: u64,
     /// Completed full rebuilds.
     epochs: u64,
+    /// Simulated time of the latest upstream update ([`Self::touch`]).
+    last_update_ns: u64,
 }
 
 impl IncrementalReplica {
@@ -54,7 +56,28 @@ impl IncrementalReplica {
             built_sigmas: Vec::new(),
             pushes_since_rebuild: 0,
             epochs: 0,
+            last_update_ns: 0,
         }
+    }
+
+    /// Records the simulated time at which an upstream update (a relayed
+    /// delta or a full-model broadcast) last reached this replica. Under
+    /// message loss or a crashed leader the replica keeps serving its
+    /// last-known model, and this timestamp is what a staleness bound is
+    /// checked against.
+    pub fn touch(&mut self, now_ns: u64) {
+        self.last_update_ns = self.last_update_ns.max(now_ns);
+    }
+
+    /// Simulated time of the latest upstream update (`0` before any).
+    pub fn last_update_ns(&self) -> u64 {
+        self.last_update_ns
+    }
+
+    /// Whether the replica has gone stale: no upstream update within the
+    /// last `bound_ns` of simulated time.
+    pub fn is_stale(&self, now_ns: u64, bound_ns: u64) -> bool {
+        now_ns.saturating_sub(self.last_update_ns) > bound_ns
     }
 
     /// Applies one relayed sample value (evicting the oldest when full)
@@ -302,6 +325,22 @@ mod tests {
             SensorModel::Multi(_) => unreachable!(),
         }
         assert_eq!(replica.epochs(), 2);
+    }
+
+    #[test]
+    fn staleness_tracks_the_latest_touch() {
+        let mut replica = IncrementalReplica::new(8, RebuildPolicy::default());
+        // Untouched: stale relative to any positive age.
+        assert!(replica.is_stale(1_000, 999));
+        assert!(!replica.is_stale(1_000, 1_000));
+        replica.touch(5_000);
+        assert_eq!(replica.last_update_ns(), 5_000);
+        assert!(!replica.is_stale(5_500, 500));
+        assert!(replica.is_stale(5_501, 500));
+        // Touches never move backwards (duplicate deliveries may arrive
+        // out of order under link faults).
+        replica.touch(4_000);
+        assert_eq!(replica.last_update_ns(), 5_000);
     }
 
     #[test]

@@ -28,6 +28,32 @@ pub enum Event<P> {
         /// Application payload.
         payload: P,
     },
+    /// A message sent under the ack/retry protocol arrives: the receiver
+    /// deduplicates by `msg_id` and acknowledges.
+    DeliverReliable {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Engine-assigned message id (dedup + ack matching).
+        msg_id: u64,
+        /// Application payload.
+        payload: P,
+    },
+    /// An acknowledgement frame arrives back at the original sender.
+    Ack {
+        /// The acknowledging node (receiver of the original message).
+        from: NodeId,
+        /// The original sender, whose pending entry this retires.
+        to: NodeId,
+        /// The acknowledged message id.
+        msg_id: u64,
+    },
+    /// A retransmission timer fires at the sender of `msg_id`.
+    Retry {
+        /// The guarded message id.
+        msg_id: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -157,7 +183,7 @@ mod tests {
         let order: Vec<u32> = std::iter::from_fn(|| {
             q.pop().map(|(_, e)| match e {
                 Event::Deliver { payload, .. } => payload,
-                Event::Reading { .. } => unreachable!(),
+                _ => unreachable!(),
             })
         })
         .collect();

@@ -40,16 +40,27 @@
 //!    and run in batch order on one worker. The assignment of groups to
 //!    threads cannot affect any observable value.
 //! 3. **Side-effect replay.** Everything shared — stream fetches,
-//!    receive/transmit energy sums, message statistics, the loss RNG,
+//!    receive/transmit energy sums, message statistics, the per-node
+//!    RNG streams, the reliability protocol's pending/dedup tables,
 //!    queue sequence numbers — is executed by the coordinator thread in
-//!    exact batch order: stream fetches and receive accounting in a
-//!    pre-pass, outbox flushing and next-reading scheduling in a
+//!    exact batch order: stream fetches, receive accounting and
+//!    duplicate suppression in a pre-pass; outbox flushing, ack and
+//!    retransmission handling and next-reading scheduling in a
 //!    post-pass. Floating-point accumulation order and RNG draw order
-//!    are thus byte-for-byte those of the sequential engine.
+//!    are thus byte-for-byte those of the sequential engine. Crucially,
+//!    *acks and retry timers are resolved in the post-pass too*: a
+//!    retransmission at batch position `k` followed by an ack at `k+1`
+//!    replays in exactly that order, as the sequential engine would.
 //!
 //! Hence every statistic, alarm and detection is bit-identical across
 //! `worker_threads` settings; the parallel engine merely overlaps the
-//! (expensive, pure) per-node model computations.
+//! (expensive, pure) per-node model computations. The same argument
+//! covers the fault layer ([`fault::FaultPlan`]) and the ack/retry
+//! protocol ([`fault::RetryPolicy`]): both engines consult the plan in
+//! the pre phase and draw fault/loss/retry randomness in the post
+//! phase, from per-node streams whose draw order is per-stream
+//! sequential order. See `network.rs` for the per-node stream layout
+//! and the bit-exactness argument for `FaultPlan::none()`.
 //!
 //! ```
 //! use snod_simnet::{Ctx, Hierarchy, Network, NodeId, SensorApp, SimConfig};
@@ -77,6 +88,7 @@ mod aggregate;
 mod election;
 mod energy;
 mod event;
+pub mod fault;
 mod message;
 mod network;
 mod node;
@@ -87,7 +99,8 @@ pub use aggregate::{Aggregate, PartialState, TagNode, TagPayload};
 pub use election::{ElectionPolicy, Electorate, LeaderAssignment};
 pub use energy::EnergyModel;
 pub use event::{Event, EventQueue};
-pub use message::{Envelope, Wire};
+pub use fault::{BurstLoss, CrashWindow, DropoutWindow, FaultPlan, LinkFault, RetryPolicy};
+pub use message::{Envelope, Wire, ACK_BYTES, HEADER_BYTES, MSG_ID_BYTES};
 pub use network::{Ctx, Network, SensorApp, SimConfig, StreamSource};
 pub use node::{Location, NodeId, NodeRole};
 pub use stats::NetStats;

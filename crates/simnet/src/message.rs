@@ -19,6 +19,13 @@ pub trait Wire: Clone {
 /// type, length — a deliberately small TinyOS-like header).
 pub const HEADER_BYTES: usize = 8;
 
+/// Extra bytes a reliable frame carries for its engine-assigned message
+/// id (dedup + ack matching).
+pub const MSG_ID_BYTES: usize = 8;
+
+/// Size of an acknowledgement frame: a header plus the acked message id.
+pub const ACK_BYTES: usize = HEADER_BYTES + MSG_ID_BYTES;
+
 /// A payload in flight between two nodes.
 #[derive(Debug, Clone)]
 pub struct Envelope<P> {

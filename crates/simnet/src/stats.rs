@@ -3,7 +3,7 @@
 use crate::node::NodeId;
 
 /// Aggregated traffic and energy accounting for one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetStats {
     /// Total messages sent.
     pub messages: u64,
@@ -15,8 +15,38 @@ pub struct NetStats {
     pub bytes_per_node: Vec<u64>,
     /// Messages sent per node.
     pub messages_per_node: Vec<u64>,
-    /// Messages lost on the air (lossy-radio simulation).
+    /// Messages lost on the air (lossy-radio simulation, including loss
+    /// bursts from a fault plan; retransmissions and acks can be
+    /// dropped too).
     pub dropped: u64,
+    /// Frames that arrived at a crashed (or failed) node and
+    /// evaporated.
+    pub lost_to_crash: u64,
+    /// Extra deliveries created by link-fault duplication (best-effort
+    /// and reliable frames and acks alike). Radio artifacts: charged
+    /// receive energy, but no extra transmit cost.
+    pub duplicates: u64,
+    /// Duplicate reliable deliveries the receiver suppressed by message
+    /// id (the application never saw them; the engine still re-acked).
+    pub duplicates_suppressed: u64,
+    /// Retransmissions aired by the ack/retry protocol (also counted in
+    /// [`NetStats::messages`] — they are real frames).
+    pub retransmissions: u64,
+    /// Acknowledgement frames sent (protocol overhead, accounted
+    /// separately from application messages).
+    pub acks: u64,
+    /// Bytes spent on acknowledgement frames.
+    pub ack_bytes: u64,
+    /// Reliable messages abandoned after exhausting every retry.
+    pub retry_exhausted: u64,
+    /// Times a node scored against a stale last-known model instead of
+    /// a fresh one (graceful degradation, see
+    /// [`crate::Ctx::note_degraded_score`]).
+    pub degraded_scores: u64,
+    /// Times a node fell back to local-only detection because its
+    /// upstream went silent (see
+    /// [`crate::Ctx::note_local_fallback`]).
+    pub local_fallbacks: u64,
     /// Total transmit energy across the network (J).
     pub tx_joules: f64,
     /// Total receive energy across the network (J).

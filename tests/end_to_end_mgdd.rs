@@ -18,6 +18,7 @@ fn mgdd_config(updates: UpdateStrategy) -> MgddConfig {
         rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
         sample_fraction: 0.75,
         updates,
+        staleness_bound_ns: None,
     }
 }
 

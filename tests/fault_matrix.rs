@@ -1,0 +1,177 @@
+//! The fault matrix: both paper algorithms × 3 seeds × 3 fault levels.
+//!
+//! This is the suite CI's fault-matrix job runs in release mode. Each
+//! cell replays a seeded workload under one rung of the severity ladder
+//! and checks the structural invariants that hold at *every* severity —
+//! soundness (Theorem 3 containment for D3), accounting consistency,
+//! and graceful degradation (MGDD leaves keep detecting even when the
+//! network is gone). Assertions are structural rather than count-exact,
+//! so the matrix is stable across `rand` versions and platforms.
+
+use sensor_outliers::core::{
+    run_d3_with_faults, run_mgdd_with_faults, D3Config, EstimatorConfig, MgddConfig,
+    UpdateStrategy,
+};
+use sensor_outliers::outlier::{DistanceOutlierConfig, MdefConfig};
+use sensor_outliers::simnet::{
+    FaultPlan, Hierarchy, LinkFault, NetStats, NodeId, RetryPolicy, SimConfig,
+};
+
+const READINGS: u64 = 700;
+const HORIZON_NS: u64 = READINGS * 1_000_000_000;
+const SEEDS: [u64; 3] = [11, 42, 1_337];
+
+fn topo() -> Hierarchy {
+    Hierarchy::balanced(4, &[2, 2]).unwrap()
+}
+
+/// The three rungs of the severity ladder for one matrix row.
+fn fault_levels(topo: &Hierarchy, seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    let victim = topo.leaves()[(seed % topo.leaves().len() as u64) as usize];
+    vec![
+        ("none", FaultPlan::none()),
+        (
+            "moderate",
+            FaultPlan::none()
+                .with_seed(seed)
+                .burst(HORIZON_NS / 4, HORIZON_NS / 2, 0.3)
+                .link(LinkFault::delay_all(2_000_000, 500_000)),
+        ),
+        (
+            "severe",
+            FaultPlan::none()
+                .with_seed(seed)
+                .burst(HORIZON_NS / 8, HORIZON_NS, 0.8)
+                .crash(victim, HORIZON_NS / 3, Some(2 * HORIZON_NS / 3))
+                .link(LinkFault::delay_all(5_000_000, 1_000_000).duplicate(0.1)),
+        ),
+    ]
+}
+
+fn source_for(seed: u64) -> impl FnMut(NodeId, u64) -> Option<Vec<f64>> {
+    move |node: NodeId, seq: u64| {
+        let h = node.0 as u64 * 1_000_003 ^ seq.wrapping_mul(7_919 + seed);
+        if seq % 149 == 60 {
+            Some(vec![0.92])
+        } else {
+            Some(vec![0.3 + 0.2 * ((h % 1_009) as f64 / 1_009.0)])
+        }
+    }
+}
+
+fn estimator(seed: u64) -> EstimatorConfig {
+    EstimatorConfig::builder()
+        .window(250)
+        .sample_size(40)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// Counters can never contradict each other, whatever the plan did.
+fn assert_accounting_consistent(label: &str, stats: &NetStats) {
+    assert!(
+        stats.dropped <= stats.messages + stats.acks,
+        "{label}: more frames dropped than aired"
+    );
+    assert!(
+        stats.retransmissions <= stats.messages,
+        "{label}: retransmissions exceed total messages"
+    );
+    assert_eq!(
+        stats.messages,
+        stats.messages_per_node.iter().sum::<u64>(),
+        "{label}: per-node message accounting drifted"
+    );
+    assert!(
+        stats.tx_joules >= 0.0 && stats.rx_joules >= 0.0,
+        "{label}: negative energy"
+    );
+}
+
+#[test]
+fn d3_matrix_stays_sound_at_every_cell() {
+    for seed in SEEDS {
+        let topo = topo();
+        for (label, plan) in fault_levels(&topo, seed) {
+            let cfg = D3Config {
+                estimator: estimator(seed),
+                rule: DistanceOutlierConfig::new(8.0, 0.02),
+                sample_fraction: 0.5,
+            };
+            let sim = SimConfig::default().with_reliability(RetryPolicy::default());
+            let mut src = source_for(seed);
+            let net = run_d3_with_faults(topo.clone(), &cfg, sim, plan, &mut src, READINGS)
+                .expect("valid config");
+            let cell = format!("d3/seed {seed}/{label}");
+            assert_accounting_consistent(&cell, net.stats());
+
+            // Theorem 3 containment: leader detections only ever echo
+            // leaf-flagged values.
+            let leaf_keys: std::collections::HashSet<Vec<u64>> = net
+                .apps()
+                .flat_map(|(_, app)| app.detections.iter())
+                .filter(|d| d.level == 1)
+                .map(|d| d.value.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            for (_, app) in net.apps() {
+                for d in app.detections.iter().filter(|d| d.level > 1) {
+                    let key: Vec<u64> = d.value.iter().map(|v| v.to_bits()).collect();
+                    assert!(leaf_keys.contains(&key), "{cell}: unsound escalation");
+                }
+            }
+
+            // The workload plants deviations every 149 readings; leaves
+            // must flag some of them regardless of network state.
+            let leaf_detections: usize = topo
+                .leaves()
+                .iter()
+                .map(|&l| net.app(l).detections.len())
+                .sum();
+            assert!(leaf_detections > 0, "{cell}: leaves went blind");
+        }
+    }
+}
+
+#[test]
+fn mgdd_matrix_degrades_gracefully_at_every_cell() {
+    for seed in SEEDS {
+        let topo = topo();
+        let top = topo.level_count() as u8;
+        for (label, plan) in fault_levels(&topo, seed) {
+            let cfg = MgddConfig {
+                estimator: estimator(seed),
+                rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
+                sample_fraction: 0.75,
+                updates: UpdateStrategy::EveryAcceptance,
+                staleness_bound_ns: Some(20_000_000_000),
+            };
+            let sim = SimConfig::default().with_reliability(RetryPolicy::default());
+            let mut src = source_for(seed);
+            let net =
+                run_mgdd_with_faults(topo.clone(), &cfg, sim, plan, &mut src, READINGS, &[top])
+                    .expect("valid config");
+            let cell = format!("mgdd/seed {seed}/{label}");
+            assert_accounting_consistent(&cell, net.stats());
+
+            // Detections are only ever tagged with a granularity that
+            // exists, and leaf-tagged ones only appear when the run
+            // actually degraded to local models.
+            for (_, app) in net.apps() {
+                for d in &app.detections {
+                    assert!(
+                        (1..=top).contains(&d.level),
+                        "{cell}: impossible granularity {}",
+                        d.level
+                    );
+                    if d.level == 1 {
+                        assert!(
+                            net.stats().local_fallbacks > 0,
+                            "{cell}: leaf-tagged detection without any local fallback"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -46,6 +46,7 @@ fn monitor_blames_the_stuck_sensor_over_the_network() {
         report_every: 150,
         threshold: 0.3,
         grid_k: 16,
+        staleness_bound_ns: None,
     };
     // Sibling sensors observe the same regional weather, differing only
     // by instrument noise — healthy models agree, so the stuck one

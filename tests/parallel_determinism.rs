@@ -7,7 +7,7 @@
 use sensor_outliers::core::pipeline::{Algorithm, OutlierPipeline, PipelineReport};
 use sensor_outliers::core::{D3Config, EstimatorConfig, MgddConfig, UpdateStrategy};
 use sensor_outliers::outlier::{DistanceOutlierConfig, MdefConfig};
-use sensor_outliers::simnet::{NodeId, SimConfig};
+use sensor_outliers::simnet::{FaultPlan, LinkFault, NodeId, RetryPolicy, SimConfig};
 
 /// A deterministic stream with occasional planted outliers.
 fn source(node: NodeId, seq: u64) -> Option<Vec<f64>> {
@@ -44,6 +44,31 @@ fn run(alg: &Algorithm, workers: usize) -> PipelineReport {
     p.run(&mut src, 1_200).unwrap()
 }
 
+/// Like [`run`], but under an active fault plan (crash + extra delay +
+/// duplication) with the ack/retry protocol enabled — the post-pass RNG
+/// draws (loss, duplication, retry timers) must replay in the same
+/// order whatever the worker count.
+fn run_with_faults(alg: &Algorithm, workers: usize) -> PipelineReport {
+    let horizon_ns = 1_200 * 1_000_000_000;
+    let sim = SimConfig {
+        stagger_readings: false,
+        ..SimConfig::default()
+    }
+    .with_drop_probability(0.05)
+    .with_reliability(RetryPolicy::default())
+    .with_worker_threads(workers);
+    let p = OutlierPipeline::balanced(8, &[4, 2], sim, alg.clone()).unwrap();
+    let victim = p.topology().leaves()[1];
+    let plan = FaultPlan::none()
+        .with_seed(77)
+        .burst(horizon_ns / 5, horizon_ns / 2, 0.4)
+        .crash(victim, horizon_ns / 3, Some(2 * horizon_ns / 3))
+        .link(LinkFault::delay_all(3_000_000, 1_000_000).duplicate(0.1));
+    let p = p.with_fault_plan(plan);
+    let mut src = source;
+    p.run(&mut src, 1_200).unwrap()
+}
+
 fn assert_identical(a: &PipelineReport, b: &PipelineReport) {
     // Detections: exact content, grouping and order.
     assert_eq!(
@@ -53,13 +78,11 @@ fn assert_identical(a: &PipelineReport, b: &PipelineReport) {
     for (level, da) in &a.detections_by_level {
         assert_eq!(da, &b.detections_by_level[level], "level {level} diverged");
     }
-    // Network statistics, including bit-exact float energy sums.
-    assert_eq!(a.stats.messages, b.stats.messages);
-    assert_eq!(a.stats.bytes, b.stats.bytes);
-    assert_eq!(a.stats.dropped, b.stats.dropped);
-    assert_eq!(a.stats.messages_per_level, b.stats.messages_per_level);
-    assert_eq!(a.stats.bytes_per_node, b.stats.bytes_per_node);
-    assert_eq!(a.stats.elapsed_ns, b.stats.elapsed_ns);
+    // Network statistics — the whole struct, covering the fault-layer
+    // counters (drops, duplicates, retransmissions, acks, degradation)
+    // along with the classic traffic totals.
+    assert_eq!(a.stats, b.stats);
+    // Float energy sums must agree bit for bit, not just by `==`.
     assert!(a.stats.tx_joules.to_bits() == b.stats.tx_joules.to_bits());
     assert!(a.stats.rx_joules.to_bits() == b.stats.rx_joules.to_bits());
 }
@@ -72,6 +95,7 @@ fn mgdd_detections_are_identical_across_worker_counts() {
             rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
             sample_fraction: 0.5,
             updates: UpdateStrategy::EveryAcceptance,
+            staleness_bound_ns: None,
         },
         vec![],
     );
@@ -97,5 +121,46 @@ fn d3_detections_are_identical_across_worker_counts() {
         "workload produced no detections — the equivalence check would be vacuous"
     );
     let parallel = run(&alg, 4);
+    assert_identical(&sequential, &parallel);
+}
+
+#[test]
+fn d3_is_identical_across_worker_counts_with_faults_and_retries() {
+    let alg = Algorithm::D3(D3Config {
+        estimator: estimator(),
+        rule: DistanceOutlierConfig::new(6.0, 0.05),
+        sample_fraction: 0.5,
+    });
+    let sequential = run_with_faults(&alg, 1);
+    assert!(
+        sequential.total_detections() > 0,
+        "faulty workload produced no detections — the check would be vacuous"
+    );
+    assert!(
+        sequential.stats.dropped > 0 && sequential.stats.retransmissions > 0,
+        "the plan injected nothing — the check would be vacuous"
+    );
+    let parallel = run_with_faults(&alg, 4);
+    assert_identical(&sequential, &parallel);
+}
+
+#[test]
+fn mgdd_is_identical_across_worker_counts_with_faults_and_retries() {
+    let alg = Algorithm::Mgdd(
+        MgddConfig {
+            estimator: estimator(),
+            rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
+            sample_fraction: 0.5,
+            updates: UpdateStrategy::EveryAcceptance,
+            staleness_bound_ns: Some(20_000_000_000),
+        },
+        vec![],
+    );
+    let sequential = run_with_faults(&alg, 1);
+    assert!(
+        sequential.stats.dropped > 0,
+        "the plan injected nothing — the check would be vacuous"
+    );
+    let parallel = run_with_faults(&alg, 4);
     assert_identical(&sequential, &parallel);
 }

@@ -21,7 +21,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use snod_core::{IncrementalReplica, RebuildPolicy};
-use snod_density::{DensityModel, Kde, Kde1d};
+use snod_density::{scott_bandwidth, DensityModel, Kde, Kde1d};
 
 const RUNS: usize = 5;
 
@@ -136,4 +136,49 @@ fn main() {
         s1 / b1,
         s2 / b2,
     );
+
+    // Per-phase attribution via the obs registry: where the work goes
+    // between bandwidth selection, scalar kernel integration and the
+    // batched sweep fast path. Counters (queries, kernel evaluations)
+    // and span histograms (build/sweep latency) per phase.
+    let xs = sample_1d(1_000);
+    let kde = Kde1d::from_sample(&xs, 0.1, 10_000.0).unwrap();
+    let queries: Vec<f64> = (0..64).map(|i| i as f64 / 64.0).collect();
+    let ((), bandwidth) = snod_bench::obs_report::phase(|| {
+        for _ in 0..200 {
+            for &sigma in &[0.05, 0.1, 0.2] {
+                black_box(scott_bandwidth(black_box(sigma), xs.len(), 1));
+            }
+        }
+    });
+    let ((), kernel_integration) = snod_bench::obs_report::phase(|| {
+        for _ in 0..200 {
+            for &p in &queries {
+                black_box(kde.neighborhood_count(black_box(&[p]), 0.01).unwrap());
+            }
+        }
+    });
+    let ((), sweep) = snod_bench::obs_report::phase(|| {
+        for _ in 0..200 {
+            black_box(kde.neighborhood_counts(black_box(&queries), 0.01).unwrap());
+        }
+    });
+    let phases = vec![
+        ("bandwidth".to_string(), bandwidth.clone()),
+        ("kernel_integration".to_string(), kernel_integration.clone()),
+        ("sweep".to_string(), sweep.clone()),
+    ];
+    snod_bench::obs_report::write_phases("BENCH_kde_metrics.json", &phases)
+        .expect("write BENCH_kde_metrics.json");
+    if snod_obs::enabled() {
+        eprintln!(
+            "phase attribution: bandwidth calls {}, scalar kernels {}, sweep kernels {} \
+             (BENCH_kde_metrics.json)",
+            bandwidth.counter("density.bandwidth.calls").unwrap_or(0),
+            kernel_integration
+                .counter("density.scalar.kernels")
+                .unwrap_or(0),
+            sweep.counter("density.sweep.kernels").unwrap_or(0),
+        );
+    }
 }

@@ -1,108 +1,109 @@
-//! Diagnostics: sweep MDEF estimator variants over the paper's synthetic
-//! workload to see which reconstruction yields the published outlier
-//! rates (~40–80 per 10k window). Internal tool, not a figure.
+//! Diagnostics: run the *production* MDEF path (chain-sampled
+//! `SensorEstimator` → cached KDE → `MdefDetector`) over the paper's
+//! synthetic workload and report the flag rate per 10k readings next to
+//! the published ~40–80, with the observability layer attributing where
+//! the work went. Internal tool, not a figure.
+//!
+//! This replaces the old hand-rolled grid-count variant sweep: the
+//! estimator-reconstruction question it explored is settled (see
+//! `MdefConfig` docs), so the diagnostic now exercises the same code the
+//! detectors run and its output is the obs layer's — per-phase counters
+//! (`core.score.mdef`, `core.model.rebuilds`, `density.scalar.kernels`)
+//! and span timings (`core.model.rebuild`), written to
+//! `DBG_mdef_metrics.json` and summarised on stdout.
+//!
+//! Knobs: `DBG_WINDOW` (default 10000), `DBG_SAMPLE` (default 1000),
+//! `DBG_EVAL` (default 4000 post-warm-up readings).
 
-use std::collections::{HashMap, VecDeque};
-
+use snod_bench::obs_report;
+use snod_core::{EstimatorConfig, SensorEstimator};
 use snod_data::{DataStream, GaussianMixtureStream};
+use snod_outlier::MdefConfig;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
-    let window = 10_000usize;
-    let eval = 4_000usize;
-    let (r, ar, k) = (0.08f64, 0.01f64, 3.0f64);
-    let cell = 2.0 * ar;
+    let window = env_usize("DBG_WINDOW", 10_000);
+    let sample = env_usize("DBG_SAMPLE", 1_000);
+    let eval = env_usize("DBG_EVAL", 4_000);
+    let rule = MdefConfig::new(0.08, 0.01, 3.0).expect("paper MDEF parameters");
 
+    let mut est = SensorEstimator::new(
+        EstimatorConfig::builder()
+            .window(window)
+            .sample_size(sample)
+            .seed(7)
+            .build()
+            .expect("valid config"),
+    );
     let mut stream = GaussianMixtureStream::new(1, 0);
-    let mut ring: VecDeque<f64> = VecDeque::new();
-    let mut cells: HashMap<i64, f64> = HashMap::new();
-    let keyf = |x: f64| (x / cell).floor() as i64;
 
-    // counts per variant: [w-pop, w-se, u-pop, u-se]
-    let mut flags = [0u64; 4];
-    let mut noise_flags = [0u64; 4];
-    let mut n_eval = 0u64;
-    let mut n_noise = 0u64;
-
-    for i in 0..(window + eval) {
-        let v = stream.next_reading()[0];
-        if ring.len() == window {
-            let old = ring.pop_front().unwrap();
-            let e = cells.entry(keyf(old)).or_default();
-            *e -= 1.0;
-            if *e <= 0.0 {
-                cells.remove(&keyf(old));
-            }
+    // Phase 1: warm the window (pure ingest: chain sampler + variance
+    // sketches, no scoring).
+    let ((), warmup) = obs_report::phase(|| {
+        for _ in 0..window {
+            let v = stream.next_reading();
+            est.observe(&v).expect("1-d reading");
         }
-        ring.push_back(v);
-        *cells.entry(keyf(v)).or_default() += 1.0;
+    });
 
-        if i < window {
-            continue;
-        }
-        n_eval += 1;
-        let is_noise = v > 0.57;
-        n_noise += is_noise as u64;
-
-        let own_key = keyf(v);
-        let own = (cells.get(&own_key).copied().unwrap_or(1.0) - 1.0).max(0.0);
-        let lo = keyf(v - r);
-        let hi = keyf(v + r);
-        let mut cs: Vec<f64> = Vec::new();
-        for kk in lo..=hi {
-            if let Some(&c) = cells.get(&kk) {
-                let c = if kk == own_key { (c - 1.0).max(0.0) } else { c };
-                if c > 0.0 {
-                    cs.push(c);
+    // Phase 2: score each new reading with the production MDEF path,
+    // counting flags and how often the planted noise tail is hit.
+    let (tally, scoring) = obs_report::phase(|| {
+        let (mut flags, mut noise_flags, mut noise) = (0u64, 0u64, 0u64);
+        for _ in 0..eval {
+            let v = stream.next_reading();
+            let is_noise = v[0] > 0.57;
+            noise += is_noise as u64;
+            if let Ok(eval) = est.evaluate_mdef(&v, &rule) {
+                if eval.is_outlier {
+                    flags += 1;
+                    noise_flags += is_noise as u64;
                 }
             }
+            est.observe(&v).expect("1-d reading");
         }
-        if cs.is_empty() {
-            for f in &mut flags {
-                *f += 1;
-            }
-            continue;
-        }
-        let m = cs.len() as f64;
-        let sum: f64 = cs.iter().sum();
-        let sum2: f64 = cs.iter().map(|c| c * c).sum();
-        let sum3: f64 = cs.iter().map(|c| c * c * c).sum();
-        // weighted
-        let wavg = sum2 / sum;
-        let wsig = (sum3 / sum - wavg * wavg).max(0.0).sqrt();
-        // unweighted
-        let uavg = sum / m;
-        let usig = (sum2 / m - uavg * uavg).max(0.0).sqrt();
-        let variants = [
-            (wavg, wsig),
-            (wavg, wsig / m.sqrt()),
-            (uavg, usig),
-            (uavg, usig / m.sqrt()),
-        ];
-        for (j, (avg, sig)) in variants.iter().enumerate() {
-            let mdef = 1.0 - own / avg;
-            if mdef > k * sig / avg {
-                flags[j] += 1;
-                if is_noise {
-                    noise_flags[j] += 1;
-                }
-            }
-        }
-    }
-    println!("eval={n_eval} noise(v>0.57)={n_noise}");
-    let names = [
-        "weighted-pop",
-        "weighted-SE",
-        "unweighted-pop",
-        "unweighted-SE",
-    ];
-    for j in 0..4 {
+        (flags, noise_flags, noise)
+    });
+
+    let (flags, noise_flags, noise) = tally;
+    println!(
+        "|W|={window} |R|={sample} eval={eval}: flagged {flags} \
+         (per-10k {:.1}, paper ~40-80), noise hit {noise_flags}/{noise}",
+        flags as f64 / eval as f64 * 10_000.0
+    );
+    if snod_obs::enabled() {
         println!(
-            "{:>15}: flagged {:5} (per-10k {:6.1})  noise hit {:3}/{}",
-            names[j],
-            flags[j],
-            flags[j] as f64 / n_eval as f64 * 10_000.0,
-            noise_flags[j],
-            n_noise
+            "warm-up: {} sampler pushes, {} accepted",
+            warmup.counter("sketch.chain.pushes").unwrap_or(0),
+            warmup.counter("sketch.chain.accepts").unwrap_or(0),
         );
+        println!(
+            "scoring: {} MDEF evals, {} model rebuilds ({} cache hits), \
+             {} sweep + {} scalar kernel evaluations",
+            scoring.counter("core.score.mdef").unwrap_or(0),
+            scoring.counter("core.model.rebuilds").unwrap_or(0),
+            scoring.counter("core.model.cache_hits").unwrap_or(0),
+            scoring.counter("density.sweep.kernels").unwrap_or(0),
+            scoring.counter("density.scalar.kernels").unwrap_or(0),
+        );
+        if let Some(h) = scoring.histogram("core.model.rebuild") {
+            println!(
+                "model rebuild span: n={} mean={:.0}ns p99={}ns max={}ns",
+                h.count,
+                h.mean(),
+                h.p99,
+                h.max
+            );
+        }
     }
+    let phases = vec![("warmup".to_string(), warmup), ("scoring".to_string(), scoring)];
+    obs_report::write_phases("DBG_mdef_metrics.json", &phases)
+        .expect("write DBG_mdef_metrics.json");
+    println!("per-phase metrics: DBG_mdef_metrics.json");
 }

@@ -133,11 +133,13 @@ fn run(window: usize, sample: usize) -> Outcome {
 }
 
 fn main() {
+    let mut phases: Vec<(String, snod_obs::MetricsSnapshot)> = Vec::new();
     for (label, window, sample) in [
         ("paper-verbatim |W|=10,240", 10_240usize, 1_024usize),
         ("shift-consistent |W|=4,096", 4_096, 1_024),
     ] {
-        let o = run(window, sample);
+        let (o, metrics) = snod_bench::obs_report::phase(|| run(window, sample));
+        phases.push((format!("window_{window}"), metrics));
         println!("== Figure 6 ({label}), |R|={sample}, shift every {DRIFT_PERIOD} ==\n");
         println!("{}", o.table.render());
         println!(
@@ -159,4 +161,9 @@ fn main() {
         }
         println!();
     }
+    // Per-phase observability breakdown: sketch ingest counters, KDE
+    // build spans and scalar-query kernel counts per window setting.
+    snod_bench::obs_report::write_phases("FIG06_metrics.json", &phases)
+        .expect("write FIG06_metrics.json");
+    println!("per-phase metrics: FIG06_metrics.json ({} phases)", phases.len());
 }

@@ -20,6 +20,7 @@ use snod_core::{D3Config, EstimatorConfig, MgddConfig, UpdateStrategy};
 use snod_outlier::{DistanceOutlierConfig, MdefConfig};
 use snod_simnet::{Hierarchy, NodeId, SimConfig};
 
+use snod_bench::obs_report;
 use snod_bench::report::Table;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -65,6 +66,7 @@ fn main() {
         "D3 mJ/s",
     ]);
 
+    let mut phases: Vec<(String, snod_obs::MetricsSnapshot)> = Vec::new();
     let mut side = 4u64;
     while side <= max_side {
         let topo = Hierarchy::virtual_grid(side as usize).expect("grid");
@@ -80,14 +82,15 @@ fn main() {
             sim,
             Algorithm::Centralized(DistanceOutlierConfig::new(45.0, 0.01), window),
         );
-        let (cent_rate, cent_mj_per_s) = {
+        let ((cent_rate, cent_mj_per_s), cent_metrics) = obs_report::phase(|| {
             let mut src = quiet_source;
             let report = cent.run(&mut src, readings).expect("centralized run");
             (
                 report.stats.messages_per_second(),
                 report.stats.total_joules() * 1e3 * 1e9 / report.stats.elapsed_ns as f64,
             )
-        };
+        });
+        phases.push((format!("centralized.n{nodes}"), cent_metrics));
 
         // D3.
         let d3 = OutlierPipeline::new(
@@ -99,7 +102,7 @@ fn main() {
                 sample_fraction: f,
             }),
         );
-        let (d3_rate, d3_mj_per_s) = {
+        let ((d3_rate, d3_mj_per_s), d3_metrics) = obs_report::phase(|| {
             let mut src = quiet_source;
             let report = d3.run(&mut src, readings).expect("d3 run");
             let energy = report.stats.total_joules() * 1e3 * 1e9 / report.stats.elapsed_ns as f64;
@@ -115,7 +118,8 @@ fn main() {
                 .sum();
             let msgs = report.stats.messages.saturating_sub(outlier_msgs as u64);
             (msgs as f64 * 1e9 / report.stats.elapsed_ns as f64, energy)
-        };
+        });
+        phases.push((format!("d3.n{nodes}"), d3_metrics));
 
         // MGDD with global models at every leader tier (the configuration
         // the accuracy experiments use).
@@ -134,11 +138,12 @@ fn main() {
                 levels,
             ),
         );
-        let mgdd_rate = {
+        let (mgdd_rate, mgdd_metrics) = obs_report::phase(|| {
             let mut src = quiet_source;
             let report = mgdd.run(&mut src, readings).expect("mgdd run");
             report.stats.messages_per_second()
-        };
+        });
+        phases.push((format!("mgdd.n{nodes}"), mgdd_metrics));
 
         t.row([
             nodes.to_string(),
@@ -153,4 +158,8 @@ fn main() {
         side *= 2;
     }
     println!("{}", t.render());
+    // Per-phase observability breakdown (message counters, retry
+    // machinery, model-rebuild spans) per algorithm and grid size.
+    obs_report::write_phases("FIG11_metrics.json", &phases).expect("write FIG11_metrics.json");
+    println!("per-phase metrics: FIG11_metrics.json ({} phases)", phases.len());
 }

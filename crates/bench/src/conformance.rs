@@ -281,7 +281,7 @@ impl StreamSource for BankSource {
 }
 
 /// Runs the full differential experiment: capture pass (faultless engine
-/// + exact oracles), zero-probability bit-identity, parallel-engine
+/// and exact oracles), zero-probability bit-identity, parallel-engine
 /// parity under the severest plan, and the severity ladder.
 ///
 /// `make_stream(leaf)` must be deterministic in its argument — every
@@ -347,7 +347,7 @@ where
     let zero_fault_bit_identical = zero == baseline.outcome;
 
     // Severity ladder.
-    let ladder_plans = default_ladder(&topo, 0xC0FF_EE, horizon_ns);
+    let ladder_plans = default_ladder(&topo, 0x00C0_FFEE, horizon_ns);
     let ladder: Vec<FaultOutcome> = ladder_plans
         .iter()
         .map(|(label, plan)| {

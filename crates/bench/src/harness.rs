@@ -162,9 +162,9 @@ impl TruthIndex {
         let own = (self.mdef_cells.get(&own_key).copied().unwrap_or(1.0) - 1.0).max(0.0);
         let mut lo = Vec::with_capacity(d);
         let mut len = Vec::with_capacity(d);
-        for j in 0..d {
-            let a = ((p[j] - rule.sampling_radius) / self.mdef_cell).floor() as i64;
-            let b = ((p[j] + rule.sampling_radius) / self.mdef_cell).floor() as i64;
+        for &c in p.iter().take(d) {
+            let a = ((c - rule.sampling_radius) / self.mdef_cell).floor() as i64;
+            let b = ((c + rule.sampling_radius) / self.mdef_cell).floor() as i64;
             lo.push(a);
             len.push((b - a + 1) as usize);
         }
@@ -311,6 +311,7 @@ impl TruthTracker {
     }
 
     /// The truth index of hierarchy node `node` (for inspection).
+    #[allow(clippy::should_implement_trait)]
     pub fn index(&self, node: NodeId) -> &TruthIndex {
         &self.indexes[node.index()]
     }

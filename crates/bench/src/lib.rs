@@ -9,4 +9,5 @@
 pub mod accuracy;
 pub mod conformance;
 pub mod harness;
+pub mod obs_report;
 pub mod report;

@@ -84,6 +84,6 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(pct(0.9415), "94.2%");
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(1.23456, 2), "1.23");
     }
 }

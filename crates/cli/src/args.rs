@@ -30,6 +30,8 @@ pub struct SimulateArgs {
     pub fraction: f64,
     /// Message-loss probability.
     pub loss: f64,
+    /// Write a JSON metrics snapshot here after the run.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for SimulateArgs {
@@ -40,6 +42,7 @@ impl Default for SimulateArgs {
             algorithm: "d3".into(),
             fraction: 0.5,
             loss: 0.0,
+            metrics_out: None,
         }
     }
 }
@@ -64,6 +67,8 @@ pub struct DetectArgs {
     pub min: Option<f64>,
     /// See [`Self::min`].
     pub max: Option<f64>,
+    /// Write a JSON metrics snapshot here after the run.
+    pub metrics_out: Option<String>,
     /// Input path; stdin when `None`.
     pub input: Option<String>,
 }
@@ -79,6 +84,7 @@ impl Default for DetectArgs {
             warmup: None,
             min: None,
             max: None,
+            metrics_out: None,
             input: None,
         }
     }
@@ -120,6 +126,7 @@ SIMULATE OPTIONS:
   --algorithm A     d3 | mgdd | centralized       (default d3)
   --fraction F      sample-propagation fraction f (default 0.5)
   --loss P          message-loss probability      (default 0)
+  --metrics-out F   write a JSON metrics snapshot to F after the run
 
 DETECT OPTIONS:
   --window N        sliding window |W|            (default 10000)
@@ -130,6 +137,7 @@ DETECT OPTIONS:
                     counting radius, k_sigma)
   --warmup N        readings before verdicts      (default |W|)
   --min X --max Y   normalise coordinates to [0,1] on the fly
+  --metrics-out F   write a JSON metrics snapshot to F after the run
 
 Input: one reading per line, comma-separated coordinates. Output: one
 line per outlier, `index,coords…`. Reads stdin when FILE is omitted.";
@@ -156,6 +164,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ArgErro
                     "--algorithm" => s.algorithm = parse_value(&a, it.next())?,
                     "--fraction" => s.fraction = parse_value(&a, it.next())?,
                     "--loss" => s.loss = parse_value(&a, it.next())?,
+                    "--metrics-out" => s.metrics_out = Some(parse_value(&a, it.next())?),
                     other => return Err(ArgError(format!("unknown flag for simulate: {other}"))),
                 }
             }
@@ -197,6 +206,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ArgErro
                     "--warmup" => d.warmup = Some(parse_value(&a, it.next())?),
                     "--min" => d.min = Some(parse_value(&a, it.next())?),
                     "--max" => d.max = Some(parse_value(&a, it.next())?),
+                    "--metrics-out" => d.metrics_out = Some(parse_value(&a, it.next())?),
                     "--mdef" => {
                         let raw: String = parse_value(&a, it.next())?;
                         let parts: Vec<&str> = raw.split(',').collect();
@@ -301,6 +311,19 @@ mod tests {
         assert!(parse(["detect".into(), "--min".into(), "0".into()]).is_err());
         assert!(parse(["frobnicate".into()]).is_err());
         assert!(parse(["detect".into(), "a".into(), "b".into()]).is_err());
+    }
+
+    #[test]
+    fn metrics_out_parses_on_both_commands() {
+        let Command::Simulate(s) = parse_ok(&["simulate", "--metrics-out", "m.json"]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(s.metrics_out.as_deref(), Some("m.json"));
+        let Command::Detect(d) = parse_ok(&["detect", "--metrics-out", "d.json"]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(d.metrics_out.as_deref(), Some("d.json"));
+        assert!(parse(["simulate".into(), "--metrics-out".into()]).is_err());
     }
 
     #[test]

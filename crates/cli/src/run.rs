@@ -12,6 +12,17 @@ use crate::csv::for_each_reading;
 /// A boxed error with a user-facing message.
 pub type CliError = Box<dyn std::error::Error>;
 
+/// Writes the process-wide metrics snapshot as JSON to `path` (no-op
+/// when no path was requested). With the `obs` feature off the snapshot
+/// is empty but still valid JSON, so scripts can rely on the file.
+fn write_metrics(path: &Option<String>) -> Result<(), CliError> {
+    if let Some(p) = path {
+        std::fs::write(p, snod_obs::snapshot().to_json())
+            .map_err(|e| format!("cannot write {p}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn open_input(path: &Option<String>) -> Result<Box<dyn BufRead>, CliError> {
     match path {
         Some(p) => {
@@ -82,6 +93,7 @@ pub fn detect(args: &DetectArgs, out: &mut dyn Write) -> Result<(u64, u64), CliE
     if let Some(e) = io_error {
         return Err(e.into());
     }
+    write_metrics(&args.metrics_out)?;
     Ok((readings, outliers))
 }
 
@@ -194,6 +206,7 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError
         s.dropped,
         s.total_joules()
     )?;
+    write_metrics(&args.metrics_out)?;
     Ok(())
 }
 
@@ -314,12 +327,34 @@ mod tests {
                 algorithm: algorithm.into(),
                 fraction: 0.5,
                 loss: 0.05,
+                metrics_out: None,
             };
             let mut out = Vec::new();
             simulate(&args, &mut out).unwrap();
             let text = String::from_utf8(out).unwrap();
             assert!(text.contains("messages"), "{algorithm}: {text}");
         }
+    }
+
+    #[test]
+    fn simulate_writes_metrics_snapshot() {
+        let path = std::env::temp_dir().join("snod_cli_metrics_test.json");
+        let args = crate::args::SimulateArgs {
+            leaves: 4,
+            readings: 200,
+            algorithm: "d3".into(),
+            fraction: 0.5,
+            loss: 0.0,
+            metrics_out: Some(path.to_string_lossy().into_owned()),
+        };
+        let mut out = Vec::new();
+        simulate(&args, &mut out).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'), "{text}");
+        if snod_obs::enabled() {
+            assert!(text.contains("simnet.sends"), "{text}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

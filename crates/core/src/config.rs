@@ -145,6 +145,27 @@ impl EstimatorConfig {
     pub fn builder() -> EstimatorConfigBuilder {
         EstimatorConfigBuilder::default()
     }
+
+    /// Re-validates the fields (the builder already enforces these, but
+    /// the fields are public, so hand-assembled configurations can be out
+    /// of range — the run_* entry points call this so a bad config
+    /// surfaces as a typed [`CoreError`] instead of a panic inside a
+    /// simulation callback).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.window == 0 {
+            return Err(CoreError::Config("window must be positive"));
+        }
+        if self.sample_size == 0 {
+            return Err(CoreError::Config("sample size must be positive"));
+        }
+        if self.dimensions == 0 {
+            return Err(CoreError::Config("dimensionality must be positive"));
+        }
+        if !(self.variance_epsilon > 0.0 && self.variance_epsilon <= 1.0) {
+            return Err(CoreError::Config("variance epsilon must lie in (0, 1]"));
+        }
+        self.rebuild.validate()
+    }
 }
 
 /// Builder for [`EstimatorConfig`].
@@ -251,6 +272,7 @@ pub struct D3Config {
 impl D3Config {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), CoreError> {
+        self.estimator.validate()?;
         if !(0.0..=1.0).contains(&self.sample_fraction) {
             return Err(CoreError::Config("sample fraction must lie in [0, 1]"));
         }
@@ -305,6 +327,7 @@ pub struct MgddConfig {
 impl MgddConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), CoreError> {
+        self.estimator.validate()?;
         if !(0.0..=1.0).contains(&self.sample_fraction) {
             return Err(CoreError::Config("sample fraction must lie in [0, 1]"));
         }

@@ -99,8 +99,10 @@ impl D3Node {
         if self.est.observed() < self.est.config().sample_size as u64 {
             return;
         }
+        snod_obs::counter!("core.d3.scored").incr();
         match self.est.is_distance_outlier_scaled(p, &self.cfg.rule) {
             Ok(true) => {
+                snod_obs::counter!("core.d3.detections").incr();
                 self.detections.push(Detection {
                     time_ns: ctx.time_ns,
                     value: p.to_vec(),
@@ -109,21 +111,27 @@ impl D3Node {
                 // Flagged values are precious (Theorem 3's soundness
                 // only helps if the report arrives): escalate them on
                 // the reliable channel, retried under a retry policy.
+                snod_obs::counter!("core.d3.escalations").incr();
                 ctx.send_parent_reliable(D3Payload::Outlier(p.to_vec()));
             }
             Ok(false) => {}
             Err(CoreError::NoData) => {}
-            Err(e) => unreachable!("estimator rejected its own input: {e}"),
+            // A mis-dimensioned escalation (a peer running a different
+            // configuration) is dropped rather than crashing the node.
+            Err(_) => snod_obs::counter!("core.bad_readings").incr(),
         }
     }
 }
 
 impl SensorApp<D3Payload> for D3Node {
     fn on_reading(&mut self, ctx: &mut Ctx<'_, D3Payload>, value: &[f64]) {
-        let accepted = self
-            .est
-            .observe(value)
-            .expect("stream dimensionality matches configuration");
+        // A reading whose dimensionality does not match the configuration
+        // (a miswired stream source) is dropped and counted instead of
+        // panicking mid-simulation.
+        let Ok(accepted) = self.est.observe(value) else {
+            snod_obs::counter!("core.bad_readings").incr();
+            return;
+        };
         if accepted && self.rng.gen::<f64>() < self.cfg.sample_fraction {
             ctx.send_parent(D3Payload::SampleValue(value.to_vec()));
         }
@@ -133,10 +141,10 @@ impl SensorApp<D3Payload> for D3Node {
     fn on_message(&mut self, ctx: &mut Ctx<'_, D3Payload>, _from: NodeId, payload: D3Payload) {
         match payload {
             D3Payload::SampleValue(v) => {
-                let accepted = self
-                    .est
-                    .observe(&v)
-                    .expect("stream dimensionality matches configuration");
+                let Ok(accepted) = self.est.observe(&v) else {
+                    snod_obs::counter!("core.bad_readings").incr();
+                    return;
+                };
                 if accepted && self.rng.gen::<f64>() < self.cfg.sample_fraction {
                     ctx.send_parent(D3Payload::SampleValue(v));
                 }

@@ -150,16 +150,24 @@ struct ModelCache {
 
 impl SensorEstimator {
     /// Creates a leaf estimator.
+    ///
+    /// Panics when `cfg` was hand-assembled with out-of-range fields;
+    /// use [`Self::try_new`] (or build the config through
+    /// [`EstimatorConfig::builder`]) for a typed error instead.
     pub fn new(cfg: EstimatorConfig) -> Self {
-        let sampler = ChainSampler::new(cfg.window, cfg.sample_size, cfg.seed)
-            .expect("EstimatorConfig validated window and sample size");
+        Self::try_new(cfg).expect("EstimatorConfig out of range — see SensorEstimator::try_new")
+    }
+
+    /// Like [`Self::new`] but surfaces an invalid configuration as a
+    /// typed [`CoreError`] (the run_* entry points validate up front and
+    /// then rely on this never failing).
+    pub fn try_new(cfg: EstimatorConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let sampler = ChainSampler::new(cfg.window, cfg.sample_size, cfg.seed)?;
         let variances = (0..cfg.dimensions)
-            .map(|_| {
-                WindowedVariance::new(cfg.window, cfg.variance_epsilon)
-                    .expect("EstimatorConfig validated window and epsilon")
-            })
-            .collect();
-        Self {
+            .map(|_| WindowedVariance::new(cfg.window, cfg.variance_epsilon))
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
             cfg,
             sampler,
             variances,
@@ -168,17 +176,35 @@ impl SensorEstimator {
             per_arrival_coverage: 1.0,
             cached: None,
             epochs: 0,
-        }
+        })
     }
 
     /// Turns this into a leader estimator summarising `conceptual_window`
     /// underlying readings, where each arriving (sub-sampled) value
     /// represents `per_arrival_coverage` of them.
-    pub fn with_count_scaling(mut self, conceptual_window: f64, per_arrival_coverage: f64) -> Self {
-        assert!(conceptual_window > 0.0 && per_arrival_coverage > 0.0);
+    ///
+    /// Panics on non-positive arguments; use
+    /// [`Self::try_with_count_scaling`] for a typed error.
+    pub fn with_count_scaling(self, conceptual_window: f64, per_arrival_coverage: f64) -> Self {
+        self.try_with_count_scaling(conceptual_window, per_arrival_coverage)
+            .expect("count-scaling parameters out of range")
+    }
+
+    /// Fallible variant of [`Self::with_count_scaling`].
+    pub fn try_with_count_scaling(
+        mut self,
+        conceptual_window: f64,
+        per_arrival_coverage: f64,
+    ) -> Result<Self, CoreError> {
+        if !(conceptual_window > 0.0) {
+            return Err(CoreError::Config("conceptual window must be positive"));
+        }
+        if !(per_arrival_coverage > 0.0) {
+            return Err(CoreError::Config("per-arrival coverage must be positive"));
+        }
         self.conceptual_window = conceptual_window;
         self.per_arrival_coverage = per_arrival_coverage;
-        self
+        Ok(self)
     }
 
     /// The configuration this estimator was built from.
@@ -275,6 +301,7 @@ impl SensorEstimator {
             }
         };
         if rebuild {
+            let _rebuild = snod_obs::span!("core.model.rebuild");
             let model = self.model()?;
             self.cached = Some(ModelCache {
                 version,
@@ -282,6 +309,9 @@ impl SensorEstimator {
                 model,
             });
             self.epochs += 1;
+            snod_obs::counter!("core.model.rebuilds").incr();
+        } else {
+            snod_obs::counter!("core.model.cache_hits").incr();
         }
         Ok(&self.cached.as_ref().expect("cache just filled").model)
     }
@@ -309,6 +339,7 @@ impl SensorEstimator {
         p: &[f64],
         rule: &DistanceOutlierConfig,
     ) -> Result<bool, CoreError> {
+        snod_obs::counter!("core.score.distance").incr();
         let model = self.cached_model()?;
         snod_outlier::distance::is_distance_outlier(model, p, rule).map_err(CoreError::Density)
     }
@@ -338,6 +369,7 @@ impl SensorEstimator {
         p: &[f64],
         rule: &MdefConfig,
     ) -> Result<MdefEvaluation, CoreError> {
+        snod_obs::counter!("core.score.mdef").incr();
         let detector = MdefDetector::new(*rule);
         let model = self.cached_model()?;
         detector.evaluate(model, p).map_err(CoreError::Density)
@@ -386,6 +418,27 @@ mod tests {
             .seed(42)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn hand_assembled_invalid_config_is_a_typed_error() {
+        // The fields are public, so a config can bypass the builder's
+        // validation; try_new must fail typed instead of panicking.
+        let mut cfg = leaf_config();
+        cfg.sample_size = 0;
+        assert!(matches!(
+            SensorEstimator::try_new(cfg),
+            Err(CoreError::Config(_))
+        ));
+        let mut cfg = leaf_config();
+        cfg.variance_epsilon = -0.3;
+        assert!(SensorEstimator::try_new(cfg).is_err());
+        let est = SensorEstimator::new(leaf_config());
+        assert!(est.try_with_count_scaling(0.0, 1.0).is_err());
+        let est = SensorEstimator::new(leaf_config());
+        assert!(est.try_with_count_scaling(10.0, -1.0).is_err());
+        let est = SensorEstimator::new(leaf_config());
+        assert!(est.try_with_count_scaling(10.0, 2.0).is_ok());
     }
 
     #[test]

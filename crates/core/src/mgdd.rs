@@ -163,10 +163,12 @@ impl MgddNode {
     /// Handles a value entering this node's estimator (a reading at a
     /// leaf, a forwarded sample value at a leader).
     fn ingest(&mut self, ctx: &mut Ctx<'_, MgddPayload>, value: &[f64]) {
-        let accepted = self
-            .est
-            .observe(value)
-            .expect("stream dimensionality matches configuration");
+        // A mis-dimensioned value (miswired source or a peer on a
+        // different configuration) is dropped and counted, not fatal.
+        let Ok(accepted) = self.est.observe(value) else {
+            snod_obs::counter!("core.bad_readings").incr();
+            return;
+        };
         if !accepted {
             return;
         }
@@ -184,6 +186,7 @@ impl MgddNode {
     fn broadcast(&mut self, ctx: &mut Ctx<'_, MgddPayload>, value: &[f64]) {
         match self.cfg.updates {
             UpdateStrategy::EveryAcceptance => {
+                snod_obs::counter!("core.mgdd.broadcasts").incr();
                 ctx.send_children_reliable(MgddPayload::GlobalDelta {
                     origin_level: self.level,
                     value: value.to_vec(),
@@ -210,6 +213,7 @@ impl MgddNode {
                         .unwrap_or(true),
                 };
                 if changed {
+                    snod_obs::counter!("core.mgdd.broadcasts").incr();
                     ctx.send_children_reliable(MgddPayload::GlobalModel {
                         origin_level: self.level,
                         sample: self.est.sample(),
@@ -253,6 +257,7 @@ impl MgddNode {
         for &i in scorable {
             let (origin, replica) = &mut self.replicas[i];
             let Ok(model) = replica.model() else { continue };
+            snod_obs::counter!("core.mgdd.scored").incr();
             if let Ok(eval) = detector.evaluate(model, p) {
                 if degraded {
                     ctx.note_degraded_score();
@@ -275,6 +280,7 @@ impl MgddNode {
             }
         }
         for origin in hits {
+            snod_obs::counter!("core.mgdd.detections").incr();
             self.detections.push(Detection {
                 time_ns,
                 value: p.to_vec(),

@@ -173,6 +173,7 @@ impl MonitorNode {
             let above = min_div > self.cfg.threshold;
             let was_above = self.currently_flagged.get(&child).copied().unwrap_or(false);
             if above && !was_above {
+                snod_obs::counter!("core.monitor.alarms").incr();
                 self.alarms.push(FaultAlarm {
                     time_ns,
                     child,
@@ -187,15 +188,19 @@ impl MonitorNode {
 
 impl SensorApp<ModelReport> for MonitorNode {
     fn on_reading(&mut self, ctx: &mut Ctx<'_, ModelReport>, value: &[f64]) {
-        self.est
-            .observe(value)
-            .expect("stream dimensionality matches configuration");
+        // A reading of the wrong dimensionality is dropped and counted
+        // rather than panicking the whole simulation.
+        if self.est.observe(value).is_err() {
+            snod_obs::counter!("core.bad_readings").incr();
+            return;
+        }
         self.since_report += 1;
         if self.since_report >= self.cfg.report_every
             && self.est.observed() >= self.est.config().sample_size as u64
         {
             self.since_report = 0;
             // Reports are model updates: retried under a retry policy.
+            snod_obs::counter!("core.monitor.reports").incr();
             ctx.send_parent_reliable(ModelReport {
                 sample: self.est.sample(),
                 sigmas: self.est.sigmas(),

@@ -109,8 +109,7 @@ impl OutlierPipeline {
         readings_per_leaf: u64,
     ) -> Result<PipelineReport, CoreError> {
         let mut by_level: BTreeMap<u8, Vec<Detection>> = BTreeMap::new();
-        let stats;
-        match &self.algorithm {
+        let stats = match &self.algorithm {
             Algorithm::D3(cfg) => {
                 let net = run_d3_with_faults(
                     self.topo.clone(),
@@ -125,7 +124,7 @@ impl OutlierPipeline {
                         by_level.entry(d.level).or_default().push(d.clone());
                     }
                 }
-                stats = net.stats().clone();
+                net.stats().clone()
             }
             Algorithm::Mgdd(cfg, levels) => {
                 let levels = if levels.is_empty() {
@@ -147,7 +146,7 @@ impl OutlierPipeline {
                         by_level.entry(d.level).or_default().push(d.clone());
                     }
                 }
-                stats = net.stats().clone();
+                net.stats().clone()
             }
             Algorithm::Centralized(rule, window_per_leaf) => {
                 let net = run_centralized_with_faults(
@@ -164,9 +163,9 @@ impl OutlierPipeline {
                         by_level.entry(d.level).or_default().push(d.clone());
                     }
                 }
-                stats = net.stats().clone();
+                net.stats().clone()
             }
-        }
+        };
         Ok(PipelineReport {
             detections_by_level: by_level,
             stats,

@@ -86,6 +86,7 @@ impl IncrementalReplica {
     /// which case it is dropped and rebuilt lazily on the next
     /// [`Self::model`] call.
     pub fn push(&mut self, value: Vec<f64>, sigmas: Vec<f64>, window_len: f64) {
+        snod_obs::counter!("core.replica.pushes").incr();
         let evicted = if self.values.len() == self.cap {
             self.values.pop_front()
         } else {
@@ -169,6 +170,8 @@ impl IncrementalReplica {
             if self.values.is_empty() || self.sigmas.is_empty() {
                 return Err(CoreError::NoData);
             }
+            let _rebuild = snod_obs::span!("core.replica.rebuild");
+            snod_obs::counter!("core.replica.rebuilds").incr();
             let dims = self.sigmas.len();
             let window_len = self.window_len.max(1.0);
             let model = if dims == 1 {

@@ -64,6 +64,7 @@ impl SensorStreams {
 
     /// The next reading of sensor `index`.
     pub fn next_for(&mut self, index: usize) -> Vec<f64> {
+        snod_obs::counter!("data.readings").incr();
         self.streams[index].next_reading()
     }
 }

@@ -20,6 +20,7 @@ pub const MIN_BANDWIDTH: f64 = 1e-9;
 /// assert!((b - 5f64.sqrt() * 0.1 * 1_000f64.powf(-0.2)).abs() < 1e-12);
 /// ```
 pub fn scott_bandwidth(sigma: f64, sample_size: usize, dims: usize) -> f64 {
+    snod_obs::counter!("density.bandwidth.calls").incr();
     let n = sample_size.max(1) as f64;
     let d = dims.max(1) as f64;
     let b = 5f64.sqrt() * sigma * n.powf(-1.0 / (d + 4.0));

@@ -125,6 +125,7 @@ impl<K: Kernel1d> Kde<K> {
         // Sort points by first coordinate (sample order carries no
         // meaning); NaNs are rejected implicitly by partial_cmp ordering
         // of generator-produced data.
+        let _build = snod_obs::span!("density.kde.build");
         let mut rows: Vec<&[f64]> = centers.chunks_exact(dims).collect();
         rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("non-NaN sample"));
         let sorted: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
@@ -290,6 +291,8 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
         check_dims(self.dims, lo)?;
         check_dims(self.dims, hi)?;
         let (s, e) = self.dim0_range(lo[0], hi[0]);
+        snod_obs::counter!("density.scalar.queries").incr();
+        snod_obs::counter!("density.scalar.kernels").add((e - s) as u64);
         let mut sum = 0.0;
         'points: for t in self.centers[s * self.dims..e * self.dims].chunks_exact(self.dims) {
             let mut prod = 1.0;
@@ -318,6 +321,8 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
         }
         let n = points.len() / d;
         let mut out = vec![0.0; n];
+        let _sweep = snod_obs::span!("density.kde.sweep");
+        snod_obs::counter!("density.sweep.queries").add(n as u64);
         let reach = self.kernel.support();
         if reach.is_infinite() {
             // No pruning possible; every query touches every kernel.
@@ -332,6 +337,7 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
         });
         let span = reach * self.bandwidths[0];
         let len = self.first_coords.len();
+        let kernels = snod_obs::counter!("density.sweep.kernels");
         let (mut s, mut e) = (0usize, 0usize);
         for &qi in &order {
             let q = &points[qi as usize * d..(qi as usize + 1) * d];
@@ -342,6 +348,7 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
             while e < len && self.first_coords[e] <= hi0 + span {
                 e += 1;
             }
+            kernels.add((e - s) as u64);
             out[qi as usize] = self.ball_prob_in_range(q, r, s, e) * self.window_len;
         }
         Ok(out)

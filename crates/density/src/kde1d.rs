@@ -70,6 +70,7 @@ impl<K: Kernel1d> Kde1d<K> {
         if !(window_len > 0.0) {
             return Err(DensityError::NonPositiveParameter("window length"));
         }
+        let _build = snod_obs::span!("density.kde1d.build");
         centers.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN centres"));
         Ok(Self {
             centers,
@@ -191,6 +192,8 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
             return Ok(0.0);
         }
         let (s, e) = self.intersecting(a, b);
+        snod_obs::counter!("density.scalar.queries").incr();
+        snod_obs::counter!("density.scalar.kernels").add((e - s) as u64);
         let sum: f64 = self.centers[s..e]
             .iter()
             .map(|&c| {
@@ -213,6 +216,8 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
             // box_prob short-circuits degenerate intervals to zero mass.
             return Ok(out);
         }
+        let _sweep = snod_obs::span!("density.kde1d.sweep");
+        snod_obs::counter!("density.sweep.queries").add(points.len() as u64);
         let reach = self.kernel.support();
         if reach.is_infinite() {
             // No pruning possible; every query touches every kernel.
@@ -225,6 +230,7 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
         order.sort_unstable_by(|&a, &b| points[a as usize].total_cmp(&points[b as usize]));
         let span = reach * self.bandwidth;
         let len = self.centers.len();
+        let kernels = snod_obs::counter!("density.sweep.kernels");
         let (mut s, mut e) = (0usize, 0usize);
         for &qi in &order {
             let p = points[qi as usize];
@@ -235,6 +241,7 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
             while e < len && self.centers[e] <= b + span {
                 e += 1;
             }
+            kernels.add((e - s) as u64);
             let sum: f64 = self.centers[s..e]
                 .iter()
                 .map(|&c| {
@@ -406,7 +413,7 @@ mod tests {
     fn neighborhood_count_counts_cluster() {
         // Sample mirrors a window where ~half the mass sits at 0.2.
         let mut xs = vec![0.2; 100];
-        xs.extend(std::iter::repeat(0.8).take(100));
+        xs.extend(vec![0.8; 100]);
         let kde = Kde1d::from_sample(&xs, 0.3, 2_000.0).unwrap();
         let n = kde.neighborhood_count(&[0.2], 0.25).unwrap();
         assert!((n - 1_000.0).abs() < 150.0, "count {n}");

@@ -29,6 +29,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(x > 0.0)` is deliberate throughout: unlike `x <= 0.0` it also
+// rejects NaN parameters, which must never enter a model.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 mod bandwidth;
 mod divergence;

@@ -154,9 +154,9 @@ pub fn mdef_outliers_aloci(points: &[Vec<f64>], cfg: &MdefConfig) -> Vec<bool> {
         // Cells intersecting the sampling box.
         let mut lo = Vec::with_capacity(d);
         let mut len = Vec::with_capacity(d);
-        for j in 0..d {
-            let a = ((p[j] - cfg.sampling_radius) / cell).floor() as i64;
-            let b = ((p[j] + cfg.sampling_radius) / cell).floor() as i64;
+        for &c in p.iter().take(d) {
+            let a = ((c - cfg.sampling_radius) / cell).floor() as i64;
+            let b = ((c + cfg.sampling_radius) / cell).floor() as i64;
             lo.push(a);
             len.push((b - a + 1) as usize);
         }

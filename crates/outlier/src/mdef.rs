@@ -143,6 +143,7 @@ impl MdefDetector {
         model: &M,
         p: &[f64],
     ) -> Result<MdefEvaluation, DensityError> {
+        snod_obs::counter!("outlier.mdef.evals").incr();
         let d = model.dims();
         if p.len() != d {
             return Err(DensityError::DimensionMismatch {
@@ -158,9 +159,9 @@ impl MdefDetector {
         // that intersect the sampling box [p − r, p + r].
         let mut lo_idx = Vec::with_capacity(d);
         let mut n_cells = Vec::with_capacity(d);
-        for j in 0..d {
-            let lo = ((p[j] - r) / cell).floor().max(0.0) as i64;
-            let hi = ((p[j] + r) / cell).floor() as i64;
+        for &c in p.iter().take(d) {
+            let lo = ((c - r) / cell).floor().max(0.0) as i64;
+            let hi = ((c + r) / cell).floor() as i64;
             let hi = hi.max(lo);
             lo_idx.push(lo);
             n_cells.push((hi - lo + 1) as usize);

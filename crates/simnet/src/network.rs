@@ -452,6 +452,7 @@ impl<P: Wire> Engine<'_, P> {
         source: &mut S,
         readings_per_leaf: u64,
     ) -> Pre<P> {
+        snod_obs::counter!("simnet.events").incr();
         match event {
             Event::Reading { node, seq } => {
                 if self.dead[node.index()] {
@@ -470,6 +471,7 @@ impl<P: Wire> Engine<'_, P> {
                 if down || self.plan.is_sensor_down(node, time) {
                     // The reading is missed (never fetched from the
                     // stream) but the schedule marches on.
+                    snod_obs::counter!("simnet.fault.missed_readings").incr();
                     ftrace!(self.trace, "{time}: {node:?} missed reading {seq}");
                     return Pre::Engine(post);
                 }
@@ -485,6 +487,7 @@ impl<P: Wire> Engine<'_, P> {
             Event::Deliver { from, to, payload } => {
                 if self.dead[to.index()] || self.plan.is_down(to, time) {
                     self.stats.lost_to_crash += 1;
+                    snod_obs::counter!("simnet.lost_to_crash").incr();
                     return Pre::Skip; // delivered into the void
                 }
                 self.stats.rx_joules += self
@@ -509,6 +512,7 @@ impl<P: Wire> Engine<'_, P> {
                 if self.dead[to.index()] || self.plan.is_down(to, time) {
                     // No ack: the sender's timer will retransmit.
                     self.stats.lost_to_crash += 1;
+                    snod_obs::counter!("simnet.lost_to_crash").incr();
                     return Pre::Skip;
                 }
                 self.stats.rx_joules += self
@@ -529,6 +533,7 @@ impl<P: Wire> Engine<'_, P> {
                     }
                 } else {
                     self.stats.duplicates_suppressed += 1;
+                    snod_obs::counter!("simnet.duplicates_suppressed").incr();
                     Pre::Engine(post)
                 }
             }
@@ -612,6 +617,8 @@ impl<P: Wire> Engine<'_, P> {
             + if msg_id.is_some() { MSG_ID_BYTES } else { 0 };
         let dist = self.topo.location(from).distance(&self.topo.location(to));
         self.stats.record_send(from, self.topo.level_of(from), bytes);
+        snod_obs::counter!("simnet.sends").incr();
+        snod_obs::counter!("simnet.send_bytes").add(bytes as u64);
         // Transmit energy is spent whether or not the frame survives.
         self.stats.tx_joules += self.energy.tx_joules(bytes, dist);
         let Some((delay, dup_delay)) = self.radio(from, to, time) else {
@@ -629,6 +636,7 @@ impl<P: Wire> Engine<'_, P> {
         match dup_delay {
             Some(d2) => {
                 self.stats.duplicates += 1;
+                snod_obs::counter!("simnet.duplicates").incr();
                 self.queue.schedule(time + delay, make(payload.clone()));
                 self.queue.schedule(time + d2, make(payload));
             }
@@ -644,6 +652,7 @@ impl<P: Wire> Engine<'_, P> {
     fn transmit_ack(&mut self, from: NodeId, to: NodeId, msg_id: u64, time: u64) {
         let dist = self.topo.location(from).distance(&self.topo.location(to));
         self.stats.acks += 1;
+        snod_obs::counter!("simnet.acks").incr();
         self.stats.ack_bytes += ACK_BYTES as u64;
         self.stats.tx_joules += self.energy.tx_joules(ACK_BYTES, dist);
         let Some((delay, dup_delay)) = self.radio(from, to, time) else {
@@ -653,6 +662,7 @@ impl<P: Wire> Engine<'_, P> {
             .schedule(time + delay, Event::Ack { from, to, msg_id });
         if let Some(d2) = dup_delay {
             self.stats.duplicates += 1;
+            snod_obs::counter!("simnet.duplicates").incr();
             self.queue
                 .schedule(time + d2, Event::Ack { from, to, msg_id });
         }
@@ -668,12 +678,14 @@ impl<P: Wire> Engine<'_, P> {
         let p = self.plan.loss_probability(self.cfg.drop_probability, time);
         if p > 0.0 && rand::Rng::gen::<f64>(&mut self.loss_rngs[from.index()]) < p {
             self.stats.dropped += 1;
+            snod_obs::counter!("simnet.drops").incr();
             ftrace!(self.trace, "{time}: frame {from:?}->{to:?} lost (p={p})");
             return None;
         }
         let mut delay = self.cfg.link_latency_ns;
         let mut dup = None;
         if let Some(lf) = self.plan.link_fault(from, to) {
+            snod_obs::counter!("simnet.fault.link_hits").incr();
             delay += lf.extra_delay_ns;
             if lf.jitter_ns > 0 {
                 delay += rand::Rng::gen_range(&mut self.fault_rngs[from.index()], 0..=lf.jitter_ns);
@@ -721,11 +733,13 @@ impl<P: Wire> Engine<'_, P> {
             // The sender is gone for good: nobody will ever retransmit.
             self.pending.remove(&msg_id);
             self.stats.retry_exhausted += 1;
+            snod_obs::counter!("simnet.retry_exhausted").incr();
             return;
         }
         if attempts >= policy.max_retries {
             self.pending.remove(&msg_id);
             self.stats.retry_exhausted += 1;
+            snod_obs::counter!("simnet.retry_exhausted").incr();
             ftrace!(self.trace, "{time}: msg {msg_id} abandoned after {attempts} retries");
             return;
         }
@@ -743,6 +757,7 @@ impl<P: Wire> Engine<'_, P> {
                 p.payload.clone()
             };
             self.stats.retransmissions += 1;
+            snod_obs::counter!("simnet.retransmissions").incr();
             self.transmit(from, to, time, Some(msg_id), payload);
         }
         let wait = policy.backoff_ns(attempts + 1) + self.retry_jitter(from, policy);
@@ -880,6 +895,14 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             self.run_parallel(source, readings_per_leaf, workers);
         }
         self.stats.elapsed_ns = self.clock_ns;
+        // Per-level message flow, exported after the run so the hot loop
+        // never pays a dynamic metric lookup.
+        if snod_obs::enabled() {
+            for (i, &msgs) in self.stats.messages_per_level.iter().enumerate() {
+                let name = format!("simnet.level.{}.msgs", i + 1);
+                snod_obs::Gauge::named(&name).set(msgs);
+            }
+        }
     }
 
     /// Schedules every leaf's first reading (staggered or synchronous).
@@ -1189,10 +1212,8 @@ mod tests {
 
         fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<f64>>, _from: NodeId, payload: Vec<f64>) {
             self.received += 1;
-            if self.received % 2 == 0 {
-                if ctx.send_parent(payload) {
-                    self.forwarded += 1;
-                }
+            if self.received.is_multiple_of(2) && ctx.send_parent(payload) {
+                self.forwarded += 1;
             }
         }
     }
@@ -1208,10 +1229,8 @@ mod tests {
 
         fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<f64>>, _from: NodeId, payload: Vec<f64>) {
             self.0.received += 1;
-            if self.0.received % 2 == 0 {
-                if ctx.send_parent_reliable(payload) {
-                    self.0.forwarded += 1;
-                }
+            if self.0.received.is_multiple_of(2) && ctx.send_parent_reliable(payload) {
+                self.0.forwarded += 1;
             }
         }
     }
@@ -1306,7 +1325,7 @@ mod tests {
             s.dropped
         );
         let root = net.topology().root();
-        assert_eq!(net.app(root).received as u64 + s.dropped, 800);
+        assert_eq!(net.app(root).received + s.dropped, 800);
         // Energy was charged for every transmit attempt.
         assert!(s.tx_joules > 0.0);
     }

@@ -186,6 +186,7 @@ impl<T: Clone> ChainSampler<T> {
     /// forward an element to their parent, with probability `f`, exactly
     /// when the sample accepted it — algorithm D3, line 14).
     pub fn push(&mut self, value: T) -> bool {
+        snod_obs::counter!("sketch.chain.pushes").incr();
         self.position += 1;
         let i = self.position;
         let w = self.window;
@@ -246,6 +247,9 @@ impl<T: Clone> ChainSampler<T> {
                     self.expiring.entry(nidx + w).or_default().push(c);
                 }
             }
+        }
+        if accepted {
+            snod_obs::counter!("sketch.chain.accepts").incr();
         }
         accepted
     }

@@ -181,7 +181,7 @@ mod tests {
         // Mostly high values with a long left tail — like the paper's
         // engine dataset (skew −6.844).
         let mut xs = vec![0.42; 990];
-        xs.extend(std::iter::repeat(0.05).take(10));
+        xs.extend(std::iter::repeat_n(0.05, 10));
         let s = DatasetStats::from_slice(&xs).unwrap();
         assert!(s.skew < -5.0, "skew {}", s.skew);
     }

@@ -143,11 +143,13 @@ impl WindowedVariance {
 
     /// Feeds one value into the sketch.
     pub fn push(&mut self, x: f64) {
+        snod_obs::counter!("sketch.variance.pushes").incr();
         self.time += 1;
         self.expire();
         self.buckets.push_back(Bucket::singleton(self.time, x));
         self.merge_pass();
         self.max_buckets_seen = self.max_buckets_seen.max(self.buckets.len());
+        snod_obs::gauge!("sketch.variance.max_buckets").record_max(self.max_buckets_seen as u64);
     }
 
     fn expire(&mut self) {

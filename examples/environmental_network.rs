@@ -41,7 +41,7 @@ fn main() {
     let mut source = move |node: NodeId, seq: u64| {
         let leaf = OutlierPipeline::leaf_position(&topo, node)?;
         let mut v = streams.next_for(leaf);
-        if leaf == 11 && seq > 4_000 && seq % 500 == 0 {
+        if leaf == 11 && seq > 4_000 && seq.is_multiple_of(500) {
             v = vec![0.44, 0.275]; // storm-low pressure with saturated air
         }
         Some(v)

@@ -108,7 +108,10 @@ fn run_mgdd(plan: FaultPlan, sim: SimConfig) -> Network<MgddPayload, MgddNode> {
     run_mgdd_with_faults(t, &mgdd_config(), sim, plan, &mut src, READINGS, &[top]).unwrap()
 }
 
-fn d3_detections(net: &Network<D3Payload, D3Node>) -> Vec<(u32, Vec<(u64, Vec<u64>, u8)>)> {
+/// Per node: `(node id, [(time, value bits, level)])`.
+type DetectionTrace = Vec<(u32, Vec<(u64, Vec<u64>, u8)>)>;
+
+fn d3_detections(net: &Network<D3Payload, D3Node>) -> DetectionTrace {
     net.apps()
         .map(|(node, app)| {
             (
@@ -128,7 +131,7 @@ fn d3_detections(net: &Network<D3Payload, D3Node>) -> Vec<(u32, Vec<(u64, Vec<u6
         .collect()
 }
 
-fn mgdd_detections(net: &Network<MgddPayload, MgddNode>) -> Vec<(u32, Vec<(u64, Vec<u64>, u8)>)> {
+fn mgdd_detections(net: &Network<MgddPayload, MgddNode>) -> DetectionTrace {
     net.apps()
         .map(|(node, app)| {
             (

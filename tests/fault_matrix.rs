@@ -50,7 +50,7 @@ fn fault_levels(topo: &Hierarchy, seed: u64) -> Vec<(&'static str, FaultPlan)> {
 
 fn source_for(seed: u64) -> impl FnMut(NodeId, u64) -> Option<Vec<f64>> {
     move |node: NodeId, seq: u64| {
-        let h = node.0 as u64 * 1_000_003 ^ seq.wrapping_mul(7_919 + seed);
+        let h = (node.0 as u64 * 1_000_003) ^ seq.wrapping_mul(7_919 + seed);
         if seq % 149 == 60 {
             Some(vec![0.92])
         } else {

@@ -32,6 +32,14 @@ pub struct SimulateArgs {
     pub loss: f64,
     /// Write a JSON metrics snapshot here after the run.
     pub metrics_out: Option<String>,
+    /// Write a checkpoint of the run to this file (d3/mgdd only).
+    pub checkpoint_out: Option<String>,
+    /// With `checkpoint_out`: snapshot after this many readings per
+    /// leaf instead of at the end, then continue to completion.
+    pub checkpoint_at: Option<u64>,
+    /// Restore this checkpoint before the run; the remaining readings
+    /// replay bit-identically to the run the snapshot was taken from.
+    pub resume_from: Option<String>,
 }
 
 impl Default for SimulateArgs {
@@ -43,6 +51,9 @@ impl Default for SimulateArgs {
             fraction: 0.5,
             loss: 0.0,
             metrics_out: None,
+            checkpoint_out: None,
+            checkpoint_at: None,
+            resume_from: None,
         }
     }
 }
@@ -127,6 +138,11 @@ SIMULATE OPTIONS:
   --fraction F      sample-propagation fraction f (default 0.5)
   --loss P          message-loss probability      (default 0)
   --metrics-out F   write a JSON metrics snapshot to F after the run
+  --checkpoint-out F  write a checkpoint of the run to F (d3/mgdd)
+  --checkpoint-at K   with --checkpoint-out: snapshot after K readings
+                      per leaf, then continue to completion
+  --resume-from F   restore checkpoint F before running; the remaining
+                    readings replay bit-identically to the original run
 
 DETECT OPTIONS:
   --window N        sliding window |W|            (default 10000)
@@ -165,11 +181,24 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ArgErro
                     "--fraction" => s.fraction = parse_value(&a, it.next())?,
                     "--loss" => s.loss = parse_value(&a, it.next())?,
                     "--metrics-out" => s.metrics_out = Some(parse_value(&a, it.next())?),
+                    "--checkpoint-out" => s.checkpoint_out = Some(parse_value(&a, it.next())?),
+                    "--checkpoint-at" => s.checkpoint_at = Some(parse_value(&a, it.next())?),
+                    "--resume-from" => s.resume_from = Some(parse_value(&a, it.next())?),
                     other => return Err(ArgError(format!("unknown flag for simulate: {other}"))),
                 }
             }
             if s.leaves == 0 {
                 return Err(ArgError("--leaves must be positive".into()));
+            }
+            if s.checkpoint_at.is_some() && s.checkpoint_out.is_none() {
+                return Err(ArgError("--checkpoint-at needs --checkpoint-out".into()));
+            }
+            if (s.checkpoint_out.is_some() || s.resume_from.is_some())
+                && s.algorithm == "centralized"
+            {
+                return Err(ArgError(
+                    "checkpoint/resume supports d3 and mgdd only".into(),
+                ));
             }
             if !["d3", "mgdd", "centralized"].contains(&s.algorithm.as_str()) {
                 return Err(ArgError(format!(
@@ -349,6 +378,36 @@ mod tests {
         assert!(parse(["simulate".into(), "--algorithm".into(), "nope".into()]).is_err());
         assert!(parse(["simulate".into(), "--loss".into(), "1.5".into()]).is_err());
         assert!(parse(["simulate".into(), "--leaves".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_validate() {
+        let Command::Simulate(s) = parse_ok(&[
+            "simulate",
+            "--checkpoint-out",
+            "ck.snod",
+            "--checkpoint-at",
+            "300",
+        ]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(s.checkpoint_out.as_deref(), Some("ck.snod"));
+        assert_eq!(s.checkpoint_at, Some(300));
+        let Command::Simulate(s) = parse_ok(&["simulate", "--resume-from", "ck.snod"]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(s.resume_from.as_deref(), Some("ck.snod"));
+        // --checkpoint-at without --checkpoint-out is meaningless.
+        assert!(parse(["simulate".into(), "--checkpoint-at".into(), "5".into()]).is_err());
+        // The centralized baseline does not persist node state.
+        assert!(parse([
+            "simulate".into(),
+            "--algorithm".into(),
+            "centralized".into(),
+            "--checkpoint-out".into(),
+            "ck".into(),
+        ])
+        .is_err());
     }
 
     #[test]

@@ -128,7 +128,7 @@ pub fn stats(args: &StatsArgs, out: &mut dyn Write) -> Result<u64, CliError> {
 /// `snod simulate`: run a distributed algorithm over a synthetic
 /// hierarchy and report detections plus network cost.
 pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    use snod_core::pipeline::{Algorithm, OutlierPipeline};
+    use snod_core::pipeline::{Algorithm, CheckpointPlan, OutlierPipeline};
     use snod_core::{D3Config, MgddConfig, UpdateStrategy};
     use snod_data::SensorStreams;
     use snod_outlier::MdefConfig;
@@ -169,19 +169,47 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError
         n = n.div_ceil(4);
     }
     let sim = snod_simnet::SimConfig::default().with_drop_probability(args.loss);
+    // A reading lands every period, so "snapshot after K readings per
+    // leaf" translates to the instant of the K-th reading wave. Any cut
+    // point yields a bit-identical resume; this one is just meaningful
+    // to a human reading `--checkpoint-at`.
+    let ckpt = CheckpointPlan {
+        resume_from: args.resume_from.clone().map(Into::into),
+        checkpoint_out: args.checkpoint_out.clone().map(Into::into),
+        checkpoint_at_ns: args
+            .checkpoint_at
+            .map(|k| k.saturating_mul(sim.reading_period_ns)),
+    };
     let pipeline = OutlierPipeline::balanced(args.leaves, &fanouts, sim, algorithm)
         .map_err(|e| format!("pipeline setup failed: {e}"))?;
     let topo = pipeline.topology().clone();
     let mut streams = SensorStreams::generate(args.leaves, |i| {
         GaussianMixtureStream::new(1, 77 + i as u64)
     });
-    let mut source = move |node: snod_simnet::NodeId, _seq: u64| {
+    // The network persists everything *inside* the simulation, but the
+    // stream generators live outside it, so a resumed run is asked for
+    // reading `seq` on a freshly seeded stream. Fast-forwarding to the
+    // requested position keeps resumed values identical to the ones the
+    // original run saw (each leaf's seqs arrive in increasing order).
+    let mut consumed = vec![0u64; args.leaves];
+    let mut source = move |node: snod_simnet::NodeId, seq: u64| {
         let leaf = OutlierPipeline::leaf_position(&topo, node)?;
-        Some(streams.next_for(leaf))
+        let mut v = None;
+        while consumed[leaf] <= seq {
+            v = Some(streams.next_for(leaf));
+            consumed[leaf] += 1;
+        }
+        v
     };
     let report = pipeline
-        .run(&mut source, args.readings)
+        .run_checkpointed(&mut source, args.readings, &ckpt)
         .map_err(|e| format!("simulation failed: {e}"))?;
+    if let Some(p) = &args.checkpoint_out {
+        writeln!(out, "checkpoint written to {p}")?;
+    }
+    if let Some(p) = &args.resume_from {
+        writeln!(out, "resumed from {p}")?;
+    }
 
     writeln!(
         out,
@@ -327,7 +355,7 @@ mod tests {
                 algorithm: algorithm.into(),
                 fraction: 0.5,
                 loss: 0.05,
-                metrics_out: None,
+                ..crate::args::SimulateArgs::default()
             };
             let mut out = Vec::new();
             simulate(&args, &mut out).unwrap();
@@ -346,6 +374,7 @@ mod tests {
             fraction: 0.5,
             loss: 0.0,
             metrics_out: Some(path.to_string_lossy().into_owned()),
+            ..crate::args::SimulateArgs::default()
         };
         let mut out = Vec::new();
         simulate(&args, &mut out).unwrap();
@@ -355,6 +384,44 @@ mod tests {
             assert!(text.contains("simnet.sends"), "{text}");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_checkpoint_resume_is_bit_identical() {
+        let ck = std::env::temp_dir().join("snod_cli_ckpt_test.snod");
+        let base = crate::args::SimulateArgs {
+            leaves: 4,
+            readings: 300,
+            algorithm: "d3".into(),
+            fraction: 0.5,
+            loss: 0.05,
+            ..crate::args::SimulateArgs::default()
+        };
+        // One uninterrupted run that also snapshots at reading 150.
+        let snap = crate::args::SimulateArgs {
+            checkpoint_out: Some(ck.to_string_lossy().into_owned()),
+            checkpoint_at: Some(150),
+            ..base.clone()
+        };
+        let mut full = Vec::new();
+        simulate(&snap, &mut full).unwrap();
+        // A second process would rebuild the pipeline and resume.
+        let resume = crate::args::SimulateArgs {
+            resume_from: Some(ck.to_string_lossy().into_owned()),
+            ..base.clone()
+        };
+        let mut resumed = Vec::new();
+        simulate(&resume, &mut resumed).unwrap();
+        let strip = |buf: &[u8]| -> Vec<String> {
+            String::from_utf8(buf.to_vec())
+                .unwrap()
+                .lines()
+                .filter(|l| !l.starts_with("checkpoint written") && !l.starts_with("resumed from"))
+                .map(str::to_owned)
+                .collect()
+        };
+        assert_eq!(strip(&full), strip(&resumed), "resume diverged");
+        std::fs::remove_file(&ck).ok();
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!   itself stays within sketch memory.
 
 use snod_density::{js_divergence_models, DensityModel, GridDiscretization};
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 use snod_sketch::ExpHistogram;
 
 use crate::config::CoreError;
@@ -152,6 +153,19 @@ impl OutlierCountAlarm {
     /// True when the estimated count exceeds the threshold.
     pub fn alarmed(&self) -> bool {
         self.counter.estimate() > self.threshold
+    }
+}
+
+impl Persist for OutlierCountAlarm {
+    fn save(&self, w: &mut ByteWriter) {
+        self.counter.save(w);
+        self.threshold.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            counter: ExpHistogram::load(r)?,
+            threshold: u64::load(r)?,
+        })
     }
 }
 

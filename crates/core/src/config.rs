@@ -2,6 +2,7 @@
 
 use snod_density::DensityError;
 use snod_outlier::{DistanceOutlierConfig, MdefConfig};
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 use snod_sketch::SketchError;
 
 /// Errors surfaced by the core algorithms.
@@ -15,6 +16,8 @@ pub enum CoreError {
     Config(&'static str),
     /// The estimator has not observed any data yet.
     NoData,
+    /// A checkpoint could not be written or read back.
+    Persist(PersistError),
 }
 
 impl From<SketchError> for CoreError {
@@ -29,6 +32,12 @@ impl From<DensityError> for CoreError {
     }
 }
 
+impl From<PersistError> for CoreError {
+    fn from(e: PersistError) -> Self {
+        CoreError::Persist(e)
+    }
+}
+
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -36,6 +45,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Density(e) => write!(f, "density error: {e}"),
             CoreError::Config(what) => write!(f, "invalid configuration: {what}"),
             CoreError::NoData => write!(f, "estimator has not observed any data yet"),
+            CoreError::Persist(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -347,6 +357,118 @@ impl MgddConfig {
             }
         }
         Ok(())
+    }
+}
+
+impl Persist for RebuildPolicy {
+    fn save(&self, w: &mut ByteWriter) {
+        self.rebuild_every.save(w);
+        self.sigma_tolerance.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let policy = Self {
+            rebuild_every: u64::load(r)?,
+            sigma_tolerance: f64::load(r)?,
+        };
+        policy
+            .validate()
+            .map_err(|_| PersistError::Corrupt("invalid rebuild policy"))?;
+        Ok(policy)
+    }
+}
+
+impl Persist for EstimatorConfig {
+    fn save(&self, w: &mut ByteWriter) {
+        self.window.save(w);
+        self.sample_size.save(w);
+        self.dimensions.save(w);
+        self.variance_epsilon.save(w);
+        self.seed.save(w);
+        self.rebuild.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let cfg = Self {
+            window: usize::load(r)?,
+            sample_size: usize::load(r)?,
+            dimensions: usize::load(r)?,
+            variance_epsilon: f64::load(r)?,
+            seed: u64::load(r)?,
+            rebuild: RebuildPolicy::load(r)?,
+        };
+        cfg.validate()
+            .map_err(|_| PersistError::Corrupt("invalid estimator config"))?;
+        Ok(cfg)
+    }
+}
+
+impl Persist for D3Config {
+    fn save(&self, w: &mut ByteWriter) {
+        self.estimator.save(w);
+        self.rule.save(w);
+        self.sample_fraction.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let cfg = Self {
+            estimator: EstimatorConfig::load(r)?,
+            rule: DistanceOutlierConfig::load(r)?,
+            sample_fraction: f64::load(r)?,
+        };
+        cfg.validate()
+            .map_err(|_| PersistError::Corrupt("invalid d3 config"))?;
+        Ok(cfg)
+    }
+}
+
+impl Persist for UpdateStrategy {
+    fn save(&self, w: &mut ByteWriter) {
+        match self {
+            UpdateStrategy::EveryAcceptance => w.put_u8(0),
+            UpdateStrategy::OnModelChange {
+                js_threshold,
+                check_every,
+            } => {
+                w.put_u8(1);
+                js_threshold.save(w);
+                check_every.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(UpdateStrategy::EveryAcceptance),
+            1 => Ok(UpdateStrategy::OnModelChange {
+                js_threshold: f64::load(r)?,
+                check_every: u64::load(r)?,
+            }),
+            _ => Err(PersistError::Corrupt("unknown update-strategy tag")),
+        }
+    }
+}
+
+impl Persist for MgddConfig {
+    fn save(&self, w: &mut ByteWriter) {
+        self.estimator.save(w);
+        self.rule.save(w);
+        self.sample_fraction.save(w);
+        self.updates.save(w);
+        self.staleness_bound_ns.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let cfg = Self {
+            estimator: EstimatorConfig::load(r)?,
+            rule: MdefConfig::load(r)?,
+            sample_fraction: f64::load(r)?,
+            updates: UpdateStrategy::load(r)?,
+            staleness_bound_ns: Option::<u64>::load(r)?,
+        };
+        cfg.validate()
+            .map_err(|_| PersistError::Corrupt("invalid mgdd config"))?;
+        Ok(cfg)
     }
 }
 

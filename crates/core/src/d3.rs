@@ -9,9 +9,9 @@
 //! sound: an outlier of the union window is necessarily an outlier of
 //! some child window, so parents never need to see non-flagged values.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
 use snod_simnet::{
     Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
 };
@@ -55,7 +55,7 @@ pub struct Detection {
 pub struct D3Node {
     est: SensorEstimator,
     cfg: D3Config,
-    rng: StdRng,
+    rng: SeededRng,
     /// Outliers this node has flagged.
     pub detections: Vec<Detection>,
     level: u8,
@@ -81,7 +81,7 @@ impl D3Node {
         Self {
             est,
             cfg: *cfg,
-            rng: StdRng::seed_from_u64(est_cfg.seed ^ 0xD3),
+            rng: SeededRng::seed_from_u64(est_cfg.seed ^ 0xD3),
             detections: Vec::new(),
             level,
         }
@@ -156,6 +156,65 @@ impl SensorApp<D3Payload> for D3Node {
     }
 }
 
+impl Persist for D3Payload {
+    fn save(&self, w: &mut ByteWriter) {
+        match self {
+            D3Payload::SampleValue(v) => {
+                w.put_u8(0);
+                v.save(w);
+            }
+            D3Payload::Outlier(v) => {
+                w.put_u8(1);
+                v.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(D3Payload::SampleValue(Vec::<f64>::load(r)?)),
+            1 => Ok(D3Payload::Outlier(Vec::<f64>::load(r)?)),
+            _ => Err(PersistError::Corrupt("unknown d3 payload tag")),
+        }
+    }
+}
+
+impl Persist for Detection {
+    fn save(&self, w: &mut ByteWriter) {
+        self.time_ns.save(w);
+        self.value.save(w);
+        self.level.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            time_ns: u64::load(r)?,
+            value: Vec::<f64>::load(r)?,
+            level: u8::load(r)?,
+        })
+    }
+}
+
+impl Persist for D3Node {
+    fn save(&self, w: &mut ByteWriter) {
+        self.est.save(w);
+        self.cfg.save(w);
+        self.rng.save(w);
+        self.detections.save(w);
+        self.level.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            est: SensorEstimator::load(r)?,
+            cfg: D3Config::load(r)?,
+            rng: SeededRng::load(r)?,
+            detections: Vec::<Detection>::load(r)?,
+            level: u8::load(r)?,
+        })
+    }
+}
+
 /// Runs D3 over `topo`: each leaf consumes `readings_per_leaf` readings
 /// from `source`. Returns the network (stats + per-node detections).
 pub fn run_d3<S: StreamSource>(
@@ -181,11 +240,23 @@ pub fn run_d3_with_faults<S: StreamSource>(
     source: &mut S,
     readings_per_leaf: u64,
 ) -> Result<Network<D3Payload, D3Node>, CoreError> {
-    cfg.validate()?;
-    let mut net =
-        Network::new(topo, sim, |node, topo| D3Node::new(node, topo, cfg)).with_fault_plan(plan);
+    let mut net = build_d3_network(topo, cfg, sim, plan)?;
     net.run(source, readings_per_leaf);
     Ok(net)
+}
+
+/// Builds the D3 network without running it, for callers that drive the
+/// simulation themselves — checkpoint/resume needs to restore state (or
+/// stop at an intermediate instant via [`Network::run_until`]) before
+/// events are processed.
+pub fn build_d3_network(
+    topo: Hierarchy,
+    cfg: &D3Config,
+    sim: SimConfig,
+    plan: FaultPlan,
+) -> Result<Network<D3Payload, D3Node>, CoreError> {
+    cfg.validate()?;
+    Ok(Network::new(topo, sim, |node, topo| D3Node::new(node, topo, cfg)).with_fault_plan(plan))
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 
 use snod_density::{DensityError, DensityModel, Kde, Kde1d};
 use snod_outlier::{DistanceOutlierConfig, MdefConfig, MdefDetector, MdefEvaluation};
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 use snod_sketch::{ChainSampler, WindowedVariance};
 
 use crate::config::{CoreError, EstimatorConfig};
@@ -404,6 +405,89 @@ impl SensorEstimator {
             .iter()
             .map(|v| v.theoretical_memory_bound(value_bytes))
             .sum()
+    }
+}
+
+impl Persist for SensorModel {
+    fn save(&self, w: &mut ByteWriter) {
+        match self {
+            SensorModel::One(m) => {
+                w.put_u8(0);
+                m.save(w);
+            }
+            SensorModel::Multi(m) => {
+                w.put_u8(1);
+                m.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(SensorModel::One(Kde1d::load(r)?)),
+            1 => Ok(SensorModel::Multi(Kde::load(r)?)),
+            _ => Err(PersistError::Corrupt("unknown sensor-model tag")),
+        }
+    }
+}
+
+impl Persist for ModelCache {
+    fn save(&self, w: &mut ByteWriter) {
+        self.version.save(w);
+        self.built_sigmas.save(w);
+        self.model.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            version: u64::load(r)?,
+            built_sigmas: Vec::<f64>::load(r)?,
+            model: SensorModel::load(r)?,
+        })
+    }
+}
+
+impl Persist for SensorEstimator {
+    fn save(&self, w: &mut ByteWriter) {
+        self.cfg.save(w);
+        self.sampler.save(w);
+        self.variances.save(w);
+        self.observed.save(w);
+        self.conceptual_window.save(w);
+        self.per_arrival_coverage.save(w);
+        self.cached.save(w);
+        self.epochs.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let cfg = EstimatorConfig::load(r)?;
+        let sampler = ChainSampler::load(r)?;
+        let variances = Vec::<WindowedVariance>::load(r)?;
+        let observed = u64::load(r)?;
+        let conceptual_window = f64::load(r)?;
+        let per_arrival_coverage = f64::load(r)?;
+        let cached = Option::<ModelCache>::load(r)?;
+        let epochs = u64::load(r)?;
+        if variances.len() != cfg.dimensions {
+            return Err(PersistError::Corrupt(
+                "estimator variance count mismatches its dimensionality",
+            ));
+        }
+        if !(conceptual_window > 0.0) || !(per_arrival_coverage > 0.0) {
+            return Err(PersistError::Corrupt(
+                "estimator count-scaling parameters must be positive",
+            ));
+        }
+        Ok(Self {
+            cfg,
+            sampler,
+            variances,
+            observed,
+            conceptual_window,
+            per_arrival_coverage,
+            cached,
+            epochs,
+        })
     }
 }
 

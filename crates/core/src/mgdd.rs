@@ -36,11 +36,11 @@
 //! `NetStats::local_fallbacks`). [`run_mgdd_with_faults`] wires a
 //! [`FaultPlan`] into the run.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use snod_density::js_divergence_models;
 use snod_outlier::MdefDetector;
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
 use snod_simnet::{
     Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
 };
@@ -101,7 +101,7 @@ impl Wire for MgddPayload {
 pub struct MgddNode {
     est: SensorEstimator,
     cfg: MgddConfig,
-    rng: StdRng,
+    rng: SeededRng,
     level: u8,
     /// Does this leader broadcast global updates?
     broadcasts: bool,
@@ -145,7 +145,7 @@ impl MgddNode {
         Self {
             est,
             cfg: *cfg,
-            rng: StdRng::seed_from_u64(est_cfg.seed ^ 0x16DD),
+            rng: SeededRng::seed_from_u64(est_cfg.seed ^ 0x16DD),
             level,
             broadcasts: level > 1 && broadcast_levels.contains(&level),
             replicas,
@@ -350,6 +350,88 @@ impl SensorApp<MgddPayload> for MgddNode {
     }
 }
 
+impl Persist for MgddPayload {
+    fn save(&self, w: &mut ByteWriter) {
+        match self {
+            MgddPayload::SampleValue(v) => {
+                w.put_u8(0);
+                v.save(w);
+            }
+            MgddPayload::GlobalDelta {
+                origin_level,
+                value,
+                sigmas,
+                window_len,
+            } => {
+                w.put_u8(1);
+                origin_level.save(w);
+                value.save(w);
+                sigmas.save(w);
+                window_len.save(w);
+            }
+            MgddPayload::GlobalModel {
+                origin_level,
+                sample,
+                sigmas,
+                window_len,
+            } => {
+                w.put_u8(2);
+                origin_level.save(w);
+                sample.save(w);
+                sigmas.save(w);
+                window_len.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(MgddPayload::SampleValue(Vec::<f64>::load(r)?)),
+            1 => Ok(MgddPayload::GlobalDelta {
+                origin_level: u8::load(r)?,
+                value: Vec::<f64>::load(r)?,
+                sigmas: Vec::<f64>::load(r)?,
+                window_len: f64::load(r)?,
+            }),
+            2 => Ok(MgddPayload::GlobalModel {
+                origin_level: u8::load(r)?,
+                sample: Vec::<Vec<f64>>::load(r)?,
+                sigmas: Vec::<f64>::load(r)?,
+                window_len: f64::load(r)?,
+            }),
+            _ => Err(PersistError::Corrupt("unknown mgdd payload tag")),
+        }
+    }
+}
+
+impl Persist for MgddNode {
+    fn save(&self, w: &mut ByteWriter) {
+        self.est.save(w);
+        self.cfg.save(w);
+        self.rng.save(w);
+        self.level.save(w);
+        self.broadcasts.save(w);
+        self.replicas.save(w);
+        self.last_broadcast.save(w);
+        self.since_check.save(w);
+        self.detections.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            est: SensorEstimator::load(r)?,
+            cfg: MgddConfig::load(r)?,
+            rng: SeededRng::load(r)?,
+            level: u8::load(r)?,
+            broadcasts: bool::load(r)?,
+            replicas: Vec::<(u8, IncrementalReplica)>::load(r)?,
+            last_broadcast: Option::<SensorModel>::load(r)?,
+            since_check: u64::load(r)?,
+            detections: Vec::<Detection>::load(r)?,
+        })
+    }
+}
+
 /// Runs MGDD with the paper's default top-level-only global model.
 pub fn run_mgdd<S: StreamSource>(
     topo: Hierarchy,
@@ -398,13 +480,27 @@ pub fn run_mgdd_with_faults<S: StreamSource>(
     readings_per_leaf: u64,
     broadcast_levels: &[u8],
 ) -> Result<Network<MgddPayload, MgddNode>, CoreError> {
-    cfg.validate()?;
-    let mut net = Network::new(topo, sim, |node, topo| {
-        MgddNode::new(node, topo, cfg, broadcast_levels)
-    })
-    .with_fault_plan(plan);
+    let mut net = build_mgdd_network(topo, cfg, sim, plan, broadcast_levels)?;
     net.run(source, readings_per_leaf);
     Ok(net)
+}
+
+/// Builds the MGDD network without running it, for callers that drive
+/// the simulation themselves — checkpoint/resume needs to restore state
+/// (or stop at an intermediate instant via [`Network::run_until`])
+/// before events are processed.
+pub fn build_mgdd_network(
+    topo: Hierarchy,
+    cfg: &MgddConfig,
+    sim: SimConfig,
+    plan: FaultPlan,
+    broadcast_levels: &[u8],
+) -> Result<Network<MgddPayload, MgddNode>, CoreError> {
+    cfg.validate()?;
+    Ok(Network::new(topo, sim, |node, topo| {
+        MgddNode::new(node, topo, cfg, broadcast_levels)
+    })
+    .with_fault_plan(plan))
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@
 use std::collections::HashMap;
 
 use snod_density::js_divergence_models;
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 use snod_simnet::{
     Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
 };
@@ -49,6 +50,21 @@ pub struct ModelReport {
 impl Wire for ModelReport {
     fn size_bytes(&self) -> usize {
         self.sample.iter().map(|v| v.len() * 2).sum::<usize>() + self.sigmas.len() * 2 + 2
+    }
+}
+
+impl Persist for ModelReport {
+    fn save(&self, w: &mut ByteWriter) {
+        self.sample.save(w);
+        self.sigmas.save(w);
+        self.window_len.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            sample: Vec::load(r)?,
+            sigmas: Vec::load(r)?,
+            window_len: f64::load(r)?,
+        })
     }
 }
 
@@ -110,6 +126,84 @@ pub struct MonitorNode {
     currently_flagged: HashMap<NodeId, bool>,
     /// Alarms raised by this leader, in order.
     pub alarms: Vec<FaultAlarm>,
+}
+
+impl Persist for FaultAlarm {
+    fn save(&self, w: &mut ByteWriter) {
+        self.time_ns.save(w);
+        self.child.save(w);
+        self.divergence.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            time_ns: u64::load(r)?,
+            child: NodeId::load(r)?,
+            divergence: f64::load(r)?,
+        })
+    }
+}
+
+impl Persist for MonitorConfig {
+    fn save(&self, w: &mut ByteWriter) {
+        self.estimator.save(w);
+        self.report_every.save(w);
+        self.threshold.save(w);
+        self.grid_k.save(w);
+        self.staleness_bound_ns.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let cfg = Self {
+            estimator: EstimatorConfig::load(r)?,
+            report_every: u64::load(r)?,
+            threshold: f64::load(r)?,
+            grid_k: usize::load(r)?,
+            staleness_bound_ns: Option::load(r)?,
+        };
+        if cfg.report_every == 0 || cfg.grid_k == 0 || cfg.staleness_bound_ns == Some(0) {
+            return Err(PersistError::Corrupt("invalid monitor config"));
+        }
+        Ok(cfg)
+    }
+}
+
+impl Persist for ChildModel {
+    fn save(&self, w: &mut ByteWriter) {
+        self.model.save(w);
+        self.built_sigmas.save(w);
+        self.reports_since_rebuild.save(w);
+        self.updated_ns.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            model: SensorModel::load(r)?,
+            built_sigmas: Vec::load(r)?,
+            reports_since_rebuild: u64::load(r)?,
+            updated_ns: u64::load(r)?,
+        })
+    }
+}
+
+impl Persist for MonitorNode {
+    fn save(&self, w: &mut ByteWriter) {
+        self.cfg.save(w);
+        w.put_u8(self.level);
+        self.est.save(w);
+        self.since_report.save(w);
+        self.child_models.save(w);
+        self.currently_flagged.save(w);
+        self.alarms.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            cfg: MonitorConfig::load(r)?,
+            level: r.get_u8()?,
+            est: SensorEstimator::load(r)?,
+            since_report: u64::load(r)?,
+            child_models: HashMap::load(r)?,
+            currently_flagged: HashMap::load(r)?,
+            alarms: Vec::load(r)?,
+        })
+    }
 }
 
 impl MonitorNode {

@@ -7,13 +7,14 @@
 //! examples are all written against this module.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
-use snod_simnet::{FaultPlan, Hierarchy, NodeId, SimConfig, StreamSource};
+use snod_simnet::{FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource};
 
 use crate::centralized::run_centralized_with_faults;
 use crate::config::{CoreError, D3Config, MgddConfig};
-use crate::d3::{run_d3_with_faults, Detection};
-use crate::mgdd::run_mgdd_with_faults;
+use crate::d3::{build_d3_network, run_d3_with_faults, Detection};
+use crate::mgdd::{build_mgdd_network, run_mgdd_with_faults};
 
 /// Which detector the pipeline runs.
 #[derive(Debug, Clone)]
@@ -50,6 +51,82 @@ impl PipelineReport {
     /// Total number of detections across levels.
     pub fn total_detections(&self) -> usize {
         self.detections_by_level.values().map(Vec::len).sum()
+    }
+}
+
+/// Snapshot/resume instructions for [`OutlierPipeline::run_checkpointed`].
+///
+/// The default plan does nothing; `run_checkpointed` with it is exactly
+/// [`OutlierPipeline::run`]. Checkpoint files are written atomically
+/// (temp file + rename) with a versioned, checksummed header; resuming
+/// one in a pipeline built with the same topology, configs and fault
+/// plan is bit-identical to never having stopped.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointPlan {
+    /// Restore this checkpoint file before processing any event.
+    pub resume_from: Option<PathBuf>,
+    /// Write a snapshot of the run to this file.
+    pub checkpoint_out: Option<PathBuf>,
+    /// With `checkpoint_out`: pause once every event at or before this
+    /// simulated instant has been processed, snapshot, then continue to
+    /// completion. `None` snapshots the fully drained final state.
+    pub checkpoint_at_ns: Option<u64>,
+}
+
+impl CheckpointPlan {
+    /// True when the plan neither restores nor snapshots anything.
+    pub fn is_noop(&self) -> bool {
+        self.resume_from.is_none() && self.checkpoint_out.is_none()
+    }
+}
+
+/// Restores (if asked), runs to completion, and snapshots (if asked) —
+/// shared by the D3 and MGDD arms of `run_checkpointed`.
+fn drive_checkpointed<P, A, S>(
+    net: &mut Network<P, A>,
+    source: &mut S,
+    readings_per_leaf: u64,
+    ckpt: &CheckpointPlan,
+) -> Result<(), CoreError>
+where
+    P: snod_simnet::Wire + snod_persist::Persist + Send,
+    A: SensorApp<P> + snod_persist::Persist + Send,
+    S: StreamSource,
+{
+    if let Some(path) = &ckpt.resume_from {
+        net.restore_from_file(path)?;
+    }
+    match (&ckpt.checkpoint_out, ckpt.checkpoint_at_ns) {
+        (Some(out), Some(at)) => {
+            net.run_until(source, readings_per_leaf, at);
+            net.checkpoint_to_file(out)?;
+            net.run_until(source, readings_per_leaf, u64::MAX);
+        }
+        (Some(out), None) => {
+            net.run(source, readings_per_leaf);
+            net.checkpoint_to_file(out)?;
+        }
+        (None, _) => net.run(source, readings_per_leaf),
+    }
+    Ok(())
+}
+
+/// Groups a finished network's detections by level.
+fn report_by_level<'a, P, A, I>(net: &'a Network<P, A>, detections: I) -> PipelineReport
+where
+    P: snod_simnet::Wire,
+    A: SensorApp<P>,
+    I: Fn(&'a A) -> &'a [Detection],
+{
+    let mut by_level: BTreeMap<u8, Vec<Detection>> = BTreeMap::new();
+    for (_, app) in net.apps() {
+        for d in detections(app) {
+            by_level.entry(d.level).or_default().push(d.clone());
+        }
+    }
+    PipelineReport {
+        detections_by_level: by_level,
+        stats: net.stats().clone(),
     }
 }
 
@@ -170,6 +247,54 @@ impl OutlierPipeline {
             detections_by_level: by_level,
             stats,
         })
+    }
+
+    /// [`Self::run`] with checkpoint/resume: optionally restores a
+    /// snapshot before the first event, optionally writes one mid-run or
+    /// at the end. Only the D3 and MGDD algorithms persist their node
+    /// state; asking for a snapshot of the centralized baseline is a
+    /// configuration error.
+    ///
+    /// Stopping at instant `k`, snapshotting, and resuming the file in a
+    /// freshly built identical pipeline replays the remainder of the run
+    /// bit-identically — same detections, same stats — which
+    /// `tests/checkpoint_resume.rs` pins on golden traces.
+    pub fn run_checkpointed<S: StreamSource>(
+        &self,
+        source: &mut S,
+        readings_per_leaf: u64,
+        ckpt: &CheckpointPlan,
+    ) -> Result<PipelineReport, CoreError> {
+        if ckpt.is_noop() {
+            return self.run(source, readings_per_leaf);
+        }
+        match &self.algorithm {
+            Algorithm::D3(cfg) => {
+                let mut net =
+                    build_d3_network(self.topo.clone(), cfg, self.sim, self.plan.clone())?;
+                drive_checkpointed(&mut net, source, readings_per_leaf, ckpt)?;
+                Ok(report_by_level(&net, |app| app.detections.as_slice()))
+            }
+            Algorithm::Mgdd(cfg, levels) => {
+                let levels = if levels.is_empty() {
+                    vec![self.topo.level_count() as u8]
+                } else {
+                    levels.clone()
+                };
+                let mut net = build_mgdd_network(
+                    self.topo.clone(),
+                    cfg,
+                    self.sim,
+                    self.plan.clone(),
+                    &levels,
+                )?;
+                drive_checkpointed(&mut net, source, readings_per_leaf, ckpt)?;
+                Ok(report_by_level(&net, |app| app.detections.as_slice()))
+            }
+            Algorithm::Centralized(..) => Err(CoreError::Config(
+                "checkpoint/resume supports the d3 and mgdd algorithms only",
+            )),
+        }
     }
 }
 

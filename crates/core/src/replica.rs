@@ -17,6 +17,7 @@
 use std::collections::VecDeque;
 
 use snod_density::{Kde, Kde1d};
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 
 use crate::config::{CoreError, RebuildPolicy};
 use crate::estimator::SensorModel;
@@ -199,6 +200,52 @@ impl IncrementalReplica {
             self.epochs += 1;
         }
         Ok(self.cached.as_ref().expect("cache just filled"))
+    }
+}
+
+impl Persist for IncrementalReplica {
+    fn save(&self, w: &mut ByteWriter) {
+        self.values.save(w);
+        self.cap.save(w);
+        self.sigmas.save(w);
+        self.window_len.save(w);
+        self.policy.save(w);
+        self.cached.save(w);
+        self.built_sigmas.save(w);
+        self.pushes_since_rebuild.save(w);
+        self.epochs.save(w);
+        self.last_update_ns.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let values = VecDeque::<Vec<f64>>::load(r)?;
+        let cap = usize::load(r)?;
+        let sigmas = Vec::<f64>::load(r)?;
+        let window_len = f64::load(r)?;
+        let policy = RebuildPolicy::load(r)?;
+        let cached = Option::<SensorModel>::load(r)?;
+        let built_sigmas = Vec::<f64>::load(r)?;
+        let pushes_since_rebuild = u64::load(r)?;
+        let epochs = u64::load(r)?;
+        let last_update_ns = u64::load(r)?;
+        if cap == 0 {
+            return Err(PersistError::Corrupt("replica capacity must be positive"));
+        }
+        if values.len() > cap {
+            return Err(PersistError::Corrupt("replica holds more than its capacity"));
+        }
+        Ok(Self {
+            values,
+            cap,
+            sigmas,
+            window_len,
+            policy,
+            cached,
+            built_sigmas,
+            pushes_since_rebuild,
+            epochs,
+            last_update_ns,
+        })
     }
 }
 

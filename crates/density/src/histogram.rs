@@ -10,6 +10,8 @@
 //! [`GridHistogram`] additionally provides an equi-*width* d-dimensional
 //! histogram for multi-dimensional baselines and for discretising models.
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 use crate::model::{check_dims, DensityModel};
 use crate::DensityError;
 
@@ -253,6 +255,74 @@ impl DensityModel for GridHistogram {
             }
         }
         Ok(mass.min(1.0))
+    }
+}
+
+impl Persist for EquiDepthHistogram {
+    fn save(&self, w: &mut ByteWriter) {
+        self.bounds.save(w);
+        self.counts.save(w);
+        self.total.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let bounds = Vec::<f64>::load(r)?;
+        let counts = Vec::<f64>::load(r)?;
+        let total = f64::load(r)?;
+        if counts.is_empty() || bounds.len() != counts.len() + 1 {
+            return Err(PersistError::Corrupt(
+                "equi-depth bucket arrays are inconsistent",
+            ));
+        }
+        if bounds.windows(2).any(|p| !(p[1] >= p[0])) {
+            return Err(PersistError::Corrupt(
+                "equi-depth bounds must be ascending",
+            ));
+        }
+        if !(total > 0.0) {
+            return Err(PersistError::Corrupt("histogram total must be positive"));
+        }
+        Ok(Self {
+            bounds,
+            counts,
+            total,
+        })
+    }
+}
+
+impl Persist for GridHistogram {
+    fn save(&self, w: &mut ByteWriter) {
+        self.dims.save(w);
+        self.bins.save(w);
+        self.counts.save(w);
+        self.total.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let dims = usize::load(r)?;
+        let bins = usize::load(r)?;
+        let counts = Vec::<f64>::load(r)?;
+        let total = f64::load(r)?;
+        if dims == 0 || bins == 0 {
+            return Err(PersistError::Corrupt("grid histogram shape is degenerate"));
+        }
+        let cells = bins
+            .checked_pow(dims as u32)
+            .ok_or(PersistError::Corrupt("grid histogram shape overflows"))?;
+        if counts.len() != cells {
+            return Err(PersistError::Corrupt(
+                "grid histogram cell count mismatches its shape",
+            ));
+        }
+        if !(total > 0.0) {
+            return Err(PersistError::Corrupt("histogram total must be positive"));
+        }
+        Ok(Self {
+            dims,
+            bins,
+            counts,
+            total,
+        })
     }
 }
 

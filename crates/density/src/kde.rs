@@ -12,6 +12,8 @@
 //! axis-aligned box — and hence the neighborhood count `N(p, r)` — is an
 //! exact `O(d·|R|)` sum (Theorem 2), no numerical integration involved.
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 use crate::kernel::{EpanechnikovKernel, Kernel1d};
 use crate::model::{check_dims, DensityModel};
 use crate::{scott_bandwidths, DensityError};
@@ -352,6 +354,28 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
             out[qi as usize] = self.ball_prob_in_range(q, r, s, e) * self.window_len;
         }
         Ok(out)
+    }
+}
+
+impl<K: Kernel1d + Default> Persist for Kde<K> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.dims.save(w);
+        self.centers.save(w);
+        self.bandwidths.save(w);
+        self.window_len.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let dims = usize::load(r)?;
+        let centers = Vec::<f64>::load(r)?;
+        let bandwidths = Vec::<f64>::load(r)?;
+        let window_len = f64::load(r)?;
+        // Rebuilding through the validating constructor re-derives the
+        // sorted order and `first_coords` index; the sort is stable and the
+        // saved centres are already sorted, so the layout round-trips
+        // bit-identically.
+        Self::new(dims, centers, bandwidths, window_len, K::default())
+            .map_err(|_| PersistError::Corrupt("invalid kde parameters"))
     }
 }
 

@@ -9,6 +9,8 @@
 //! real deployment would run for scalar readings. The `kde_range_query`
 //! benchmark compares it against the generic [`crate::Kde`].
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 use crate::kernel::{EpanechnikovKernel, Kernel1d};
 use crate::model::{check_dims, DensityModel};
 use crate::{scott_bandwidth, DensityError};
@@ -252,6 +254,24 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
             out[qi as usize] = sum / len as f64 * self.window_len;
         }
         Ok(out)
+    }
+}
+
+impl<K: Kernel1d + Default> Persist for Kde1d<K> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.centers.save(w);
+        self.bandwidth.save(w);
+        self.window_len.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let centers = Vec::<f64>::load(r)?;
+        let bandwidth = f64::load(r)?;
+        let window_len = f64::load(r)?;
+        // The constructor validates and (stably) re-sorts the already
+        // sorted centres, so queries round-trip bit-identically.
+        Self::new(centers, bandwidth, window_len, K::default())
+            .map_err(|_| PersistError::Corrupt("invalid kde1d parameters"))
     }
 }
 

@@ -11,6 +11,8 @@
 //! it is memory-comparable to the paper's kernel sample, making the
 //! kernels-vs-wavelets accuracy comparison honest.
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 use crate::model::{check_dims, DensityModel};
 use crate::DensityError;
 
@@ -186,6 +188,29 @@ impl DensityModel for WaveletHistogram {
             mass += p * overlap / width;
         }
         Ok(mass.min(1.0))
+    }
+}
+
+impl Persist for WaveletHistogram {
+    fn save(&self, w: &mut ByteWriter) {
+        self.bins.save(w);
+        self.kept.save(w);
+        self.total.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let bins = Vec::<f64>::load(r)?;
+        let kept = usize::load(r)?;
+        let total = f64::load(r)?;
+        if bins.is_empty() || !bins.len().is_power_of_two() {
+            return Err(PersistError::Corrupt(
+                "wavelet bin count must be a power of two",
+            ));
+        }
+        if !(total > 0.0) {
+            return Err(PersistError::Corrupt("histogram total must be positive"));
+        }
+        Ok(Self { bins, kept, total })
     }
 }
 

@@ -7,6 +7,7 @@
 //! `N(p, r) < t` (paper's `IsOutlier()` procedure, Figure 4 lines 32–36).
 
 use snod_density::{DensityError, DensityModel};
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 
 /// Parameters of the `(D, r)`-outlier rule. The paper's synthetic
 /// experiments look for `(45, 0.01)`-outliers; the real-data experiments
@@ -26,6 +27,20 @@ impl DistanceOutlierConfig {
             radius,
             min_neighbors,
         }
+    }
+}
+
+impl Persist for DistanceOutlierConfig {
+    fn save(&self, w: &mut ByteWriter) {
+        self.radius.save(w);
+        self.min_neighbors.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            radius: f64::load(r)?,
+            min_neighbors: f64::load(r)?,
+        })
     }
 }
 

@@ -19,6 +19,7 @@
 //! (Theorem 4).
 
 use snod_density::{DensityError, DensityModel};
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 
 /// How `σ_MDEF` is estimated from the per-cell counts.
 ///
@@ -238,6 +239,51 @@ impl MdefDetector {
         p: &[f64],
     ) -> Result<bool, DensityError> {
         Ok(self.evaluate(model, p)?.is_outlier)
+    }
+}
+
+impl Persist for SigmaMode {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            SigmaMode::Weighted => 0,
+            SigmaMode::StandardError => 1,
+        });
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(SigmaMode::Weighted),
+            1 => Ok(SigmaMode::StandardError),
+            _ => Err(PersistError::Corrupt("unknown sigma-mode tag")),
+        }
+    }
+}
+
+impl Persist for MdefConfig {
+    fn save(&self, w: &mut ByteWriter) {
+        self.sampling_radius.save(w);
+        self.counting_radius.save(w);
+        self.k_sigma.save(w);
+        self.sigma_mode.save(w);
+        self.min_deviation.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let sampling_radius = f64::load(r)?;
+        let counting_radius = f64::load(r)?;
+        let k_sigma = f64::load(r)?;
+        let sigma_mode = SigmaMode::load(r)?;
+        let min_deviation = f64::load(r)?;
+        if !(counting_radius > 0.0 && counting_radius <= sampling_radius && k_sigma > 0.0) {
+            return Err(PersistError::Corrupt("mdef radii violate 0 < ar <= r"));
+        }
+        Ok(Self {
+            sampling_radius,
+            counting_radius,
+            k_sigma,
+            sigma_mode,
+            min_deviation,
+        })
     }
 }
 

@@ -1,0 +1,70 @@
+//! The typed failure surface of checkpoint decoding.
+
+/// Why a checkpoint could not be written or read back.
+///
+/// Every way a checkpoint file can be malformed — truncation, bit
+/// flips, a future format version, an impossible field value — maps to
+/// a variant here; decoding never panics on bad bytes. The corruption
+/// test suite drives systematically mutated golden files through the
+/// decoder and asserts exactly that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io(String),
+    /// The file does not start with the checkpoint magic bytes.
+    BadMagic,
+    /// The file's format version is not one this build can read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The payload checksum does not match the header.
+    BadChecksum {
+        /// Checksum recorded in the header.
+        expected: u32,
+        /// Checksum of the payload actually present.
+        found: u32,
+    },
+    /// The data ended before a read completed (truncated file or a
+    /// length field pointing past the end).
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// A field decoded to a value that cannot occur in a real snapshot.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            PersistError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint format version {found} (this build reads {supported})"
+            ),
+            PersistError::BadChecksum { expected, found } => write!(
+                f,
+                "checkpoint payload corrupt: checksum {found:#010x}, header says {expected:#010x}"
+            ),
+            PersistError::Truncated { needed, available } => write!(
+                f,
+                "checkpoint truncated: needed {needed} more byte(s), {available} available"
+            ),
+            PersistError::Corrupt(what) => write!(f, "checkpoint field corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e.to_string())
+    }
+}

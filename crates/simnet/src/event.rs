@@ -7,6 +7,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 use crate::node::NodeId;
 
 /// Something scheduled to happen at a simulated instant.
@@ -132,6 +134,112 @@ impl<P> EventQueue<P> {
     /// True when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+impl<P: Persist> Persist for Event<P> {
+    fn save(&self, w: &mut ByteWriter) {
+        match self {
+            Event::Reading { node, seq } => {
+                w.put_u8(0);
+                node.save(w);
+                seq.save(w);
+            }
+            Event::Deliver { from, to, payload } => {
+                w.put_u8(1);
+                from.save(w);
+                to.save(w);
+                payload.save(w);
+            }
+            Event::DeliverReliable {
+                from,
+                to,
+                msg_id,
+                payload,
+            } => {
+                w.put_u8(2);
+                from.save(w);
+                to.save(w);
+                msg_id.save(w);
+                payload.save(w);
+            }
+            Event::Ack { from, to, msg_id } => {
+                w.put_u8(3);
+                from.save(w);
+                to.save(w);
+                msg_id.save(w);
+            }
+            Event::Retry { msg_id } => {
+                w.put_u8(4);
+                msg_id.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => Event::Reading {
+                node: NodeId::load(r)?,
+                seq: u64::load(r)?,
+            },
+            1 => Event::Deliver {
+                from: NodeId::load(r)?,
+                to: NodeId::load(r)?,
+                payload: P::load(r)?,
+            },
+            2 => Event::DeliverReliable {
+                from: NodeId::load(r)?,
+                to: NodeId::load(r)?,
+                msg_id: u64::load(r)?,
+                payload: P::load(r)?,
+            },
+            3 => Event::Ack {
+                from: NodeId::load(r)?,
+                to: NodeId::load(r)?,
+                msg_id: u64::load(r)?,
+            },
+            4 => Event::Retry {
+                msg_id: u64::load(r)?,
+            },
+            _ => return Err(PersistError::Corrupt("unknown event tag")),
+        })
+    }
+}
+
+/// The queue is saved as its *live* entries — `(time_ns, seq, event)`
+/// triples in firing order — plus the scheduling counter. Keeping the
+/// original tie-break sequence numbers is essential to bit-identical
+/// resume: re-scheduling the events on load would renumber them and
+/// could reorder same-instant batches relative to the uninterrupted
+/// run.
+impl<P: Persist> Persist for EventQueue<P> {
+    fn save(&self, w: &mut ByteWriter) {
+        let mut entries: Vec<&Reverse<Entry<P>>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| (e.0.time_ns, e.0.seq));
+        w.put_usize(entries.len());
+        for Reverse(e) in entries {
+            e.time_ns.save(w);
+            e.seq.save(w);
+            e.event.save(w);
+        }
+        self.next_seq.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let n = r.get_len()?;
+        let mut heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let time_ns = u64::load(r)?;
+            let seq = u64::load(r)?;
+            let event = Event::load(r)?;
+            heap.push(Reverse(Entry {
+                time_ns,
+                seq,
+                event,
+            }));
+        }
+        let next_seq = u64::load(r)?;
+        Ok(Self { heap, next_seq })
     }
 }
 

@@ -280,6 +280,36 @@ impl RetryPolicy {
     }
 }
 
+/// What happens to a node's *application state* when it comes back from
+/// a recoverable [`CrashWindow`].
+///
+/// The crash window itself only silences the node (no reads, relays or
+/// acks); the policy decides what memory survives the outage. Warm
+/// restarts are the checkpoint/restore story at mote granularity: a
+/// node that persisted its model state periodically resumes from the
+/// last snapshot instead of relearning from scratch, skipping the
+/// replica-staleness degradation window a cold restart incurs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// State survives the outage untouched (battery-backed RAM / the
+    /// pre-persistence engine behaviour). The default.
+    #[default]
+    Persistent,
+    /// The node reboots with the application state it had at the start
+    /// of the run — everything learned since is lost. Counted in
+    /// [`crate::NetStats::cold_restarts`].
+    Cold,
+    /// The node checkpoints its application state every
+    /// `checkpoint_every_ns` of simulated time and reboots from the
+    /// most recent snapshot (pristine state if it never reached the
+    /// first checkpoint). Counted in
+    /// [`crate::NetStats::warm_restarts`].
+    Warm {
+        /// Interval between on-node checkpoint captures.
+        checkpoint_every_ns: u64,
+    },
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

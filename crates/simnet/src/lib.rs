@@ -99,7 +99,9 @@ pub use aggregate::{Aggregate, PartialState, TagNode, TagPayload};
 pub use election::{ElectionPolicy, Electorate, LeaderAssignment};
 pub use energy::EnergyModel;
 pub use event::{Event, EventQueue};
-pub use fault::{BurstLoss, CrashWindow, DropoutWindow, FaultPlan, LinkFault, RetryPolicy};
+pub use fault::{
+    BurstLoss, CrashWindow, DropoutWindow, FaultPlan, LinkFault, RestartPolicy, RetryPolicy,
+};
 pub use message::{Envelope, Wire, ACK_BYTES, HEADER_BYTES, MSG_ID_BYTES};
 pub use network::{Ctx, Network, SensorApp, SimConfig, StreamSource};
 pub use node::{Location, NodeId, NodeRole};

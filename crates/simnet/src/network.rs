@@ -56,12 +56,13 @@
 //!    parallel executions stay bit-identical with faults enabled.
 
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
 
-use rand::rngs::StdRng;
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
 
 use crate::energy::EnergyModel;
 use crate::event::{Event, EventQueue};
-use crate::fault::{FaultPlan, RetryPolicy};
+use crate::fault::{FaultPlan, RestartPolicy, RetryPolicy};
 use crate::message::{Wire, ACK_BYTES, HEADER_BYTES, MSG_ID_BYTES};
 use crate::node::NodeId;
 use crate::stats::NetStats;
@@ -381,6 +382,131 @@ struct Pending<P> {
     attempts: u32,
 }
 
+impl<P: Persist> Persist for Pending<P> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.from.save(w);
+        self.to.save(w);
+        self.payload.save(w);
+        self.attempts.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            from: NodeId::load(r)?,
+            to: NodeId::load(r)?,
+            payload: P::load(r)?,
+            attempts: u32::load(r)?,
+        })
+    }
+}
+
+/// Decodes one application's state from restart-snapshot bytes.
+type ReviveFn<A> = fn(&[u8]) -> Result<A, PersistError>;
+
+/// Per-node restart machinery backing
+/// [`Network::with_restart_policy`]: pristine start-of-run snapshots,
+/// the latest periodic on-node checkpoint, per-node capture deadlines,
+/// and the pending crash recoveries of the installed fault plan. The
+/// `snap`/`revive` function pointers are monomorphized from `A`'s
+/// [`Persist`] impl when the policy is installed, so the engine itself
+/// needs no `A: Persist` bound.
+struct RestartState<A> {
+    policy: RestartPolicy,
+    /// Serialized start-of-run application state, one entry per node
+    /// (empty under [`RestartPolicy::Persistent`]).
+    pristine: Vec<Vec<u8>>,
+    /// The most recent periodic checkpoint per node (Warm only).
+    last_ckpt: Vec<Option<Vec<u8>>>,
+    /// Next capture deadline per node (Warm only).
+    next_ckpt_ns: Vec<u64>,
+    /// Outstanding crash recoveries `(up_ns, node index)`, unsorted.
+    recoveries: Vec<(u64, u32)>,
+    snap: Option<fn(&A) -> Vec<u8>>,
+    revive: Option<ReviveFn<A>>,
+}
+
+impl<A> Default for RestartState<A> {
+    fn default() -> Self {
+        Self {
+            policy: RestartPolicy::Persistent,
+            pristine: Vec::new(),
+            last_ckpt: Vec::new(),
+            next_ckpt_ns: Vec::new(),
+            recoveries: Vec::new(),
+            snap: None,
+            revive: None,
+        }
+    }
+}
+
+impl<A> RestartState<A> {
+    /// Drains and returns the node indices due for recovery at `time`,
+    /// in ascending order.
+    fn due_recoveries(&mut self, time: u64) -> Vec<usize> {
+        if self.recoveries.is_empty() {
+            return Vec::new();
+        }
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.recoveries.len() {
+            if self.recoveries[i].0 <= time {
+                due.push(self.recoveries.swap_remove(i).1 as usize);
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_unstable();
+        due
+    }
+
+    /// The application state node `idx` reboots with, per policy
+    /// (`None` under Persistent: state survives untouched).
+    fn revive_app(&mut self, idx: usize, stats: &mut NetStats) -> Option<A> {
+        let revive = self.revive?;
+        let bytes: &[u8] = match self.policy {
+            RestartPolicy::Persistent => return None,
+            RestartPolicy::Cold => {
+                stats.cold_restarts += 1;
+                &self.pristine[idx]
+            }
+            RestartPolicy::Warm { .. } => {
+                stats.warm_restarts += 1;
+                self.last_ckpt[idx]
+                    .as_deref()
+                    .unwrap_or(self.pristine[idx].as_slice())
+            }
+        };
+        // The bytes were written by this engine from a live app, so a
+        // decode failure is an engine bug, not bad input.
+        Some(revive(bytes).expect("restart snapshot decodes"))
+    }
+
+    /// Is a periodic capture due for `node` at `time`? (Cheap check so
+    /// the parallel driver only locks the app when needed.)
+    fn capture_due(&self, time: u64, node: NodeId) -> bool {
+        matches!(self.policy, RestartPolicy::Warm { .. })
+            && self
+                .next_ckpt_ns
+                .get(node.index())
+                .is_some_and(|&due| time >= due)
+    }
+
+    /// Captures `app` as `node`'s latest checkpoint and re-arms the
+    /// deadline. The caller must run this *before* the node's first
+    /// same-instant callback (both drivers do), so the captured bytes
+    /// are identical across sequential and parallel execution.
+    fn capture(&mut self, time: u64, node: NodeId, app: &A) {
+        let RestartPolicy::Warm {
+            checkpoint_every_ns,
+        } = self.policy
+        else {
+            return;
+        };
+        let Some(snap) = self.snap else { return };
+        self.last_ckpt[node.index()] = Some(snap(app));
+        self.next_ckpt_ns[node.index()] = time + checkpoint_every_ns;
+    }
+}
+
 /// splitmix64 finalizer over `(base, salt)` — decorrelates the per-node
 /// stream seeds.
 fn mix(base: u64, salt: u64) -> u64 {
@@ -410,9 +536,9 @@ struct Engine<'a, P: Wire> {
     plan: &'a FaultPlan,
     queue: &'a mut EventQueue<P>,
     stats: &'a mut NetStats,
-    loss_rngs: &'a mut [StdRng],
-    fault_rngs: &'a mut [StdRng],
-    retry_rngs: &'a mut [StdRng],
+    loss_rngs: &'a mut [SeededRng],
+    fault_rngs: &'a mut [SeededRng],
+    retry_rngs: &'a mut [SeededRng],
     pending: &'a mut HashMap<u64, Pending<P>>,
     seen: &'a mut [HashSet<u64>],
     next_msg_id: &'a mut u64,
@@ -775,9 +901,9 @@ pub struct Network<P: Wire, A: SensorApp<P>> {
     queue: EventQueue<P>,
     stats: NetStats,
     clock_ns: u64,
-    loss_rngs: Vec<StdRng>,
-    fault_rngs: Vec<StdRng>,
-    retry_rngs: Vec<StdRng>,
+    loss_rngs: Vec<SeededRng>,
+    fault_rngs: Vec<SeededRng>,
+    retry_rngs: Vec<SeededRng>,
     pending: HashMap<u64, Pending<P>>,
     seen: Vec<HashSet<u64>>,
     next_msg_id: u64,
@@ -785,6 +911,10 @@ pub struct Network<P: Wire, A: SensorApp<P>> {
     failures: Vec<(u64, NodeId)>,
     /// Per-node dead flags.
     dead: Vec<bool>,
+    /// True once the initial readings have been seeded (the first
+    /// [`Self::run`]/[`Self::run_until`] call).
+    started: bool,
+    restart: RestartState<A>,
     trace: FaultTrace,
 }
 
@@ -817,6 +947,8 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             next_msg_id: 0,
             failures: Vec::new(),
             dead: vec![false; n],
+            started: false,
+            restart: RestartState::default(),
             plan,
             topo,
             trace: FaultTrace::new(),
@@ -824,9 +956,9 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
     }
 
     /// One per-node RNG stream family, decorrelated per node.
-    fn streams(n: usize, base: u64) -> Vec<StdRng> {
+    fn streams(n: usize, base: u64) -> Vec<SeededRng> {
         (0..n)
-            .map(|i| rand::SeedableRng::seed_from_u64(mix(base, i as u64)))
+            .map(|i| SeededRng::seed_from_u64(mix(base, i as u64)))
             .collect()
     }
 
@@ -842,6 +974,38 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
     /// The active fault schedule.
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Installs the application-state restart policy applied when a
+    /// node comes back from a recoverable [`crate::fault::CrashWindow`]
+    /// (see [`RestartPolicy`]). The default, `Persistent`, preserves
+    /// the engine's historic behaviour bit for bit. `Cold` and `Warm`
+    /// snapshot every application's pristine state now, so call this
+    /// *after* the apps are built but before [`Self::run`]. Counted in
+    /// [`NetStats::cold_restarts`] / [`NetStats::warm_restarts`].
+    pub fn with_restart_policy(mut self, policy: RestartPolicy) -> Self
+    where
+        A: Persist,
+    {
+        let n = self.topo.node_count();
+        self.restart = match policy {
+            RestartPolicy::Persistent => RestartState::default(),
+            _ => RestartState {
+                policy,
+                pristine: self.apps.iter().map(Persist::to_bytes).collect(),
+                last_ckpt: vec![None; n],
+                next_ckpt_ns: match policy {
+                    RestartPolicy::Warm {
+                        checkpoint_every_ns,
+                    } => vec![checkpoint_every_ns; n],
+                    _ => Vec::new(),
+                },
+                recoveries: Vec::new(),
+                snap: Some(<A as Persist>::to_bytes),
+                revive: Some(<A as Persist>::from_bytes),
+            },
+        };
+        self
     }
 
     /// Schedules `node` to fail (permanently stop reading, relaying and
@@ -884,15 +1048,40 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
         P: Send,
         A: Send,
     {
+        self.run_until(source, readings_per_leaf, u64::MAX);
+    }
+
+    /// [`Self::run`], but stops once every event at or before `stop_ns`
+    /// has been processed (events scheduled later stay queued). Calling
+    /// again — or on a checkpoint-restored network — continues exactly
+    /// where the run left off: `run_until(k)` followed by
+    /// `run_until(u64::MAX)` is bit-identical to one uninterrupted
+    /// `run`, which is the property the checkpoint/resume tests pin.
+    pub fn run_until<S: StreamSource>(&mut self, source: &mut S, readings_per_leaf: u64, stop_ns: u64)
+    where
+        P: Send,
+        A: Send,
+    {
         if readings_per_leaf == 0 {
             return;
         }
-        self.seed_initial_readings();
+        if !self.started {
+            self.seed_initial_readings();
+            if !matches!(self.restart.policy, RestartPolicy::Persistent) {
+                self.restart.recoveries = self
+                    .plan
+                    .crashes
+                    .iter()
+                    .filter_map(|c| c.up_ns.map(|up| (up, c.node.0)))
+                    .collect();
+            }
+            self.started = true;
+        }
         let workers = self.cfg.resolved_workers();
         if workers <= 1 {
-            self.run_sequential(source, readings_per_leaf);
+            self.run_sequential(source, readings_per_leaf, stop_ns);
         } else {
-            self.run_parallel(source, readings_per_leaf, workers);
+            self.run_parallel(source, readings_per_leaf, workers, stop_ns);
         }
         self.stats.elapsed_ns = self.clock_ns;
         // Per-level message flow, exported after the run so the hot loop
@@ -922,9 +1111,14 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
 
     /// The classic one-event-at-a-time engine: for each event, the pre
     /// phase, then (maybe) the callback, then the post phase.
-    fn run_sequential<S: StreamSource>(&mut self, source: &mut S, readings_per_leaf: u64) {
+    fn run_sequential<S: StreamSource>(
+        &mut self,
+        source: &mut S,
+        readings_per_leaf: u64,
+        stop_ns: u64,
+    ) {
         let mut clock = self.clock_ns;
-        // Split borrows: the engine never touches `apps`.
+        // Split borrows: the engine never touches `apps` or `restart`.
         let Self {
             topo,
             apps,
@@ -941,6 +1135,7 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             next_msg_id,
             failures,
             dead,
+            restart,
             trace,
             ..
         } = self;
@@ -961,13 +1156,29 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             dead,
             trace,
         };
-        while let Some((time, event)) = eng.queue.pop() {
+        loop {
+            // Peek-then-pop: an event past the stop time stays queued,
+            // so a later `run_until` (or a restored checkpoint) resumes
+            // with the queue exactly as the uninterrupted run saw it.
+            match eng.queue.peek_time() {
+                Some(t) if t <= stop_ns => {}
+                _ => break,
+            }
+            let (time, event) = eng.queue.pop().expect("peeked event present");
             clock = clock.max(time);
             eng.apply_failures(time);
+            for idx in restart.due_recoveries(time) {
+                if let Some(app) = restart.revive_app(idx, eng.stats) {
+                    apps[idx] = app;
+                }
+            }
             match eng.classify(time, event, source, readings_per_leaf) {
                 Pre::Skip => {}
                 Pre::Engine(post) => eng.finish(time, CtxOut::default(), post),
                 Pre::Run { node, task, post } => {
+                    if restart.capture_due(time, node) {
+                        restart.capture(time, node, &apps[node.index()]);
+                    }
                     let mut ctx = Ctx::new(node, time, eng.topo);
                     let app = &mut apps[node.index()];
                     match task {
@@ -995,6 +1206,7 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
         source: &mut S,
         readings_per_leaf: u64,
         workers: usize,
+        stop_ns: u64,
     ) where
         P: Send,
         A: Send,
@@ -1021,6 +1233,7 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             next_msg_id,
             failures,
             dead,
+            restart,
             trace,
             ..
         } = &mut *self;
@@ -1076,12 +1289,25 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
                 });
             }
 
-            while let Some((time, first)) = eng.queue.pop() {
+            loop {
+                match eng.queue.peek_time() {
+                    Some(t) if t <= stop_ns => {}
+                    _ => break,
+                }
+                let (time, first) = eng.queue.pop().expect("peeked event present");
                 clock_ns = clock_ns.max(time);
                 // Failures are due "by now" for every event in the batch
                 // alike, so applying them once up front matches the
                 // sequential per-event check exactly.
                 eng.apply_failures(time);
+                // Recoveries, likewise, apply before any callback at
+                // this instant — the same point the sequential engine
+                // revives at.
+                for idx in restart.due_recoveries(time) {
+                    if let Some(app) = restart.revive_app(idx, eng.stats) {
+                        *apps[idx].lock().expect("no callback in flight") = app;
+                    }
+                }
                 // Drain the whole same-instant batch, preserving heap
                 // (scheduling) order.
                 let mut batch = vec![first];
@@ -1101,6 +1327,14 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
                         Pre::Skip => {}
                         Pre::Engine(post) => posts.push((post, None)),
                         Pre::Run { node, task, post } => {
+                            if restart.capture_due(time, node) {
+                                // No callback of this batch has run yet,
+                                // so the app state equals what the
+                                // sequential engine captures at this
+                                // node's first same-instant callback.
+                                let app = apps[node.index()].lock().expect("pre-pass lock");
+                                restart.capture(time, node, &app);
+                            }
                             let pos = n_tasks;
                             n_tasks += 1;
                             posts.push((post, Some(pos)));
@@ -1178,6 +1412,212 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
     /// Final simulated clock (ns).
     pub fn now_ns(&self) -> u64 {
         self.clock_ns
+    }
+
+    /// A structural fingerprint of everything the checkpoint does *not*
+    /// carry but bit-identical resume depends on: topology shape, every
+    /// [`SimConfig`] field except `worker_threads` (the engines are
+    /// bit-identical across worker counts), the fault-plan seed and the
+    /// restart policy. A checkpoint only restores into a network built
+    /// with a matching fingerprint.
+    fn fingerprint(&self) -> u64 {
+        let mut h = mix(0x534E_4F44, self.topo.node_count() as u64); // "SNOD"
+        h = mix(h, self.topo.level_count() as u64);
+        h = mix(h, self.cfg.reading_period_ns);
+        h = mix(h, self.cfg.link_latency_ns);
+        h = mix(h, u64::from(self.cfg.stagger_readings));
+        h = mix(h, self.cfg.drop_probability.to_bits());
+        h = mix(h, self.cfg.loss_seed);
+        match self.cfg.reliability {
+            None => h = mix(h, 0),
+            Some(p) => {
+                h = mix(h, 1);
+                h = mix(h, p.timeout_ns);
+                h = mix(h, u64::from(p.max_retries));
+                h = mix(h, p.backoff.to_bits());
+                h = mix(h, p.jitter_ns);
+            }
+        }
+        h = mix(h, self.plan.seed);
+        match self.restart.policy {
+            RestartPolicy::Persistent => h = mix(h, 0),
+            RestartPolicy::Cold => h = mix(h, 1),
+            RestartPolicy::Warm {
+                checkpoint_every_ns,
+            } => {
+                h = mix(h, 2);
+                h = mix(h, checkpoint_every_ns);
+            }
+        }
+        h
+    }
+
+    /// The raw (un-enveloped) checkpoint payload; see
+    /// [`Self::checkpoint`] for the content list.
+    fn checkpoint_payload(&self) -> Vec<u8>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        let mut w = ByteWriter::new();
+        self.fingerprint().save(&mut w);
+        self.started.save(&mut w);
+        self.clock_ns.save(&mut w);
+        self.queue.save(&mut w);
+        self.stats.save(&mut w);
+        self.loss_rngs.save(&mut w);
+        self.fault_rngs.save(&mut w);
+        self.retry_rngs.save(&mut w);
+        self.pending.save(&mut w);
+        self.seen.save(&mut w);
+        self.next_msg_id.save(&mut w);
+        self.failures.save(&mut w);
+        self.dead.save(&mut w);
+        self.restart.last_ckpt.save(&mut w);
+        self.restart.next_ckpt_ns.save(&mut w);
+        self.restart.recoveries.save(&mut w);
+        w.put_usize(self.apps.len());
+        for app in &self.apps {
+            app.save(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Snapshots the complete runtime state — the simulated clock, the
+    /// live event queue (with its tie-break sequence numbers), traffic
+    /// statistics, all three per-node RNG stream families, the
+    /// reliability protocol's pending and dedup tables, scheduled
+    /// failures and dead flags, the restart machinery's snapshots and
+    /// every application's state — wrapped in the versioned, checksummed
+    /// `snod-persist` envelope.
+    ///
+    /// Restoring the bytes into a freshly built identical network (same
+    /// topology, [`SimConfig`], fault plan and restart policy; any
+    /// `worker_threads`) and continuing the run is bit-identical to
+    /// never having stopped.
+    pub fn checkpoint(&self) -> Vec<u8>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        snod_persist::encode_checkpoint(&self.checkpoint_payload())
+    }
+
+    /// [`Self::checkpoint`] written atomically to `path` (temp file +
+    /// rename — a crash mid-write never leaves a torn file).
+    pub fn checkpoint_to_file(&self, path: &Path) -> Result<(), PersistError>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        snod_persist::write_checkpoint_file(path, &self.checkpoint_payload())
+    }
+
+    /// Restores state captured by [`Self::checkpoint`] into this
+    /// network. The network must have been built exactly like the
+    /// checkpointed one — same topology, [`SimConfig`] (except
+    /// `worker_threads`), fault plan and restart policy — which is
+    /// verified via a structural fingerprint before anything is
+    /// touched. On any error (corruption, truncation, version or
+    /// fingerprint mismatch) the network is left unmodified.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), PersistError>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        let payload = snod_persist::decode_checkpoint(bytes)?;
+        self.restore_payload(payload)
+    }
+
+    /// [`Self::restore`] from a checkpoint file.
+    pub fn restore_from_file(&mut self, path: &Path) -> Result<(), PersistError>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        let payload = snod_persist::read_checkpoint_file(path)?;
+        self.restore_payload(&payload)
+    }
+
+    fn restore_payload(&mut self, payload: &[u8]) -> Result<(), PersistError>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        let mut r = ByteReader::new(payload);
+        if u64::load(&mut r)? != self.fingerprint() {
+            return Err(PersistError::Corrupt(
+                "checkpoint was taken on a different topology, config, fault plan or restart policy",
+            ));
+        }
+        let started = bool::load(&mut r)?;
+        let clock_ns = u64::load(&mut r)?;
+        let queue = EventQueue::load(&mut r)?;
+        let stats = NetStats::load(&mut r)?;
+        let loss_rngs = Vec::<SeededRng>::load(&mut r)?;
+        let fault_rngs = Vec::<SeededRng>::load(&mut r)?;
+        let retry_rngs = Vec::<SeededRng>::load(&mut r)?;
+        let pending = HashMap::<u64, Pending<P>>::load(&mut r)?;
+        let seen = Vec::<HashSet<u64>>::load(&mut r)?;
+        let next_msg_id = u64::load(&mut r)?;
+        let failures = Vec::<(u64, NodeId)>::load(&mut r)?;
+        let dead = Vec::<bool>::load(&mut r)?;
+        let last_ckpt = Vec::<Option<Vec<u8>>>::load(&mut r)?;
+        let next_ckpt_ns = Vec::<u64>::load(&mut r)?;
+        let recoveries = Vec::<(u64, u32)>::load(&mut r)?;
+        let n = self.topo.node_count();
+        if [
+            loss_rngs.len(),
+            fault_rngs.len(),
+            retry_rngs.len(),
+            seen.len(),
+            dead.len(),
+            stats.bytes_per_node.len(),
+            stats.messages_per_node.len(),
+        ]
+        .iter()
+        .any(|&len| len != n)
+            || stats.messages_per_level.len() != self.topo.level_count()
+        {
+            return Err(PersistError::Corrupt("checkpoint node count mismatch"));
+        }
+        let restart_shape_ok = match self.restart.policy {
+            RestartPolicy::Persistent => {
+                last_ckpt.is_empty() && next_ckpt_ns.is_empty() && recoveries.is_empty()
+            }
+            RestartPolicy::Cold => last_ckpt.len() == n && next_ckpt_ns.is_empty(),
+            RestartPolicy::Warm { .. } => last_ckpt.len() == n && next_ckpt_ns.len() == n,
+        };
+        if !restart_shape_ok || recoveries.iter().any(|&(_, idx)| idx as usize >= n) {
+            return Err(PersistError::Corrupt("checkpoint restart state mismatch"));
+        }
+        let app_count = r.get_usize()?;
+        if app_count != n {
+            return Err(PersistError::Corrupt("checkpoint app count mismatch"));
+        }
+        let mut apps = Vec::with_capacity(n);
+        for _ in 0..n {
+            apps.push(A::load(&mut r)?);
+        }
+        r.finish()?;
+        // Everything decoded and validated — commit.
+        self.started = started;
+        self.clock_ns = clock_ns;
+        self.queue = queue;
+        self.stats = stats;
+        self.loss_rngs = loss_rngs;
+        self.fault_rngs = fault_rngs;
+        self.retry_rngs = retry_rngs;
+        self.pending = pending;
+        self.seen = seen;
+        self.next_msg_id = next_msg_id;
+        self.failures = failures;
+        self.dead = dead;
+        self.restart.last_ckpt = last_ckpt;
+        self.restart.next_ckpt_ns = next_ckpt_ns;
+        self.restart.recoveries = recoveries;
+        self.apps = apps;
+        Ok(())
     }
 }
 

@@ -1,9 +1,20 @@
 //! Node identity, roles and placement.
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 /// Identifier of a node in a [`crate::Hierarchy`] — an index into the
 /// topology's node table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
+
+impl Persist for NodeId {
+    fn save(&self, w: &mut ByteWriter) {
+        self.0.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(NodeId(u32::load(r)?))
+    }
+}
 
 impl NodeId {
     /// The id as a usize index.

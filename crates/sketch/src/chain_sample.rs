@@ -34,8 +34,8 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
 
 use crate::SketchError;
 
@@ -90,7 +90,7 @@ pub struct ChainSampler<T> {
     waiting: HashMap<u64, Vec<usize>>,
     /// Chains whose current sample expires at a given future index.
     expiring: HashMap<u64, Vec<usize>>,
-    rng: StdRng,
+    rng: SeededRng,
 }
 
 impl<T: Clone> ChainSampler<T> {
@@ -110,7 +110,7 @@ impl<T: Clone> ChainSampler<T> {
             version: 0,
             waiting: HashMap::new(),
             expiring: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SeededRng::seed_from_u64(seed),
         })
     }
 
@@ -284,6 +284,53 @@ impl<T: Clone> ChainSampler<T> {
     /// bytes per number) plus 8 bytes for the stream index of each entry.
     pub fn memory_bytes(&self, value_bytes: usize) -> usize {
         self.stored_entries() * (value_bytes + 8)
+    }
+}
+
+impl<T: Persist> Persist for Chain<T> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.current.save(w);
+        self.successors.save(w);
+        self.pending.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            current: Persist::load(r)?,
+            successors: Persist::load(r)?,
+            pending: Persist::load(r)?,
+        })
+    }
+}
+
+impl<T: Persist> Persist for ChainSampler<T> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.chains.save(w);
+        w.put_u64(self.window);
+        w.put_u64(self.position);
+        w.put_u64(self.version);
+        self.waiting.save(w);
+        self.expiring.save(w);
+        self.rng.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let sampler = Self {
+            chains: Persist::load(r)?,
+            window: r.get_u64()?,
+            position: r.get_u64()?,
+            version: r.get_u64()?,
+            waiting: Persist::load(r)?,
+            expiring: Persist::load(r)?,
+            rng: Persist::load(r)?,
+        };
+        if sampler.window == 0 {
+            return Err(PersistError::Corrupt("chain sampler window must be positive"));
+        }
+        if sampler.chains.is_empty() {
+            return Err(PersistError::Corrupt("chain sampler needs at least one chain"));
+        }
+        Ok(sampler)
     }
 }
 

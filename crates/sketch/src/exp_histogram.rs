@@ -11,6 +11,8 @@
 
 use std::collections::VecDeque;
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 use crate::SketchError;
 
 /// One bucket: `size` ones whose newest arrival was at time `newest`.
@@ -132,6 +134,46 @@ impl ExpHistogram {
     /// Events observed so far.
     pub fn stream_len(&self) -> u64 {
         self.time
+    }
+}
+
+
+impl Persist for Bucket {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_u64(self.newest);
+        w.put_u64(self.size);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            newest: r.get_u64()?,
+            size: r.get_u64()?,
+        })
+    }
+}
+
+impl Persist for ExpHistogram {
+    fn save(&self, w: &mut ByteWriter) {
+        self.buckets.save(w);
+        w.put_u64(self.window);
+        w.put_usize(self.max_per_size);
+        w.put_u64(self.time);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let eh = Self {
+            buckets: Persist::load(r)?,
+            window: r.get_u64()?,
+            max_per_size: r.get_usize()?,
+            time: r.get_u64()?,
+        };
+        if eh.window == 0 {
+            return Err(PersistError::Corrupt("histogram window must be positive"));
+        }
+        if eh.max_per_size < 2 {
+            return Err(PersistError::Corrupt("histogram per-size budget below 2"));
+        }
+        Ok(eh)
     }
 }
 

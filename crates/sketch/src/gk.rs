@@ -11,6 +11,8 @@
 //! The invariant `g + Δ ≤ ⌊2εn⌋` guarantees any rank query is answered
 //! within `εn`.
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 use crate::SketchError;
 
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +131,45 @@ impl GkSketch {
     /// Tuples currently stored (the sketch's memory footprint in entries).
     pub fn tuple_count(&self) -> usize {
         self.tuples.len()
+    }
+}
+
+
+impl Persist for Tuple {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_f64(self.v);
+        w.put_u64(self.g);
+        w.put_u64(self.delta);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            v: r.get_f64()?,
+            g: r.get_u64()?,
+            delta: r.get_u64()?,
+        })
+    }
+}
+
+impl Persist for GkSketch {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_f64(self.eps);
+        self.tuples.save(w);
+        w.put_u64(self.n);
+        w.put_u64(self.since_compress);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let gk = Self {
+            eps: r.get_f64()?,
+            tuples: Persist::load(r)?,
+            n: r.get_u64()?,
+            since_compress: r.get_u64()?,
+        };
+        if !(gk.eps > 0.0 && gk.eps <= 1.0) {
+            return Err(PersistError::Corrupt("quantile epsilon must lie in (0, 1]"));
+        }
+        Ok(gk)
     }
 }
 

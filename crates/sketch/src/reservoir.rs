@@ -7,8 +7,8 @@
 //! the chain sampler is needed: a reservoir goes stale under distribution
 //! drift because old elements never expire.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
 
 use crate::SketchError;
 
@@ -27,7 +27,7 @@ pub struct ReservoirSampler<T> {
     reservoir: Vec<T>,
     capacity: usize,
     seen: u64,
-    rng: StdRng,
+    rng: SeededRng,
 }
 
 impl<T> ReservoirSampler<T> {
@@ -40,7 +40,7 @@ impl<T> ReservoirSampler<T> {
             reservoir: Vec::with_capacity(capacity),
             capacity,
             seen: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SeededRng::seed_from_u64(seed),
         })
     }
 
@@ -65,6 +65,34 @@ impl<T> ReservoirSampler<T> {
     /// Total number of elements observed.
     pub fn stream_len(&self) -> u64 {
         self.seen
+    }
+}
+
+impl<T: Persist> Persist for ReservoirSampler<T> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.reservoir.save(w);
+        self.capacity.save(w);
+        self.seen.save(w);
+        self.rng.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let reservoir = Vec::<T>::load(r)?;
+        let capacity = usize::load(r)?;
+        let seen = u64::load(r)?;
+        let rng = SeededRng::load(r)?;
+        if capacity == 0 {
+            return Err(PersistError::Corrupt("reservoir capacity must be positive"));
+        }
+        if reservoir.len() > capacity {
+            return Err(PersistError::Corrupt("reservoir larger than its capacity"));
+        }
+        Ok(Self {
+            reservoir,
+            capacity,
+            seen,
+            rng,
+        })
     }
 }
 

@@ -26,6 +26,8 @@
 
 use std::collections::VecDeque;
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 use crate::SketchError;
 
 /// Exact summary `(n, μ, V)` of a contiguous run of elements.
@@ -288,6 +290,54 @@ impl WindowedVariance {
     /// [`Self::memory_bytes`]).
     pub fn theoretical_memory_bound(&self, value_bytes: usize) -> usize {
         self.theoretical_bucket_bound() * 5 * value_bytes
+    }
+}
+
+
+impl Persist for Bucket {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_u64(self.oldest);
+        w.put_u64(self.newest);
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.v);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            oldest: r.get_u64()?,
+            newest: r.get_u64()?,
+            n: r.get_u64()?,
+            mean: r.get_f64()?,
+            v: r.get_f64()?,
+        })
+    }
+}
+
+impl Persist for WindowedVariance {
+    fn save(&self, w: &mut ByteWriter) {
+        self.buckets.save(w);
+        w.put_u64(self.window);
+        w.put_f64(self.eps);
+        w.put_u64(self.time);
+        w.put_usize(self.max_buckets_seen);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let wv = Self {
+            buckets: Persist::load(r)?,
+            window: r.get_u64()?,
+            eps: r.get_f64()?,
+            time: r.get_u64()?,
+            max_buckets_seen: r.get_usize()?,
+        };
+        if wv.window == 0 {
+            return Err(PersistError::Corrupt("variance window must be positive"));
+        }
+        if !(wv.eps > 0.0 && wv.eps <= 1.0) {
+            return Err(PersistError::Corrupt("variance epsilon must lie in (0, 1]"));
+        }
+        Ok(wv)
     }
 }
 

@@ -7,6 +7,8 @@
 
 use std::collections::VecDeque;
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 use crate::SketchError;
 
 /// A fixed-capacity sliding window holding the most recent `capacity`
@@ -99,6 +101,30 @@ impl<T: Clone> SlidingWindow<T> {
     /// Copies the window content (oldest first) into a `Vec`.
     pub fn to_vec(&self) -> Vec<T> {
         self.buf.iter().cloned().collect()
+    }
+}
+
+
+impl<T: Persist> Persist for SlidingWindow<T> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.buf.save(w);
+        w.put_usize(self.capacity);
+        w.put_u64(self.pushed);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let win = Self {
+            buf: Persist::load(r)?,
+            capacity: r.get_usize()?,
+            pushed: r.get_u64()?,
+        };
+        if win.capacity == 0 {
+            return Err(PersistError::Corrupt("window capacity must be positive"));
+        }
+        if win.buf.len() > win.capacity {
+            return Err(PersistError::Corrupt("window holds more than its capacity"));
+        }
+        Ok(win)
     }
 }
 

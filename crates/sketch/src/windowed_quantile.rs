@@ -13,6 +13,8 @@
 
 use std::collections::VecDeque;
 
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
 use crate::gk::GkSketch;
 use crate::SketchError;
 
@@ -131,6 +133,31 @@ impl WindowedQuantile {
     /// Total GK tuples stored across blocks (memory diagnostic).
     pub fn tuple_count(&self) -> usize {
         self.blocks.iter().map(|(_, s, _)| s.tuple_count()).sum()
+    }
+}
+
+
+impl Persist for WindowedQuantile {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_u64(self.block_len);
+        w.put_f64(self.eps);
+        self.blocks.save(w);
+        w.put_u64(self.window);
+        w.put_u64(self.pushed);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let wq = Self {
+            block_len: r.get_u64()?,
+            eps: r.get_f64()?,
+            blocks: Persist::load(r)?,
+            window: r.get_u64()?,
+            pushed: r.get_u64()?,
+        };
+        if wq.window == 0 || wq.block_len == 0 {
+            return Err(PersistError::Corrupt("quantile window must be positive"));
+        }
+        Ok(wq)
     }
 }
 

@@ -68,5 +68,6 @@ pub use snod_core as core;
 pub use snod_data as data;
 pub use snod_density as density;
 pub use snod_outlier as outlier;
+pub use snod_persist as persist;
 pub use snod_simnet as simnet;
 pub use snod_sketch as sketch;

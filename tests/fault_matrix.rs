@@ -9,12 +9,12 @@
 //! so the matrix is stable across `rand` versions and platforms.
 
 use sensor_outliers::core::{
-    run_d3_with_faults, run_mgdd_with_faults, D3Config, EstimatorConfig, MgddConfig,
-    UpdateStrategy,
+    build_mgdd_network, run_d3_with_faults, run_mgdd_with_faults, D3Config, EstimatorConfig,
+    MgddConfig, UpdateStrategy,
 };
 use sensor_outliers::outlier::{DistanceOutlierConfig, MdefConfig};
 use sensor_outliers::simnet::{
-    FaultPlan, Hierarchy, LinkFault, NetStats, NodeId, RetryPolicy, SimConfig,
+    FaultPlan, Hierarchy, LinkFault, NetStats, NodeId, RestartPolicy, RetryPolicy, SimConfig,
 };
 
 const READINGS: u64 = 700;
@@ -131,6 +131,76 @@ fn d3_matrix_stays_sound_at_every_cell() {
             assert!(leaf_detections > 0, "{cell}: leaves went blind");
         }
     }
+}
+
+/// The warm-restart row: a crashed-and-revived leaf that reloads its
+/// last per-node checkpoint (RestartPolicy::Warm) comes back with its
+/// global-model replicas intact — stale at worst, so it keeps scoring
+/// through the degraded rung of the ladder. A cold restart comes back
+/// with empty replicas and an empty estimator and must re-live the
+/// orphan rung: blind until the estimator refills, then local fallback
+/// until the next broadcast re-warms its replicas. Same workload, same
+/// crash, only the restart policy differs.
+#[test]
+fn mgdd_warm_restart_skips_the_staleness_window_cold_restarts_incur() {
+    let topo = topo();
+    let top = topo.level_count() as u8;
+    let seed = SEEDS[1];
+    let cfg = MgddConfig {
+        estimator: estimator(seed),
+        rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
+        sample_fraction: 0.75,
+        updates: UpdateStrategy::EveryAcceptance,
+        staleness_bound_ns: Some(20_000_000_000),
+    };
+    // Crash one leaf (a replica holder) for the middle third.
+    let victim = topo.leaves()[0];
+    let plan = FaultPlan::none()
+        .with_seed(seed)
+        .crash(victim, HORIZON_NS / 3, Some(2 * HORIZON_NS / 3));
+    let sim = SimConfig::default().with_reliability(RetryPolicy::default());
+
+    let run = |policy: RestartPolicy| {
+        let mut src = source_for(seed);
+        let mut net = build_mgdd_network(topo.clone(), &cfg, sim, plan.clone(), &[top])
+            .expect("valid config")
+            .with_restart_policy(policy);
+        net.run(&mut src, READINGS);
+        net
+    };
+
+    let cold = run(RestartPolicy::Cold);
+    let warm = run(RestartPolicy::Warm {
+        checkpoint_every_ns: 10_000_000_000,
+    });
+
+    assert_accounting_consistent("mgdd/restart cold", cold.stats());
+    assert_accounting_consistent("mgdd/restart warm", warm.stats());
+    assert!(cold.stats().cold_restarts > 0, "the crash never cold-revived");
+    assert!(warm.stats().warm_restarts > 0, "the crash never warm-revived");
+    assert_eq!(warm.stats().cold_restarts, 0, "warm run fell back to cold");
+
+    // The structural claim of the row: only the cold-restarted leaf is
+    // orphaned (no warm replica at all), so it alone walks the local-
+    // fallback rung; the warm-restarted leaf restores its replicas and
+    // skips that window entirely, scoring degraded-at-worst instead.
+    assert!(
+        warm.stats().local_fallbacks < cold.stats().local_fallbacks,
+        "warm restart did not skip the orphan window: warm {} vs cold {} local fallbacks",
+        warm.stats().local_fallbacks,
+        cold.stats().local_fallbacks
+    );
+    assert!(
+        warm.stats().degraded_scores > 0,
+        "the warm-restored leaf never engaged its stale replicas"
+    );
+
+    // Both policies replay bit-identically — the restart machinery
+    // consumes no hidden nondeterminism.
+    let warm_again = run(RestartPolicy::Warm {
+        checkpoint_every_ns: 10_000_000_000,
+    });
+    assert_eq!(warm.stats(), warm_again.stats());
 }
 
 #[test]

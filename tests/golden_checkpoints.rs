@@ -1,0 +1,194 @@
+//! Golden checkpoint files: committed byte-for-byte snapshots of a
+//! small seeded D3 and MGDD run, pinned by three guards.
+//!
+//! 1. **Schema guard** — re-encoding the same deterministic state must
+//!    reproduce the committed bytes exactly. Any change to a `Persist`
+//!    impl (field added, order shuffled, width changed) trips this test;
+//!    the fix is to bump `FORMAT_VERSION` in `crates/persist` and
+//!    regenerate (see below), never to silently re-commit.
+//! 2. **Version guard** — the committed header carries the
+//!    `FORMAT_VERSION` this build writes; decoding a *different* version
+//!    is a typed [`PersistError::UnsupportedVersion`], checked in
+//!    `tests/persist_corruption.rs`.
+//! 3. **Resume smoke** — restoring the goldens in a fresh process and
+//!    running to the end reproduces the uninterrupted trace
+//!    bit-identically.
+//!
+//! Regenerate after an intentional format change with:
+//! `SNOD_REGEN_GOLDENS=1 cargo test --test golden_checkpoints`
+
+use sensor_outliers::core::{
+    build_d3_network, build_mgdd_network, D3Config, D3Node, D3Payload, EstimatorConfig, MgddConfig,
+    MgddNode, MgddPayload, UpdateStrategy,
+};
+use sensor_outliers::outlier::{DistanceOutlierConfig, MdefConfig};
+use sensor_outliers::persist::{crc32, decode_checkpoint, FORMAT_VERSION, HEADER_LEN, MAGIC};
+use sensor_outliers::simnet::{FaultPlan, Hierarchy, Network, NodeId, SimConfig};
+
+const READINGS: u64 = 300;
+const CUT_NS: u64 = 100 * 1_000_000_000;
+
+pub fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+fn topo() -> Hierarchy {
+    Hierarchy::balanced(4, &[2, 2]).unwrap()
+}
+
+fn source(node: NodeId, seq: u64) -> Option<Vec<f64>> {
+    let h = node.0 as u64 * 1_000_003 + seq * 7_919;
+    if seq % 173 == 42 {
+        Some(vec![0.91])
+    } else {
+        Some(vec![0.3 + 0.2 * ((h % 1_000) as f64 / 1_000.0)])
+    }
+}
+
+fn estimator() -> EstimatorConfig {
+    EstimatorConfig::builder()
+        .window(300)
+        .sample_size(50)
+        .seed(21)
+        .build()
+        .unwrap()
+}
+
+fn d3_net() -> Network<D3Payload, D3Node> {
+    let cfg = D3Config {
+        estimator: estimator(),
+        rule: DistanceOutlierConfig::new(8.0, 0.02),
+        sample_fraction: 0.5,
+    };
+    build_d3_network(topo(), &cfg, SimConfig::default(), FaultPlan::none()).unwrap()
+}
+
+fn mgdd_net() -> Network<MgddPayload, MgddNode> {
+    let cfg = MgddConfig {
+        estimator: estimator(),
+        rule: MdefConfig::new(0.08, 0.01, 3.0).unwrap(),
+        sample_fraction: 0.75,
+        updates: UpdateStrategy::EveryAcceptance,
+        staleness_bound_ns: Some(30_000_000_000),
+    };
+    let t = topo();
+    let top = t.level_count() as u8;
+    build_mgdd_network(t, &cfg, SimConfig::default(), FaultPlan::none(), &[top]).unwrap()
+}
+
+/// The checkpoint an interrupted run would have written at `CUT_NS`.
+fn fresh_d3_checkpoint() -> Vec<u8> {
+    let mut net = d3_net();
+    net.run_until(&mut source, READINGS, CUT_NS);
+    net.checkpoint()
+}
+
+fn fresh_mgdd_checkpoint() -> Vec<u8> {
+    let mut net = mgdd_net();
+    net.run_until(&mut source, READINGS, CUT_NS);
+    net.checkpoint()
+}
+
+fn regenerating() -> bool {
+    std::env::var("SNOD_REGEN_GOLDENS").is_ok()
+}
+
+#[test]
+fn golden_bytes_are_stable_without_a_version_bump() {
+    for (name, fresh) in [
+        ("d3.ckpt", fresh_d3_checkpoint()),
+        ("mgdd.ckpt", fresh_mgdd_checkpoint()),
+    ] {
+        let path = golden_path(name);
+        if regenerating() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &fresh).unwrap();
+            continue;
+        }
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}; regenerate with \
+                 SNOD_REGEN_GOLDENS=1 cargo test --test golden_checkpoints"));
+        assert_eq!(
+            committed, fresh,
+            "the checkpoint encoding of {name} changed without a FORMAT_VERSION bump \
+             (currently {FORMAT_VERSION}). If the format change is intentional, bump \
+             FORMAT_VERSION in crates/persist/src/container.rs and regenerate the \
+             goldens with SNOD_REGEN_GOLDENS=1 cargo test --test golden_checkpoints"
+        );
+    }
+}
+
+#[test]
+fn golden_headers_carry_the_current_version() {
+    for name in ["d3.ckpt", "mgdd.ckpt"] {
+        if regenerating() {
+            continue;
+        }
+        let bytes = std::fs::read(golden_path(name)).expect("golden exists");
+        assert!(bytes.len() > HEADER_LEN, "{name} has no payload");
+        assert_eq!(&bytes[..8], &MAGIC, "{name} magic");
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        assert_eq!(version, FORMAT_VERSION, "{name} format version");
+        let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        assert_eq!(len as usize, bytes.len() - HEADER_LEN, "{name} payload length");
+        let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        assert_eq!(crc, crc32(&bytes[HEADER_LEN..]), "{name} checksum");
+        // And the canonical decoder agrees end to end.
+        assert!(decode_checkpoint(&bytes).is_ok());
+    }
+}
+
+/// The CI resume-bit-identity smoke test: restore each golden in a
+/// fresh network and run to the end; the full trace must match an
+/// uninterrupted run of the same seeded workload.
+#[test]
+fn golden_d3_resume_matches_uninterrupted_run() {
+    if regenerating() {
+        return;
+    }
+    let bytes = std::fs::read(golden_path("d3.ckpt")).expect("golden exists");
+    let mut resumed = d3_net();
+    resumed.restore(&bytes).unwrap();
+    resumed.run_until(&mut source, READINGS, u64::MAX);
+
+    let mut uninterrupted = d3_net();
+    uninterrupted.run(&mut source, READINGS);
+
+    assert_eq!(uninterrupted.stats(), resumed.stats());
+    let traces = |net: &Network<D3Payload, D3Node>| -> Vec<(u32, usize)> {
+        net.apps().map(|(n, a)| (n.0, a.detections.len())).collect()
+    };
+    assert_eq!(traces(&uninterrupted), traces(&resumed));
+    for (node, app) in uninterrupted.apps() {
+        assert_eq!(
+            app.detections,
+            resumed.app(node).detections,
+            "node {node:?} diverged after golden resume"
+        );
+    }
+}
+
+#[test]
+fn golden_mgdd_resume_matches_uninterrupted_run() {
+    if regenerating() {
+        return;
+    }
+    let bytes = std::fs::read(golden_path("mgdd.ckpt")).expect("golden exists");
+    let mut resumed = mgdd_net();
+    resumed.restore(&bytes).unwrap();
+    resumed.run_until(&mut source, READINGS, u64::MAX);
+
+    let mut uninterrupted = mgdd_net();
+    uninterrupted.run(&mut source, READINGS);
+
+    assert_eq!(uninterrupted.stats(), resumed.stats());
+    for (node, app) in uninterrupted.apps() {
+        assert_eq!(
+            app.detections,
+            resumed.app(node).detections,
+            "node {node:?} diverged after golden resume"
+        );
+    }
+}

@@ -17,13 +17,37 @@
 //!   [`RebuildPolicy`] vs `RebuildPolicy::always()`, which reproduces
 //!   the old rebuild-on-every-push behaviour.
 
+//! * `soa_simd` — the rebuilt structure-of-arrays evaluation engine
+//!   (branch-free clamped CDF, reciprocal bandwidths, chunked
+//!   accumulation, AVX2 under `--features simd`) vs the previous
+//!   row-major scalar evaluator, re-implemented verbatim below as the
+//!   baseline.
+//! * `compression` — query cost and centre count before/after online
+//!   model compression at a fixed budget.
+//!
+//! Set `SNOD_BENCH_SMOKE=1` to shrink every workload (~20x) for CI smoke
+//! runs; the emitted ratios are then indicative only.
+
 use std::hint::black_box;
 use std::time::Instant;
 
 use snod_core::{IncrementalReplica, RebuildPolicy};
-use snod_density::{scott_bandwidth, DensityModel, Kde, Kde1d};
+use snod_density::{scott_bandwidth, DensityModel, EpanechnikovKernel, Kde, Kde1d, Kernel1d};
 
 const RUNS: usize = 5;
+
+fn smoke() -> bool {
+    std::env::var_os("SNOD_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// `full` normally, `small` under `SNOD_BENCH_SMOKE=1`.
+fn sized(full: usize, small: usize) -> usize {
+    if smoke() {
+        small
+    } else {
+        full
+    }
+}
 
 fn best_secs<F: FnMut()>(mut f: F) -> f64 {
     // One untimed warm-up run populates caches and allocator pools.
@@ -110,31 +134,279 @@ fn replica_run(policy: RebuildPolicy, pushes: usize) -> f64 {
     })
 }
 
+/// `partition_point` over the first coordinate of `n` row-major rows.
+fn partition_point_strided(rows: &[f64], dims: usize, n: usize, pred: impl Fn(f64) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(rows[mid * dims]) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The pre-rewrite scoring hot path, kept here as the `soa_simd`
+/// baseline: row-major centre storage, dim-0 `partition_point` pruning,
+/// branchy piecewise CDF, one division per coordinate.
+struct RowMajorBaseline {
+    rows: Vec<f64>,
+    dims: usize,
+    bandwidths: Vec<f64>,
+    window_len: f64,
+}
+
+impl RowMajorBaseline {
+    /// Mirrors a [`Kde`]: same centres in the same dim-0 sorted order.
+    fn of(kde: &Kde) -> Self {
+        Self {
+            rows: kde.centers(),
+            dims: kde.dims(),
+            bandwidths: kde.bandwidths().to_vec(),
+            window_len: kde.window_len(),
+        }
+    }
+
+    fn neighborhood_count(&self, q: &[f64], r: f64) -> f64 {
+        let k = EpanechnikovKernel;
+        let d = self.dims;
+        let n = self.rows.len() / d;
+        // The old trait default allocated the query box per call.
+        let lo: Vec<f64> = q.iter().map(|&c| c - r).collect();
+        let hi: Vec<f64> = q.iter().map(|&c| c + r).collect();
+        let (lo, hi) = (black_box(lo), black_box(hi));
+        // Prune on the sorted first coordinate, as the old engine did
+        // (strided binary search over the row-major storage).
+        let span = self.bandwidths[0] * k.support();
+        let s = partition_point_strided(&self.rows, d, n, |c| c < lo[0] - span);
+        let e = partition_point_strided(&self.rows, d, n, |c| c <= hi[0] + span);
+        // `box_prob` counted every scalar query and its touched kernels.
+        snod_obs::counter!("density.scalar.queries").incr();
+        snod_obs::counter!("density.scalar.kernels").add((e - s) as u64);
+        let mut sum = 0.0;
+        'points: for i in s..e {
+            let row = &self.rows[i * d..(i + 1) * d];
+            let mut prod = 1.0;
+            for j in 0..d {
+                let a = (lo[j] - row[j]) / self.bandwidths[j];
+                let b = (hi[j] - row[j]) / self.bandwidths[j];
+                let mass = k.mass(a, b);
+                if mass == 0.0 {
+                    continue 'points;
+                }
+                prod *= mass;
+            }
+            sum += prod;
+        }
+        sum / n as f64 * self.window_len
+    }
+}
+
+/// The pre-rewrite 1-d hot path (sorted centres, `partition_point`
+/// pruning, per-centre branchy CDF with two divisions) — the workload
+/// the ISSUE names: ~1.6M kernel evaluations per 12.8k MDEF counting
+/// queries.
+fn old_kde1d_count(centers: &[f64], bandwidth: f64, window_len: f64, q: f64, r: f64) -> f64 {
+    let k = EpanechnikovKernel;
+    // The old trait default allocated the query box per call
+    // (`range_prob` built `lo`/`hi` Vecs) before reaching `box_prob`.
+    let lo: Vec<f64> = vec![q - r];
+    let hi: Vec<f64> = vec![q + r];
+    let (a, b) = (black_box(&lo)[0], black_box(&hi)[0]);
+    let span = bandwidth * k.support();
+    let s = centers.partition_point(|&c| c < a - span);
+    let e = centers.partition_point(|&c| c <= b + span);
+    // `box_prob` counted every scalar query and its touched kernels.
+    snod_obs::counter!("density.scalar.queries").incr();
+    snod_obs::counter!("density.scalar.kernels").add((e - s) as u64);
+    let sum: f64 = centers[s..e]
+        .iter()
+        .map(|&c| k.mass((a - c) / bandwidth, (b - c) / bandwidth))
+        .sum();
+    sum / centers.len() as f64 * window_len
+}
+
+/// 1-d scoring hot path: old scalar row evaluator vs the SoA engine at
+/// the MDEF cell radius (`αr = 0.01`) and the paper's §7 sample size
+/// (`|R| = 2,000`) — the regime BENCH_kde.json's phase attribution
+/// showed to be kernel-math-bound.
+fn soa1d_pair(n: usize, q: usize, reps: usize) -> (f64, f64, f64) {
+    let kde = Kde1d::from_sample(&sample_1d(n), 0.1, 10_000.0).unwrap();
+    let centers = kde.centers().to_vec();
+    let (bw, wl) = (kde.bandwidth(), kde.window_len());
+    let queries: Vec<f64> = (0..q).map(|i| i as f64 / q as f64).collect();
+    let r = 0.01;
+    let mut max_rel = 0.0f64;
+    for &p in &queries {
+        let a = old_kde1d_count(&centers, bw, wl, p, r);
+        let b = kde.neighborhood_count(&[p], r).unwrap();
+        max_rel = max_rel.max((a - b).abs() / a.abs().max(1.0));
+    }
+    assert!(max_rel < 1e-9, "1-d baseline drifted from engine: {max_rel}");
+    let old = best_secs(|| {
+        for _ in 0..reps {
+            for &p in &queries {
+                black_box(old_kde1d_count(
+                    black_box(&centers),
+                    bw,
+                    wl,
+                    black_box(p),
+                    r,
+                ));
+            }
+        }
+    });
+    // The optimised side is the hot path as the detectors drive it: one
+    // batched call over the query set, engine picking sweep vs search.
+    let new = best_secs(|| {
+        for _ in 0..reps {
+            black_box(kde.neighborhood_counts(black_box(&queries), r).unwrap());
+        }
+    });
+    (old, new, max_rel)
+}
+
+/// The tentpole measurement: old row-major scalar evaluator vs the SoA
+/// engine on a kernel-arithmetic-bound workload (wide radius, so nearly
+/// every centre intersects every query and layout/vectorisation — not
+/// search overhead — dominates).
+fn soa_pair(n: usize, d: usize, q: usize, reps: usize) -> (f64, f64, f64) {
+    let rows: Vec<Vec<f64>> = (0..n as u64)
+        .map(|i| {
+            (0..d as u64)
+                .map(|j| ((i * 2_654_435_761 + j * 40_503 + 7) % n as u64) as f64 / n as f64)
+                .collect()
+        })
+        .collect();
+    let sigmas = vec![0.1; d];
+    let kde = Kde::from_sample(&rows, &sigmas, 10_000.0).unwrap();
+    let baseline = RowMajorBaseline::of(&kde);
+    let queries: Vec<Vec<f64>> = (0..q)
+        .map(|i| vec![0.2 + 0.6 * i as f64 / q as f64; d])
+        .collect();
+    let r = 0.3;
+    // Agreement guard: the two evaluators must compute the same counts,
+    // or the speedup below is meaningless.
+    let mut max_rel = 0.0f64;
+    for p in &queries {
+        let a = baseline.neighborhood_count(p, r);
+        let b = kde.neighborhood_count(p, r).unwrap();
+        max_rel = max_rel.max((a - b).abs() / a.abs().max(1.0));
+    }
+    assert!(max_rel < 1e-9, "baseline drifted from engine: {max_rel}");
+    let old = best_secs(|| {
+        for _ in 0..reps {
+            for p in &queries {
+                black_box(baseline.neighborhood_count(black_box(p), r));
+            }
+        }
+    });
+    // One batched call over the query set, as the detectors issue it.
+    let flat: Vec<f64> = queries.iter().flat_map(|p| p.iter().copied()).collect();
+    let new = best_secs(|| {
+        for _ in 0..reps {
+            black_box(kde.neighborhood_counts(black_box(&flat), r).unwrap());
+        }
+    });
+    (old, new, max_rel)
+}
+
+/// Online compression at a fixed budget: centre count and query cost
+/// before vs after, on a clustered stream (the regime compression is
+/// for — near-duplicate sensor readings).
+fn compression_pair(n: usize, budget: usize, q: usize, reps: usize) -> (usize, usize, f64, f64) {
+    let clusters = 32.max(budget / 4);
+    let sample: Vec<f64> = (0..n as u64)
+        .map(|i| {
+            let c = (i % clusters as u64) as f64 / clusters as f64;
+            c + ((i * 2_654_435_761) % 1_000) as f64 * 1e-7
+        })
+        .collect();
+    let full = Kde1d::from_sample(&sample, 0.1, 10_000.0).unwrap();
+    let mut packed = full.clone();
+    let stats = packed.compress_to_budget(budget, 0.01);
+    let queries: Vec<f64> = (0..q).map(|i| i as f64 / q as f64).collect();
+    let r = 0.2;
+    let full_secs = best_secs(|| {
+        for _ in 0..reps {
+            black_box(full.neighborhood_counts(black_box(&queries), r).unwrap());
+        }
+    });
+    let packed_secs = best_secs(|| {
+        for _ in 0..reps {
+            black_box(packed.neighborhood_counts(black_box(&queries), r).unwrap());
+        }
+    });
+    (stats.before, stats.after, full_secs, packed_secs)
+}
+
 fn main() {
-    let (s1, b1) = kde1d_pair(1_000, 64, 200);
-    let (s2, b2) = kde2d_pair(1_000, 64, 200);
-    let rebuild = replica_run(RebuildPolicy::always(), 20_000);
-    let epoch = replica_run(RebuildPolicy::default(), 20_000);
+    let reps = sized(200, 10);
+    let (s1, b1) = kde1d_pair(sized(1_000, 200), 64, reps);
+    let (s2, b2) = kde2d_pair(sized(1_000, 200), 64, reps);
+    let (old1, new1, drift1) = soa1d_pair(sized(2_000, 200), 64, reps);
+    // Same model, one epoch's worth of arrivals scored per batch: the
+    // O(|R|) sweep frontier amortises across the batch, isolating the
+    // kernel-evaluation speedup itself.
+    let (old1e, new1e, drift1e) = soa1d_pair(sized(2_000, 200), 256, reps);
+    let (old3, new3, drift) = soa_pair(sized(2_000, 200), 3, 32, sized(20, 2));
+    let (c_before, c_after, c_full, c_packed) =
+        compression_pair(sized(4_000, 400), sized(200, 50), 64, sized(50, 5));
+    let rebuild = replica_run(RebuildPolicy::always(), sized(20_000, 2_000));
+    let epoch = replica_run(RebuildPolicy::default(), sized(20_000, 2_000));
     let hot_path = rebuild / epoch;
 
+    let backend = if cfg!(all(
+        feature = "simd",
+        target_arch = "x86_64",
+        target_feature = "avx2"
+    )) {
+        "avx2"
+    } else {
+        "portable"
+    };
     let json = format!(
         "{{\n  \"methodology\": \"best of {RUNS} runs; speedup = baseline_secs / optimised_secs\",\n  \
+         \"smoke\": {smoke},\n  \
          \"batched_query_engine\": {{\n    \
          \"kde1d_q64_r1000\": {{\"scalar_secs\": {s1:.6}, \"batched_secs\": {b1:.6}, \"speedup\": {r1:.2}}},\n    \
          \"kde2d_q64_r1000\": {{\"scalar_secs\": {s2:.6}, \"batched_secs\": {b2:.6}, \"speedup\": {r2:.2}}}\n  }},\n  \
+         \"soa_simd\": {{\n    \
+         \"backend\": \"{backend}\",\n    \
+         \"kde1d_n2000_q64_r001\": {{\"row_scalar_secs\": {old1:.6}, \"soa_engine_secs\": {new1:.6}, \"speedup\": {r1d:.2}, \"max_relative_drift\": {drift1:.3e}}},\n    \
+         \"kde1d_n2000_q256_r001\": {{\"row_scalar_secs\": {old1e:.6}, \"soa_engine_secs\": {new1e:.6}, \"speedup\": {r1e:.2}, \"max_relative_drift\": {drift1e:.3e}}},\n    \
+         \"kde3d_q32_r030\": {{\"row_scalar_secs\": {old3:.6}, \"soa_engine_secs\": {new3:.6}, \"speedup\": {r3:.2}, \"max_relative_drift\": {drift:.3e}}}\n  }},\n  \
+         \"compression\": {{\n    \
+         \"centres_before\": {c_before}, \"centres_after\": {c_after},\n    \
+         \"full_query_secs\": {c_full:.6}, \"compressed_query_secs\": {c_packed:.6}, \"speedup\": {rc:.2}\n  }},\n  \
          \"incremental_maintenance\": {{\n    \
-         \"pushes\": 20000, \"replica_cap\": 100,\n    \
+         \"pushes\": {pushes}, \"replica_cap\": 100,\n    \
          \"rebuild_always_secs\": {rebuild:.6}, \"epoch_default_secs\": {epoch:.6}, \"speedup\": {hot_path:.2}\n  }},\n  \
          \"mgdd_hot_path_speedup\": {hot_path:.2}\n}}\n",
+        smoke = smoke(),
         r1 = s1 / b1,
         r2 = s2 / b2,
+        r1d = old1 / new1,
+        r1e = old1e / new1e,
+        r3 = old3 / new3,
+        rc = c_full / c_packed,
+        pushes = sized(20_000, 2_000),
     );
     std::fs::write("BENCH_kde.json", &json).expect("write BENCH_kde.json");
     print!("{json}");
     eprintln!(
-        "kde1d batched {:.2}x, kde2d batched {:.2}x, incremental maintenance {hot_path:.2}x",
+        "kde1d batched {:.2}x, kde2d batched {:.2}x, soa engine ({backend}) 1d {:.2}x (q64) / {:.2}x (q256) / 3d {:.2}x, \
+         compression {} -> {} centres ({:.2}x queries), incremental maintenance {hot_path:.2}x",
         s1 / b1,
         s2 / b2,
+        old1 / new1,
+        old1e / new1e,
+        old3 / new3,
+        c_before,
+        c_after,
+        c_full / c_packed,
     );
 
     // Per-phase attribution via the obs registry: where the work goes

@@ -130,6 +130,57 @@ impl RebuildPolicy {
     }
 }
 
+/// Online KDE model compression, applied right after every full model
+/// rebuild: near-duplicate kernel centres (within
+/// [`tolerance`](Self::tolerance) bandwidths of each other in every
+/// dimension) merge into single weighted centres, and the tolerance
+/// escalates until at most [`budget`](Self::budget) centres remain. The
+/// scoring hot path then evaluates `budget` kernels instead of `|R|`,
+/// with query error bounded by `~1.5·d·tolerance` per unit of
+/// probability mass (see `snod_density::CompressionStats`). Disabled by
+/// default ([`EstimatorConfig::compression`] is `None`), which keeps the
+/// model bit-identical to the uncompressed baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelCompression {
+    /// Maximum number of weighted kernel centres after compression.
+    pub budget: usize,
+    /// Merge radius in bandwidth units (the starting tolerance; it
+    /// doubles as needed to meet the budget).
+    pub tolerance: f64,
+}
+
+impl ModelCompression {
+    /// Validates the knob.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.budget == 0 {
+            return Err(CoreError::Config("compression budget must be positive"));
+        }
+        if !(self.tolerance >= 0.0) || !self.tolerance.is_finite() {
+            return Err(CoreError::Config(
+                "compression tolerance must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Persist for ModelCompression {
+    fn save(&self, w: &mut ByteWriter) {
+        self.budget.save(w);
+        self.tolerance.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let c = Self {
+            budget: usize::load(r)?,
+            tolerance: f64::load(r)?,
+        };
+        c.validate()
+            .map_err(|_| PersistError::Corrupt("invalid compression config"))?;
+        Ok(c)
+    }
+}
+
 /// Per-node estimator parameters (Section 5). Defaults follow the
 /// paper's experiments: `|W| = 10,000`, `|R| = 0.05·|W|`, ε = 0.2.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,6 +199,9 @@ pub struct EstimatorConfig {
     /// the node's own cached model and any FIFO replica built from its
     /// broadcasts — `MgddConfig` and `MonitorConfig` expose it here).
     pub rebuild: RebuildPolicy,
+    /// Optional online model compression applied after every rebuild;
+    /// `None` (the default) keeps every kernel at weight 1.
+    pub compression: Option<ModelCompression>,
 }
 
 impl EstimatorConfig {
@@ -174,6 +228,9 @@ impl EstimatorConfig {
         if !(self.variance_epsilon > 0.0 && self.variance_epsilon <= 1.0) {
             return Err(CoreError::Config("variance epsilon must lie in (0, 1]"));
         }
+        if let Some(c) = &self.compression {
+            c.validate()?;
+        }
         self.rebuild.validate()
     }
 }
@@ -187,6 +244,7 @@ pub struct EstimatorConfigBuilder {
     variance_epsilon: f64,
     seed: u64,
     rebuild: RebuildPolicy,
+    compression: Option<ModelCompression>,
 }
 
 impl Default for EstimatorConfigBuilder {
@@ -198,6 +256,7 @@ impl Default for EstimatorConfigBuilder {
             variance_epsilon: 0.2,
             seed: 0,
             rebuild: RebuildPolicy::default(),
+            compression: None,
         }
     }
 }
@@ -239,6 +298,12 @@ impl EstimatorConfigBuilder {
         self
     }
 
+    /// Enables online model compression after every rebuild.
+    pub fn compression(mut self, compression: ModelCompression) -> Self {
+        self.compression = Some(compression);
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<EstimatorConfig, CoreError> {
         if self.window == 0 {
@@ -257,6 +322,9 @@ impl EstimatorConfigBuilder {
             return Err(CoreError::Config("sample size must be positive"));
         }
         self.rebuild.validate()?;
+        if let Some(c) = &self.compression {
+            c.validate()?;
+        }
         Ok(EstimatorConfig {
             window: self.window,
             sample_size,
@@ -264,6 +332,7 @@ impl EstimatorConfigBuilder {
             variance_epsilon: self.variance_epsilon,
             seed: self.seed,
             rebuild: self.rebuild,
+            compression: self.compression,
         })
     }
 }
@@ -386,6 +455,7 @@ impl Persist for EstimatorConfig {
         self.variance_epsilon.save(w);
         self.seed.save(w);
         self.rebuild.save(w);
+        self.compression.save(w);
     }
 
     fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
@@ -396,6 +466,7 @@ impl Persist for EstimatorConfig {
             variance_epsilon: f64::load(r)?,
             seed: u64::load(r)?,
             rebuild: RebuildPolicy::load(r)?,
+            compression: Option::<ModelCompression>::load(r)?,
         };
         cfg.validate()
             .map_err(|_| PersistError::Corrupt("invalid estimator config"))?;
@@ -496,6 +567,47 @@ mod tests {
         assert!(EstimatorConfig::builder()
             .window(100)
             .sample_size(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn compression_config_validation() {
+        assert!(EstimatorConfig::builder()
+            .compression(ModelCompression {
+                budget: 50,
+                tolerance: 0.05,
+            })
+            .build()
+            .is_ok());
+        // A zero tolerance is legal: compression then only kicks in via
+        // the budget-driven escalation.
+        assert!(EstimatorConfig::builder()
+            .compression(ModelCompression {
+                budget: 50,
+                tolerance: 0.0,
+            })
+            .build()
+            .is_ok());
+        assert!(EstimatorConfig::builder()
+            .compression(ModelCompression {
+                budget: 0,
+                tolerance: 0.05,
+            })
+            .build()
+            .is_err());
+        assert!(EstimatorConfig::builder()
+            .compression(ModelCompression {
+                budget: 50,
+                tolerance: f64::NAN,
+            })
+            .build()
+            .is_err());
+        assert!(EstimatorConfig::builder()
+            .compression(ModelCompression {
+                budget: 50,
+                tolerance: -0.1,
+            })
             .build()
             .is_err());
     }

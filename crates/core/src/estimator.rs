@@ -67,6 +67,13 @@ impl DensityModel for SensorModel {
             SensorModel::Multi(m) => m.neighborhood_counts(points, r),
         }
     }
+
+    fn compress(&mut self, budget: usize, tolerance: f64) -> usize {
+        match self {
+            SensorModel::One(m) => m.compress(budget, tolerance),
+            SensorModel::Multi(m) => m.compress(budget, tolerance),
+        }
+    }
 }
 
 impl SensorModel {
@@ -260,17 +267,23 @@ impl SensorEstimator {
         let sample = self.sampler.sample();
         let sigmas = self.sigmas();
         let window_len = self.window_len().max(1.0);
-        if self.cfg.dimensions == 1 {
-            Ok(SensorModel::One(
+        let mut model = if self.cfg.dimensions == 1 {
+            SensorModel::One(
                 Kde1d::from_sample_iter(sample.iter().map(|p| p[0]), sigmas[0], window_len)
                     .map_err(CoreError::Density)?,
-            ))
+            )
         } else {
-            Ok(SensorModel::Multi(
+            SensorModel::Multi(
                 Kde::from_sample_iter(sample.iter().map(Vec::as_slice), &sigmas, window_len)
                     .map_err(CoreError::Density)?,
-            ))
+            )
+        };
+        // Applied on every build, so the epoch cache and a from-scratch
+        // model stay exactly interchangeable.
+        if let Some(c) = self.cfg.compression {
+            model.compress(c.budget, c.tolerance);
         }
+        Ok(model)
     }
 
     /// Like [`Self::model`] but epoch-cached — the hot path for
@@ -681,6 +694,70 @@ mod tests {
             let cached = est.cached_model().unwrap();
             assert_eq!(cached.neighborhood_count(&[0.25], 0.05).unwrap(), q);
             assert_eq!(est.model_staleness(), 0);
+        }
+    }
+
+    #[test]
+    fn compression_caps_model_size_and_keeps_scores_sane() {
+        use crate::config::ModelCompression;
+        let base = EstimatorConfig::builder()
+            .window(1_000)
+            .sample_size(200)
+            .seed(11);
+        let cfg = base
+            .clone()
+            .compression(ModelCompression {
+                budget: 40,
+                tolerance: 0.05,
+            })
+            .build()
+            .unwrap();
+        let plain = base.build().unwrap();
+        let mut est = SensorEstimator::new(cfg);
+        let mut reference = SensorEstimator::new(plain);
+        for i in 0..2_000 {
+            let v = [0.4 + 0.01 * ((i % 10) as f64)];
+            est.observe(&v).unwrap();
+            reference.observe(&v).unwrap();
+        }
+        let model = est.model().unwrap();
+        assert!(
+            model.sample_size() <= 40,
+            "|R| = {} exceeds budget",
+            model.sample_size()
+        );
+        // Scores stay close to the uncompressed estimator's.
+        let full = reference.model().unwrap();
+        let a = model.neighborhood_count(&[0.45], 0.07).unwrap();
+        let b = full.neighborhood_count(&[0.45], 0.07).unwrap();
+        assert!((a - b).abs() < 0.05 * b.max(1.0), "{a} vs {b}");
+        let far = model.neighborhood_count(&[0.9], 0.05).unwrap();
+        assert!(far < 50.0, "count {far}");
+    }
+
+    #[test]
+    fn compressed_epoch_cache_matches_from_scratch_model() {
+        use crate::config::{ModelCompression, RebuildPolicy};
+        use snod_density::DensityModel as _;
+        let cfg = EstimatorConfig::builder()
+            .window(300)
+            .sample_size(80)
+            .seed(6)
+            .rebuild_policy(RebuildPolicy::always())
+            .compression(ModelCompression {
+                budget: 25,
+                tolerance: 0.02,
+            })
+            .build()
+            .unwrap();
+        let mut est = SensorEstimator::new(cfg);
+        for i in 0..600 {
+            est.observe(&[0.2 + 0.002 * ((i % 50) as f64)]).unwrap();
+            let fresh = est.model().unwrap();
+            let q = fresh.neighborhood_count(&[0.25], 0.05).unwrap();
+            let cached = est.cached_model().unwrap();
+            assert!(cached.sample_size() <= 25);
+            assert_eq!(cached.neighborhood_count(&[0.25], 0.05).unwrap(), q);
         }
     }
 

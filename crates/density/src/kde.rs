@@ -11,12 +11,50 @@
 //! one-dimensional factor has a closed-form CDF, the probability of an
 //! axis-aligned box — and hence the neighborhood count `N(p, r)` — is an
 //! exact `O(d·|R|)` sum (Theorem 2), no numerical integration involved.
+//!
+//! # Layout and weighting
+//!
+//! Centres are stored structure-of-arrays — one contiguous column per
+//! dimension, all sorted by the first coordinate — and each centre
+//! carries a weight. Freshly sampled centres weigh `1.0`; the online
+//! compressor ([`Kde::compress_to_budget`]) merges near-duplicate
+//! centres into a single weighted representative, so a model can answer
+//! the same queries with far fewer kernels. All probabilities are
+//! normalised by the total weight, which generalises the `1/|R|` of
+//! Equation 1 (and reduces to it exactly when every weight is `1.0`).
+//! The evaluation itself lives in [`crate::eval`].
 
 use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 
+use crate::eval;
 use crate::kernel::{EpanechnikovKernel, Kernel1d};
 use crate::model::{check_dims, DensityModel};
 use crate::{scott_bandwidths, DensityError};
+
+/// Merge radius (in bandwidth units) used when a budget must be met but
+/// the caller supplied no tolerance to start from.
+const SEED_TOLERANCE: f64 = 1e-3;
+
+/// Outcome of a [`Kde::compress_to_budget`] / `Kde1d::compress_to_budget`
+/// call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionStats {
+    /// Kernel count before merging.
+    pub before: usize,
+    /// Kernel count after merging (`≤ max(budget, 1)` on return).
+    pub after: usize,
+    /// Merge passes run; `0` means the model was already within budget
+    /// and no tolerance-driven merge was requested.
+    pub passes: u32,
+    /// The merge radius of the *last* pass, in bandwidth units: every
+    /// surviving centre is a weighted mean of original centres that all
+    /// lay within `effective_tolerance · Bⱼ` of the group representative
+    /// in every dimension `j`. This bounds the per-query error — the
+    /// Epanechnikov CDF has slope ≤ 0.75, so a centre shift of `τ·Bⱼ`
+    /// moves any one-dimensional box mass by ≤ `1.5·τ`, and a
+    /// `d`-dimensional product by ≤ `1.5·d·τ` per unit of mass.
+    pub effective_tolerance: f64,
+}
 
 /// Kernel density estimator over `d`-dimensional points in `[0, 1]^d`.
 ///
@@ -32,13 +70,18 @@ use crate::{scott_bandwidths, DensityError};
 #[derive(Debug, Clone)]
 pub struct Kde<K: Kernel1d = EpanechnikovKernel> {
     dims: usize,
-    /// Flattened row-major sample: `centers[i*dims + j]` is coordinate `j`
-    /// of sample point `i`. Points are sorted by their first coordinate
-    /// so finite-support queries can prune on dimension 0.
-    centers: Vec<f64>,
-    /// `centers[i*dims]` for binary-searching the dimension-0 range.
-    first_coords: Vec<f64>,
+    /// Per-dimension coordinate columns: `cols[j][i]` is coordinate `j`
+    /// of centre `i`. Centres are sorted by `cols[0]` so finite-support
+    /// queries can prune on dimension 0.
+    cols: Vec<Vec<f64>>,
+    /// Per-centre kernel weights (`1.0` until compression merges
+    /// centres).
+    weights: Vec<f64>,
+    /// Cached `Σ weights`; the normaliser generalising `1/|R|`.
+    total_weight: f64,
     bandwidths: Vec<f64>,
+    /// Cached `1/Bⱼ` so the hot loop multiplies instead of divides.
+    inv_bandwidths: Vec<f64>,
     window_len: f64,
     kernel: K,
 }
@@ -95,7 +138,9 @@ impl Kde<EpanechnikovKernel> {
 impl<K: Kernel1d> Kde<K> {
     /// Builds an estimator from a flattened row-major sample with explicit
     /// bandwidths and kernel. Sample points are re-ordered (sorted by
-    /// their first coordinate) to enable query pruning.
+    /// their first coordinate) into per-dimension columns to enable query
+    /// pruning and vectorised evaluation; every point starts with weight
+    /// `1.0`.
     pub fn new(
         dims: usize,
         centers: Vec<f64>,
@@ -128,15 +173,27 @@ impl<K: Kernel1d> Kde<K> {
         // meaning); NaNs are rejected implicitly by partial_cmp ordering
         // of generator-produced data.
         let _build = snod_obs::span!("density.kde.build");
-        let mut rows: Vec<&[f64]> = centers.chunks_exact(dims).collect();
-        rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("non-NaN sample"));
-        let sorted: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
-        let first_coords: Vec<f64> = sorted.iter().step_by(dims).copied().collect();
+        let n = centers.len() / dims;
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| {
+            centers[a as usize * dims]
+                .partial_cmp(&centers[b as usize * dims])
+                .expect("non-NaN sample")
+        });
+        let mut cols: Vec<Vec<f64>> = (0..dims).map(|_| Vec::with_capacity(n)).collect();
+        for &i in &order {
+            for (j, col) in cols.iter_mut().enumerate() {
+                col.push(centers[i as usize * dims + j]);
+            }
+        }
+        let inv_bandwidths = bandwidths.iter().map(|b| 1.0 / b).collect();
         Ok(Self {
             dims,
-            centers: sorted,
-            first_coords,
+            cols,
+            weights: vec![1.0; n],
+            total_weight: n as f64,
             bandwidths,
+            inv_bandwidths,
             window_len,
             kernel,
         })
@@ -147,17 +204,19 @@ impl<K: Kernel1d> Kde<K> {
     fn dim0_range(&self, lo0: f64, hi0: f64) -> (usize, usize) {
         let reach = self.kernel.support();
         if reach.is_infinite() {
-            return (0, self.first_coords.len());
+            return (0, self.weights.len());
         }
         let span = reach * self.bandwidths[0];
-        let start = self.first_coords.partition_point(|&c| c < lo0 - span);
-        let end = self.first_coords.partition_point(|&c| c <= hi0 + span);
+        let start = self.cols[0].partition_point(|&c| c < lo0 - span);
+        let end = self.cols[0].partition_point(|&c| c <= hi0 + span);
         (start, end)
     }
 
-    /// Number of kernels, i.e. the sample size `|R|`.
+    /// Number of kernels `|R|` (after compression this is the number of
+    /// weighted representatives, not the number of sampled points — see
+    /// [`Kde::total_weight`] for the latter).
     pub fn sample_size(&self) -> usize {
-        self.centers.len() / self.dims
+        self.weights.len()
     }
 
     /// Per-dimension bandwidths `Bᵢ`.
@@ -165,44 +224,74 @@ impl<K: Kernel1d> Kde<K> {
         &self.bandwidths
     }
 
-    /// The sample points backing this estimator, flattened row-major.
-    pub fn centers(&self) -> &[f64] {
-        &self.centers
+    /// The kernel centres, materialised row-major (`i*dims + j` is
+    /// coordinate `j` of centre `i`), sorted by first coordinate.
+    pub fn centers(&self) -> Vec<f64> {
+        let n = self.weights.len();
+        let mut out = Vec::with_capacity(n * self.dims);
+        for i in 0..n {
+            for col in &self.cols {
+                out.push(col[i]);
+            }
+        }
+        out
     }
 
-    /// Iterates over the sample points as coordinate slices.
-    pub fn points(&self) -> impl Iterator<Item = &[f64]> {
-        self.centers.chunks_exact(self.dims)
+    /// The contiguous coordinate column for dimension `j`.
+    pub fn column(&self, j: usize) -> &[f64] {
+        &self.cols[j]
     }
 
-    /// Merges a new sample point into the first-coordinate-sorted arrays in
-    /// `O(log|R| + shift)`. Bandwidths are deliberately **not** recomputed —
-    /// see the epoch-based rebuild policy in `snod-core`.
+    /// Per-centre kernel weights, parallel to the columns.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total kernel weight `Σ wᵢ` — equal to the number of sampled points
+    /// regardless of compression.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Merges a new weight-1 sample point into the sorted columns in
+    /// `O(d·(log|R| + shift))`. Bandwidths are deliberately **not**
+    /// recomputed — see the epoch-based rebuild policy in `snod-core`.
     pub fn insert_point(&mut self, p: &[f64]) -> Result<(), DensityError> {
         check_dims(self.dims, p)?;
         if p.iter().any(|c| c.is_nan()) {
             return Err(DensityError::NonFiniteValue("sample point"));
         }
-        let i = self.first_coords.partition_point(|&c| c < p[0]);
-        self.first_coords.insert(i, p[0]);
-        let at = i * self.dims;
-        self.centers.splice(at..at, p.iter().copied());
+        let i = self.cols[0].partition_point(|&c| c < p[0]);
+        for (col, &c) in self.cols.iter_mut().zip(p) {
+            col.insert(i, c);
+        }
+        self.weights.insert(i, 1.0);
+        self.total_weight += 1.0;
         Ok(())
     }
 
-    /// Removes one sample point equal to `p`; returns whether one was
-    /// found. Removing the last remaining point is refused (returns
-    /// `Ok(false)`) so the estimator never becomes empty.
+    /// Removes one unit of weight from a centre equal to `p`; returns
+    /// whether one was found. A centre holding merged weight is
+    /// decremented in place; a weight-1 centre is removed outright.
+    /// Removing the last remaining point is refused (returns `Ok(false)`)
+    /// so the estimator never becomes empty.
     pub fn remove_point(&mut self, p: &[f64]) -> Result<bool, DensityError> {
         check_dims(self.dims, p)?;
-        let mut i = self.first_coords.partition_point(|&c| c < p[0]);
-        while i < self.first_coords.len() && self.first_coords[i] == p[0] {
-            if &self.centers[i * self.dims..(i + 1) * self.dims] == p {
-                if self.first_coords.len() == 1 {
+        let mut i = self.cols[0].partition_point(|&c| c < p[0]);
+        while i < self.weights.len() && self.cols[0][i] == p[0] {
+            if (0..self.dims).all(|j| self.cols[j][i] == p[j]) {
+                if self.weights[i] > 1.0 {
+                    self.weights[i] -= 1.0;
+                    self.total_weight -= 1.0;
+                    return Ok(true);
+                }
+                if self.weights.len() == 1 {
                     return Ok(false);
                 }
-                self.first_coords.remove(i);
-                self.centers.drain(i * self.dims..(i + 1) * self.dims);
+                for col in &mut self.cols {
+                    col.remove(i);
+                }
+                self.total_weight -= self.weights.remove(i);
                 return Ok(true);
             }
             i += 1;
@@ -224,6 +313,8 @@ impl<K: Kernel1d> Kde<K> {
         }
         self.bandwidths.clear();
         self.bandwidths.extend_from_slice(bandwidths);
+        self.inv_bandwidths.clear();
+        self.inv_bandwidths.extend(bandwidths.iter().map(|b| 1.0 / b));
         Ok(())
     }
 
@@ -237,26 +328,132 @@ impl<K: Kernel1d> Kde<K> {
         Ok(())
     }
 
-    /// The probability mass of the L∞ ball of radius `r` around `q`,
-    /// restricted to the (pre-pruned) point range `[s, e)`. Summation
-    /// order matches [`DensityModel::box_prob`] exactly.
-    fn ball_prob_in_range(&self, q: &[f64], r: f64, s: usize, e: usize) -> f64 {
-        let mut sum = 0.0;
-        'points: for t in self.centers[s * self.dims..e * self.dims].chunks_exact(self.dims) {
-            let mut prod = 1.0;
-            for j in 0..self.dims {
-                let b = self.bandwidths[j];
-                let m = self
-                    .kernel
-                    .mass((q[j] - r - t[j]) / b, (q[j] + r - t[j]) / b);
-                if m == 0.0 {
-                    continue 'points;
-                }
-                prod *= m;
-            }
-            sum += prod;
+    /// Compresses the kernel set to at most `max(budget, 1)` weighted
+    /// centres by merging near-duplicates, xokde++-style.
+    ///
+    /// One pass walks the dimension-0-sorted centres and greedily groups
+    /// consecutive runs in which every centre lies within
+    /// `tolerance · Bⱼ` of the run's first member in *every* dimension
+    /// `j`; each run is replaced by its weighted mean carrying the run's
+    /// total weight. Because the dimension-0 column is globally sorted,
+    /// consecutive-run means stay sorted, so the pruning index survives
+    /// compression untouched. If one pass at the requested tolerance
+    /// still exceeds `budget`, the tolerance doubles and the pass reruns
+    /// until the budget is met (escalating to a single centre in the
+    /// degenerate limit). Total weight — and therefore every query's
+    /// normaliser — is preserved exactly.
+    pub fn compress_to_budget(&mut self, budget: usize, tolerance: f64) -> CompressionStats {
+        let _span = snod_obs::span!("density.kde.compress");
+        let before = self.weights.len();
+        let budget = budget.max(1);
+        let mut tol = if tolerance > 0.0 { tolerance } else { 0.0 };
+        let mut passes = 0u32;
+        let mut effective = 0.0;
+        if tol > 0.0 && self.weights.len() > 1 {
+            self.merge_within(tol);
+            passes += 1;
+            effective = tol;
         }
-        sum / self.sample_size() as f64
+        while self.weights.len() > budget {
+            tol = if !(tol > 0.0) {
+                SEED_TOLERANCE
+            } else if passes >= 60 {
+                // Doubling from any sane starting point meets any budget
+                // long before this; an infinite radius is the guaranteed
+                // terminal state (one centre).
+                f64::INFINITY
+            } else {
+                tol * 2.0
+            };
+            self.merge_within(tol);
+            passes += 1;
+            effective = tol;
+        }
+        let after = self.weights.len();
+        snod_obs::counter!("density.compress.merged").add((before - after) as u64);
+        snod_obs::counter!("density.compress.passes").add(passes as u64);
+        CompressionStats {
+            before,
+            after,
+            passes,
+            effective_tolerance: effective,
+        }
+    }
+
+    /// One greedy merge pass at radius `tol` (in bandwidth units). See
+    /// [`Kde::compress_to_budget`] for the invariants.
+    fn merge_within(&mut self, tol: f64) {
+        let n = self.weights.len();
+        if n <= 1 {
+            return;
+        }
+        let thresh: Vec<f64> = self.bandwidths.iter().map(|b| tol * b).collect();
+        let mut out_cols: Vec<Vec<f64>> = (0..self.dims).map(|_| Vec::new()).collect();
+        let mut out_w: Vec<f64> = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            let mut j = i + 1;
+            while j < n
+                && (0..self.dims).all(|d| (self.cols[d][j] - self.cols[d][i]).abs() <= thresh[d])
+            {
+                j += 1;
+            }
+            if j == i + 1 {
+                for (d, col) in out_cols.iter_mut().enumerate() {
+                    col.push(self.cols[d][i]);
+                }
+                out_w.push(self.weights[i]);
+            } else {
+                let wsum: f64 = self.weights[i..j].iter().sum();
+                for (d, col) in out_cols.iter_mut().enumerate() {
+                    let num: f64 = (i..j).map(|k| self.weights[k] * self.cols[d][k]).sum();
+                    // Clamp the weighted mean into the group's hull so
+                    // float rounding can never push it outside — which
+                    // for dimension 0 is exactly the sortedness invariant
+                    // the pruning index depends on.
+                    let (mut mn, mut mx) = (f64::INFINITY, f64::NEG_INFINITY);
+                    for k in i..j {
+                        mn = mn.min(self.cols[d][k]);
+                        mx = mx.max(self.cols[d][k]);
+                    }
+                    col.push((num / wsum).max(mn).min(mx));
+                }
+                out_w.push(wsum);
+            }
+            i = j;
+        }
+        debug_assert!(out_cols[0].windows(2).all(|w| w[0] <= w[1]));
+        self.cols = out_cols;
+        self.total_weight = out_w.iter().sum();
+        self.weights = out_w;
+    }
+
+    /// Un-normalised weighted box mass over the pre-pruned centre range
+    /// `[s, e)`. Dispatches to the vectorised Epanechnikov engine when
+    /// the kernel allows it, else the generic per-kernel loop. Every
+    /// query path — scalar, swept, per-query batched — lands here, which
+    /// is what makes them bit-identical to each other.
+    fn box_mass_in_range(&self, lo: &[f64], hi: &[f64], s: usize, e: usize) -> f64 {
+        if self.kernel.is_epanechnikov() {
+            // Degenerate boxes have zero mass (the generic path gets this
+            // from `Kernel1d::mass`; the clamped-CDF engine must not see
+            // them).
+            if lo.iter().zip(hi).any(|(&a, &b)| b <= a) {
+                return 0.0;
+            }
+            eval::epan_box_weighted(&self.cols, &self.weights, s, e, lo, hi, &self.inv_bandwidths)
+        } else {
+            eval::generic_box_weighted(
+                &self.kernel,
+                &self.cols,
+                &self.weights,
+                s,
+                e,
+                lo,
+                hi,
+                &self.bandwidths,
+            )
+        }
     }
 }
 
@@ -274,10 +471,10 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
         let norm: f64 = self.bandwidths.iter().product();
         let (s, e) = self.dim0_range(x[0], x[0]);
         let mut sum = 0.0;
-        'points: for t in self.centers[s * self.dims..e * self.dims].chunks_exact(self.dims) {
-            let mut prod = 1.0;
-            for j in 0..self.dims {
-                let u = (x[j] - t[j]) / self.bandwidths[j];
+        'points: for i in s..e {
+            let mut prod = self.weights[i];
+            for (j, col) in self.cols.iter().enumerate() {
+                let u = (x[j] - col[i]) / self.bandwidths[j];
                 let k = self.kernel.density(u);
                 if k == 0.0 {
                     continue 'points;
@@ -286,7 +483,7 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
             }
             sum += prod;
         }
-        Ok(sum / (self.sample_size() as f64 * norm))
+        Ok(sum / (self.total_weight * norm))
     }
 
     fn box_prob(&self, lo: &[f64], hi: &[f64]) -> Result<f64, DensityError> {
@@ -295,27 +492,21 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
         let (s, e) = self.dim0_range(lo[0], hi[0]);
         snod_obs::counter!("density.scalar.queries").incr();
         snod_obs::counter!("density.scalar.kernels").add((e - s) as u64);
-        let mut sum = 0.0;
-        'points: for t in self.centers[s * self.dims..e * self.dims].chunks_exact(self.dims) {
-            let mut prod = 1.0;
-            for j in 0..self.dims {
-                let b = self.bandwidths[j];
-                let m = self.kernel.mass((lo[j] - t[j]) / b, (hi[j] - t[j]) / b);
-                if m == 0.0 {
-                    continue 'points;
-                }
-                prod *= m;
-            }
-            sum += prod;
-        }
-        Ok(sum / self.sample_size() as f64)
+        Ok(self.box_mass_in_range(lo, hi, s, e) / self.total_weight)
     }
 
-    /// Batched sweep: queries sorted by their dimension-0 lower edge share
-    /// one monotonically advancing pruning frontier over the
-    /// first-coordinate-sorted sample, replacing the per-query binary
-    /// search and the two `Vec` allocations of the scalar
-    /// [`DensityModel::range_prob`] path.
+    fn compress(&mut self, budget: usize, tolerance: f64) -> usize {
+        let stats = self.compress_to_budget(budget, tolerance);
+        stats.before - stats.after
+    }
+
+    /// Batched neighborhood counts. For large batches, queries sorted by
+    /// their dimension-0 lower edge share one monotonically advancing
+    /// pruning frontier over the sorted columns; for small batches
+    /// against large models the per-query binary search is cheaper and
+    /// is used instead ([`eval::sweep_beats_per_query`]). Both paths
+    /// derive identical centre ranges and share one evaluator, so the
+    /// choice never changes a single output bit.
     fn neighborhood_counts(&self, points: &[f64], r: f64) -> Result<Vec<f64>, DensityError> {
         let d = self.dims;
         if !points.len().is_multiple_of(d) {
@@ -323,35 +514,62 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
         }
         let n = points.len() / d;
         let mut out = vec![0.0; n];
+        let mut lo = vec![0.0; d];
+        let mut hi = vec![0.0; d];
         let _sweep = snod_obs::span!("density.kde.sweep");
-        snod_obs::counter!("density.sweep.queries").add(n as u64);
         let reach = self.kernel.support();
+        let len = self.weights.len();
         if reach.is_infinite() {
             // No pruning possible; every query touches every kernel.
             for (o, q) in out.iter_mut().zip(points.chunks_exact(d)) {
-                *o = self.ball_prob_in_range(q, r, 0, self.sample_size()) * self.window_len;
+                for j in 0..d {
+                    lo[j] = q[j] - r;
+                    hi[j] = q[j] + r;
+                }
+                *o = self.box_mass_in_range(&lo, &hi, 0, len) / self.total_weight
+                    * self.window_len;
             }
             return Ok(out);
         }
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_unstable_by(|&a, &b| {
-            points[a as usize * d].total_cmp(&points[b as usize * d])
-        });
-        let span = reach * self.bandwidths[0];
-        let len = self.first_coords.len();
-        let kernels = snod_obs::counter!("density.sweep.kernels");
-        let (mut s, mut e) = (0usize, 0usize);
-        for &qi in &order {
-            let q = &points[qi as usize * d..(qi as usize + 1) * d];
-            let (lo0, hi0) = (q[0] - r, q[0] + r);
-            while s < len && self.first_coords[s] < lo0 - span {
-                s += 1;
+        if eval::sweep_beats_per_query(n, len) {
+            snod_obs::counter!("density.sweep.queries").add(n as u64);
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                points[a as usize * d].total_cmp(&points[b as usize * d])
+            });
+            let span = reach * self.bandwidths[0];
+            let kernels = snod_obs::counter!("density.sweep.kernels");
+            let (mut s, mut e) = (0usize, 0usize);
+            for &qi in &order {
+                let q = &points[qi as usize * d..(qi as usize + 1) * d];
+                let (lo0, hi0) = (q[0] - r, q[0] + r);
+                while s < len && self.cols[0][s] < lo0 - span {
+                    s += 1;
+                }
+                while e < len && self.cols[0][e] <= hi0 + span {
+                    e += 1;
+                }
+                kernels.add((e - s) as u64);
+                for j in 0..d {
+                    lo[j] = q[j] - r;
+                    hi[j] = q[j] + r;
+                }
+                out[qi as usize] = self.box_mass_in_range(&lo, &hi, s, e) / self.total_weight
+                    * self.window_len;
             }
-            while e < len && self.first_coords[e] <= hi0 + span {
-                e += 1;
+        } else {
+            snod_obs::counter!("density.batch.per_query").add(n as u64);
+            let kernels = snod_obs::counter!("density.batch.kernels");
+            for (o, q) in out.iter_mut().zip(points.chunks_exact(d)) {
+                let (s, e) = self.dim0_range(q[0] - r, q[0] + r);
+                kernels.add((e - s) as u64);
+                for j in 0..d {
+                    lo[j] = q[j] - r;
+                    hi[j] = q[j] + r;
+                }
+                *o = self.box_mass_in_range(&lo, &hi, s, e) / self.total_weight
+                    * self.window_len;
             }
-            kernels.add((e - s) as u64);
-            out[qi as usize] = self.ball_prob_in_range(q, r, s, e) * self.window_len;
         }
         Ok(out)
     }
@@ -360,22 +578,54 @@ impl<K: Kernel1d> DensityModel for Kde<K> {
 impl<K: Kernel1d + Default> Persist for Kde<K> {
     fn save(&self, w: &mut ByteWriter) {
         self.dims.save(w);
-        self.centers.save(w);
+        self.cols.save(w);
+        self.weights.save(w);
         self.bandwidths.save(w);
         self.window_len.save(w);
     }
 
     fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
         let dims = usize::load(r)?;
-        let centers = Vec::<f64>::load(r)?;
+        let cols = Vec::<Vec<f64>>::load(r)?;
+        let weights = Vec::<f64>::load(r)?;
         let bandwidths = Vec::<f64>::load(r)?;
         let window_len = f64::load(r)?;
-        // Rebuilding through the validating constructor re-derives the
-        // sorted order and `first_coords` index; the sort is stable and the
-        // saved centres are already sorted, so the layout round-trips
-        // bit-identically.
-        Self::new(dims, centers, bandwidths, window_len, K::default())
-            .map_err(|_| PersistError::Corrupt("invalid kde parameters"))
+        let corrupt = || PersistError::Corrupt("invalid kde parameters");
+        // The saved layout is trusted structurally but verified
+        // semantically: loading bypasses the sorting constructor (weights
+        // must stay aligned with their centres), so sortedness and
+        // positivity are checked here instead.
+        if dims == 0 || cols.len() != dims {
+            return Err(corrupt());
+        }
+        let n = cols[0].len();
+        if n == 0 || cols.iter().any(|c| c.len() != n) {
+            return Err(corrupt());
+        }
+        if weights.len() != n || weights.iter().any(|&w| !w.is_finite() || !(w > 0.0)) {
+            return Err(corrupt());
+        }
+        if cols[0].windows(2).any(|p| !(p[0] <= p[1])) {
+            return Err(corrupt());
+        }
+        if bandwidths.len() != dims || bandwidths.iter().any(|&b| !(b > 0.0)) {
+            return Err(corrupt());
+        }
+        if !(window_len > 0.0) {
+            return Err(corrupt());
+        }
+        let total_weight = weights.iter().sum();
+        let inv_bandwidths = bandwidths.iter().map(|b| 1.0 / b).collect();
+        Ok(Self {
+            dims,
+            cols,
+            weights,
+            total_weight,
+            bandwidths,
+            inv_bandwidths,
+            window_len,
+            kernel: K::default(),
+        })
     }
 }
 
@@ -584,6 +834,30 @@ mod tests {
     }
 
     #[test]
+    fn both_batch_strategies_agree_bit_for_bit() {
+        // Straddle the sweep/per-query crossover by varying the batch
+        // size against one model: every answer must equal the scalar
+        // path no matter which strategy the heuristic picks.
+        let pts: Vec<Vec<f64>> = (0..500)
+            .map(|i| vec![((i * 197) % 503) as f64 / 503.0])
+            .collect();
+        let kde = Kde::from_sample(&pts, &[0.1], 2_000.0).unwrap();
+        for batch_len in [1usize, 4, 16, 64, 400] {
+            let queries: Vec<f64> = (0..batch_len)
+                .map(|i| ((i * 29) % (batch_len + 1)) as f64 / (batch_len + 1) as f64)
+                .collect();
+            let batch = kde.neighborhood_counts(&queries, 0.07).unwrap();
+            for (i, &q) in queries.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    kde.neighborhood_count(&[q], 0.07).unwrap(),
+                    "batch_len={batch_len} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn insert_and_remove_points_preserve_query_results() {
         let pts: Vec<Vec<f64>> = (0..60)
             .map(|i| vec![((i * 37) % 61) as f64 / 61.0, ((i * 13) % 59) as f64 / 59.0])
@@ -636,5 +910,103 @@ mod tests {
         let dense = kde.neighborhood_count(&[0.32], 0.05).unwrap();
         let sparse = kde.neighborhood_count(&[0.8], 0.05).unwrap();
         assert!(dense > 5.0 * sparse, "dense {dense} sparse {sparse}");
+    }
+
+    #[test]
+    fn compression_caps_centres_and_preserves_total_weight() {
+        // Two tight clusters of 200 points each: a small tolerance
+        // collapses them to two weighted centres.
+        let pts: Vec<Vec<f64>> = (0..400)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.3 } else { 0.7 };
+                vec![c + ((i * 37) % 100) as f64 * 1e-5, c + ((i * 53) % 100) as f64 * 1e-5]
+            })
+            .collect();
+        let mut kde = Kde::from_sample(&pts, &[0.1, 0.1], 1_000.0).unwrap();
+        let reference = kde.clone();
+        let stats = kde.compress_to_budget(50, 0.05);
+        assert!(kde.sample_size() <= 50, "|R| = {}", kde.sample_size());
+        assert_eq!(stats.after, kde.sample_size());
+        assert_eq!(stats.before, 400);
+        assert_eq!(kde.total_weight(), 400.0);
+        assert!(kde.column(0).windows(2).all(|w| w[0] <= w[1]));
+        // Error bound: each centre moved at most τ·Bⱼ per dimension, so
+        // counts move at most ~1.5·d·τ·|W| per unit mass; 2·d·τ·|W| is a
+        // strictly looser ceiling.
+        let eps = 2.0 * 2.0 * stats.effective_tolerance * 1_000.0;
+        for q in [[0.3, 0.3], [0.7, 0.7], [0.5, 0.5], [0.31, 0.69]] {
+            let a = reference.neighborhood_count(&q, 0.1).unwrap();
+            let b = kde.neighborhood_count(&q, 0.1).unwrap();
+            assert!((a - b).abs() <= eps, "q={q:?}: {a} vs {b} (eps {eps})");
+        }
+    }
+
+    #[test]
+    fn tolerance_escalates_until_budget_met() {
+        let pts: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![((i * 89) % 211) as f64 / 211.0])
+            .collect();
+        let mut kde = Kde::from_sample(&pts, &[0.1], 500.0).unwrap();
+        let stats = kde.compress_to_budget(10, 1e-6);
+        assert!(kde.sample_size() <= 10, "|R| = {}", kde.sample_size());
+        assert!(stats.passes >= 2, "passes = {}", stats.passes);
+        assert!(stats.effective_tolerance > 1e-6);
+        assert_eq!(kde.total_weight(), 200.0);
+        // Probability axioms survive compression.
+        let p = kde.box_prob(&[-10.0], &[10.0]).unwrap();
+        assert!((p - 1.0).abs() < 1e-12, "whole-domain prob {p}");
+    }
+
+    #[test]
+    fn compressed_model_batch_matches_scalar_bit_for_bit() {
+        let pts: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![((i * 83) % 301) as f64 / 301.0, ((i * 131) % 307) as f64 / 307.0])
+            .collect();
+        let mut kde = Kde::from_sample(&pts, &[0.08, 0.12], 5_000.0).unwrap();
+        kde.compress_to_budget(60, 0.1);
+        assert!(kde.weights().iter().any(|&w| w > 1.0), "merging happened");
+        let queries = [0.9, 0.2, 0.1, 0.8, 0.5, 0.5, 0.3, 0.3];
+        for r in [0.05, 0.2] {
+            let batch = kde.neighborhood_counts(&queries, r).unwrap();
+            for (i, q) in queries.chunks_exact(2).enumerate() {
+                assert_eq!(batch[i], kde.neighborhood_count(q, r).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn removing_from_merged_centre_decrements_weight() {
+        // Four exact duplicates merge into one centre of weight 4.
+        let mut kde = Kde::new(
+            1,
+            vec![0.5, 0.5, 0.5, 0.5, 0.9],
+            vec![0.1],
+            100.0,
+            EpanechnikovKernel,
+        )
+        .unwrap();
+        kde.compress_to_budget(usize::MAX, 1e-9);
+        assert_eq!(kde.sample_size(), 2);
+        assert_eq!(kde.total_weight(), 5.0);
+        assert!(kde.remove_point(&[0.5]).unwrap());
+        assert_eq!(kde.sample_size(), 2, "weight decremented, centre kept");
+        assert_eq!(kde.total_weight(), 4.0);
+        assert_eq!(kde.weights()[0], 3.0);
+        // Draining the merged centre eventually removes it.
+        for _ in 0..3 {
+            assert!(kde.remove_point(&[0.5]).unwrap());
+        }
+        assert_eq!(kde.sample_size(), 1);
+        // The final centre is protected.
+        assert!(!kde.remove_point(&[0.9]).unwrap());
+    }
+
+    #[test]
+    fn trait_level_compress_reports_merged_count() {
+        let pts = uniform_sample(100);
+        let mut kde = Kde::from_sample(&pts, &[0.2], 500.0).unwrap();
+        let merged = DensityModel::compress(&mut kde, 20, 0.01);
+        assert_eq!(merged, 100 - kde.sample_size());
+        assert!(kde.sample_size() <= 20);
     }
 }

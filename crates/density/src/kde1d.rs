@@ -8,9 +8,16 @@
 //! one for D3 and `1/(2αr)` of them for MGDD), so this is the variant a
 //! real deployment would run for scalar readings. The `kde_range_query`
 //! benchmark compares it against the generic [`crate::Kde`].
+//!
+//! Like [`crate::Kde`], centres carry weights (all `1.0` until
+//! [`Kde1d::compress_to_budget`] merges near-duplicates) and the
+//! Epanechnikov hot path evaluates through the vectorised engine in
+//! [`crate::eval`].
 
 use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 
+use crate::eval;
+use crate::kde::CompressionStats;
 use crate::kernel::{EpanechnikovKernel, Kernel1d};
 use crate::model::{check_dims, DensityModel};
 use crate::{scott_bandwidth, DensityError};
@@ -28,7 +35,17 @@ use crate::{scott_bandwidth, DensityError};
 pub struct Kde1d<K: Kernel1d = EpanechnikovKernel> {
     /// Kernel centres in ascending order.
     centers: Vec<f64>,
+    /// Per-centre weights, parallel to `centers` (`1.0` until merged).
+    weights: Vec<f64>,
+    /// Cached `Σ weights`; the normaliser generalising `1/|R|`.
+    total_weight: f64,
+    /// Whether every weight is exactly `1.0` (true until a compression
+    /// pass actually merges something). Lets the hot loop skip streaming
+    /// the weight column — numerically invisible since `1.0 · m == m`.
+    unit_weights: bool,
     bandwidth: f64,
+    /// Cached `1/B` so the hot loop multiplies instead of divides.
+    inv_bandwidth: f64,
     window_len: f64,
     kernel: K,
 }
@@ -56,7 +73,7 @@ impl Kde1d<EpanechnikovKernel> {
 
 impl<K: Kernel1d> Kde1d<K> {
     /// Builds an estimator with an explicit bandwidth and kernel; sorts the
-    /// centres.
+    /// centres. Every centre starts with weight `1.0`.
     pub fn new(
         mut centers: Vec<f64>,
         bandwidth: f64,
@@ -74,15 +91,22 @@ impl<K: Kernel1d> Kde1d<K> {
         }
         let _build = snod_obs::span!("density.kde1d.build");
         centers.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN centres"));
+        let n = centers.len();
         Ok(Self {
             centers,
+            weights: vec![1.0; n],
+            total_weight: n as f64,
+            unit_weights: true,
             bandwidth,
+            inv_bandwidth: 1.0 / bandwidth,
             window_len,
             kernel,
         })
     }
 
-    /// Sample size `|R|`.
+    /// Number of kernels `|R|` (weighted representatives after
+    /// compression; see [`Kde1d::total_weight`] for the sampled-point
+    /// count).
     pub fn sample_size(&self) -> usize {
         self.centers.len()
     }
@@ -97,7 +121,19 @@ impl<K: Kernel1d> Kde1d<K> {
         &self.centers
     }
 
-    /// Merges a new centre into the sorted array in `O(log|R| + shift)`.
+    /// Per-centre kernel weights, parallel to [`Kde1d::centers`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total kernel weight `Σ wᵢ` — equal to the number of sampled points
+    /// regardless of compression.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Merges a new weight-1 centre into the sorted array in
+    /// `O(log|R| + shift)`.
     ///
     /// The bandwidth is deliberately **not** recomputed: under epoch-based
     /// maintenance the centres track the window exactly while the kernel
@@ -109,20 +145,32 @@ impl<K: Kernel1d> Kde1d<K> {
         }
         let i = self.centers.partition_point(|&c| c < x);
         self.centers.insert(i, x);
+        self.weights.insert(i, 1.0);
+        self.total_weight += 1.0;
         Ok(())
     }
 
-    /// Removes one centre equal to `x` in `O(log|R| + shift)`; returns
-    /// whether one was found. Removing the last remaining centre is
-    /// refused (returns `false`) so the estimator never becomes empty.
+    /// Removes one unit of weight from a centre equal to `x` in
+    /// `O(log|R| + shift)`; returns whether one was found. A centre
+    /// holding merged weight is decremented in place; a weight-1 centre
+    /// is removed outright. Removing the last remaining centre is refused
+    /// (returns `false`) so the estimator never becomes empty.
     pub fn remove_center(&mut self, x: f64) -> bool {
         let i = self.centers.partition_point(|&c| c < x);
-        if i < self.centers.len() && self.centers[i] == x && self.centers.len() > 1 {
-            self.centers.remove(i);
-            true
-        } else {
-            false
+        if i >= self.centers.len() || self.centers[i] != x {
+            return false;
         }
+        if self.weights[i] > 1.0 {
+            self.weights[i] -= 1.0;
+            self.total_weight -= 1.0;
+            return true;
+        }
+        if self.centers.len() == 1 {
+            return false;
+        }
+        self.centers.remove(i);
+        self.total_weight -= self.weights.remove(i);
+        true
     }
 
     /// Replaces the bandwidth (an epoch-boundary rebuild in place when the
@@ -132,6 +180,7 @@ impl<K: Kernel1d> Kde1d<K> {
             return Err(DensityError::NonPositiveParameter("bandwidth"));
         }
         self.bandwidth = bandwidth;
+        self.inv_bandwidth = 1.0 / bandwidth;
         Ok(())
     }
 
@@ -164,6 +213,112 @@ impl<K: Kernel1d> Kde1d<K> {
         let (s, e) = self.intersecting(lo, hi);
         e - s
     }
+
+    /// Compresses the kernel set to at most `max(budget, 1)` weighted
+    /// centres — the one-dimensional counterpart of
+    /// [`crate::Kde::compress_to_budget`], with the same greedy
+    /// consecutive-run merge, the same tolerance-doubling escalation, and
+    /// the same exact preservation of total weight.
+    pub fn compress_to_budget(&mut self, budget: usize, tolerance: f64) -> CompressionStats {
+        let _span = snod_obs::span!("density.kde1d.compress");
+        let before = self.centers.len();
+        let budget = budget.max(1);
+        let mut tol = if tolerance > 0.0 { tolerance } else { 0.0 };
+        let mut passes = 0u32;
+        let mut effective = 0.0;
+        if tol > 0.0 && self.centers.len() > 1 {
+            self.merge_within(tol);
+            passes += 1;
+            effective = tol;
+        }
+        while self.centers.len() > budget {
+            tol = if !(tol > 0.0) {
+                1e-3
+            } else if passes >= 60 {
+                f64::INFINITY
+            } else {
+                tol * 2.0
+            };
+            self.merge_within(tol);
+            passes += 1;
+            effective = tol;
+        }
+        let after = self.centers.len();
+        snod_obs::counter!("density.compress.merged").add((before - after) as u64);
+        snod_obs::counter!("density.compress.passes").add(passes as u64);
+        CompressionStats {
+            before,
+            after,
+            passes,
+            effective_tolerance: effective,
+        }
+    }
+
+    /// One greedy merge pass at radius `tol` (in bandwidth units).
+    fn merge_within(&mut self, tol: f64) {
+        let n = self.centers.len();
+        if n <= 1 {
+            return;
+        }
+        let thresh = tol * self.bandwidth;
+        let mut out_c: Vec<f64> = Vec::new();
+        let mut out_w: Vec<f64> = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && (self.centers[j] - self.centers[i]).abs() <= thresh {
+                j += 1;
+            }
+            if j == i + 1 {
+                out_c.push(self.centers[i]);
+                out_w.push(self.weights[i]);
+            } else {
+                let wsum: f64 = self.weights[i..j].iter().sum();
+                let num: f64 = (i..j).map(|k| self.weights[k] * self.centers[k]).sum();
+                // Clamp into the (sorted) group hull so rounding can
+                // never violate the sortedness invariant.
+                out_c.push((num / wsum).max(self.centers[i]).min(self.centers[j - 1]));
+                out_w.push(wsum);
+            }
+            i = j;
+        }
+        debug_assert!(out_c.windows(2).all(|w| w[0] <= w[1]));
+        self.centers = out_c;
+        self.total_weight = out_w.iter().sum();
+        self.unit_weights = out_w.iter().all(|&w| w == 1.0);
+        self.weights = out_w;
+    }
+
+    /// Un-normalised weighted interval mass over the pre-pruned centre
+    /// range `[s, e)`. Every query path lands here — the bit-identity
+    /// anchor between scalar and batched evaluation.
+    fn interval_mass(&self, a: f64, b: f64, s: usize, e: usize) -> f64 {
+        if self.kernel.is_epanechnikov() {
+            if self.unit_weights {
+                eval::epan_interval_unweighted(&self.centers, s, e, a, b, self.inv_bandwidth)
+            } else {
+                eval::epan_interval_weighted(
+                    &self.centers,
+                    &self.weights,
+                    s,
+                    e,
+                    a,
+                    b,
+                    self.inv_bandwidth,
+                )
+            }
+        } else {
+            self.centers[s..e]
+                .iter()
+                .zip(&self.weights[s..e])
+                .map(|(&c, &w)| {
+                    w * self
+                        .kernel
+                        .mass((a - c) / self.bandwidth, (b - c) / self.bandwidth)
+                })
+                .sum()
+        }
+    }
 }
 
 impl<K: Kernel1d> DensityModel for Kde1d<K> {
@@ -181,9 +336,10 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
         let (s, e) = self.intersecting(x, x);
         let sum: f64 = self.centers[s..e]
             .iter()
-            .map(|&c| self.kernel.density((x - c) / self.bandwidth))
+            .zip(&self.weights[s..e])
+            .map(|(&c, &w)| w * self.kernel.density((x - c) / self.bandwidth))
             .sum();
-        Ok(sum / (self.centers.len() as f64 * self.bandwidth))
+        Ok(sum / (self.total_weight * self.bandwidth))
     }
 
     fn box_prob(&self, lo: &[f64], hi: &[f64]) -> Result<f64, DensityError> {
@@ -196,22 +352,21 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
         let (s, e) = self.intersecting(a, b);
         snod_obs::counter!("density.scalar.queries").incr();
         snod_obs::counter!("density.scalar.kernels").add((e - s) as u64);
-        let sum: f64 = self.centers[s..e]
-            .iter()
-            .map(|&c| {
-                self.kernel
-                    .mass((a - c) / self.bandwidth, (b - c) / self.bandwidth)
-            })
-            .sum();
-        Ok(sum / self.centers.len() as f64)
+        Ok(self.interval_mass(a, b, s, e) / self.total_weight)
     }
 
-    /// Batched sweep: queries are visited in ascending order so the
-    /// support-pruning frontier `[s, e)` only ever moves forward — the
-    /// whole batch costs `O(q·log q + |R| + Σ|R′|)` instead of
-    /// `O(q·log|R| + Σ|R′|)`, with no per-query allocation (the scalar
-    /// path goes through [`DensityModel::range_prob`], which builds two
-    /// temporary `Vec`s per call).
+    fn compress(&mut self, budget: usize, tolerance: f64) -> usize {
+        let stats = self.compress_to_budget(budget, tolerance);
+        stats.before - stats.after
+    }
+
+    /// Batched neighborhood counts. Large batches sort the queries and
+    /// advance the support-pruning frontier `[s, e)` monotonically —
+    /// `O(q·log q + |R| + Σ|R′|)`; small batches against large models
+    /// skip the frontier walk and binary-search per query
+    /// ([`eval::sweep_beats_per_query`]). Both paths derive identical
+    /// centre ranges and share one evaluator, so the choice never changes
+    /// a single output bit.
     fn neighborhood_counts(&self, points: &[f64], r: f64) -> Result<Vec<f64>, DensityError> {
         let mut out = vec![0.0; points.len()];
         if r <= 0.0 {
@@ -219,7 +374,6 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
             return Ok(out);
         }
         let _sweep = snod_obs::span!("density.kde1d.sweep");
-        snod_obs::counter!("density.sweep.queries").add(points.len() as u64);
         let reach = self.kernel.support();
         if reach.is_infinite() {
             // No pruning possible; every query touches every kernel.
@@ -228,30 +382,36 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
             }
             return Ok(out);
         }
-        let mut order: Vec<u32> = (0..points.len() as u32).collect();
-        order.sort_unstable_by(|&a, &b| points[a as usize].total_cmp(&points[b as usize]));
-        let span = reach * self.bandwidth;
         let len = self.centers.len();
-        let kernels = snod_obs::counter!("density.sweep.kernels");
-        let (mut s, mut e) = (0usize, 0usize);
-        for &qi in &order {
-            let p = points[qi as usize];
-            let (a, b) = (p - r, p + r);
-            while s < len && self.centers[s] < a - span {
-                s += 1;
+        if eval::sweep_beats_per_query(points.len(), len) {
+            snod_obs::counter!("density.sweep.queries").add(points.len() as u64);
+            let mut order: Vec<u32> = (0..points.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| points[a as usize].total_cmp(&points[b as usize]));
+            let span = reach * self.bandwidth;
+            let kernels = snod_obs::counter!("density.sweep.kernels");
+            let (mut s, mut e) = (0usize, 0usize);
+            for &qi in &order {
+                let p = points[qi as usize];
+                let (a, b) = (p - r, p + r);
+                while s < len && self.centers[s] < a - span {
+                    s += 1;
+                }
+                while e < len && self.centers[e] <= b + span {
+                    e += 1;
+                }
+                kernels.add((e - s) as u64);
+                out[qi as usize] =
+                    self.interval_mass(a, b, s, e) / self.total_weight * self.window_len;
             }
-            while e < len && self.centers[e] <= b + span {
-                e += 1;
+        } else {
+            snod_obs::counter!("density.batch.per_query").add(points.len() as u64);
+            let kernels = snod_obs::counter!("density.batch.kernels");
+            for (o, &p) in out.iter_mut().zip(points) {
+                let (a, b) = (p - r, p + r);
+                let (s, e) = self.intersecting(a, b);
+                kernels.add((e - s) as u64);
+                *o = self.interval_mass(a, b, s, e) / self.total_weight * self.window_len;
             }
-            kernels.add((e - s) as u64);
-            let sum: f64 = self.centers[s..e]
-                .iter()
-                .map(|&c| {
-                    self.kernel
-                        .mass((a - c) / self.bandwidth, (b - c) / self.bandwidth)
-                })
-                .sum();
-            out[qi as usize] = sum / len as f64 * self.window_len;
         }
         Ok(out)
     }
@@ -260,18 +420,43 @@ impl<K: Kernel1d> DensityModel for Kde1d<K> {
 impl<K: Kernel1d + Default> Persist for Kde1d<K> {
     fn save(&self, w: &mut ByteWriter) {
         self.centers.save(w);
+        self.weights.save(w);
         self.bandwidth.save(w);
         self.window_len.save(w);
     }
 
     fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
         let centers = Vec::<f64>::load(r)?;
+        let weights = Vec::<f64>::load(r)?;
         let bandwidth = f64::load(r)?;
         let window_len = f64::load(r)?;
-        // The constructor validates and (stably) re-sorts the already
-        // sorted centres, so queries round-trip bit-identically.
-        Self::new(centers, bandwidth, window_len, K::default())
-            .map_err(|_| PersistError::Corrupt("invalid kde1d parameters"))
+        let corrupt = || PersistError::Corrupt("invalid kde1d parameters");
+        // Loading bypasses the sorting constructor (weights must stay
+        // aligned with their centres), so validate here instead.
+        if centers.is_empty() || weights.len() != centers.len() {
+            return Err(corrupt());
+        }
+        if centers.windows(2).any(|p| !(p[0] <= p[1])) {
+            return Err(corrupt());
+        }
+        if weights.iter().any(|&w| !w.is_finite() || !(w > 0.0)) {
+            return Err(corrupt());
+        }
+        if !(bandwidth > 0.0) || !(window_len > 0.0) {
+            return Err(corrupt());
+        }
+        let total_weight = weights.iter().sum();
+        let unit_weights = weights.iter().all(|&w| w == 1.0);
+        Ok(Self {
+            centers,
+            weights,
+            total_weight,
+            unit_weights,
+            bandwidth,
+            inv_bandwidth: 1.0 / bandwidth,
+            window_len,
+            kernel: K::default(),
+        })
     }
 }
 
@@ -437,5 +622,45 @@ mod tests {
         let kde = Kde1d::from_sample(&xs, 0.3, 2_000.0).unwrap();
         let n = kde.neighborhood_count(&[0.2], 0.25).unwrap();
         assert!((n - 1_000.0).abs() < 150.0, "count {n}");
+    }
+
+    #[test]
+    fn compression_merges_duplicates_into_weights() {
+        // 100 copies of 0.2 and 100 of 0.8 collapse to two centres of
+        // weight 100 each; queries are unchanged to the merge bound
+        // (here: exactly, since every group is a single point).
+        let mut xs = vec![0.2; 100];
+        xs.extend(vec![0.8; 100]);
+        let mut kde = Kde1d::from_sample(&xs, 0.3, 2_000.0).unwrap();
+        let reference = kde.clone();
+        let stats = kde.compress_to_budget(50, 1e-9);
+        assert_eq!(kde.sample_size(), 2);
+        assert_eq!(stats.before, 200);
+        assert_eq!(stats.after, 2);
+        assert_eq!(kde.total_weight(), 200.0);
+        assert_eq!(kde.weights(), &[100.0, 100.0]);
+        for q in [0.1, 0.2, 0.5, 0.8, 0.95] {
+            let a = reference.neighborhood_count(&[q], 0.25).unwrap();
+            let b = kde.neighborhood_count(&[q], 0.25).unwrap();
+            assert!((a - b).abs() < 1e-9, "q={q}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compressed_batch_matches_scalar_bit_for_bit() {
+        let mut kde = Kde1d::from_sample(&sample(), 0.28, 2_000.0).unwrap();
+        kde.compress_to_budget(40, 0.05);
+        assert!(kde.sample_size() <= 40);
+        assert!(kde.weights().iter().any(|&w| w > 1.0));
+        let queries = [0.93, 0.1, 0.1, -0.4, 0.5, 1.7, 0.02, 0.5001];
+        for r in [0.05, 0.2] {
+            let batch = kde.neighborhood_counts(&queries, r).unwrap();
+            for (i, &q) in queries.iter().enumerate() {
+                assert_eq!(batch[i], kde.neighborhood_count(&[q], r).unwrap());
+            }
+        }
+        // Mass axiom survives compression.
+        let p = kde.box_prob(&[-5.0], &[5.0]).unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
     }
 }

@@ -32,6 +32,14 @@ pub trait Kernel1d: Clone + Send + Sync {
             self.cdf(b) - self.cdf(a)
         }
     }
+
+    /// Whether this kernel *is* the Epanechnikov kernel, letting the
+    /// estimators dispatch to the vectorised clamped-CDF engine in
+    /// `crate::eval` instead of the generic per-kernel loop. Defaults to
+    /// `false`; only [`EpanechnikovKernel`] overrides it.
+    fn is_epanechnikov(&self) -> bool {
+        false
+    }
 }
 
 /// The Epanechnikov kernel `k(u) = ¾(1 − u²)` on `[−1, 1]` — the paper's
@@ -62,6 +70,10 @@ impl Kernel1d for EpanechnikovKernel {
 
     fn support(&self) -> f64 {
         1.0
+    }
+
+    fn is_epanechnikov(&self) -> bool {
+        true
     }
 }
 
@@ -201,6 +213,13 @@ mod tests {
     fn mass_of_empty_interval_is_zero() {
         assert_eq!(EpanechnikovKernel.mass(0.5, 0.5), 0.0);
         assert_eq!(EpanechnikovKernel.mass(0.5, 0.2), 0.0);
+    }
+
+    #[test]
+    fn only_epanechnikov_claims_the_fast_path() {
+        assert!(EpanechnikovKernel.is_epanechnikov());
+        assert!(!UniformKernel.is_epanechnikov());
+        assert!(!GaussianKernel.is_epanechnikov());
     }
 
     #[test]

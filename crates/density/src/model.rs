@@ -70,6 +70,19 @@ pub trait DensityModel: Send + Sync {
             .map(|p| self.neighborhood_count(p, r))
             .collect()
     }
+
+    /// Reduces the model's internal representation to at most `budget`
+    /// kernels/buckets by merging components that lie within `tolerance`
+    /// (in bandwidth units) of each other, trading bounded query error
+    /// for memory and evaluation speed. Returns the number of components
+    /// merged away; `0` means nothing was merged (including models with
+    /// no compressible representation, for which this default is a
+    /// no-op). Object-safe so `Box<dyn DensityModel>` holders can offer
+    /// compression generically.
+    fn compress(&mut self, budget: usize, tolerance: f64) -> usize {
+        let _ = (budget, tolerance);
+        0
+    }
 }
 
 /// Validates that `x` has the model's dimensionality.

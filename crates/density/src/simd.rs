@@ -1,0 +1,226 @@
+//! Explicit AVX2 backend for the SoA evaluation engine.
+//!
+//! Compiled only under `--features simd` on x86_64 with
+//! `-C target-feature=+avx2`; otherwise [`crate::eval`] uses its portable
+//! chunked loops. The contract with the portable backend is *bit
+//! identity*, maintained by construction:
+//!
+//! * every lane performs the identical op sequence — `sub`, `mul` by the
+//!   hoisted reciprocal, `max`/`min` clamp, the factored interval mass
+//!   `(tb − ta)·(0.75 − 0.25·((ta·ta + ta·tb) + tb·tb))`, product, add —
+//!   with no FMA contraction (`_mm256_mul_pd`/`_mm256_add_pd` only,
+//!   mirroring Rust's non-contracting scalar arithmetic);
+//! * `_mm256_max_pd(u, -1)` returns the second operand when `u` is NaN,
+//!   exactly like `f64::max(u, -1.0)`, so even garbage inputs clamp the
+//!   same way;
+//! * the horizontal reduction extracts the low/high 128-bit halves, adds
+//!   them (`(acc0+acc2, acc1+acc3)`), then adds the pair — precisely the
+//!   `(acc[0] + acc[2]) + (acc[1] + acc[3])` tree of the portable code;
+//! * tail elements (< [`LANES`]) run the same scalar code as the portable
+//!   tail.
+//!
+//! The `simd_equivalence` integration tests assert `to_bits` equality
+//! between this path and the portable reference across dimensions 1–4.
+
+use crate::eval::{epan_mass_clamped, LANES};
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+/// AVX2 twin of [`crate::eval::epan_mass_clamped`] on four interval
+/// pairs at once: clamp both standardised edges, then the factored
+/// polynomial in the exact association of the scalar helper.
+///
+/// # Safety
+/// Requires AVX2, which the enclosing `cfg(target_feature = "avx2")` on
+/// this module guarantees statically.
+#[inline(always)]
+unsafe fn epan_mass_clamped_pd(ua: __m256d, ub: __m256d) -> __m256d {
+    let neg1 = _mm256_set1_pd(-1.0);
+    let pos1 = _mm256_set1_pd(1.0);
+    let ta = _mm256_min_pd(_mm256_max_pd(ua, neg1), pos1);
+    let tb = _mm256_min_pd(_mm256_max_pd(ub, neg1), pos1);
+    // s = (ta·ta + ta·tb) + tb·tb — association fixed to match scalar.
+    let s = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(ta, ta), _mm256_mul_pd(ta, tb)),
+        _mm256_mul_pd(tb, tb),
+    );
+    let poly = _mm256_sub_pd(_mm256_set1_pd(0.75), _mm256_mul_pd(_mm256_set1_pd(0.25), s));
+    _mm256_mul_pd(_mm256_sub_pd(tb, ta), poly)
+}
+
+/// `(acc[0] + acc[2]) + (acc[1] + acc[3])`, the fixed reduction tree
+/// shared with the portable backend.
+#[inline(always)]
+unsafe fn reduce4(acc: __m256d) -> f64 {
+    let lo = _mm256_castpd256_pd128(acc);
+    let hi = _mm256_extractf128_pd(acc, 1);
+    let pair = _mm_add_pd(lo, hi);
+    _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair))
+}
+
+/// AVX2 twin of [`crate::eval::epan_box_weighted_portable`].
+pub(crate) fn epan_box_weighted_avx2(
+    cols: &[Vec<f64>],
+    weights: &[f64],
+    s: usize,
+    e: usize,
+    lo: &[f64],
+    hi: &[f64],
+    inv_b: &[f64],
+) -> f64 {
+    let n = e - s;
+    let chunks = n / LANES;
+    // SAFETY: module is compiled only when AVX2 is statically enabled;
+    // all loads are in-bounds (`base + LANES <= e <= len`).
+    let vec_sum = unsafe {
+        let mut acc = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let base = s + c * LANES;
+            let mut prod = _mm256_loadu_pd(weights.as_ptr().add(base));
+            for (j, col) in cols.iter().enumerate() {
+                let ib = _mm256_set1_pd(inv_b[j]);
+                let l = _mm256_set1_pd(lo[j]);
+                let h = _mm256_set1_pd(hi[j]);
+                let cs = _mm256_loadu_pd(col.as_ptr().add(base));
+                let ua = _mm256_mul_pd(_mm256_sub_pd(l, cs), ib);
+                let ub = _mm256_mul_pd(_mm256_sub_pd(h, cs), ib);
+                prod = _mm256_mul_pd(prod, epan_mass_clamped_pd(ua, ub));
+            }
+            acc = _mm256_add_pd(acc, prod);
+        }
+        reduce4(acc)
+    };
+    let mut tail = 0.0;
+    for i in (s + chunks * LANES)..e {
+        let mut p = weights[i];
+        for (j, col) in cols.iter().enumerate() {
+            p *= epan_mass_clamped((lo[j] - col[i]) * inv_b[j], (hi[j] - col[i]) * inv_b[j]);
+        }
+        tail += p;
+    }
+    vec_sum + tail
+}
+
+/// AVX2 twin of [`crate::eval::epan_interval_weighted_portable`]: the
+/// standardised width `w = (b − a)·inv_b` is hoisted once and each lane
+/// derives `ub = ua + w`, exactly like the portable loop.
+pub(crate) fn epan_interval_weighted_avx2(
+    centers: &[f64],
+    weights: &[f64],
+    s: usize,
+    e: usize,
+    a: f64,
+    b: f64,
+    inv_b: f64,
+) -> f64 {
+    let w = (b - a) * inv_b;
+    let n = e - s;
+    let chunks = n / LANES;
+    // SAFETY: as above — AVX2 statically enabled, loads in-bounds.
+    let vec_sum = unsafe {
+        let va = _mm256_set1_pd(a);
+        let vw = _mm256_set1_pd(w);
+        let vib = _mm256_set1_pd(inv_b);
+        let mut acc = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let base = s + c * LANES;
+            let cs = _mm256_loadu_pd(centers.as_ptr().add(base));
+            let ws = _mm256_loadu_pd(weights.as_ptr().add(base));
+            let ua = _mm256_mul_pd(_mm256_sub_pd(va, cs), vib);
+            let ub = _mm256_add_pd(ua, vw);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(ws, epan_mass_clamped_pd(ua, ub)));
+        }
+        reduce4(acc)
+    };
+    let mut tail = 0.0;
+    for i in (s + chunks * LANES)..e {
+        let ua = (a - centers[i]) * inv_b;
+        tail += weights[i] * epan_mass_clamped(ua, ua + w);
+    }
+    vec_sum + tail
+}
+
+/// AVX2 twin of [`crate::eval::epan_interval_unweighted_portable`].
+pub(crate) fn epan_interval_unweighted_avx2(
+    centers: &[f64],
+    s: usize,
+    e: usize,
+    a: f64,
+    b: f64,
+    inv_b: f64,
+) -> f64 {
+    let w = (b - a) * inv_b;
+    let n = e - s;
+    let chunks = n / LANES;
+    // SAFETY: as above — AVX2 statically enabled, loads in-bounds.
+    let vec_sum = unsafe {
+        let va = _mm256_set1_pd(a);
+        let vw = _mm256_set1_pd(w);
+        let vib = _mm256_set1_pd(inv_b);
+        let mut acc = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let base = s + c * LANES;
+            let cs = _mm256_loadu_pd(centers.as_ptr().add(base));
+            let ua = _mm256_mul_pd(_mm256_sub_pd(va, cs), vib);
+            let ub = _mm256_add_pd(ua, vw);
+            acc = _mm256_add_pd(acc, epan_mass_clamped_pd(ua, ub));
+        }
+        reduce4(acc)
+    };
+    let mut tail = 0.0;
+    for &c in &centers[s + chunks * LANES..e] {
+        let ua = (a - c) * inv_b;
+        tail += epan_mass_clamped(ua, ua + w);
+    }
+    vec_sum + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{
+        epan_box_weighted_portable, epan_interval_unweighted_portable,
+        epan_interval_weighted_portable,
+    };
+
+    #[test]
+    fn avx2_interval_is_bit_identical_to_portable() {
+        let centers: Vec<f64> = (0..53).map(|i| (i as f64 * 0.137) % 1.0).collect();
+        let mut sorted = centers.clone();
+        sorted.sort_by(f64::total_cmp);
+        let weights: Vec<f64> = (0..53).map(|i| 1.0 + (i % 4) as f64).collect();
+        for (s, e) in [(0, 53), (3, 50), (11, 12), (20, 20)] {
+            let fast = epan_interval_weighted_avx2(&sorted, &weights, s, e, 0.21, 0.68, 5.0);
+            let reference = epan_interval_weighted_portable(&sorted, &weights, s, e, 0.21, 0.68, 5.0);
+            assert_eq!(fast.to_bits(), reference.to_bits(), "range [{s}, {e})");
+        }
+    }
+
+    #[test]
+    fn avx2_unweighted_interval_is_bit_identical_to_portable() {
+        let centers: Vec<f64> = (0..41).map(|i| (i as f64 * 0.173) % 1.0).collect();
+        let mut sorted = centers;
+        sorted.sort_by(f64::total_cmp);
+        for (s, e) in [(0, 41), (4, 37), (15, 16), (8, 8)] {
+            let fast = epan_interval_unweighted_avx2(&sorted, s, e, 0.18, 0.71, 4.5);
+            let reference = epan_interval_unweighted_portable(&sorted, s, e, 0.18, 0.71, 4.5);
+            assert_eq!(fast.to_bits(), reference.to_bits(), "range [{s}, {e})");
+        }
+    }
+
+    #[test]
+    fn avx2_box_is_bit_identical_to_portable() {
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|d| (0..37).map(|i| ((i * (d + 2)) as f64 * 0.071) % 1.0).collect())
+            .collect();
+        let weights = vec![1.0; 37];
+        let lo = [0.2, 0.1, 0.3];
+        let hi = [0.8, 0.9, 0.65];
+        let inv = [4.0, 3.0, 6.0];
+        for (s, e) in [(0, 37), (5, 33), (0, 3)] {
+            let fast = epan_box_weighted_avx2(&cols, &weights, s, e, &lo, &hi, &inv);
+            let reference = epan_box_weighted_portable(&cols, &weights, s, e, &lo, &hi, &inv);
+            assert_eq!(fast.to_bits(), reference.to_bits(), "range [{s}, {e})");
+        }
+    }
+}

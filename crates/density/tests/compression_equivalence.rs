@@ -1,0 +1,170 @@
+//! Property tests for online model compression (DESIGN.md §11):
+//!
+//! * the centre budget is a hard cap — `|R| ≤ max(budget, 1)` after
+//!   `compress_to_budget`, whatever the sample looks like;
+//! * total weight is preserved *exactly* for unit-weight models (integer
+//!   sums below 2⁵³ are exact in f64);
+//! * neighborhood counts move by at most the documented bound
+//!   `2 · d · τ_eff · window_len`, where `τ_eff` is the effective
+//!   (possibly escalated) merge tolerance reported in
+//!   [`CompressionStats`] — on clustered *and* uniform samples;
+//! * a compressed (weighted) model still answers batched queries
+//!   bit-identically to its own scalar path.
+
+use proptest::prelude::*;
+
+use snod_density::{DensityModel, Kde, Kde1d};
+
+fn unit_rows(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, d..=d), 8..n)
+}
+
+/// Clustered 1-d sample: `k` tight clusters with pseudo-random jitter.
+fn clustered(k: usize, per: usize, spread: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(k * per);
+    let mut state = 0x9e37_79b9_u64;
+    for c in 0..k {
+        let centre = (c as f64 + 0.5) / k as f64;
+        for _ in 0..per {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let jitter = ((state % 2_048) as f64 / 2_048.0 - 0.5) * spread;
+            out.push(centre + jitter);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Budget is a hard cap and unit weights survive merging exactly,
+    /// even on uniform samples that force tolerance escalation.
+    #[test]
+    fn budget_caps_centres_and_preserves_weight(
+        sample in prop::collection::vec(0.0f64..1.0, 8..200),
+        budget in 1usize..40,
+        tolerance in 0.0f64..0.1,
+    ) {
+        let n = sample.len();
+        let mut kde = Kde1d::from_sample(&sample, 0.1, 1_000.0).unwrap();
+        let stats = kde.compress_to_budget(budget, tolerance);
+        prop_assert_eq!(stats.before, n);
+        prop_assert_eq!(stats.after, kde.sample_size());
+        prop_assert!(kde.sample_size() <= budget.max(1));
+        prop_assert_eq!(kde.total_weight(), n as f64);
+        prop_assert_eq!(
+            kde.weights().iter().sum::<f64>(),
+            n as f64
+        );
+        // Centres stay sorted (the merge clamps means into each run's
+        // hull precisely to guarantee this).
+        prop_assert!(kde.centers().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Multidimensional budget cap and exact weight preservation.
+    #[test]
+    fn multi_budget_caps_centres_and_preserves_weight(
+        rows in unit_rows(3, 120),
+        budget in 1usize..30,
+        tolerance in 0.0f64..0.1,
+    ) {
+        let n = rows.len();
+        let mut kde = Kde::from_sample(&rows, &[0.1, 0.12, 0.15], 1_000.0).unwrap();
+        let stats = kde.compress_to_budget(budget, tolerance);
+        prop_assert_eq!(stats.before, n);
+        prop_assert!(kde.sample_size() <= budget.max(1));
+        prop_assert_eq!(kde.total_weight(), n as f64);
+        prop_assert!(kde.column(0).windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Accuracy on *clustered* samples: counts move by at most
+    /// `2 · d · τ_eff · window_len` per query.
+    #[test]
+    fn clustered_counts_stay_within_epsilon(
+        k in 2usize..5,
+        per in 10usize..40,
+        queries in prop::collection::vec(0.0f64..1.0, 1..12),
+        r in 0.01f64..0.3,
+        tolerance in 0.005f64..0.08,
+    ) {
+        let sample = clustered(k, per, 1e-4);
+        let window_len = 1_000.0;
+        let full = Kde1d::from_sample(&sample, 0.1, window_len).unwrap();
+        let mut packed = full.clone();
+        // Budget of k: one centre per cluster is always reachable.
+        let stats = packed.compress_to_budget(k, tolerance);
+        let eps = 2.0 * 1.0 * stats.effective_tolerance * window_len;
+        for &q in &queries {
+            let a = full.neighborhood_count(&[q], r).unwrap();
+            let b = packed.neighborhood_count(&[q], r).unwrap();
+            prop_assert!(
+                (a - b).abs() <= eps,
+                "count moved {} > ε = {} at q = {} (τ_eff = {})",
+                (a - b).abs(), eps, q, stats.effective_tolerance
+            );
+        }
+    }
+
+    /// Accuracy on *uniform* samples: escalation may push `τ_eff` up, but
+    /// the reported tolerance still bounds the damage.
+    #[test]
+    fn uniform_counts_stay_within_epsilon(
+        sample in prop::collection::vec(0.0f64..1.0, 30..150),
+        queries in prop::collection::vec(0.0f64..1.0, 1..10),
+        r in 0.01f64..0.3,
+        budget in 8usize..30,
+    ) {
+        let window_len = 1_000.0;
+        let full = Kde1d::from_sample(&sample, 0.1, window_len).unwrap();
+        let mut packed = full.clone();
+        let stats = packed.compress_to_budget(budget, 0.01);
+        prop_assume!(stats.effective_tolerance.is_finite());
+        let eps = 2.0 * 1.0 * stats.effective_tolerance * window_len;
+        for &q in &queries {
+            let a = full.neighborhood_count(&[q], r).unwrap();
+            let b = packed.neighborhood_count(&[q], r).unwrap();
+            prop_assert!(
+                (a - b).abs() <= eps,
+                "count moved {} > ε = {} at q = {} (τ_eff = {})",
+                (a - b).abs(), eps, q, stats.effective_tolerance
+            );
+        }
+    }
+
+    /// Weighted (compressed) models answer batched queries bit-for-bit
+    /// like their scalar path — in one and three dimensions.
+    #[test]
+    fn compressed_batch_equals_scalar(
+        rows in unit_rows(3, 100),
+        queries in unit_rows(3, 24),
+        r in 0.001f64..0.4,
+        budget in 5usize..40,
+    ) {
+        let mut kde = Kde::from_sample(&rows, &[0.1, 0.12, 0.15], 1_000.0).unwrap();
+        kde.compress_to_budget(budget, 0.03);
+        let flat: Vec<f64> = queries.iter().flat_map(|q| q.iter().copied()).collect();
+        let batched = kde.neighborhood_counts(&flat, r).unwrap();
+        for (q, &got) in queries.iter().zip(&batched) {
+            let want = kde.neighborhood_count(q, r).unwrap();
+            prop_assert!(got.to_bits() == want.to_bits());
+        }
+    }
+
+    #[test]
+    fn compressed_batch_equals_scalar_1d(
+        sample in prop::collection::vec(0.0f64..1.0, 8..150),
+        queries in prop::collection::vec(0.0f64..1.0, 1..30),
+        r in 0.001f64..0.4,
+        budget in 3usize..30,
+    ) {
+        let mut kde = Kde1d::from_sample(&sample, 0.08, 1_000.0).unwrap();
+        kde.compress_to_budget(budget, 0.03);
+        let batched = kde.neighborhood_counts(&queries, r).unwrap();
+        for (&q, &got) in queries.iter().zip(&batched) {
+            let want = kde.neighborhood_count(&[q], r).unwrap();
+            prop_assert!(got.to_bits() == want.to_bits());
+        }
+    }
+}

@@ -447,7 +447,6 @@ macro_rules! span {
 
 /// Point-in-time export of one histogram.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct HistogramSnapshot {
     pub name: String,
     /// Observations recorded.
@@ -476,7 +475,6 @@ impl HistogramSnapshot {
 /// Point-in-time export of every registered metric, sorted by name so
 /// the serialised form is deterministic.
 #[derive(Debug, Clone, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, u64)>,

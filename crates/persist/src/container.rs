@@ -12,7 +12,7 @@ pub const MAGIC: [u8; 8] = *b"SNODCKPT";
 /// Format version this build writes and reads. Bump on ANY change to
 /// the encoding of any persisted type — the golden-file guard test
 /// fails loudly when bytes change without a bump.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Envelope size: magic (8) + version (4) + payload length (8) +
 /// CRC-32 (4).

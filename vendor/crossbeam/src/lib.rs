@@ -1,0 +1,100 @@
+//! Offline API-compatible subset of `crossbeam` 0.8.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). The crossbeam API
+//! differs from std's in two ways this shim papers over: the spawn
+//! closure receives the scope as an argument (enabling nested spawns),
+//! and `scope` returns a `Result`. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped-thread utilities mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Join outcome: `Err` holds the payload of a panicked thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope for spawning threads that may borrow from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joining yields the closure's return value.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined
+    /// before this returns. Unlike crossbeam, a panic in an *unjoined*
+    /// thread propagates as a panic (std semantics) rather than an
+    /// `Err`; joined threads report panics through their handle either
+    /// way, which is the only path this workspace relies on.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns_values() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| scope.spawn(move |_| x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let v = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn joined_panic_surfaces_as_err() {
+        let r = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom")).join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,462 @@
+//! Offline API-compatible subset of `proptest` 1.x.
+//!
+//! Implements the slice of proptest this workspace's property tests
+//! use: the [`Strategy`] trait (ranges, tuples, `collection::vec`,
+//! `prop_map`, `Just`), [`ProptestConfig`], the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros, and a deterministic test
+//! runner. Differences from upstream: no shrinking (a failure reports
+//! the case seed instead of a minimised input) and generation is a
+//! single-pass RNG draw rather than a value tree. Case count honours
+//! `PROPTEST_CASES` like upstream. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// Runner configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Test-runner plumbing: error type, result alias, RNG and the driver
+/// loop invoked by the `proptest!` macro.
+pub mod test_runner {
+    /// Human-readable failure reason.
+    pub type Reason = String;
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The input was not valid for this case; draw another.
+        Reject(Reason),
+        /// An assertion failed.
+        Fail(Reason),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(reason: impl Into<Reason>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(reason: impl Into<Reason>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+            }
+        }
+    }
+
+    /// Outcome of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The RNG handed to strategies (the vendored StdRng).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Drives `case` until `config.cases` successes, panicking on the
+    /// first failure with the case's seed so it can be replayed by
+    /// rerunning the test (seeding is a pure function of the test name
+    /// and attempt index — no ambient entropy).
+    pub fn run<F>(name: &str, config: &super::ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        use rand::SeedableRng;
+        // FNV-1a over the test name gives each test its own stream.
+        let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            base ^= u64::from(*b);
+            base = base.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut executed: u32 = 0;
+        let mut rejects: u32 = 0;
+        let mut attempt: u64 = 0;
+        while executed < config.cases {
+            let seed = base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            attempt += 1;
+            let mut rng = TestRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => executed += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejects += 1;
+                    if rejects > config.cases.saturating_mul(16).max(256) {
+                        panic!("proptest '{name}': too many rejected inputs ({rejects}): {reason}");
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest '{name}' failed at case {executed} (seed {seed:#018x}): {reason}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of test inputs.
+///
+/// Unlike upstream (which builds shrinkable value trees), `generate`
+/// draws one concrete value directly from the RNG.
+pub trait Strategy {
+    /// The type of value this strategy yields.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy yielding a constant.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+
+/// Collection strategies (`vec` and its size specification).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the given element strategy and length range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests. Each function runs `config.cases` times
+/// with inputs drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::test_runner::run(stringify!($name), &config, |rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), rng);)+
+                #[allow(unused_mut)]
+                let mut case = move || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                case()
+            });
+        }
+        $crate::__proptest_each! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition, failing the current case (not panicking) so the
+/// runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Bound to a bool first so negating it lints cleanly even when
+        // `$cond` is a partial-order comparison on floats.
+        let __prop_holds: bool = $cond;
+        if !__prop_holds {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Rejects the current case (drawing a replacement) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        $crate::prop_assume!($cond, concat!("assumption failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let __prop_holds: bool = $cond;
+        if !__prop_holds {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality, failing the current case on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{} (`{:?}` != `{:?}`)",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality, failing the current case on match.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper_using_question_mark(x: f64) -> Result<(), TestCaseError> {
+        prop_assert!(x >= 0.0, "negative {x}");
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds and `?` works in bodies.
+        #[test]
+        fn ranges_and_helpers(x in 0.0f64..1.0, n in 3usize..7) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+            helper_using_question_mark(x)?;
+        }
+
+        #[test]
+        fn vec_lengths_honour_size_range(
+            xs in prop::collection::vec(0.0f64..1.0, 4..10),
+            ys in prop::collection::vec(0u32..5, 2..=2),
+        ) {
+            prop_assert!((4..10).contains(&xs.len()));
+            prop_assert_eq!(ys.len(), 2);
+        }
+
+        #[test]
+        fn tuples_and_prop_map(
+            pair in (0u64..100, 1u64..50).prop_map(|(a, b)| a + b),
+            k in Just(7u32),
+        ) {
+            prop_assert!(pair < 150);
+            prop_assert_eq!(k, 7);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0.0f64..1.0, 5..9);
+        let a = strat.generate(&mut TestRng::seed_from_u64(9));
+        let b = strat.generate(&mut TestRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_seed() {
+        crate::test_runner::run(
+            "always_fails",
+            &ProptestConfig::with_cases(4),
+            |_rng| Err(TestCaseError::fail("nope")),
+        );
+    }
+}

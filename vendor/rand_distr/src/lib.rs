@@ -1,0 +1,133 @@
+//! Offline API-compatible subset of `rand_distr` 0.4.
+//!
+//! Provides exactly the surface this workspace uses: the
+//! [`Distribution`] trait (re-exported from the vendored `rand`) and a
+//! [`Normal`] distribution over `f64`. Sampling uses the polar
+//! Box–Muller transform rather than upstream's ziggurat tables, so the
+//! *stream* differs from crates.io `rand_distr` while the distribution
+//! (and per-seed determinism) is the same. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Error type for invalid [`Normal`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean was NaN.
+    MeanTooSmall,
+    /// The standard deviation was negative or NaN.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "mean of normal distribution is NaN"),
+            NormalError::BadVariance => {
+                write!(f, "standard deviation of normal distribution is not finite and >= 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Normal (Gaussian) distribution with given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Builds a normal distribution; `std_dev` must be finite and `>= 0`
+    /// (a zero deviation degenerates to a point mass, as upstream allows).
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if mean.is_nan() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        // Polar Box–Muller: draw (u, v) uniform on [-1, 1)² until inside
+        // the unit disc, then map the radius through the Gaussian CDF
+        // inverse. Rejection keeps the draw exact; each attempt consumes
+        // exactly two 64-bit words, so the stream stays deterministic.
+        loop {
+            let u = 2.0 * rng.gen::<f64>() - 1.0;
+            let v = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s >= 1.0 || s == 0.0 {
+                continue;
+            }
+            let factor = (-2.0 * s.ln() / s).sqrt();
+            return self.mean + self.std_dev * (u * factor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(3.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let n = Normal::new(1.0, 2.0).unwrap();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(n.sample(&mut a), n.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn moments_are_approximately_right() {
+        let n = Normal::new(-0.5, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws: Vec<f64> = (0..40_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (draws.len() - 1) as f64;
+        assert!((mean - -0.5).abs() < 0.03, "mean {mean}");
+        assert!((var - 2.25).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn zero_std_dev_is_a_point_mass() {
+        let n = Normal::new(4.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..8 {
+            assert_eq!(n.sample(&mut rng), 4.0);
+        }
+    }
+}

@@ -23,14 +23,26 @@
 //! recording) and then replays the same streams through each fault level
 //! of a severity ladder, scoring precision/recall per level against the
 //! captured ground truth.
+//!
+//! On top of the fault ladder, [`run_driver_parity`] is the **sim-vs-live
+//! differential suite**: the same recorded reading trace is replayed
+//! through the sequential simulator, the parallel simulator and the
+//! wall-clock [`LiveRuntime`] (virtual clock), and the outcomes —
+//! outlier escalation sequences, model epochs, every [`NetStats`]
+//! counter and the complete checkpoint bytes — must be `==` across all
+//! three. This pins the engine crate's driver contract: the detector
+//! engines are pure state machines, and every observable side effect is
+//! produced by shared protocol code executed in the same order by every
+//! driver.
 
 use std::collections::HashSet;
 
-use snod_core::{run_d3_with_faults, D3Config, D3Node, D3Payload, Detection};
+use snod_core::{build_d3_live, run_d3_with_faults, D3Config, D3Node, D3Payload, Detection};
 use snod_data::{DataStream, SensorStreams};
 use snod_outlier::{MdefConfig, PrecisionRecall};
 use snod_simnet::{
-    FaultPlan, Hierarchy, LinkFault, NetStats, Network, NodeId, SimConfig, StreamSource,
+    FaultPlan, Hierarchy, LinkFault, LiveRuntime, NetStats, Network, NodeId, ReadingTrace,
+    SimConfig, StreamSource, TraceRecorder,
 };
 
 use crate::harness::{score_level, value_key, ReadingRecord, RecordingSource};
@@ -376,6 +388,197 @@ where
     }
 }
 
+/// Everything the sim-vs-live equivalence claim covers, captured from
+/// one driver run: network counters, per-node outlier escalations,
+/// per-node model-maintenance epochs, and the complete checkpoint bytes.
+/// Two drivers are conformant exactly when their `DriverOutcome`s are
+/// `==`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverOutcome {
+    /// Full network accounting ([`NetStats`]-equivalent counters; the
+    /// live runtime reuses the type verbatim).
+    pub stats: NetStats,
+    /// Detections per node, indexed by `NodeId::index()` — order,
+    /// timestamps and values all participate in equality.
+    pub detections: Vec<Vec<Detection>>,
+    /// Model epochs per node estimator (evictions/admissions of the
+    /// online model — the "model maintenance" clock).
+    pub epochs: Vec<u64>,
+    /// The driver's complete end-of-run checkpoint. Sim and live share
+    /// the checkpoint format (the live runtime's restart policy is
+    /// pinned to `Persistent`, the simulator's default), so the bytes
+    /// must match exactly.
+    pub checkpoint: Vec<u8>,
+}
+
+impl DriverOutcome {
+    fn from_sim(net: &Network<D3Payload, D3Node>) -> Self {
+        let base = EngineOutcome::capture(net);
+        Self {
+            stats: base.stats,
+            detections: base.detections,
+            epochs: net.apps().map(|(_, a)| a.estimator().epochs()).collect(),
+            checkpoint: net.checkpoint(),
+        }
+    }
+
+    fn from_live(rt: &LiveRuntime<D3Payload, D3Node>) -> Self {
+        let mut detections = vec![Vec::new(); rt.topology().node_count()];
+        for (node, engine) in rt.engines() {
+            detections[node.index()] = engine.detections.clone();
+        }
+        Self {
+            stats: rt.stats().clone(),
+            detections,
+            epochs: rt.engines().map(|(_, a)| a.estimator().epochs()).collect(),
+            checkpoint: rt.checkpoint(),
+        }
+    }
+}
+
+/// One seed × fault setting of the driver-parity matrix.
+#[derive(Debug, Clone)]
+pub struct DriverParityCase {
+    /// Stream/fault seed of this case.
+    pub seed: u64,
+    /// Whether the severe fault plan was installed.
+    pub faulted: bool,
+    /// Readings the recorded trace carries (sanity: non-empty).
+    pub trace_len: usize,
+    /// The sequential simulator's outcome (the reference).
+    pub reference: DriverOutcome,
+    /// Parallel simulator (4 workers) replayed the trace bit-identically.
+    pub sim_parallel_identical: bool,
+    /// The live runtime replayed the trace bit-identically — same
+    /// escalation sequence, epochs, counters and checkpoint bytes.
+    pub live_identical: bool,
+}
+
+/// The full sim-vs-live differential report.
+#[derive(Debug, Clone)]
+pub struct DriverParityReport {
+    /// One row per seed × fault setting.
+    pub cases: Vec<DriverParityCase>,
+}
+
+impl DriverParityReport {
+    /// True when every case was bit-identical across all three drivers.
+    pub fn all_identical(&self) -> bool {
+        !self.cases.is_empty()
+            && self
+                .cases
+                .iter()
+                .all(|c| c.sim_parallel_identical && c.live_identical && c.trace_len > 0)
+    }
+
+    /// Cases that diverged, for failure messages.
+    pub fn divergent(&self) -> Vec<(u64, bool)> {
+        self.cases
+            .iter()
+            .filter(|c| !(c.sim_parallel_identical && c.live_identical))
+            .map(|c| (c.seed, c.faulted))
+            .collect()
+    }
+}
+
+/// The severe rung of [`default_ladder`], reseeded — the plan the parity
+/// matrix uses for its fault-injected cases.
+fn severe_plan(topo: &Hierarchy, seed: u64, horizon_ns: u64) -> FaultPlan {
+    default_ladder(topo, seed, horizon_ns)
+        .pop()
+        .expect("non-empty ladder")
+        .1
+}
+
+/// Runs the sim-vs-live differential conformance matrix: for every seed
+/// and fault setting, the identical reading trace is replayed through
+/// three drivers —
+///
+/// 1. the **sequential simulator** (records the trace and serves as the
+///    reference),
+/// 2. the **parallel simulator** (4 workers), and
+/// 3. the **live runtime** (one worker thread per node, virtual clock),
+///
+/// asserting that outlier escalations, model epochs, every [`NetStats`]
+/// counter and the complete checkpoint bytes are identical. This is the
+/// executable form of the engine crate's driver contract: all three
+/// drivers run the same pre/post-phase protocol code around the same
+/// [`snod_simnet::DetectorEngine`] callbacks, so nothing observable may
+/// depend on which runtime hosts the engines.
+///
+/// `make_stream(seed, leaf)` must be deterministic in its arguments.
+pub fn run_driver_parity<F, S>(
+    cfg: &ConformanceConfig,
+    seeds: &[u64],
+    make_stream: F,
+) -> DriverParityReport
+where
+    F: Fn(u64, usize) -> S,
+    S: DataStream + Send + 'static,
+{
+    let topo = cfg.topology();
+    let horizon_ns = cfg.readings_per_leaf() * cfg.sim.reading_period_ns;
+    let mut cases = Vec::new();
+    for &seed in seeds {
+        for faulted in [false, true] {
+            let plan = if faulted {
+                severe_plan(&topo, seed, horizon_ns)
+            } else {
+                FaultPlan::none()
+            };
+
+            // Reference pass: the sequential simulator, recording the
+            // trace it actually ingested.
+            let bank = BankSource::new(
+                SensorStreams::generate(cfg.leaves, |leaf| make_stream(seed, leaf)),
+                &topo,
+            );
+            let mut recorder = TraceRecorder::new(bank);
+            let net = run_d3_with_faults(
+                topo.clone(),
+                &cfg.d3,
+                cfg.sim,
+                plan.clone(),
+                &mut recorder,
+                cfg.readings_per_leaf(),
+            )
+            .expect("conformance D3 config is valid");
+            let trace = recorder.into_trace();
+            let reference = DriverOutcome::from_sim(&net);
+
+            // Replay 1: parallel simulator on the recorded trace.
+            let mut replay: ReadingTrace = trace.clone();
+            let par = run_d3_with_faults(
+                topo.clone(),
+                &cfg.d3,
+                cfg.sim.with_worker_threads(4),
+                plan.clone(),
+                &mut replay,
+                cfg.readings_per_leaf(),
+            )
+            .expect("conformance D3 config is valid");
+            let par_outcome = DriverOutcome::from_sim(&par);
+
+            // Replay 2: the live runtime on the same trace.
+            let mut rt = build_d3_live(topo.clone(), &cfg.d3, cfg.sim, plan.clone())
+                .expect("conformance D3 config is valid");
+            let mut replay = trace.clone();
+            rt.run(&mut replay, cfg.readings_per_leaf());
+            let live_outcome = DriverOutcome::from_live(&rt);
+
+            cases.push(DriverParityCase {
+                seed,
+                faulted,
+                trace_len: trace.len(),
+                sim_parallel_identical: par_outcome == reference,
+                live_identical: live_outcome == reference,
+                reference,
+            });
+        }
+    }
+    DriverParityReport { cases }
+}
+
 fn score_outcome(
     label: &str,
     plan: FaultPlan,
@@ -473,6 +676,25 @@ mod tests {
             report.baseline.root.true_positives + report.baseline.root.false_positives > 0,
             "baseline never escalated anything — the ladder is vacuous"
         );
+    }
+
+    #[test]
+    fn live_runtime_matches_simulator_on_one_seed() {
+        // The full 3-seed × fault matrix runs as an integration test
+        // (`tests/driver_parity.rs`); this pins one faulted seed inline.
+        let report = run_driver_parity(&test_config(), &[5], |seed, sensor| SpikeStream {
+            sensor: sensor + seed as usize,
+            n: 0,
+        });
+        assert!(
+            report.all_identical(),
+            "drivers diverged on {:?}",
+            report.divergent()
+        );
+        assert!(report
+            .cases
+            .iter()
+            .any(|c| c.faulted && !c.reference.checkpoint.is_empty()));
     }
 
     #[test]

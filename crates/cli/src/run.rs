@@ -125,6 +125,52 @@ pub fn stats(args: &StatsArgs, out: &mut dyn Write) -> Result<u64, CliError> {
     Ok(n)
 }
 
+/// The `snod simulate` reading source: either a replayed trace or the
+/// synthetic generator closure, optionally recording what it hands out.
+struct SimSource<F> {
+    replay: Option<snod_simnet::ReadingTrace>,
+    synth: F,
+    record: Option<snod_simnet::ReadingTrace>,
+}
+
+impl<F> snod_simnet::StreamSource for SimSource<F>
+where
+    F: FnMut(snod_simnet::NodeId, u64) -> Option<Vec<f64>>,
+{
+    fn next(&mut self, node: snod_simnet::NodeId, seq: u64) -> Option<Vec<f64>> {
+        let value = match &mut self.replay {
+            Some(trace) => trace.next(node, seq),
+            None => (self.synth)(node, seq),
+        }?;
+        if let Some(trace) = &mut self.record {
+            trace.record(node, seq, &value);
+        }
+        Some(value)
+    }
+}
+
+/// Collects a live-runtime run into the pipeline's report shape.
+fn live_report<P, A>(
+    rt: &snod_simnet::LiveRuntime<P, A>,
+    detections: impl Fn(&A) -> &[snod_core::Detection],
+) -> snod_core::pipeline::PipelineReport
+where
+    P: snod_simnet::Wire,
+    A: snod_simnet::DetectorEngine<P>,
+{
+    let mut by_level: std::collections::BTreeMap<u8, Vec<snod_core::Detection>> =
+        std::collections::BTreeMap::new();
+    for (_, engine) in rt.engines() {
+        for d in detections(engine) {
+            by_level.entry(d.level).or_default().push(d.clone());
+        }
+    }
+    snod_core::pipeline::PipelineReport {
+        detections_by_level: by_level,
+        stats: rt.stats().clone(),
+    }
+}
+
 /// `snod simulate`: run a distributed algorithm over a synthetic
 /// hierarchy and report detections plus network cost.
 pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError> {
@@ -132,6 +178,7 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError
     use snod_core::{D3Config, MgddConfig, UpdateStrategy};
     use snod_data::SensorStreams;
     use snod_outlier::MdefConfig;
+    use snod_simnet::ReadingTrace;
 
     let window = 2_000usize;
     let est = EstimatorConfig::builder()
@@ -180,7 +227,7 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError
             .checkpoint_at
             .map(|k| k.saturating_mul(sim.reading_period_ns)),
     };
-    let pipeline = OutlierPipeline::balanced(args.leaves, &fanouts, sim, algorithm)
+    let pipeline = OutlierPipeline::balanced(args.leaves, &fanouts, sim, algorithm.clone())
         .map_err(|e| format!("pipeline setup failed: {e}"))?;
     let topo = pipeline.topology().clone();
     let mut streams = SensorStreams::generate(args.leaves, |i| {
@@ -192,18 +239,76 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError
     // requested position keeps resumed values identical to the ones the
     // original run saw (each leaf's seqs arrive in increasing order).
     let mut consumed = vec![0u64; args.leaves];
-    let mut source = move |node: snod_simnet::NodeId, seq: u64| {
-        let leaf = OutlierPipeline::leaf_position(&topo, node)?;
-        let mut v = None;
-        while consumed[leaf] <= seq {
-            v = Some(streams.next_for(leaf));
-            consumed[leaf] += 1;
-        }
-        v
+    let synth_topo = topo.clone();
+    let mut source = SimSource {
+        replay: match &args.replay {
+            Some(p) => Some(
+                ReadingTrace::read_file(std::path::Path::new(p))
+                    .map_err(|e| format!("cannot replay {p}: {e}"))?,
+            ),
+            None => None,
+        },
+        synth: move |node: snod_simnet::NodeId, seq: u64| {
+            let leaf = OutlierPipeline::leaf_position(&synth_topo, node)?;
+            let mut v = None;
+            while consumed[leaf] <= seq {
+                v = Some(streams.next_for(leaf));
+                consumed[leaf] += 1;
+            }
+            v
+        },
+        record: args.record.as_ref().map(|_| ReadingTrace::new()),
     };
-    let report = pipeline
-        .run_checkpointed(&mut source, args.readings, &ckpt)
-        .map_err(|e| format!("simulation failed: {e}"))?;
+    let report = if args.driver == "live" {
+        // The live runtime drives real worker threads per node; it has
+        // no checkpoint schedule, so those flags were rejected upstream.
+        match &algorithm {
+            Algorithm::D3(cfg) => {
+                let mut rt = snod_core::build_d3_live(
+                    topo.clone(),
+                    cfg,
+                    sim,
+                    snod_simnet::FaultPlan::none(),
+                )
+                .map_err(|e| format!("simulation failed: {e}"))?;
+                rt.run(&mut source, args.readings);
+                live_report(&rt, |a| a.detections.as_slice())
+            }
+            Algorithm::Mgdd(cfg, levels) => {
+                let levels = if levels.is_empty() {
+                    vec![topo.level_count() as u8]
+                } else {
+                    levels.clone()
+                };
+                let mut rt = snod_core::build_mgdd_live(
+                    topo.clone(),
+                    cfg,
+                    sim,
+                    snod_simnet::FaultPlan::none(),
+                    &levels,
+                )
+                .map_err(|e| format!("simulation failed: {e}"))?;
+                rt.run(&mut source, args.readings);
+                live_report(&rt, |a| a.detections.as_slice())
+            }
+            Algorithm::Centralized(..) => {
+                unreachable!("rejected by argument validation")
+            }
+        }
+    } else {
+        pipeline
+            .run_checkpointed(&mut source, args.readings, &ckpt)
+            .map_err(|e| format!("simulation failed: {e}"))?
+    };
+    if let (Some(p), Some(trace)) = (&args.record, source.record.take()) {
+        trace
+            .write_file(std::path::Path::new(p))
+            .map_err(|e| format!("cannot write {p}: {e}"))?;
+        writeln!(out, "trace recorded to {p}")?;
+    }
+    if let Some(p) = &args.replay {
+        writeln!(out, "replayed trace {p}")?;
+    }
     if let Some(p) = &args.checkpoint_out {
         writeln!(out, "checkpoint written to {p}")?;
     }
@@ -422,6 +527,65 @@ mod tests {
         };
         assert_eq!(strip(&full), strip(&resumed), "resume diverged");
         std::fs::remove_file(&ck).ok();
+    }
+
+    #[test]
+    fn simulate_record_then_replay_across_drivers_is_identical() {
+        let trace = std::env::temp_dir().join("snod_cli_trace_test.csv");
+        for algorithm in ["d3", "mgdd"] {
+            let base = crate::args::SimulateArgs {
+                leaves: 4,
+                readings: 400,
+                algorithm: algorithm.into(),
+                fraction: 0.5,
+                loss: 0.05,
+                ..crate::args::SimulateArgs::default()
+            };
+            // Record the synthetic streams under the simulator driver.
+            let record = crate::args::SimulateArgs {
+                record: Some(trace.to_string_lossy().into_owned()),
+                ..base.clone()
+            };
+            let mut recorded = Vec::new();
+            simulate(&record, &mut recorded).unwrap();
+            // Replay the same trace through the live runtime.
+            let replay = crate::args::SimulateArgs {
+                driver: "live".into(),
+                replay: Some(trace.to_string_lossy().into_owned()),
+                ..base.clone()
+            };
+            let mut replayed = Vec::new();
+            simulate(&replay, &mut replayed).unwrap();
+            let strip = |buf: &[u8]| -> Vec<String> {
+                String::from_utf8(buf.to_vec())
+                    .unwrap()
+                    .lines()
+                    .filter(|l| !l.starts_with("trace recorded") && !l.starts_with("replayed trace"))
+                    .map(str::to_owned)
+                    .collect()
+            };
+            assert_eq!(
+                strip(&recorded),
+                strip(&replayed),
+                "{algorithm}: live replay diverged from the recording run"
+            );
+        }
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn simulate_replay_of_missing_trace_is_reported() {
+        let args = crate::args::SimulateArgs {
+            leaves: 4,
+            readings: 100,
+            algorithm: "d3".into(),
+            fraction: 0.5,
+            loss: 0.0,
+            replay: Some("/nonexistent/definitely.trace".into()),
+            ..crate::args::SimulateArgs::default()
+        };
+        let mut out = Vec::new();
+        assert!(simulate(&args, &mut out).is_err());
     }
 
     #[test]

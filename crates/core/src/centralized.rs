@@ -10,7 +10,7 @@
 
 use snod_outlier::{DistanceOutlierConfig, ExactWindowDetector};
 use snod_simnet::{
-    Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
+    Ctx, DetectorEngine, FaultPlan, Hierarchy, Network, NodeId, SimConfig, StreamSource, Wire,
 };
 
 use crate::config::CoreError;
@@ -111,8 +111,8 @@ impl CentralizedNode {
     }
 }
 
-impl SensorApp<CentralizedPayload> for CentralizedNode {
-    fn on_reading(&mut self, ctx: &mut Ctx<'_, CentralizedPayload>, value: &[f64]) {
+impl DetectorEngine<CentralizedPayload> for CentralizedNode {
+    fn ingest(&mut self, ctx: &mut Ctx<'_, CentralizedPayload>, value: &[f64]) {
         // A leaf that is also the root (single-node network) detects
         // directly; otherwise every reading goes upward.
         if !ctx.send_parent(CentralizedPayload(value.to_vec())) {

@@ -13,7 +13,7 @@ use rand::Rng;
 
 use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
 use snod_simnet::{
-    Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
+    Ctx, DetectorEngine, FaultPlan, Hierarchy, Network, NodeId, SimConfig, StreamSource, Wire,
 };
 
 use crate::config::{CoreError, D3Config};
@@ -123,8 +123,8 @@ impl D3Node {
     }
 }
 
-impl SensorApp<D3Payload> for D3Node {
-    fn on_reading(&mut self, ctx: &mut Ctx<'_, D3Payload>, value: &[f64]) {
+impl DetectorEngine<D3Payload> for D3Node {
+    fn ingest(&mut self, ctx: &mut Ctx<'_, D3Payload>, value: &[f64]) {
         // A reading whose dimensionality does not match the configuration
         // (a miswired stream source) is dropped and counted instead of
         // panicking mid-simulation.
@@ -257,6 +257,25 @@ pub fn build_d3_network(
 ) -> Result<Network<D3Payload, D3Node>, CoreError> {
     cfg.validate()?;
     Ok(Network::new(topo, sim, |node, topo| D3Node::new(node, topo, cfg)).with_fault_plan(plan))
+}
+
+/// Builds the *live* (wall-clock) runtime over the identical D3 engines:
+/// one worker per node, ingestion paced by a monotonic clock (or run
+/// flat-out with [`snod_simnet::LiveRuntime::run`]). Fed the same
+/// readings, it produces the same detections, statistics and checkpoint
+/// bytes as the simulator built by [`build_d3_network`] — the property
+/// the bench crate's driver-conformance suite pins.
+pub fn build_d3_live(
+    topo: Hierarchy,
+    cfg: &D3Config,
+    sim: SimConfig,
+    plan: FaultPlan,
+) -> Result<snod_simnet::LiveRuntime<D3Payload, D3Node>, CoreError> {
+    cfg.validate()?;
+    Ok(
+        snod_simnet::LiveRuntime::new(topo, sim, |node, topo| D3Node::new(node, topo, cfg))
+            .with_fault_plan(plan),
+    )
 }
 
 #[cfg(test)]

@@ -50,10 +50,11 @@ pub use config::{
     CoreError, D3Config, EstimatorConfig, EstimatorConfigBuilder, MgddConfig, RebuildPolicy,
     UpdateStrategy,
 };
-pub use d3::{build_d3_network, run_d3, run_d3_with_faults, D3Node, D3Payload, Detection};
+pub use d3::{build_d3_live, build_d3_network, run_d3, run_d3_with_faults, D3Node, D3Payload, Detection};
 pub use estimator::{SensorEstimator, SensorModel};
 pub use mgdd::{
-    build_mgdd_network, run_mgdd, run_mgdd_with_faults, run_mgdd_with_levels, MgddNode, MgddPayload,
+    build_mgdd_live, build_mgdd_network, run_mgdd, run_mgdd_with_faults, run_mgdd_with_levels,
+    MgddNode, MgddPayload,
 };
 pub use monitor::{
     run_monitor, run_monitor_with_faults, FaultAlarm, ModelReport, MonitorConfig, MonitorNode,

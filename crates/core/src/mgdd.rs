@@ -42,7 +42,7 @@ use snod_density::js_divergence_models;
 use snod_outlier::MdefDetector;
 use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
 use snod_simnet::{
-    Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
+    Ctx, DetectorEngine, FaultPlan, Hierarchy, Network, NodeId, SimConfig, StreamSource, Wire,
 };
 
 use crate::config::{CoreError, MgddConfig, UpdateStrategy};
@@ -162,7 +162,7 @@ impl MgddNode {
 
     /// Handles a value entering this node's estimator (a reading at a
     /// leaf, a forwarded sample value at a leader).
-    fn ingest(&mut self, ctx: &mut Ctx<'_, MgddPayload>, value: &[f64]) {
+    fn absorb(&mut self, ctx: &mut Ctx<'_, MgddPayload>, value: &[f64]) {
         // A mis-dimensioned value (miswired source or a peer on a
         // different configuration) is dropped and counted, not fatal.
         let Ok(accepted) = self.est.observe(value) else {
@@ -290,15 +290,15 @@ impl MgddNode {
     }
 }
 
-impl SensorApp<MgddPayload> for MgddNode {
-    fn on_reading(&mut self, ctx: &mut Ctx<'_, MgddPayload>, value: &[f64]) {
+impl DetectorEngine<MgddPayload> for MgddNode {
+    fn ingest(&mut self, ctx: &mut Ctx<'_, MgddPayload>, value: &[f64]) {
         self.check(ctx, value);
-        self.ingest(ctx, value);
+        self.absorb(ctx, value);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, MgddPayload>, _from: NodeId, payload: MgddPayload) {
         match payload {
-            MgddPayload::SampleValue(v) => self.ingest(ctx, &v),
+            MgddPayload::SampleValue(v) => self.absorb(ctx, &v),
             MgddPayload::GlobalDelta {
                 origin_level,
                 value,
@@ -498,6 +498,23 @@ pub fn build_mgdd_network(
 ) -> Result<Network<MgddPayload, MgddNode>, CoreError> {
     cfg.validate()?;
     Ok(Network::new(topo, sim, |node, topo| {
+        MgddNode::new(node, topo, cfg, broadcast_levels)
+    })
+    .with_fault_plan(plan))
+}
+
+/// Builds the *live* (wall-clock) runtime over the identical MGDD
+/// engines; see `build_d3_live` for the sim-vs-live equivalence
+/// contract.
+pub fn build_mgdd_live(
+    topo: Hierarchy,
+    cfg: &MgddConfig,
+    sim: SimConfig,
+    plan: FaultPlan,
+    broadcast_levels: &[u8],
+) -> Result<snod_simnet::LiveRuntime<MgddPayload, MgddNode>, CoreError> {
+    cfg.validate()?;
+    Ok(snod_simnet::LiveRuntime::new(topo, sim, |node, topo| {
         MgddNode::new(node, topo, cfg, broadcast_levels)
     })
     .with_fault_plan(plan))

@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use snod_density::js_divergence_models;
 use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 use snod_simnet::{
-    Ctx, FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource, Wire,
+    Ctx, DetectorEngine, FaultPlan, Hierarchy, Network, NodeId, SimConfig, StreamSource, Wire,
 };
 
 use crate::config::{CoreError, EstimatorConfig};
@@ -280,8 +280,8 @@ impl MonitorNode {
     }
 }
 
-impl SensorApp<ModelReport> for MonitorNode {
-    fn on_reading(&mut self, ctx: &mut Ctx<'_, ModelReport>, value: &[f64]) {
+impl DetectorEngine<ModelReport> for MonitorNode {
+    fn ingest(&mut self, ctx: &mut Ctx<'_, ModelReport>, value: &[f64]) {
         // A reading of the wrong dimensionality is dropped and counted
         // rather than panicking the whole simulation.
         if self.est.observe(value).is_err() {

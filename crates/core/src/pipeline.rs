@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-use snod_simnet::{FaultPlan, Hierarchy, Network, NodeId, SensorApp, SimConfig, StreamSource};
+use snod_simnet::{DetectorEngine, FaultPlan, Hierarchy, Network, NodeId, SimConfig, StreamSource};
 
 use crate::centralized::run_centralized_with_faults;
 use crate::config::{CoreError, D3Config, MgddConfig};
@@ -90,7 +90,7 @@ fn drive_checkpointed<P, A, S>(
 ) -> Result<(), CoreError>
 where
     P: snod_simnet::Wire + snod_persist::Persist + Send,
-    A: SensorApp<P> + snod_persist::Persist + Send,
+    A: DetectorEngine<P> + snod_persist::Persist + Send,
     S: StreamSource,
 {
     if let Some(path) = &ckpt.resume_from {
@@ -115,7 +115,7 @@ where
 fn report_by_level<'a, P, A, I>(net: &'a Network<P, A>, detections: I) -> PipelineReport
 where
     P: snod_simnet::Wire,
-    A: SensorApp<P>,
+    A: DetectorEngine<P>,
     I: Fn(&'a A) -> &'a [Detection],
 {
     let mut by_level: BTreeMap<u8, Vec<Detection>> = BTreeMap::new();

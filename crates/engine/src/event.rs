@@ -56,6 +56,14 @@ pub enum Event<P> {
         /// The guarded message id.
         msg_id: u64,
     },
+    /// An application timer armed via
+    /// [`crate::EngineCtx::set_timer`] fires on `node`.
+    AppTimer {
+        /// The node whose engine armed (and receives) the timer.
+        node: NodeId,
+        /// The engine-chosen timer id, passed back verbatim.
+        id: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -173,6 +181,11 @@ impl<P: Persist> Persist for Event<P> {
                 w.put_u8(4);
                 msg_id.save(w);
             }
+            Event::AppTimer { node, id } => {
+                w.put_u8(5);
+                node.save(w);
+                id.save(w);
+            }
         }
     }
 
@@ -200,6 +213,10 @@ impl<P: Persist> Persist for Event<P> {
             },
             4 => Event::Retry {
                 msg_id: u64::load(r)?,
+            },
+            5 => Event::AppTimer {
+                node: NodeId::load(r)?,
+                id: u64::load(r)?,
             },
             _ => return Err(PersistError::Corrupt("unknown event tag")),
         })

@@ -113,7 +113,7 @@ pub struct BurstLoss {
 /// All stochastic decisions (jitter, duplication, burst-loss draws) are
 /// deterministic per `seed`, drawn from per-node streams independent of
 /// the ambient loss process — adding or removing faults never perturbs
-/// the draws of the faultless path (see `crate::network` docs).
+/// the draws of the faultless path (see `crate::protocol` docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Seed of the per-node fault streams.
@@ -233,7 +233,7 @@ impl FaultPlan {
 }
 
 /// Acknowledgement/retry parameters for reliable sends
-/// ([`crate::Ctx::send_reliable`]). `None` in
+/// ([`crate::EngineCtx::send_reliable`]). `None` in
 /// [`crate::SimConfig::reliability`] disables the protocol entirely:
 /// reliable sends then behave exactly like plain sends (no ids, no acks,
 /// no timers) and the engine is bit-identical to the pre-retry engine.

@@ -1,0 +1,507 @@
+//! The live streaming driver: real ingestion, per-node workers, a
+//! monotonic-clock timer wheel.
+//!
+//! [`LiveRuntime`] drives the same [`DetectorEngine`] state machines
+//! the simulator drives, but paces them against a [`Clock`]: with
+//! [`MonotonicClock`] the runtime sleeps until each event's stream time
+//! has really elapsed (scaled by an optional speedup), with
+//! [`VirtualClock`] it runs as fast as the machine allows. Either way
+//! the *processing order* is identical — the event queue doubles as the
+//! timer wheel, the shared [`crate::protocol::Engine`] classifies and
+//! replays side effects in exact event order, and one lightweight
+//! worker per node (fed by a bounded channel) runs the callbacks. The
+//! conformance suite in `snod-bench` pins that a live run is
+//! bit-identical to the simulated one on replayed streams.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+
+use crate::config::{SimConfig, StreamSource};
+use crate::detector::{CtxOut, DetectorEngine, EngineCtx};
+use crate::energy::EnergyModel;
+use crate::fault::FaultPlan;
+use crate::message::Wire;
+use crate::node::NodeId;
+use crate::protocol::{self, EngineState, Post, Pre, Task};
+use crate::stats::NetStats;
+use crate::topology::Hierarchy;
+
+/// Paces the live run: called once per event batch with the batch's
+/// stream time, returns when that instant has "arrived".
+pub trait Clock {
+    /// Blocks until `stream_ns` of stream time has elapsed.
+    fn wait_until(&mut self, stream_ns: u64);
+}
+
+/// No pacing: every batch is due immediately. Replay and conformance
+/// runs use this — the processing order (and hence every result) is
+/// identical to a paced run, just without the waiting.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VirtualClock;
+
+impl Clock for VirtualClock {
+    fn wait_until(&mut self, _stream_ns: u64) {}
+}
+
+/// Real pacing against [`Instant`]: stream time `t` is due when
+/// `t / speedup` wall-clock nanoseconds have passed since the first
+/// wait. The origin is pinned lazily so construction cost never skews
+/// the schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    origin: Option<Instant>,
+    speedup: f64,
+}
+
+impl MonotonicClock {
+    /// Real-time pacing (speedup 1).
+    pub fn new() -> Self {
+        Self::with_speedup(1.0)
+    }
+
+    /// Pacing at `speedup`× real time (e.g. `60.0` replays an hour of
+    /// stream per minute). Must be positive.
+    pub fn with_speedup(speedup: f64) -> Self {
+        assert!(speedup > 0.0, "speedup must be positive");
+        Self {
+            origin: None,
+            speedup,
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn wait_until(&mut self, stream_ns: u64) {
+        let origin = *self.origin.get_or_insert_with(Instant::now);
+        let due = Duration::from_nanos((stream_ns as f64 / self.speedup) as u64);
+        let elapsed = origin.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+    }
+}
+
+/// A live network of detector engines: topology + one engine per node +
+/// the shared protocol state ([`EngineState`]).
+///
+/// Structurally this is the simulator without simulated time: events
+/// (readings, deliveries, acks, retry and application timers) live on
+/// the same queue, are classified by the same pre phase and replayed by
+/// the same post phase — but the loop waits on a [`Clock`] before each
+/// batch, and callbacks run on one dedicated worker per node, fed
+/// through bounded channels. Crash/recovery semantics follow
+/// [`crate::RestartPolicy::Persistent`]: a node that comes back keeps
+/// its in-memory state, exactly like the simulator's default.
+pub struct LiveRuntime<P: Wire, A: DetectorEngine<P>> {
+    topo: Hierarchy,
+    engines: Vec<A>,
+    cfg: SimConfig,
+    energy: EnergyModel,
+    plan: FaultPlan,
+    state: EngineState<P>,
+}
+
+impl<P: Wire, A: DetectorEngine<P>> LiveRuntime<P, A> {
+    /// Builds a runtime, constructing one engine per node via
+    /// `make_engine`.
+    pub fn new(
+        topo: Hierarchy,
+        cfg: SimConfig,
+        mut make_engine: impl FnMut(NodeId, &Hierarchy) -> A,
+    ) -> Self {
+        let engines: Vec<A> = (0..topo.node_count())
+            .map(|i| make_engine(NodeId(i as u32), &topo))
+            .collect();
+        let plan = FaultPlan::none();
+        let state = EngineState::new(topo.node_count(), topo.level_count(), &cfg, &plan);
+        Self {
+            engines,
+            cfg,
+            energy: EnergyModel::default(),
+            plan,
+            state,
+            topo,
+        }
+    }
+
+    /// Installs `plan` as this run's fault schedule (and reseeds the
+    /// fault streams from its seed). Must be called before the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.state.reseed_fault_streams(plan.seed);
+        self.plan = plan;
+        self
+    }
+
+    /// Replaces the default energy model.
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy = model;
+        self
+    }
+
+    /// Schedules `node` to fail permanently at stream time `time_ns`.
+    pub fn schedule_failure(&mut self, node: NodeId, time_ns: u64) {
+        self.state.failures.push((time_ns, node));
+    }
+
+    /// The active fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The fault-decision log (`fault-trace` feature only).
+    pub fn fault_trace(&self) -> &[String] {
+        &self.state.trace
+    }
+
+    /// Runs unpaced (a [`VirtualClock`]): every leaf takes
+    /// `readings_per_leaf` readings from `source` and all resulting
+    /// traffic is processed to quiescence. Use this for replay and
+    /// conformance — results are bit-identical to a paced run.
+    pub fn run<S: StreamSource>(&mut self, source: &mut S, readings_per_leaf: u64)
+    where
+        P: Send,
+        A: Send,
+    {
+        self.run_until(source, readings_per_leaf, u64::MAX, &mut VirtualClock);
+    }
+
+    /// Runs paced against the monotonic clock at `speedup`× real time.
+    pub fn run_paced<S: StreamSource>(
+        &mut self,
+        source: &mut S,
+        readings_per_leaf: u64,
+        speedup: f64,
+    ) where
+        P: Send,
+        A: Send,
+    {
+        let mut clock = MonotonicClock::with_speedup(speedup);
+        self.run_until(source, readings_per_leaf, u64::MAX, &mut clock);
+    }
+
+    /// [`Self::run`] under an explicit [`Clock`], stopping once every
+    /// event at or before `stop_ns` has been processed (later events
+    /// stay queued). Calling again — or on a checkpoint-restored
+    /// runtime — continues exactly where the run left off.
+    pub fn run_until<S: StreamSource, C: Clock>(
+        &mut self,
+        source: &mut S,
+        readings_per_leaf: u64,
+        stop_ns: u64,
+        clock: &mut C,
+    ) where
+        P: Send,
+        A: Send,
+    {
+        if readings_per_leaf == 0 {
+            return;
+        }
+        if !self.state.started {
+            self.state.seed_initial_readings(&self.topo, &self.cfg);
+            self.state.started = true;
+        }
+        self.drive(source, readings_per_leaf, stop_ns, clock);
+        self.state.stats.elapsed_ns = self.state.clock_ns;
+        if snod_obs::enabled() {
+            for (i, &msgs) in self.state.stats.messages_per_level.iter().enumerate() {
+                let name = format!("simnet.level.{}.msgs", i + 1);
+                snod_obs::Gauge::named(&name).set(msgs);
+            }
+        }
+    }
+
+    /// The live loop: wait for the next batch's stream time, classify
+    /// sequentially in batch order (pre phase), ship each node's
+    /// callbacks to that node's worker over its bounded channel, then
+    /// replay the side effects sequentially in batch order (post
+    /// phase). Identical phase structure — and identical shared code —
+    /// to the simulator's parallel driver, which is why the two produce
+    /// bit-identical outcomes.
+    fn drive<S: StreamSource, C: Clock>(
+        &mut self,
+        source: &mut S,
+        readings_per_leaf: u64,
+        stop_ns: u64,
+        clock: &mut C,
+    ) where
+        P: Send,
+        A: Send,
+    {
+        let engines: Vec<Mutex<A>> = std::mem::take(&mut self.engines)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let mut clock_ns = self.state.clock_ns;
+        let mut eng = self
+            .state
+            .engine(&self.topo, self.cfg, &self.energy, &self.plan);
+        let topo = eng.topo;
+
+        // One worker per node, each fed through its own bounded channel
+        // (capacity 1: at most one same-instant task group per node per
+        // batch is ever in flight).
+        type Job<P> = (u64, Vec<(usize, Task<P>)>);
+        let (res_tx, res_rx) = mpsc::channel::<Vec<(usize, CtxOut<P>)>>();
+        let mut job_txs: Vec<mpsc::SyncSender<Job<P>>> = Vec::with_capacity(engines.len());
+        let mut job_rxs: Vec<mpsc::Receiver<Job<P>>> = Vec::with_capacity(engines.len());
+        for _ in 0..engines.len() {
+            let (tx, rx) = mpsc::sync_channel::<Job<P>>(1);
+            job_txs.push(tx);
+            job_rxs.push(rx);
+        }
+
+        std::thread::scope(|s| {
+            for (node, job_rx) in job_rxs.into_iter().enumerate() {
+                let res_tx = res_tx.clone();
+                let engine = &engines[node];
+                s.spawn(move || {
+                    while let Ok((time, tasks)) = job_rx.recv() {
+                        let mut engine = engine.lock().expect("worker owns its node");
+                        let mut results = Vec::with_capacity(tasks.len());
+                        for (pos, task) in tasks {
+                            let mut ctx = EngineCtx::new(NodeId(node as u32), time, topo);
+                            match task {
+                                Task::Read(value) => engine.ingest(&mut ctx, &value),
+                                Task::Msg(from, payload) => {
+                                    engine.on_message(&mut ctx, from, payload)
+                                }
+                                Task::Timer(id) => engine.on_timer(&mut ctx, id),
+                            }
+                            results.push((pos, ctx.into_out()));
+                        }
+                        if res_tx.send(results).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            loop {
+                match eng.queue.peek_time() {
+                    Some(t) if t <= stop_ns => clock.wait_until(t),
+                    _ => break,
+                }
+                let (time, first) = eng.queue.pop().expect("peeked event present");
+                clock_ns = clock_ns.max(time);
+                eng.apply_failures(time);
+                // Drain the whole same-instant batch in scheduling order.
+                let mut batch = vec![first];
+                while eng.queue.peek_time() == Some(time) {
+                    batch.push(eng.queue.pop().expect("peeked event present").1);
+                }
+                // Pre phase, sequential in batch order.
+                let mut posts: Vec<(Post, Option<usize>)> = Vec::new();
+                let mut groups: HashMap<u32, Vec<(usize, Task<P>)>> = HashMap::new();
+                let mut group_order: Vec<u32> = Vec::new();
+                let mut n_tasks = 0usize;
+                for event in batch {
+                    match eng.classify(time, event, source, readings_per_leaf) {
+                        Pre::Skip => {}
+                        Pre::Engine(post) => posts.push((post, None)),
+                        Pre::Run { node, task, post } => {
+                            let pos = n_tasks;
+                            n_tasks += 1;
+                            posts.push((post, Some(pos)));
+                            groups
+                                .entry(node.0)
+                                .or_insert_with(|| {
+                                    group_order.push(node.0);
+                                    Vec::new()
+                                })
+                                .push((pos, task));
+                        }
+                    }
+                }
+                // Ship each node's group to its worker.
+                let n_groups = group_order.len();
+                for node in group_order.drain(..) {
+                    let tasks = groups.remove(&node).expect("group exists");
+                    job_txs[node as usize]
+                        .send((time, tasks))
+                        .expect("worker alive");
+                }
+                let mut outs: Vec<Option<CtxOut<P>>> = (0..n_tasks).map(|_| None).collect();
+                for _ in 0..n_groups {
+                    for (pos, out) in res_rx.recv().expect("worker alive") {
+                        outs[pos] = Some(out);
+                    }
+                }
+                // Post phase, sequential in batch order.
+                for (post, task_pos) in posts {
+                    let out = match task_pos {
+                        Some(p) => outs[p].take().expect("callback completed"),
+                        None => CtxOut::default(),
+                    };
+                    eng.finish(time, out, post);
+                }
+            }
+            drop(job_txs); // workers exit on channel close
+        });
+
+        self.engines = engines
+            .into_iter()
+            .map(|m| m.into_inner().expect("workers finished cleanly"))
+            .collect();
+        self.state.clock_ns = clock_ns;
+    }
+
+    /// Traffic and energy statistics of the run so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.state.stats
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Hierarchy {
+        &self.topo
+    }
+
+    /// The engine instance at `node`.
+    pub fn engine(&self, node: NodeId) -> &A {
+        &self.engines[node.index()]
+    }
+
+    /// Mutable access to the engine at `node`.
+    pub fn engine_mut(&mut self, node: NodeId) -> &mut A {
+        &mut self.engines[node.index()]
+    }
+
+    /// Iterates over `(node, engine)` pairs.
+    pub fn engines(&self) -> impl Iterator<Item = (NodeId, &A)> {
+        self.engines
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (NodeId(i as u32), a))
+    }
+
+    /// Latest stream time processed (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.state.clock_ns
+    }
+
+    /// The runtime's structural fingerprint: the shared
+    /// [`protocol::config_fingerprint`] with the Persistent restart tag
+    /// mixed in — exactly what the simulator computes under its default
+    /// restart policy, so sim and live checkpoints are interchangeable.
+    fn fingerprint(&self) -> u64 {
+        protocol::mix(
+            protocol::config_fingerprint(&self.topo, &self.cfg, self.plan.seed),
+            0,
+        )
+    }
+
+    fn checkpoint_payload(&self) -> Vec<u8>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        let mut w = ByteWriter::new();
+        self.fingerprint().save(&mut w);
+        self.state.save(&mut w);
+        // Restart machinery placeholders (always Persistent here): the
+        // simulator writes its per-node snapshots in these slots, so
+        // emitting the empty shapes keeps the formats byte-compatible.
+        Vec::<Option<Vec<u8>>>::new().save(&mut w);
+        Vec::<u64>::new().save(&mut w);
+        Vec::<(u64, u32)>::new().save(&mut w);
+        w.put_usize(self.engines.len());
+        for engine in &self.engines {
+            engine.save(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Snapshots the complete runtime state — clock, event queue /
+    /// timer wheel, statistics, RNG streams, protocol tables and every
+    /// engine — in the same enveloped format as the simulator's
+    /// `Network::checkpoint`. A live checkpoint restores into a
+    /// simulator network built with matching parameters, and vice
+    /// versa.
+    pub fn checkpoint(&self) -> Vec<u8>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        snod_persist::encode_checkpoint(&self.checkpoint_payload())
+    }
+
+    /// [`Self::checkpoint`] written atomically to `path`.
+    pub fn checkpoint_to_file(&self, path: &Path) -> Result<(), PersistError>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        snod_persist::write_checkpoint_file(path, &self.checkpoint_payload())
+    }
+
+    /// Restores state captured by [`Self::checkpoint`] (or by the
+    /// simulator under the default Persistent restart policy) into this
+    /// runtime. Verified via the structural fingerprint before anything
+    /// is touched; on any error the runtime is left unmodified.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), PersistError>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        let payload = snod_persist::decode_checkpoint(bytes)?;
+        self.restore_payload(payload)
+    }
+
+    /// [`Self::restore`] from a checkpoint file.
+    pub fn restore_from_file(&mut self, path: &Path) -> Result<(), PersistError>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        let payload = snod_persist::read_checkpoint_file(path)?;
+        self.restore_payload(&payload)
+    }
+
+    fn restore_payload(&mut self, payload: &[u8]) -> Result<(), PersistError>
+    where
+        P: Persist,
+        A: Persist,
+    {
+        let mut r = ByteReader::new(payload);
+        if u64::load(&mut r)? != self.fingerprint() {
+            return Err(PersistError::Corrupt(
+                "checkpoint was taken on a different topology, config or fault plan",
+            ));
+        }
+        let state = EngineState::<P>::load(&mut r)?;
+        let n = self.topo.node_count();
+        if !state.shape_matches(n, self.topo.level_count()) {
+            return Err(PersistError::Corrupt("checkpoint node count mismatch"));
+        }
+        let last_ckpt = Vec::<Option<Vec<u8>>>::load(&mut r)?;
+        let next_ckpt_ns = Vec::<u64>::load(&mut r)?;
+        let recoveries = Vec::<(u64, u32)>::load(&mut r)?;
+        if !last_ckpt.is_empty() || !next_ckpt_ns.is_empty() || !recoveries.is_empty() {
+            return Err(PersistError::Corrupt(
+                "checkpoint carries restart snapshots the live runtime does not support",
+            ));
+        }
+        let engine_count = r.get_usize()?;
+        if engine_count != n {
+            return Err(PersistError::Corrupt("checkpoint app count mismatch"));
+        }
+        let mut engines = Vec::with_capacity(n);
+        for _ in 0..n {
+            engines.push(A::load(&mut r)?);
+        }
+        r.finish()?;
+        self.state = state;
+        self.engines = engines;
+        Ok(())
+    }
+}

@@ -1,0 +1,767 @@
+//! The shared driver core: pre/post phase of event processing.
+//!
+//! Both drivers — the deterministic simulator (`snod-simnet`'s
+//! `Network`) and the [`crate::LiveRuntime`] — process events in two
+//! phases run by this module's [`Engine`]:
+//!
+//! * the **pre phase** ([`Engine::classify`]) decides what (if any)
+//!   callback to run and what engine work follows; only receive-energy
+//!   accumulation, integer counters, stream fetches and dedup-table
+//!   updates happen here — never queue scheduling or RNG draws;
+//! * the **post phase** ([`Engine::finish`]) replays every side effect
+//!   that schedules, draws randomness or touches the pending table, in
+//!   exact event order.
+//!
+//! Because the two drivers run this identical code in the identical
+//! per-event order, they cannot drift apart: statistics, RNG draw
+//! order, floating-point accumulation order and queue sequence numbers
+//! are bit-for-bit the same. That sharing is the sim-vs-live
+//! equivalence argument, and the differential conformance suite in
+//! `snod-bench` pins it.
+//!
+//! ## Per-node RNG streams and the bit-exactness argument
+//!
+//! Every stochastic engine process draws from its own *per-node* seeded
+//! stream, decorrelated by a splitmix64 finalizer over
+//! `(base seed, node)`:
+//!
+//! * **loss draws** — base [`SimConfig::loss_seed`];
+//! * **fault draws** (delay jitter, duplication) — base
+//!   [`FaultPlan::seed`];
+//! * **retry-timer jitter** — base `loss_seed`, distinct salt.
+//!
+//! A stream is consulted *only* when the corresponding effect has
+//! non-zero probability at that instant (e.g. no loss draw when the
+//! effective drop probability is `0`). Three properties follow:
+//!
+//! 1. With [`FaultPlan::none`] and [`SimConfig::reliability`] `= None`,
+//!    no fault or retry stream is ever touched and loss draws are
+//!    exactly those of the fault-free engine: the fault layer is
+//!    observationally absent, bit for bit.
+//! 2. Adding a fault on one link or node never perturbs the draws made
+//!    for any other node, because streams never interleave — the
+//!    faultless part of a run keeps its exact behaviour.
+//! 3. A parallel driver replays every draw in the post phase in batch
+//!    order, which *per stream* equals the sequential order, so
+//!    sequential and parallel executions stay bit-identical with
+//!    faults enabled.
+
+use std::collections::{HashMap, HashSet};
+
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
+
+use crate::config::{SimConfig, StreamSource};
+use crate::detector::CtxOut;
+use crate::energy::EnergyModel;
+use crate::event::{Event, EventQueue};
+use crate::fault::{FaultPlan, RetryPolicy};
+use crate::message::{Wire, ACK_BYTES, HEADER_BYTES, MSG_ID_BYTES};
+use crate::node::NodeId;
+use crate::stats::NetStats;
+use crate::topology::Hierarchy;
+
+#[cfg(feature = "fault-trace")]
+macro_rules! ftrace {
+    ($trace:expr, $($arg:tt)*) => {
+        $trace.push(format!($($arg)*))
+    };
+}
+#[cfg(not(feature = "fault-trace"))]
+macro_rules! ftrace {
+    ($($arg:tt)*) => {{}};
+}
+
+/// The fault-decision log. Only populated with the `fault-trace`
+/// feature; always present so the engine plumbing is feature-free.
+pub type FaultTrace = Vec<String>;
+
+/// splitmix64 finalizer over `(base, salt)` — decorrelates the per-node
+/// stream seeds.
+pub fn mix(base: u64, salt: u64) -> u64 {
+    let mut z = base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Salt separating the loss streams from the retry streams (both are
+/// derived from [`SimConfig::loss_seed`]).
+const LOSS_SALT: u64 = 0x4C4F_5353; // "LOSS"
+const RETRY_SALT: u64 = 0x5254_5259; // "RTRY"
+const FAULT_SALT: u64 = 0xFA17_FA17;
+
+/// A structural fingerprint of the run parameters a checkpoint does
+/// *not* carry but bit-identical resume depends on: topology shape and
+/// every [`SimConfig`] field except `worker_threads` (the drivers are
+/// bit-identical across worker counts), plus the fault-plan seed.
+/// Drivers mix their own extras (the simulator adds its restart
+/// policy; the live runtime mixes the Persistent tag for parity).
+pub fn config_fingerprint(topo: &Hierarchy, cfg: &SimConfig, plan_seed: u64) -> u64 {
+    let mut h = mix(0x534E_4F44, topo.node_count() as u64); // "SNOD"
+    h = mix(h, topo.level_count() as u64);
+    h = mix(h, cfg.reading_period_ns);
+    h = mix(h, cfg.link_latency_ns);
+    h = mix(h, u64::from(cfg.stagger_readings));
+    h = mix(h, cfg.drop_probability.to_bits());
+    h = mix(h, cfg.loss_seed);
+    match cfg.reliability {
+        None => h = mix(h, 0),
+        Some(p) => {
+            h = mix(h, 1);
+            h = mix(h, p.timeout_ns);
+            h = mix(h, u64::from(p.max_retries));
+            h = mix(h, p.backoff.to_bits());
+            h = mix(h, p.jitter_ns);
+        }
+    }
+    mix(h, plan_seed)
+}
+
+/// One callback a node must run during a batch.
+pub enum Task<P> {
+    /// [`crate::DetectorEngine::ingest`] with this value.
+    Read(Vec<f64>),
+    /// [`crate::DetectorEngine::on_message`] from this sender with this
+    /// payload.
+    Msg(NodeId, P),
+    /// [`crate::DetectorEngine::on_timer`] with this timer id.
+    Timer(u64),
+}
+
+/// Engine work owed *after* an event's callback (the post phase). All
+/// queue scheduling, RNG draws, transmit accounting and pending-table
+/// mutation live here, so every driver replays them in identical order.
+pub enum Post {
+    /// Flush the callback's outbox, maybe ack a reliable delivery,
+    /// maybe schedule the node's next reading.
+    Callback {
+        /// The node the callback ran on (sender of its outbox).
+        node: NodeId,
+        /// `Some((node, seq))`: schedule reading `seq` one period later.
+        next_reading: Option<(NodeId, u64)>,
+        /// `Some((receiver, original_sender, msg_id))`: transmit an ack.
+        ack: Option<(NodeId, NodeId, u64)>,
+    },
+    /// An ack arrived: retire the pending entry.
+    AckDone {
+        /// Acknowledged message id.
+        msg_id: u64,
+    },
+    /// A retransmission timer fired.
+    RetryTimer {
+        /// The message the timer guards.
+        msg_id: u64,
+    },
+}
+
+/// The pre-phase verdict on one event.
+pub enum Pre<P> {
+    /// Nothing to do (dead target, ended stream, permanent crash).
+    Skip,
+    /// Engine-only work, no application callback.
+    Engine(Post),
+    /// Run a callback on `node`, then do `post`.
+    Run {
+        /// The node the callback runs on.
+        node: NodeId,
+        /// The callback to run.
+        task: Task<P>,
+        /// The post-phase work owed after the callback.
+        post: Post,
+    },
+}
+
+/// A message awaiting acknowledgement.
+pub struct Pending<P> {
+    from: NodeId,
+    to: NodeId,
+    payload: P,
+    attempts: u32,
+}
+
+impl<P: Persist> Persist for Pending<P> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.from.save(w);
+        self.to.save(w);
+        self.payload.save(w);
+        self.attempts.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            from: NodeId::load(r)?,
+            to: NodeId::load(r)?,
+            payload: P::load(r)?,
+            attempts: u32::load(r)?,
+        })
+    }
+}
+
+/// The complete mutable protocol state shared by every driver: the
+/// event queue (doubling as the timer wheel), traffic statistics, the
+/// per-node RNG stream families, the reliability protocol's pending and
+/// dedup tables, scheduled failures, dead flags and the clock.
+///
+/// Drivers own one of these, borrow an [`Engine`] over it per run, and
+/// persist it as one unit — the [`Persist`] impl writes the fields in
+/// the exact order the historic simulator checkpoint format uses, so
+/// the bytes are stable across the extraction *and* identical between
+/// drivers.
+pub struct EngineState<P: Wire> {
+    /// Pending events / timers, ordered by `(time, scheduling seq)`.
+    pub queue: EventQueue<P>,
+    /// Traffic and energy accounting.
+    pub stats: NetStats,
+    /// The driver clock: the latest event time processed (ns).
+    pub clock_ns: u64,
+    /// Per-node loss-draw streams.
+    pub loss_rngs: Vec<SeededRng>,
+    /// Per-node fault-effect streams (jitter, duplication).
+    pub fault_rngs: Vec<SeededRng>,
+    /// Per-node retry-jitter streams.
+    pub retry_rngs: Vec<SeededRng>,
+    /// Reliable messages awaiting acknowledgement, by message id.
+    pub pending: HashMap<u64, Pending<P>>,
+    /// Per-node sets of reliable message ids already delivered (dedup).
+    pub seen: Vec<HashSet<u64>>,
+    /// The next reliable message id to assign.
+    pub next_msg_id: u64,
+    /// Scheduled permanent node failures `(time_ns, node)`, unsorted.
+    pub failures: Vec<(u64, NodeId)>,
+    /// Per-node dead flags.
+    pub dead: Vec<bool>,
+    /// True once the initial readings have been seeded.
+    pub started: bool,
+    /// The fault-decision log (`fault-trace` feature only).
+    pub trace: FaultTrace,
+}
+
+impl<P: Wire> EngineState<P> {
+    /// Fresh state for `n` nodes under `cfg` and `plan` (seeds the
+    /// three per-node stream families).
+    pub fn new(n: usize, levels: usize, cfg: &SimConfig, plan: &FaultPlan) -> Self {
+        Self {
+            queue: EventQueue::new(),
+            stats: NetStats::new(n, levels),
+            clock_ns: 0,
+            loss_rngs: Self::streams(n, cfg.loss_seed ^ LOSS_SALT),
+            fault_rngs: Self::streams(n, plan.seed ^ FAULT_SALT),
+            retry_rngs: Self::streams(n, cfg.loss_seed ^ RETRY_SALT),
+            pending: HashMap::new(),
+            seen: vec![HashSet::new(); n],
+            next_msg_id: 0,
+            failures: Vec::new(),
+            dead: vec![false; n],
+            started: false,
+            trace: FaultTrace::new(),
+        }
+    }
+
+    /// One per-node RNG stream family, decorrelated per node.
+    fn streams(n: usize, base: u64) -> Vec<SeededRng> {
+        (0..n)
+            .map(|i| SeededRng::seed_from_u64(mix(base, i as u64)))
+            .collect()
+    }
+
+    /// Reseeds the fault streams from a (new) plan seed — drivers call
+    /// this when a fault plan is installed after construction.
+    pub fn reseed_fault_streams(&mut self, plan_seed: u64) {
+        self.fault_rngs = Self::streams(self.fault_rngs.len(), plan_seed ^ FAULT_SALT);
+    }
+
+    /// Schedules every leaf's first reading (staggered or synchronous).
+    /// Both drivers seed through this one function so their phase
+    /// layout — and hence every downstream event time — is identical.
+    pub fn seed_initial_readings(&mut self, topo: &Hierarchy, cfg: &SimConfig) {
+        let leaves = topo.leaves();
+        let n = leaves.len().max(1) as u64;
+        for (i, &leaf) in leaves.iter().enumerate() {
+            let phase = if cfg.stagger_readings {
+                (i as u64 * cfg.reading_period_ns) / n
+            } else {
+                0
+            };
+            self.queue
+                .schedule(phase, Event::Reading { node: leaf, seq: 0 });
+        }
+    }
+
+    /// Borrows the processing engine over this state. The driver holds
+    /// the returned [`Engine`] for the duration of one run loop.
+    pub fn engine<'a>(
+        &'a mut self,
+        topo: &'a Hierarchy,
+        cfg: SimConfig,
+        energy: &'a EnergyModel,
+        plan: &'a FaultPlan,
+    ) -> Engine<'a, P> {
+        Engine {
+            topo,
+            cfg,
+            energy,
+            plan,
+            queue: &mut self.queue,
+            stats: &mut self.stats,
+            loss_rngs: &mut self.loss_rngs,
+            fault_rngs: &mut self.fault_rngs,
+            retry_rngs: &mut self.retry_rngs,
+            pending: &mut self.pending,
+            seen: &mut self.seen,
+            next_msg_id: &mut self.next_msg_id,
+            failures: &mut self.failures,
+            dead: &mut self.dead,
+            trace: &mut self.trace,
+        }
+    }
+}
+
+/// The state is saved field by field in the exact order of the historic
+/// simulator checkpoint payload (`started, clock, queue, stats, the
+/// three RNG families, pending, seen, next id, failures, dead`), so
+/// pre-extraction golden checkpoints remain bit-identical. The trace is
+/// diagnostic and not persisted.
+impl<P: Wire + Persist> Persist for EngineState<P> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.started.save(w);
+        self.clock_ns.save(w);
+        self.queue.save(w);
+        self.stats.save(w);
+        self.loss_rngs.save(w);
+        self.fault_rngs.save(w);
+        self.retry_rngs.save(w);
+        self.pending.save(w);
+        self.seen.save(w);
+        self.next_msg_id.save(w);
+        self.failures.save(w);
+        self.dead.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            started: bool::load(r)?,
+            clock_ns: u64::load(r)?,
+            queue: EventQueue::load(r)?,
+            stats: NetStats::load(r)?,
+            loss_rngs: Vec::load(r)?,
+            fault_rngs: Vec::load(r)?,
+            retry_rngs: Vec::load(r)?,
+            pending: HashMap::load(r)?,
+            seen: Vec::load(r)?,
+            next_msg_id: u64::load(r)?,
+            failures: Vec::load(r)?,
+            dead: Vec::load(r)?,
+            trace: FaultTrace::new(),
+        })
+    }
+}
+
+impl<P: Wire> EngineState<P> {
+    /// Shape-validates a freshly loaded state against the driver's
+    /// topology: every per-node vector must have `n` entries and the
+    /// per-level statistics must match `levels`. Drivers call this
+    /// before committing a restore.
+    pub fn shape_matches(&self, n: usize, levels: usize) -> bool {
+        [
+            self.loss_rngs.len(),
+            self.fault_rngs.len(),
+            self.retry_rngs.len(),
+            self.seen.len(),
+            self.dead.len(),
+            self.stats.bytes_per_node.len(),
+            self.stats.messages_per_node.len(),
+        ]
+        .iter()
+        .all(|&len| len == n)
+            && self.stats.messages_per_level.len() == levels
+    }
+}
+
+/// The event-processing engine, borrowing an [`EngineState`] plus the
+/// run's immutable parameters. Sequential and parallel drivers share
+/// this one implementation of the *pre* phase (classification, stream
+/// fetches, receive accounting, dedup) and the *post* phase (outbox
+/// flushing, acks, retries, scheduling). The determinism argument leans
+/// on this sharing: drivers cannot drift apart because they run the
+/// same code in the same per-event order.
+pub struct Engine<'a, P: Wire> {
+    /// The hierarchy (for routing, distances and levels).
+    pub topo: &'a Hierarchy,
+    cfg: SimConfig,
+    energy: &'a EnergyModel,
+    plan: &'a FaultPlan,
+    /// The event queue (exposed so the driver loop can peek/pop).
+    pub queue: &'a mut EventQueue<P>,
+    /// Traffic statistics (exposed so drivers can count restarts).
+    pub stats: &'a mut NetStats,
+    loss_rngs: &'a mut [SeededRng],
+    fault_rngs: &'a mut [SeededRng],
+    retry_rngs: &'a mut [SeededRng],
+    pending: &'a mut HashMap<u64, Pending<P>>,
+    seen: &'a mut [HashSet<u64>],
+    next_msg_id: &'a mut u64,
+    failures: &'a mut Vec<(u64, NodeId)>,
+    dead: &'a mut [bool],
+    #[allow(dead_code)] // written only under the fault-trace feature
+    trace: &'a mut FaultTrace,
+}
+
+impl<P: Wire> Engine<'_, P> {
+    /// Marks every scheduled failure due at `time` as dead.
+    pub fn apply_failures(&mut self, time: u64) {
+        if self.failures.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.failures.len() {
+            if self.failures[i].0 <= time {
+                let (_, n) = self.failures.swap_remove(i);
+                self.dead[n.index()] = true;
+                ftrace!(self.trace, "{time}: {n:?} failed permanently");
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The *pre* phase of one event: decides what (if any) callback to
+    /// run and what engine work follows. Only receive-energy
+    /// accumulation, integer counters, stream fetches and dedup-table
+    /// updates happen here — never queue scheduling or RNG draws, which
+    /// belong to the post phase (see the determinism argument).
+    pub fn classify<S: StreamSource>(
+        &mut self,
+        time: u64,
+        event: Event<P>,
+        source: &mut S,
+        readings_per_leaf: u64,
+    ) -> Pre<P> {
+        snod_obs::counter!("simnet.events").incr();
+        match event {
+            Event::Reading { node, seq } => {
+                if self.dead[node.index()] {
+                    return Pre::Skip; // a failed sensor stops reading for good
+                }
+                let down = self.plan.is_down(node, time);
+                if down && !self.plan.recovers(node, time) {
+                    return Pre::Skip; // permanent crash: like a failure
+                }
+                let next_reading = (seq + 1 < readings_per_leaf).then_some((node, seq + 1));
+                let post = Post::Callback {
+                    node,
+                    next_reading,
+                    ack: None,
+                };
+                if down || self.plan.is_sensor_down(node, time) {
+                    // The reading is missed (never fetched from the
+                    // stream) but the schedule marches on.
+                    snod_obs::counter!("simnet.fault.missed_readings").incr();
+                    ftrace!(self.trace, "{time}: {node:?} missed reading {seq}");
+                    return Pre::Engine(post);
+                }
+                match source.next(node, seq) {
+                    Some(value) => Pre::Run {
+                        node,
+                        task: Task::Read(value),
+                        post,
+                    },
+                    None => Pre::Skip, // stream ended early
+                }
+            }
+            Event::Deliver { from, to, payload } => {
+                if self.dead[to.index()] || self.plan.is_down(to, time) {
+                    self.stats.lost_to_crash += 1;
+                    snod_obs::counter!("simnet.lost_to_crash").incr();
+                    return Pre::Skip; // delivered into the void
+                }
+                self.stats.rx_joules += self
+                    .energy
+                    .rx_joules(payload.size_bytes() + HEADER_BYTES);
+                Pre::Run {
+                    node: to,
+                    task: Task::Msg(from, payload),
+                    post: Post::Callback {
+                        node: to,
+                        next_reading: None,
+                        ack: None,
+                    },
+                }
+            }
+            Event::DeliverReliable {
+                from,
+                to,
+                msg_id,
+                payload,
+            } => {
+                if self.dead[to.index()] || self.plan.is_down(to, time) {
+                    // No ack: the sender's timer will retransmit.
+                    self.stats.lost_to_crash += 1;
+                    snod_obs::counter!("simnet.lost_to_crash").incr();
+                    return Pre::Skip;
+                }
+                self.stats.rx_joules += self
+                    .energy
+                    .rx_joules(payload.size_bytes() + HEADER_BYTES + MSG_ID_BYTES);
+                let post = Post::Callback {
+                    node: to,
+                    next_reading: None,
+                    // Re-ack even duplicates, so a sender whose ack was
+                    // lost eventually stops retransmitting.
+                    ack: Some((to, from, msg_id)),
+                };
+                if self.seen[to.index()].insert(msg_id) {
+                    Pre::Run {
+                        node: to,
+                        task: Task::Msg(from, payload),
+                        post,
+                    }
+                } else {
+                    self.stats.duplicates_suppressed += 1;
+                    snod_obs::counter!("simnet.duplicates_suppressed").incr();
+                    Pre::Engine(post)
+                }
+            }
+            Event::Ack { to, msg_id, .. } => {
+                if self.dead[to.index()] || self.plan.is_down(to, time) {
+                    return Pre::Skip; // ack lost: the sender keeps retrying
+                }
+                self.stats.rx_joules += self.energy.rx_joules(ACK_BYTES);
+                Pre::Engine(Post::AckDone { msg_id })
+            }
+            Event::Retry { msg_id } => Pre::Engine(Post::RetryTimer { msg_id }),
+            Event::AppTimer { node, id } => {
+                if self.dead[node.index()] || self.plan.is_down(node, time) {
+                    return Pre::Skip; // a crashed node's timers are lost
+                }
+                Pre::Run {
+                    node,
+                    task: Task::Timer(id),
+                    post: Post::Callback {
+                        node,
+                        next_reading: None,
+                        ack: None,
+                    },
+                }
+            }
+        }
+    }
+
+    /// The *post* phase of one event: every side effect that schedules,
+    /// draws randomness or touches the pending table, replayed by every
+    /// driver in exact batch order.
+    pub fn finish(&mut self, time: u64, out: CtxOut<P>, post: Post) {
+        self.stats.degraded_scores += out.degraded_scores;
+        self.stats.local_fallbacks += out.local_fallbacks;
+        match post {
+            Post::Callback {
+                node,
+                next_reading,
+                ack,
+            } => {
+                self.flush(out.outbox, node, time);
+                for (delay, id) in out.timers {
+                    self.queue
+                        .schedule(time + delay, Event::AppTimer { node, id });
+                }
+                if let Some((receiver, sender, msg_id)) = ack {
+                    self.transmit_ack(receiver, sender, msg_id, time);
+                }
+                if let Some((n, seq)) = next_reading {
+                    self.queue.schedule(
+                        time + self.cfg.reading_period_ns,
+                        Event::Reading { node: n, seq },
+                    );
+                }
+            }
+            Post::AckDone { msg_id } => {
+                self.pending.remove(&msg_id);
+            }
+            Post::RetryTimer { msg_id } => self.handle_retry(msg_id, time),
+        }
+    }
+
+    /// Turns one callback's outbox into scheduled deliveries: per-send
+    /// statistics, transmit energy, the loss process and fault effects,
+    /// plus — for reliable sends — message-id assignment, the pending
+    /// table and the first retry timer. This is the single definition of
+    /// send semantics, shared by every driver.
+    fn flush(&mut self, outbox: Vec<(NodeId, P, bool)>, node: NodeId, time: u64) {
+        for (to, payload, reliable) in outbox {
+            match (reliable, self.cfg.reliability) {
+                (true, Some(policy)) => {
+                    let msg_id = *self.next_msg_id;
+                    *self.next_msg_id += 1;
+                    self.pending.insert(
+                        msg_id,
+                        Pending {
+                            from: node,
+                            to,
+                            payload: payload.clone(),
+                            attempts: 0,
+                        },
+                    );
+                    self.transmit(node, to, time, Some(msg_id), payload);
+                    let wait = policy.backoff_ns(0) + self.retry_jitter(node, policy);
+                    self.queue.schedule(time + wait, Event::Retry { msg_id });
+                }
+                // Without a reliability policy, a reliable send *is* a
+                // plain send — bit for bit.
+                _ => self.transmit(node, to, time, None, payload),
+            }
+        }
+    }
+
+    /// Puts one application frame on the air: statistics, transmit
+    /// energy, then the radio (loss + fault effects) decides delivery.
+    fn transmit(&mut self, from: NodeId, to: NodeId, time: u64, msg_id: Option<u64>, payload: P) {
+        let bytes = payload.size_bytes()
+            + HEADER_BYTES
+            + if msg_id.is_some() { MSG_ID_BYTES } else { 0 };
+        let dist = self.topo.location(from).distance(&self.topo.location(to));
+        self.stats.record_send(from, self.topo.level_of(from), bytes);
+        snod_obs::counter!("simnet.sends").incr();
+        snod_obs::counter!("simnet.send_bytes").add(bytes as u64);
+        // Transmit energy is spent whether or not the frame survives.
+        self.stats.tx_joules += self.energy.tx_joules(bytes, dist);
+        let Some((delay, dup_delay)) = self.radio(from, to, time) else {
+            return; // lost on the air (counted in `dropped`)
+        };
+        let make = |payload: P| match msg_id {
+            Some(id) => Event::DeliverReliable {
+                from,
+                to,
+                msg_id: id,
+                payload,
+            },
+            None => Event::Deliver { from, to, payload },
+        };
+        match dup_delay {
+            Some(d2) => {
+                self.stats.duplicates += 1;
+                snod_obs::counter!("simnet.duplicates").incr();
+                self.queue.schedule(time + delay, make(payload.clone()));
+                self.queue.schedule(time + d2, make(payload));
+            }
+            None => self.queue.schedule(time + delay, make(payload)),
+        }
+    }
+
+    /// Puts one engine-level ack on the air, from the receiver of a
+    /// reliable message back to its sender. Acks ride the same radio —
+    /// they can be lost, delayed and duplicated like any frame — and are
+    /// charged energy, but are accounted separately from application
+    /// traffic ([`NetStats::acks`]/[`NetStats::ack_bytes`]).
+    fn transmit_ack(&mut self, from: NodeId, to: NodeId, msg_id: u64, time: u64) {
+        let dist = self.topo.location(from).distance(&self.topo.location(to));
+        self.stats.acks += 1;
+        snod_obs::counter!("simnet.acks").incr();
+        self.stats.ack_bytes += ACK_BYTES as u64;
+        self.stats.tx_joules += self.energy.tx_joules(ACK_BYTES, dist);
+        let Some((delay, dup_delay)) = self.radio(from, to, time) else {
+            return;
+        };
+        self.queue
+            .schedule(time + delay, Event::Ack { from, to, msg_id });
+        if let Some(d2) = dup_delay {
+            self.stats.duplicates += 1;
+            snod_obs::counter!("simnet.duplicates").incr();
+            self.queue
+                .schedule(time + d2, Event::Ack { from, to, msg_id });
+        }
+    }
+
+    /// The radio's verdict on one frame from `from` to `to` at `time`:
+    /// `None` = lost (counted), otherwise the delivery delay plus an
+    /// optional duplicate-copy delay. Draw order is fixed — loss, then
+    /// jitter, then duplication, then the copy's jitter — and every draw
+    /// is gated on its effect having non-zero probability, so runs
+    /// without that effect never consult the stream.
+    fn radio(&mut self, from: NodeId, to: NodeId, time: u64) -> Option<(u64, Option<u64>)> {
+        let p = self.plan.loss_probability(self.cfg.drop_probability, time);
+        if p > 0.0 && rand::Rng::gen::<f64>(&mut self.loss_rngs[from.index()]) < p {
+            self.stats.dropped += 1;
+            snod_obs::counter!("simnet.drops").incr();
+            ftrace!(self.trace, "{time}: frame {from:?}->{to:?} lost (p={p})");
+            return None;
+        }
+        let mut delay = self.cfg.link_latency_ns;
+        let mut dup = None;
+        if let Some(lf) = self.plan.link_fault(from, to) {
+            snod_obs::counter!("simnet.fault.link_hits").incr();
+            delay += lf.extra_delay_ns;
+            if lf.jitter_ns > 0 {
+                delay += rand::Rng::gen_range(&mut self.fault_rngs[from.index()], 0..=lf.jitter_ns);
+            }
+            if lf.duplicate_probability > 0.0
+                && rand::Rng::gen::<f64>(&mut self.fault_rngs[from.index()])
+                    < lf.duplicate_probability
+            {
+                let mut d2 = self.cfg.link_latency_ns + lf.extra_delay_ns;
+                if lf.jitter_ns > 0 {
+                    d2 += rand::Rng::gen_range(
+                        &mut self.fault_rngs[from.index()],
+                        0..=lf.jitter_ns,
+                    );
+                }
+                dup = Some(d2);
+            }
+        }
+        Some((delay, dup))
+    }
+
+    /// Jitter for the next retry timer of `node` (0 without jitter — the
+    /// retry stream is then never consulted).
+    fn retry_jitter(&mut self, node: NodeId, policy: RetryPolicy) -> u64 {
+        if policy.jitter_ns == 0 {
+            0
+        } else {
+            rand::Rng::gen_range(&mut self.retry_rngs[node.index()], 0..=policy.jitter_ns)
+        }
+    }
+
+    /// A retransmission timer fired: if the message is still unacked,
+    /// retransmit (unless the sender is crashed — a down sender burns
+    /// the attempt without airing a frame) and re-arm the timer with
+    /// exponential backoff; give up after `max_retries`.
+    fn handle_retry(&mut self, msg_id: u64, time: u64) {
+        let Some(policy) = self.cfg.reliability else {
+            return;
+        };
+        let Some(p) = self.pending.get(&msg_id) else {
+            return; // acked in the meantime
+        };
+        let (from, to, attempts) = (p.from, p.to, p.attempts);
+        if self.dead[from.index()] || !self.plan.recovers(from, time) {
+            // The sender is gone for good: nobody will ever retransmit.
+            self.pending.remove(&msg_id);
+            self.stats.retry_exhausted += 1;
+            snod_obs::counter!("simnet.retry_exhausted").incr();
+            return;
+        }
+        if attempts >= policy.max_retries {
+            self.pending.remove(&msg_id);
+            self.stats.retry_exhausted += 1;
+            snod_obs::counter!("simnet.retry_exhausted").incr();
+            ftrace!(self.trace, "{time}: msg {msg_id} abandoned after {attempts} retries");
+            return;
+        }
+        if self.plan.is_down(from, time) {
+            // Crashed (but recovering) sender: the attempt is spent, the
+            // timer keeps running, no frame is aired.
+            self.pending
+                .get_mut(&msg_id)
+                .expect("pending entry present")
+                .attempts += 1;
+        } else {
+            let payload = {
+                let p = self.pending.get_mut(&msg_id).expect("pending entry present");
+                p.attempts += 1;
+                p.payload.clone()
+            };
+            self.stats.retransmissions += 1;
+            snod_obs::counter!("simnet.retransmissions").incr();
+            self.transmit(from, to, time, Some(msg_id), payload);
+        }
+        let wait = policy.backoff_ns(attempts + 1) + self.retry_jitter(from, policy);
+        self.queue.schedule(time + wait, Event::Retry { msg_id });
+    }
+}

@@ -43,11 +43,11 @@ pub struct NetStats {
     pub retry_exhausted: u64,
     /// Times a node scored against a stale last-known model instead of
     /// a fresh one (graceful degradation, see
-    /// [`crate::Ctx::note_degraded_score`]).
+    /// [`crate::EngineCtx::note_degraded_score`]).
     pub degraded_scores: u64,
     /// Times a node fell back to local-only detection because its
     /// upstream went silent (see
-    /// [`crate::Ctx::note_local_fallback`]).
+    /// [`crate::EngineCtx::note_local_fallback`]).
     pub local_fallbacks: u64,
     /// Recovering nodes revived from their last periodic checkpoint
     /// (see [`crate::fault::RestartPolicy::Warm`]).

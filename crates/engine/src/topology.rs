@@ -39,7 +39,7 @@ impl Hierarchy {
     /// to a single root.
     ///
     /// ```
-    /// use snod_simnet::Hierarchy;
+    /// use snod_engine::Hierarchy;
     /// // The paper's §10.2 setup: 32 leaf streams under 3 leader tiers.
     /// let h = Hierarchy::balanced(32, &[4, 2, 4]).unwrap();
     /// assert_eq!(h.leaves().len(), 32);

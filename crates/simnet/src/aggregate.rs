@@ -13,10 +13,7 @@
 //! Partial state records are associative and commutative, so any merge
 //! order up any tree yields the exact answer (asserted by tests).
 
-use crate::message::Wire;
-use crate::network::{Ctx, SensorApp};
-use crate::node::NodeId;
-use crate::topology::Hierarchy;
+use crate::{Ctx, DetectorEngine, Hierarchy, NodeId, Wire};
 
 /// The aggregate functions TAG supports natively.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,8 +191,8 @@ impl TagNode {
     }
 }
 
-impl SensorApp<TagPayload> for TagNode {
-    fn on_reading(&mut self, ctx: &mut Ctx<'_, TagPayload>, value: &[f64]) {
+impl DetectorEngine<TagPayload> for TagNode {
+    fn ingest(&mut self, ctx: &mut Ctx<'_, TagPayload>, value: &[f64]) {
         let v = value.get(self.dimension).copied().unwrap_or(f64::NAN);
         self.current.fold(v);
         self.readings_in_epoch += 1;
@@ -216,7 +213,7 @@ impl SensorApp<TagPayload> for TagNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::network::{Network, SimConfig};
+    use crate::{Network, SimConfig};
 
     fn run_tag(
         leaves: usize,

@@ -15,8 +15,7 @@
 //! transmit/receive load (the dominant energy cost) across the cell, in
 //! the spirit of LEACH-style cluster-head rotation.
 
-use crate::node::NodeId;
-use crate::topology::Hierarchy;
+use crate::{Hierarchy, NodeId};
 
 /// How a cell picks its leader each epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -7,15 +7,22 @@
 //! grid) organisation of Section 2. TAG's source is not available, so
 //! this crate is the substitute substrate: a deterministic discrete-event
 //! simulator providing the same observable quantities — message counts,
-//! bytes on the air, per-level traffic, energy — for an application
-//! callback running on every node.
+//! bytes on the air, per-level traffic, energy — for a detector engine
+//! running on every node.
+//!
+//! The runtime-agnostic core — the [`DetectorEngine`] trait, the
+//! message/fault/statistics types and the event-processing protocol —
+//! lives in the `snod-engine` crate and is re-exported here under its
+//! historic paths; this crate adds the *simulated-time driver*:
 //!
 //! * [`Hierarchy`] — the tiered virtual-grid organisation of Figure 1:
 //!   leaf sensors at the bottom, one leader per cell per tier.
-//! * [`Network`] — the event engine: schedules sensor readings, delivers
-//!   messages with configurable latency, and accounts for every byte.
-//! * [`SensorApp`] — the callback trait the paper's algorithms (D3, MGDD,
-//!   centralized) implement in `snod-core`.
+//! * [`Network`] — the simulation driver: schedules sensor readings,
+//!   delivers messages with configurable latency, and accounts for
+//!   every byte, jumping the clock from event to event.
+//! * [`DetectorEngine`] — the callback trait the paper's algorithms
+//!   (D3, MGDD, centralized) implement in `snod-core`. The same engines
+//!   run unmodified under `snod-engine`'s wall-clock `LiveRuntime`.
 //! * [`NetStats`] / [`EnergyModel`] — the statistics behind Figure 11 and
 //!   the §10.3 communication-cost discussion.
 //!
@@ -34,11 +41,11 @@
 //!    *later* scheduling-seq batch exactly where the sequential engine
 //!    would process it), so batch boundaries never cut a
 //!    happens-before edge.
-//! 2. **Isolation.** Application state is per-node and a `Ctx` only
-//!    buffers sends. Within a batch, callbacks on different nodes are
-//!    therefore independent; callbacks on the *same* node are grouped
-//!    and run in batch order on one worker. The assignment of groups to
-//!    threads cannot affect any observable value.
+//! 2. **Isolation.** Application state is per-node and an [`EngineCtx`]
+//!    only buffers sends. Within a batch, callbacks on different nodes
+//!    are therefore independent; callbacks on the *same* node are
+//!    grouped and run in batch order on one worker. The assignment of
+//!    groups to threads cannot affect any observable value.
 //! 3. **Side-effect replay.** Everything shared — stream fetches,
 //!    receive/transmit energy sums, message statistics, the per-node
 //!    RNG streams, the reliability protocol's pending/dedup tables,
@@ -59,19 +66,21 @@
 //! protocol ([`fault::RetryPolicy`]): both engines consult the plan in
 //! the pre phase and draw fault/loss/retry randomness in the post
 //! phase, from per-node streams whose draw order is per-stream
-//! sequential order. See `network.rs` for the per-node stream layout
-//! and the bit-exactness argument for `FaultPlan::none()`.
+//! sequential order. See `snod-engine`'s `protocol` module for the
+//! per-node stream layout and the bit-exactness argument for
+//! `FaultPlan::none()` — and for why the same pre/post split makes the
+//! wall-clock `LiveRuntime` bit-identical to this simulator.
 //!
 //! ```
-//! use snod_simnet::{Ctx, Hierarchy, Network, NodeId, SensorApp, SimConfig};
+//! use snod_simnet::{DetectorEngine, EngineCtx, Hierarchy, Network, NodeId, SimConfig};
 //!
 //! // A trivial application: every leaf forwards its readings upward.
 //! struct Forward;
-//! impl SensorApp<Vec<f64>> for Forward {
-//!     fn on_reading(&mut self, ctx: &mut Ctx<'_, Vec<f64>>, value: &[f64]) {
+//! impl DetectorEngine<Vec<f64>> for Forward {
+//!     fn ingest(&mut self, ctx: &mut EngineCtx<'_, Vec<f64>>, value: &[f64]) {
 //!         ctx.send_parent(value.to_vec());
 //!     }
-//!     fn on_message(&mut self, _: &mut Ctx<'_, Vec<f64>>, _: NodeId, _: Vec<f64>) {}
+//!     fn on_message(&mut self, _: &mut EngineCtx<'_, Vec<f64>>, _: NodeId, _: Vec<f64>) {}
 //! }
 //!
 //! let topo = Hierarchy::balanced(4, &[4]).unwrap();
@@ -86,44 +95,24 @@
 
 mod aggregate;
 mod election;
-mod energy;
-mod event;
-pub mod fault;
-mod message;
 mod network;
-mod node;
-mod stats;
-mod topology;
+
+pub use snod_engine::fault;
 
 pub use aggregate::{Aggregate, PartialState, TagNode, TagPayload};
-pub use election::{ElectionPolicy, Electorate, LeaderAssignment};
-pub use energy::EnergyModel;
-pub use event::{Event, EventQueue};
-pub use fault::{
+pub use network::Network;
+pub use snod_engine::fault::{
     BurstLoss, CrashWindow, DropoutWindow, FaultPlan, LinkFault, RestartPolicy, RetryPolicy,
 };
-pub use message::{Envelope, Wire, ACK_BYTES, HEADER_BYTES, MSG_ID_BYTES};
-pub use network::{Ctx, Network, SensorApp, SimConfig, StreamSource};
-pub use node::{Location, NodeId, NodeRole};
-pub use stats::NetStats;
-pub use topology::Hierarchy;
+pub use snod_engine::{
+    Clock, DetectorEngine, EnergyModel, Envelope, EngineCtx, Event, EventQueue, Hierarchy,
+    LiveRuntime, Location, MonotonicClock, NetStats, NodeId, NodeRole, ReadingTrace, SimConfig,
+    SimError, StreamSource, TraceRecorder, VirtualClock, Wire, ACK_BYTES, HEADER_BYTES,
+    MSG_ID_BYTES,
+};
 
-/// Errors raised while building simulations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimError {
-    /// A structural parameter (leaf count, fan-out) was zero.
-    ZeroSize(&'static str),
-    /// A node id was out of range for the topology.
-    UnknownNode(NodeId),
-}
+pub use election::{ElectionPolicy, Electorate, LeaderAssignment};
 
-impl std::fmt::Display for SimError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SimError::ZeroSize(what) => write!(f, "{what} must be positive"),
-            SimError::UnknownNode(id) => write!(f, "node {id:?} is not part of the topology"),
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
+/// The historic name of [`EngineCtx`], kept so downstream code reads
+/// naturally in either vocabulary.
+pub type Ctx<'a, P> = EngineCtx<'a, P>;

@@ -1,403 +1,33 @@
-//! The simulation engine.
+//! The simulation driver.
 //!
-//! [`Network`] owns one application object per node (the paper's
+//! [`Network`] owns one detector engine per node (the paper's
 //! *"continuous query on every node"*) and drives them with events:
 //! periodic sensor readings at the leaves, message deliveries between
 //! nodes, and — when the reliability protocol is enabled —
-//! acknowledgements and retransmission timers. Applications react
-//! through [`SensorApp`] callbacks and talk to the network through
-//! [`Ctx`], which restricts them to the hierarchy links
-//! (parent/children) — exactly the communication pattern of the paper's
-//! algorithms.
+//! acknowledgements and retransmission timers. Engines react through
+//! [`DetectorEngine`] callbacks and talk to the network through
+//! [`snod_engine::EngineCtx`], which restricts them to the hierarchy
+//! links (parent/children) — exactly the communication pattern of the
+//! paper's algorithms.
 //!
-//! ## Fault layer
-//!
-//! A [`FaultPlan`] (see [`crate::fault`]) is injected *at the event
-//! level*: crash windows suppress readings, deliveries and acks;
-//! sensor-dropout windows suppress only the stream fetch; link faults
-//! add delay, jitter (reordering) and duplication when a frame is
-//! scheduled; loss bursts override the ambient
-//! [`SimConfig::drop_probability`]. Applications never see the plan —
-//! they only observe its consequences (missing or duplicated
-//! messages), plus the counters in [`NetStats`].
-//!
-//! [`Ctx::send_reliable`] opts a message into an ack/retry protocol
-//! ([`RetryPolicy`]): the engine assigns it a message id, the receiver
-//! acknowledges (and deduplicates retransmissions by id), and the
-//! sender retransmits on an exponential-backoff timer until acked or
-//! out of attempts. Every retransmission and ack is charged real
-//! transmit/receive energy — reliability is paid for, as on a mote.
-//!
-//! ## Per-node RNG streams and the bit-exactness argument
-//!
-//! Every stochastic engine process draws from its own *per-node* seeded
-//! stream, decorrelated by a splitmix64 finalizer over
-//! `(base seed, node)`:
-//!
-//! * **loss draws** — base [`SimConfig::loss_seed`];
-//! * **fault draws** (delay jitter, duplication) — base
-//!   [`FaultPlan::seed`];
-//! * **retry-timer jitter** — base `loss_seed`, distinct salt.
-//!
-//! A stream is consulted *only* when the corresponding effect has
-//! non-zero probability at that instant (e.g. no loss draw when the
-//! effective drop probability is `0`). Three properties follow:
-//!
-//! 1. With [`FaultPlan::none`] and [`SimConfig::reliability`] `= None`,
-//!    no fault or retry stream is ever touched and loss draws are
-//!    exactly those of the fault-free engine: the fault layer is
-//!    observationally absent, bit for bit.
-//! 2. Adding a fault on one link or node never perturbs the draws made
-//!    for any other node, because streams never interleave — the
-//!    faultless part of a run keeps its exact behaviour.
-//! 3. The parallel engine replays every draw in the post-pass in batch
-//!    order, which *per stream* equals the sequential engine's order
-//!    (see the crate-level determinism argument), so sequential and
-//!    parallel executions stay bit-identical with faults enabled.
+//! The event-processing core — the pre/post phase split, the fault
+//! layer, the ack/retry protocol, the per-node RNG streams and the
+//! bit-exactness argument — lives in [`snod_engine::protocol`] and is
+//! shared verbatim with the live runtime
+//! ([`snod_engine::LiveRuntime`]); this module adds what is purely
+//! *simulation*: the run loop that jumps the clock from event to event,
+//! the parallel batch dispatcher, the restart-policy machinery and
+//! whole-network checkpointing.
 
-use std::collections::{HashMap, HashSet};
 use std::path::Path;
 
-use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 
-use crate::energy::EnergyModel;
-use crate::event::{Event, EventQueue};
-use crate::fault::{FaultPlan, RestartPolicy, RetryPolicy};
-use crate::message::{Wire, ACK_BYTES, HEADER_BYTES, MSG_ID_BYTES};
-use crate::node::NodeId;
-use crate::stats::NetStats;
-use crate::topology::Hierarchy;
-
-#[cfg(feature = "fault-trace")]
-macro_rules! ftrace {
-    ($trace:expr, $($arg:tt)*) => {
-        $trace.push(format!($($arg)*))
-    };
-}
-#[cfg(not(feature = "fault-trace"))]
-macro_rules! ftrace {
-    ($($arg:tt)*) => {{}};
-}
-
-/// The fault-decision log. Only populated with the `fault-trace`
-/// feature; always present so the engine plumbing is feature-free.
-type FaultTrace = Vec<String>;
-
-/// Timing and fault parameters of a simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SimConfig {
-    /// Interval between consecutive readings of one sensor
-    /// (the paper's Figure 11 assumes one reading per second).
-    pub reading_period_ns: u64,
-    /// One-hop link latency.
-    pub link_latency_ns: u64,
-    /// Stagger leaf reading phases across the period (avoids artificial
-    /// synchronisation of all sensors on the same instant).
-    pub stagger_readings: bool,
-    /// Probability that any sent message is lost on the air (lossy
-    /// radio). Dropped messages are still charged transmit energy and
-    /// counted in [`crate::NetStats::dropped`]. A [`FaultPlan`] loss
-    /// burst can raise (never lower) this rate for a window.
-    pub drop_probability: f64,
-    /// Seed for the loss process and retry-timer jitter (both are
-    /// deterministic per seed, via per-node streams).
-    pub loss_seed: u64,
-    /// Ack/retry protocol parameters for [`Ctx::send_reliable`].
-    /// `None` (the default) disables the protocol: reliable sends then
-    /// behave exactly like plain sends — no ids, no acks, no timers —
-    /// and the engine is bit-identical to one without the protocol.
-    pub reliability: Option<RetryPolicy>,
-    /// Worker threads running same-instant callbacks on *different*
-    /// nodes concurrently. `1` (the default) forces the classic
-    /// single-threaded engine; `0` means one worker per core. Results
-    /// are bit-identical at every setting — see the crate docs for the
-    /// determinism argument. Parallelism only pays off when many nodes
-    /// act at the same instant (e.g. `stagger_readings = false`).
-    pub worker_threads: usize,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        Self {
-            reading_period_ns: 1_000_000_000, // 1 s
-            link_latency_ns: 5_000_000,       // 5 ms
-            stagger_readings: true,
-            drop_probability: 0.0,
-            loss_seed: 0x10_55,
-            reliability: None,
-            worker_threads: 1,
-        }
-    }
-}
-
-impl SimConfig {
-    /// Returns a copy with the given message-loss probability.
-    pub fn with_drop_probability(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability in [0, 1]");
-        self.drop_probability = p;
-        self
-    }
-
-    /// Returns a copy with the given worker-thread count (`0` = one per
-    /// core, `1` = single-threaded).
-    pub fn with_worker_threads(mut self, n: usize) -> Self {
-        self.worker_threads = n;
-        self
-    }
-
-    /// Returns a copy with the ack/retry protocol enabled under
-    /// `policy`.
-    pub fn with_reliability(mut self, policy: RetryPolicy) -> Self {
-        self.reliability = Some(policy);
-        self
-    }
-
-    /// The resolved worker count (`0` mapped to the machine's
-    /// parallelism).
-    fn resolved_workers(&self) -> usize {
-        match self.worker_threads {
-            0 => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-            n => n,
-        }
-    }
-}
-
-/// Supplies the per-sensor data streams. `seq` is the 0-based reading
-/// index; returning `None` ends that sensor's stream early.
-pub trait StreamSource {
-    /// The `seq`-th reading of leaf `node`.
-    fn next(&mut self, node: NodeId, seq: u64) -> Option<Vec<f64>>;
-}
-
-impl<F: FnMut(NodeId, u64) -> Option<Vec<f64>>> StreamSource for F {
-    fn next(&mut self, node: NodeId, seq: u64) -> Option<Vec<f64>> {
-        self(node, seq)
-    }
-}
-
-/// Application callbacks, one instance per node.
-pub trait SensorApp<P: Wire> {
-    /// A new sensor reading arrived at this (leaf) node.
-    fn on_reading(&mut self, ctx: &mut Ctx<'_, P>, value: &[f64]);
-    /// A message from `from` was delivered to this node.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, P>, from: NodeId, payload: P);
-}
-
-/// The application's window onto the network during a callback.
-pub struct Ctx<'a, P> {
-    /// The node the callback runs on.
-    pub node: NodeId,
-    /// Current simulated time.
-    pub time_ns: u64,
-    topo: &'a Hierarchy,
-    outbox: Vec<(NodeId, P, bool)>,
-    degraded_scores: u64,
-    local_fallbacks: u64,
-}
-
-impl<'a, P> Ctx<'a, P> {
-    fn new(node: NodeId, time_ns: u64, topo: &'a Hierarchy) -> Self {
-        Self {
-            node,
-            time_ns,
-            topo,
-            outbox: Vec::new(),
-            degraded_scores: 0,
-            local_fallbacks: 0,
-        }
-    }
-
-    fn into_out(self) -> CtxOut<P> {
-        CtxOut {
-            outbox: self.outbox,
-            degraded_scores: self.degraded_scores,
-            local_fallbacks: self.local_fallbacks,
-        }
-    }
-
-    /// The hierarchy (read-only).
-    pub fn topology(&self) -> &Hierarchy {
-        self.topo
-    }
-
-    /// This node's leader, `None` at the root.
-    pub fn parent(&self) -> Option<NodeId> {
-        self.topo.parent(self.node)
-    }
-
-    /// This node's children.
-    pub fn children(&self) -> &[NodeId] {
-        self.topo.children(self.node)
-    }
-
-    /// This node's tier (1 = leaf).
-    pub fn level(&self) -> u8 {
-        self.topo.level_of(self.node)
-    }
-
-    /// Queues `payload` for delivery to `to`.
-    pub fn send(&mut self, to: NodeId, payload: P) {
-        self.outbox.push((to, payload, false));
-    }
-
-    /// Queues `payload` for acknowledged delivery to `to`: with
-    /// [`SimConfig::reliability`] enabled the engine retransmits on
-    /// timeout until the receiver acks, and the receiver suppresses
-    /// duplicate deliveries of the same message id. With reliability
-    /// `None` this is exactly [`Ctx::send`].
-    pub fn send_reliable(&mut self, to: NodeId, payload: P) {
-        self.outbox.push((to, payload, true));
-    }
-
-    /// Queues `payload` for the parent; returns `false` at the root.
-    pub fn send_parent(&mut self, payload: P) -> bool {
-        match self.parent() {
-            Some(p) => {
-                self.send(p, payload);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// [`Ctx::send_reliable`] to the parent; returns `false` at the
-    /// root.
-    pub fn send_parent_reliable(&mut self, payload: P) -> bool {
-        match self.parent() {
-            Some(p) => {
-                self.send_reliable(p, payload);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Queues `payload` for every child (cloned per child).
-    pub fn send_children(&mut self, payload: P)
-    where
-        P: Clone,
-    {
-        for &c in self.topo.children(self.node) {
-            self.outbox.push((c, payload.clone(), false));
-        }
-    }
-
-    /// [`Ctx::send_reliable`] to every child (cloned per child).
-    pub fn send_children_reliable(&mut self, payload: P)
-    where
-        P: Clone,
-    {
-        for &c in self.topo.children(self.node) {
-            self.outbox.push((c, payload.clone(), true));
-        }
-    }
-
-    /// Records that this node scored against a stale (last-known) child
-    /// model instead of a fresh one — graceful degradation, surfaced in
-    /// [`NetStats::degraded_scores`].
-    pub fn note_degraded_score(&mut self) {
-        self.degraded_scores += 1;
-    }
-
-    /// Records that this node fell back to local-only detection because
-    /// its upstream model source went silent — surfaced in
-    /// [`NetStats::local_fallbacks`].
-    pub fn note_local_fallback(&mut self) {
-        self.local_fallbacks += 1;
-    }
-}
-
-/// What one callback produced: queued sends plus degradation counters.
-struct CtxOut<P> {
-    outbox: Vec<(NodeId, P, bool)>,
-    degraded_scores: u64,
-    local_fallbacks: u64,
-}
-
-impl<P> Default for CtxOut<P> {
-    fn default() -> Self {
-        Self {
-            outbox: Vec::new(),
-            degraded_scores: 0,
-            local_fallbacks: 0,
-        }
-    }
-}
-
-/// One callback a node must run during a parallel batch.
-enum Task<P> {
-    /// `on_reading` with this value.
-    Read(Vec<f64>),
-    /// `on_message` from this sender with this payload.
-    Msg(NodeId, P),
-}
-
-/// Engine work owed *after* an event's callback (the post phase). All
-/// queue scheduling, RNG draws, transmit accounting and pending-table
-/// mutation live here, so both engines replay them in identical order.
-enum Post {
-    /// Flush the callback's outbox, maybe ack a reliable delivery,
-    /// maybe schedule the node's next reading.
-    Callback {
-        /// The node the callback ran on (sender of its outbox).
-        node: NodeId,
-        /// `Some((node, seq))`: schedule reading `seq` one period later.
-        next_reading: Option<(NodeId, u64)>,
-        /// `Some((receiver, original_sender, msg_id))`: transmit an ack.
-        ack: Option<(NodeId, NodeId, u64)>,
-    },
-    /// An ack arrived: retire the pending entry.
-    AckDone {
-        /// Acknowledged message id.
-        msg_id: u64,
-    },
-    /// A retransmission timer fired.
-    RetryTimer {
-        /// The message the timer guards.
-        msg_id: u64,
-    },
-}
-
-/// The pre-phase verdict on one event.
-enum Pre<P> {
-    /// Nothing to do (dead target, ended stream, permanent crash).
-    Skip,
-    /// Engine-only work, no application callback.
-    Engine(Post),
-    /// Run a callback on `node`, then do `post`.
-    Run {
-        node: NodeId,
-        task: Task<P>,
-        post: Post,
-    },
-}
-
-/// A message awaiting acknowledgement.
-struct Pending<P> {
-    from: NodeId,
-    to: NodeId,
-    payload: P,
-    attempts: u32,
-}
-
-impl<P: Persist> Persist for Pending<P> {
-    fn save(&self, w: &mut ByteWriter) {
-        self.from.save(w);
-        self.to.save(w);
-        self.payload.save(w);
-        self.attempts.save(w);
-    }
-    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
-        Ok(Self {
-            from: NodeId::load(r)?,
-            to: NodeId::load(r)?,
-            payload: P::load(r)?,
-            attempts: u32::load(r)?,
-        })
-    }
-}
+use snod_engine::protocol::{self, EngineState, Post, Pre, Task};
+use snod_engine::{
+    CtxOut, DetectorEngine, EnergyModel, EngineCtx, FaultPlan, Hierarchy, NetStats, NodeId,
+    RestartPolicy, SimConfig, StreamSource, Wire,
+};
 
 /// Decodes one application's state from restart-snapshot bytes.
 type ReviveFn<A> = fn(&[u8]) -> Result<A, PersistError>;
@@ -507,418 +137,18 @@ impl<A> RestartState<A> {
     }
 }
 
-/// splitmix64 finalizer over `(base, salt)` — decorrelates the per-node
-/// stream seeds.
-fn mix(base: u64, salt: u64) -> u64 {
-    let mut z = base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Salt separating the loss streams from the retry streams (both are
-/// derived from [`SimConfig::loss_seed`]).
-const LOSS_SALT: u64 = 0x4C4F_5353; // "LOSS"
-const RETRY_SALT: u64 = 0x5254_5259; // "RTRY"
-const FAULT_SALT: u64 = 0xFA17_FA17;
-
-/// The mutable half of the engine, grouped so the sequential and
-/// parallel drivers share one implementation of the *pre* phase
-/// (classification, stream fetches, receive accounting, dedup) and the
-/// *post* phase (outbox flushing, acks, retries, scheduling). The
-/// determinism argument leans on this sharing: the two drivers cannot
-/// drift apart because they run the same code in the same per-event
-/// order.
-struct Engine<'a, P: Wire> {
-    topo: &'a Hierarchy,
-    cfg: SimConfig,
-    energy: &'a EnergyModel,
-    plan: &'a FaultPlan,
-    queue: &'a mut EventQueue<P>,
-    stats: &'a mut NetStats,
-    loss_rngs: &'a mut [SeededRng],
-    fault_rngs: &'a mut [SeededRng],
-    retry_rngs: &'a mut [SeededRng],
-    pending: &'a mut HashMap<u64, Pending<P>>,
-    seen: &'a mut [HashSet<u64>],
-    next_msg_id: &'a mut u64,
-    failures: &'a mut Vec<(u64, NodeId)>,
-    dead: &'a mut [bool],
-    #[allow(dead_code)] // written only under the fault-trace feature
-    trace: &'a mut FaultTrace,
-}
-
-impl<P: Wire> Engine<'_, P> {
-    /// Marks every scheduled failure due at `time` as dead.
-    fn apply_failures(&mut self, time: u64) {
-        if self.failures.is_empty() {
-            return;
-        }
-        let mut i = 0;
-        while i < self.failures.len() {
-            if self.failures[i].0 <= time {
-                let (_, n) = self.failures.swap_remove(i);
-                self.dead[n.index()] = true;
-                ftrace!(self.trace, "{time}: {n:?} failed permanently");
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    /// The *pre* phase of one event: decides what (if any) callback to
-    /// run and what engine work follows. Only receive-energy
-    /// accumulation, integer counters, stream fetches and dedup-table
-    /// updates happen here — never queue scheduling or RNG draws, which
-    /// belong to the post phase (see the determinism argument).
-    fn classify<S: StreamSource>(
-        &mut self,
-        time: u64,
-        event: Event<P>,
-        source: &mut S,
-        readings_per_leaf: u64,
-    ) -> Pre<P> {
-        snod_obs::counter!("simnet.events").incr();
-        match event {
-            Event::Reading { node, seq } => {
-                if self.dead[node.index()] {
-                    return Pre::Skip; // a failed sensor stops reading for good
-                }
-                let down = self.plan.is_down(node, time);
-                if down && !self.plan.recovers(node, time) {
-                    return Pre::Skip; // permanent crash: like a failure
-                }
-                let next_reading = (seq + 1 < readings_per_leaf).then_some((node, seq + 1));
-                let post = Post::Callback {
-                    node,
-                    next_reading,
-                    ack: None,
-                };
-                if down || self.plan.is_sensor_down(node, time) {
-                    // The reading is missed (never fetched from the
-                    // stream) but the schedule marches on.
-                    snod_obs::counter!("simnet.fault.missed_readings").incr();
-                    ftrace!(self.trace, "{time}: {node:?} missed reading {seq}");
-                    return Pre::Engine(post);
-                }
-                match source.next(node, seq) {
-                    Some(value) => Pre::Run {
-                        node,
-                        task: Task::Read(value),
-                        post,
-                    },
-                    None => Pre::Skip, // stream ended early
-                }
-            }
-            Event::Deliver { from, to, payload } => {
-                if self.dead[to.index()] || self.plan.is_down(to, time) {
-                    self.stats.lost_to_crash += 1;
-                    snod_obs::counter!("simnet.lost_to_crash").incr();
-                    return Pre::Skip; // delivered into the void
-                }
-                self.stats.rx_joules += self
-                    .energy
-                    .rx_joules(payload.size_bytes() + HEADER_BYTES);
-                Pre::Run {
-                    node: to,
-                    task: Task::Msg(from, payload),
-                    post: Post::Callback {
-                        node: to,
-                        next_reading: None,
-                        ack: None,
-                    },
-                }
-            }
-            Event::DeliverReliable {
-                from,
-                to,
-                msg_id,
-                payload,
-            } => {
-                if self.dead[to.index()] || self.plan.is_down(to, time) {
-                    // No ack: the sender's timer will retransmit.
-                    self.stats.lost_to_crash += 1;
-                    snod_obs::counter!("simnet.lost_to_crash").incr();
-                    return Pre::Skip;
-                }
-                self.stats.rx_joules += self
-                    .energy
-                    .rx_joules(payload.size_bytes() + HEADER_BYTES + MSG_ID_BYTES);
-                let post = Post::Callback {
-                    node: to,
-                    next_reading: None,
-                    // Re-ack even duplicates, so a sender whose ack was
-                    // lost eventually stops retransmitting.
-                    ack: Some((to, from, msg_id)),
-                };
-                if self.seen[to.index()].insert(msg_id) {
-                    Pre::Run {
-                        node: to,
-                        task: Task::Msg(from, payload),
-                        post,
-                    }
-                } else {
-                    self.stats.duplicates_suppressed += 1;
-                    snod_obs::counter!("simnet.duplicates_suppressed").incr();
-                    Pre::Engine(post)
-                }
-            }
-            Event::Ack { to, msg_id, .. } => {
-                if self.dead[to.index()] || self.plan.is_down(to, time) {
-                    return Pre::Skip; // ack lost: the sender keeps retrying
-                }
-                self.stats.rx_joules += self.energy.rx_joules(ACK_BYTES);
-                Pre::Engine(Post::AckDone { msg_id })
-            }
-            Event::Retry { msg_id } => Pre::Engine(Post::RetryTimer { msg_id }),
-        }
-    }
-
-    /// The *post* phase of one event: every side effect that schedules,
-    /// draws randomness or touches the pending table, replayed by both
-    /// engines in exact batch order.
-    fn finish(&mut self, time: u64, out: CtxOut<P>, post: Post) {
-        self.stats.degraded_scores += out.degraded_scores;
-        self.stats.local_fallbacks += out.local_fallbacks;
-        match post {
-            Post::Callback {
-                node,
-                next_reading,
-                ack,
-            } => {
-                self.flush(out.outbox, node, time);
-                if let Some((receiver, sender, msg_id)) = ack {
-                    self.transmit_ack(receiver, sender, msg_id, time);
-                }
-                if let Some((n, seq)) = next_reading {
-                    self.queue.schedule(
-                        time + self.cfg.reading_period_ns,
-                        Event::Reading { node: n, seq },
-                    );
-                }
-            }
-            Post::AckDone { msg_id } => {
-                self.pending.remove(&msg_id);
-            }
-            Post::RetryTimer { msg_id } => self.handle_retry(msg_id, time),
-        }
-    }
-
-    /// Turns one callback's outbox into scheduled deliveries: per-send
-    /// statistics, transmit energy, the loss process and fault effects,
-    /// plus — for reliable sends — message-id assignment, the pending
-    /// table and the first retry timer. This is the single definition of
-    /// send semantics, shared by both engines.
-    fn flush(&mut self, outbox: Vec<(NodeId, P, bool)>, node: NodeId, time: u64) {
-        for (to, payload, reliable) in outbox {
-            match (reliable, self.cfg.reliability) {
-                (true, Some(policy)) => {
-                    let msg_id = *self.next_msg_id;
-                    *self.next_msg_id += 1;
-                    self.pending.insert(
-                        msg_id,
-                        Pending {
-                            from: node,
-                            to,
-                            payload: payload.clone(),
-                            attempts: 0,
-                        },
-                    );
-                    self.transmit(node, to, time, Some(msg_id), payload);
-                    let wait = policy.backoff_ns(0) + self.retry_jitter(node, policy);
-                    self.queue.schedule(time + wait, Event::Retry { msg_id });
-                }
-                // Without a reliability policy, a reliable send *is* a
-                // plain send — bit for bit.
-                _ => self.transmit(node, to, time, None, payload),
-            }
-        }
-    }
-
-    /// Puts one application frame on the air: statistics, transmit
-    /// energy, then the radio (loss + fault effects) decides delivery.
-    fn transmit(&mut self, from: NodeId, to: NodeId, time: u64, msg_id: Option<u64>, payload: P) {
-        let bytes = payload.size_bytes()
-            + HEADER_BYTES
-            + if msg_id.is_some() { MSG_ID_BYTES } else { 0 };
-        let dist = self.topo.location(from).distance(&self.topo.location(to));
-        self.stats.record_send(from, self.topo.level_of(from), bytes);
-        snod_obs::counter!("simnet.sends").incr();
-        snod_obs::counter!("simnet.send_bytes").add(bytes as u64);
-        // Transmit energy is spent whether or not the frame survives.
-        self.stats.tx_joules += self.energy.tx_joules(bytes, dist);
-        let Some((delay, dup_delay)) = self.radio(from, to, time) else {
-            return; // lost on the air (counted in `dropped`)
-        };
-        let make = |payload: P| match msg_id {
-            Some(id) => Event::DeliverReliable {
-                from,
-                to,
-                msg_id: id,
-                payload,
-            },
-            None => Event::Deliver { from, to, payload },
-        };
-        match dup_delay {
-            Some(d2) => {
-                self.stats.duplicates += 1;
-                snod_obs::counter!("simnet.duplicates").incr();
-                self.queue.schedule(time + delay, make(payload.clone()));
-                self.queue.schedule(time + d2, make(payload));
-            }
-            None => self.queue.schedule(time + delay, make(payload)),
-        }
-    }
-
-    /// Puts one engine-level ack on the air, from the receiver of a
-    /// reliable message back to its sender. Acks ride the same radio —
-    /// they can be lost, delayed and duplicated like any frame — and are
-    /// charged energy, but are accounted separately from application
-    /// traffic ([`NetStats::acks`]/[`NetStats::ack_bytes`]).
-    fn transmit_ack(&mut self, from: NodeId, to: NodeId, msg_id: u64, time: u64) {
-        let dist = self.topo.location(from).distance(&self.topo.location(to));
-        self.stats.acks += 1;
-        snod_obs::counter!("simnet.acks").incr();
-        self.stats.ack_bytes += ACK_BYTES as u64;
-        self.stats.tx_joules += self.energy.tx_joules(ACK_BYTES, dist);
-        let Some((delay, dup_delay)) = self.radio(from, to, time) else {
-            return;
-        };
-        self.queue
-            .schedule(time + delay, Event::Ack { from, to, msg_id });
-        if let Some(d2) = dup_delay {
-            self.stats.duplicates += 1;
-            snod_obs::counter!("simnet.duplicates").incr();
-            self.queue
-                .schedule(time + d2, Event::Ack { from, to, msg_id });
-        }
-    }
-
-    /// The radio's verdict on one frame from `from` to `to` at `time`:
-    /// `None` = lost (counted), otherwise the delivery delay plus an
-    /// optional duplicate-copy delay. Draw order is fixed — loss, then
-    /// jitter, then duplication, then the copy's jitter — and every draw
-    /// is gated on its effect having non-zero probability, so runs
-    /// without that effect never consult the stream.
-    fn radio(&mut self, from: NodeId, to: NodeId, time: u64) -> Option<(u64, Option<u64>)> {
-        let p = self.plan.loss_probability(self.cfg.drop_probability, time);
-        if p > 0.0 && rand::Rng::gen::<f64>(&mut self.loss_rngs[from.index()]) < p {
-            self.stats.dropped += 1;
-            snod_obs::counter!("simnet.drops").incr();
-            ftrace!(self.trace, "{time}: frame {from:?}->{to:?} lost (p={p})");
-            return None;
-        }
-        let mut delay = self.cfg.link_latency_ns;
-        let mut dup = None;
-        if let Some(lf) = self.plan.link_fault(from, to) {
-            snod_obs::counter!("simnet.fault.link_hits").incr();
-            delay += lf.extra_delay_ns;
-            if lf.jitter_ns > 0 {
-                delay += rand::Rng::gen_range(&mut self.fault_rngs[from.index()], 0..=lf.jitter_ns);
-            }
-            if lf.duplicate_probability > 0.0
-                && rand::Rng::gen::<f64>(&mut self.fault_rngs[from.index()])
-                    < lf.duplicate_probability
-            {
-                let mut d2 = self.cfg.link_latency_ns + lf.extra_delay_ns;
-                if lf.jitter_ns > 0 {
-                    d2 += rand::Rng::gen_range(
-                        &mut self.fault_rngs[from.index()],
-                        0..=lf.jitter_ns,
-                    );
-                }
-                dup = Some(d2);
-            }
-        }
-        Some((delay, dup))
-    }
-
-    /// Jitter for the next retry timer of `node` (0 without jitter — the
-    /// retry stream is then never consulted).
-    fn retry_jitter(&mut self, node: NodeId, policy: RetryPolicy) -> u64 {
-        if policy.jitter_ns == 0 {
-            0
-        } else {
-            rand::Rng::gen_range(&mut self.retry_rngs[node.index()], 0..=policy.jitter_ns)
-        }
-    }
-
-    /// A retransmission timer fired: if the message is still unacked,
-    /// retransmit (unless the sender is crashed — a down sender burns
-    /// the attempt without airing a frame) and re-arm the timer with
-    /// exponential backoff; give up after `max_retries`.
-    fn handle_retry(&mut self, msg_id: u64, time: u64) {
-        let Some(policy) = self.cfg.reliability else {
-            return;
-        };
-        let Some(p) = self.pending.get(&msg_id) else {
-            return; // acked in the meantime
-        };
-        let (from, to, attempts) = (p.from, p.to, p.attempts);
-        if self.dead[from.index()] || !self.plan.recovers(from, time) {
-            // The sender is gone for good: nobody will ever retransmit.
-            self.pending.remove(&msg_id);
-            self.stats.retry_exhausted += 1;
-            snod_obs::counter!("simnet.retry_exhausted").incr();
-            return;
-        }
-        if attempts >= policy.max_retries {
-            self.pending.remove(&msg_id);
-            self.stats.retry_exhausted += 1;
-            snod_obs::counter!("simnet.retry_exhausted").incr();
-            ftrace!(self.trace, "{time}: msg {msg_id} abandoned after {attempts} retries");
-            return;
-        }
-        if self.plan.is_down(from, time) {
-            // Crashed (but recovering) sender: the attempt is spent, the
-            // timer keeps running, no frame is aired.
-            self.pending
-                .get_mut(&msg_id)
-                .expect("pending entry present")
-                .attempts += 1;
-        } else {
-            let payload = {
-                let p = self.pending.get_mut(&msg_id).expect("pending entry present");
-                p.attempts += 1;
-                p.payload.clone()
-            };
-            self.stats.retransmissions += 1;
-            snod_obs::counter!("simnet.retransmissions").incr();
-            self.transmit(from, to, time, Some(msg_id), payload);
-        }
-        let wait = policy.backoff_ns(attempts + 1) + self.retry_jitter(from, policy);
-        self.queue.schedule(time + wait, Event::Retry { msg_id });
-    }
-}
-
-/// A running simulation: topology + per-node applications + event queue.
-pub struct Network<P: Wire, A: SensorApp<P>> {
+/// A running simulation: topology + per-node engines + event queue.
+pub struct Network<P: Wire, A: DetectorEngine<P>> {
     topo: Hierarchy,
     apps: Vec<A>,
     cfg: SimConfig,
     energy: EnergyModel,
     plan: FaultPlan,
-    queue: EventQueue<P>,
-    stats: NetStats,
-    clock_ns: u64,
-    loss_rngs: Vec<SeededRng>,
-    fault_rngs: Vec<SeededRng>,
-    retry_rngs: Vec<SeededRng>,
-    pending: HashMap<u64, Pending<P>>,
-    seen: Vec<HashSet<u64>>,
-    next_msg_id: u64,
-    /// Scheduled node failures `(time_ns, node)`, unsorted.
-    failures: Vec<(u64, NodeId)>,
-    /// Per-node dead flags.
-    dead: Vec<bool>,
-    /// True once the initial readings have been seeded (the first
-    /// [`Self::run`]/[`Self::run_until`] call).
-    started: bool,
+    state: EngineState<P>,
     restart: RestartState<A>,
-    trace: FaultTrace,
 }
 
-impl<P: Wire, A: SensorApp<P>> Network<P, A> {
+impl<P: Wire, A: DetectorEngine<P>> Network<P, A> {
     /// Builds a network, constructing one application per node via
     /// `make_app`.
     pub fn new(
@@ -929,44 +159,24 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
         let apps: Vec<A> = (0..topo.node_count())
             .map(|i| make_app(NodeId(i as u32), &topo))
             .collect();
-        let stats = NetStats::new(topo.node_count(), topo.level_count());
-        let n = topo.node_count();
         let plan = FaultPlan::none();
+        let state = EngineState::new(topo.node_count(), topo.level_count(), &cfg, &plan);
         Self {
             apps,
             cfg,
             energy: EnergyModel::default(),
-            queue: EventQueue::new(),
-            stats,
-            clock_ns: 0,
-            loss_rngs: Self::streams(n, cfg.loss_seed ^ LOSS_SALT),
-            fault_rngs: Self::streams(n, plan.seed ^ FAULT_SALT),
-            retry_rngs: Self::streams(n, cfg.loss_seed ^ RETRY_SALT),
-            pending: HashMap::new(),
-            seen: vec![HashSet::new(); n],
-            next_msg_id: 0,
-            failures: Vec::new(),
-            dead: vec![false; n],
-            started: false,
+            state,
             restart: RestartState::default(),
             plan,
             topo,
-            trace: FaultTrace::new(),
         }
-    }
-
-    /// One per-node RNG stream family, decorrelated per node.
-    fn streams(n: usize, base: u64) -> Vec<SeededRng> {
-        (0..n)
-            .map(|i| SeededRng::seed_from_u64(mix(base, i as u64)))
-            .collect()
     }
 
     /// Installs `plan` as this run's fault schedule (and reseeds the
     /// fault streams from its seed). Must be called before
     /// [`Self::run`].
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault_rngs = Self::streams(self.topo.node_count(), plan.seed ^ FAULT_SALT);
+        self.state.reseed_fault_streams(plan.seed);
         self.plan = plan;
         self
     }
@@ -977,12 +187,13 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
     }
 
     /// Installs the application-state restart policy applied when a
-    /// node comes back from a recoverable [`crate::fault::CrashWindow`]
-    /// (see [`RestartPolicy`]). The default, `Persistent`, preserves
-    /// the engine's historic behaviour bit for bit. `Cold` and `Warm`
-    /// snapshot every application's pristine state now, so call this
-    /// *after* the apps are built but before [`Self::run`]. Counted in
-    /// [`NetStats::cold_restarts`] / [`NetStats::warm_restarts`].
+    /// node comes back from a recoverable
+    /// [`snod_engine::fault::CrashWindow`] (see [`RestartPolicy`]). The
+    /// default, `Persistent`, preserves the engine's historic behaviour
+    /// bit for bit. `Cold` and `Warm` snapshot every application's
+    /// pristine state now, so call this *after* the apps are built but
+    /// before [`Self::run`]. Counted in [`NetStats::cold_restarts`] /
+    /// [`NetStats::warm_restarts`].
     pub fn with_restart_policy(mut self, policy: RestartPolicy) -> Self
     where
         A: Persist,
@@ -1011,14 +222,14 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
     /// Schedules `node` to fail (permanently stop reading, relaying and
     /// receiving) at simulated time `time_ns`. Must be called before
     /// [`Self::run`]. For a *recoverable* outage use a
-    /// [`crate::fault::CrashWindow`] instead.
+    /// [`snod_engine::fault::CrashWindow`] instead.
     pub fn schedule_failure(&mut self, node: NodeId, time_ns: u64) {
-        self.failures.push((time_ns, node));
+        self.state.failures.push((time_ns, node));
     }
 
     /// Whether `node` has failed.
     pub fn is_dead(&self, node: NodeId) -> bool {
-        self.dead[node.index()]
+        self.state.dead[node.index()]
     }
 
     /// Replaces the default energy model.
@@ -1029,9 +240,9 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
 
     /// The fault-decision log: one line per crash, missed reading,
     /// lost frame and abandoned retry, in engine order. Empty unless
-    /// the crate's `fault-trace` feature is enabled.
+    /// the `fault-trace` feature is enabled.
     pub fn fault_trace(&self) -> &[String] {
-        &self.trace
+        &self.state.trace
     }
 
     /// Runs the simulation: every leaf takes `readings_per_leaf` readings
@@ -1065,8 +276,8 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
         if readings_per_leaf == 0 {
             return;
         }
-        if !self.started {
-            self.seed_initial_readings();
+        if !self.state.started {
+            self.state.seed_initial_readings(&self.topo, &self.cfg);
             if !matches!(self.restart.policy, RestartPolicy::Persistent) {
                 self.restart.recoveries = self
                     .plan
@@ -1075,7 +286,7 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
                     .filter_map(|c| c.up_ns.map(|up| (up, c.node.0)))
                     .collect();
             }
-            self.started = true;
+            self.state.started = true;
         }
         let workers = self.cfg.resolved_workers();
         if workers <= 1 {
@@ -1083,33 +294,18 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
         } else {
             self.run_parallel(source, readings_per_leaf, workers, stop_ns);
         }
-        self.stats.elapsed_ns = self.clock_ns;
+        self.state.stats.elapsed_ns = self.state.clock_ns;
         // Per-level message flow, exported after the run so the hot loop
         // never pays a dynamic metric lookup.
         if snod_obs::enabled() {
-            for (i, &msgs) in self.stats.messages_per_level.iter().enumerate() {
+            for (i, &msgs) in self.state.stats.messages_per_level.iter().enumerate() {
                 let name = format!("simnet.level.{}.msgs", i + 1);
                 snod_obs::Gauge::named(&name).set(msgs);
             }
         }
     }
 
-    /// Schedules every leaf's first reading (staggered or synchronous).
-    fn seed_initial_readings(&mut self) {
-        let leaves: Vec<NodeId> = self.topo.leaves().to_vec();
-        let n = leaves.len().max(1) as u64;
-        for (i, &leaf) in leaves.iter().enumerate() {
-            let phase = if self.cfg.stagger_readings {
-                (i as u64 * self.cfg.reading_period_ns) / n
-            } else {
-                0
-            };
-            self.queue
-                .schedule(phase, Event::Reading { node: leaf, seq: 0 });
-        }
-    }
-
-    /// The classic one-event-at-a-time engine: for each event, the pre
+    /// The classic one-event-at-a-time driver: for each event, the pre
     /// phase, then (maybe) the callback, then the post phase.
     fn run_sequential<S: StreamSource>(
         &mut self,
@@ -1117,7 +313,7 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
         readings_per_leaf: u64,
         stop_ns: u64,
     ) {
-        let mut clock = self.clock_ns;
+        let mut clock = self.state.clock_ns;
         // Split borrows: the engine never touches `apps` or `restart`.
         let Self {
             topo,
@@ -1125,37 +321,10 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             cfg,
             energy,
             plan,
-            queue,
-            stats,
-            loss_rngs,
-            fault_rngs,
-            retry_rngs,
-            pending,
-            seen,
-            next_msg_id,
-            failures,
-            dead,
+            state,
             restart,
-            trace,
-            ..
         } = self;
-        let mut eng = Engine {
-            topo,
-            cfg: *cfg,
-            energy,
-            plan,
-            queue,
-            stats,
-            loss_rngs,
-            fault_rngs,
-            retry_rngs,
-            pending,
-            seen,
-            next_msg_id,
-            failures,
-            dead,
-            trace,
-        };
+        let mut eng = state.engine(topo, *cfg, energy, plan);
         loop {
             // Peek-then-pop: an event past the stop time stays queued,
             // so a later `run_until` (or a restored checkpoint) resumes
@@ -1179,28 +348,29 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
                     if restart.capture_due(time, node) {
                         restart.capture(time, node, &apps[node.index()]);
                     }
-                    let mut ctx = Ctx::new(node, time, eng.topo);
+                    let mut ctx = EngineCtx::new(node, time, eng.topo);
                     let app = &mut apps[node.index()];
                     match task {
-                        Task::Read(value) => app.on_reading(&mut ctx, &value),
+                        Task::Read(value) => app.ingest(&mut ctx, &value),
                         Task::Msg(from, payload) => app.on_message(&mut ctx, from, payload),
+                        Task::Timer(id) => app.on_timer(&mut ctx, id),
                     }
                     eng.finish(time, ctx.into_out(), post);
                 }
             }
         }
-        self.clock_ns = clock;
+        self.state.clock_ns = clock;
     }
 
-    /// The batched engine: pops every event sharing the earliest
+    /// The batched driver: pops every event sharing the earliest
     /// timestamp, runs the pre phase sequentially in batch order, ships
     /// the callbacks to `workers` threads (events on the *same* node
     /// stay in order on one worker), then replays every post-phase side
     /// effect — energy, statistics, RNG draws, the pending table, event
     /// scheduling — sequentially in batch order. Because pre and post
-    /// are the same [`Engine`] code the sequential driver runs, the
-    /// execution is bit-identical to [`Self::run_sequential`]; see the
-    /// crate docs.
+    /// are the same [`snod_engine::protocol::Engine`] code the
+    /// sequential driver runs, the execution is bit-identical to
+    /// [`Self::run_sequential`]; see the crate docs.
     fn run_parallel<S: StreamSource>(
         &mut self,
         source: &mut S,
@@ -1217,43 +387,17 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             .into_iter()
             .map(Mutex::new)
             .collect();
-        let mut clock_ns = self.clock_ns;
+        let mut clock_ns = self.state.clock_ns;
         let Self {
             topo,
             cfg,
             energy,
             plan,
-            queue,
-            stats,
-            loss_rngs,
-            fault_rngs,
-            retry_rngs,
-            pending,
-            seen,
-            next_msg_id,
-            failures,
-            dead,
+            state,
             restart,
-            trace,
             ..
         } = &mut *self;
-        let mut eng = Engine {
-            topo,
-            cfg: *cfg,
-            energy,
-            plan,
-            queue,
-            stats,
-            loss_rngs,
-            fault_rngs,
-            retry_rngs,
-            pending,
-            seen,
-            next_msg_id,
-            failures,
-            dead,
-            trace,
-        };
+        let mut eng = state.engine(topo, *cfg, energy, plan);
         let topo: &Hierarchy = eng.topo;
 
         // Work unit: one node's same-instant callbacks, in batch order.
@@ -1276,10 +420,11 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
                     let mut app = apps[node as usize].lock().expect("one worker per node");
                     let mut results = Vec::with_capacity(tasks.len());
                     for (pos, task) in tasks {
-                        let mut ctx = Ctx::new(NodeId(node), time, topo);
+                        let mut ctx = EngineCtx::new(NodeId(node), time, topo);
                         match task {
-                            Task::Read(value) => app.on_reading(&mut ctx, &value),
+                            Task::Read(value) => app.ingest(&mut ctx, &value),
                             Task::Msg(from, payload) => app.on_message(&mut ctx, from, payload),
+                            Task::Timer(id) => app.on_timer(&mut ctx, id),
                         }
                         results.push((pos, ctx.into_out()));
                     }
@@ -1377,12 +522,12 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             .into_iter()
             .map(|m| m.into_inner().expect("workers finished cleanly"))
             .collect();
-        self.clock_ns = clock_ns;
+        self.state.clock_ns = clock_ns;
     }
 
     /// Traffic and energy statistics of the run so far.
     pub fn stats(&self) -> &NetStats {
-        &self.stats
+        &self.state.stats
     }
 
     /// The topology.
@@ -1411,7 +556,7 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
 
     /// Final simulated clock (ns).
     pub fn now_ns(&self) -> u64 {
-        self.clock_ns
+        self.state.clock_ns
     }
 
     /// A structural fingerprint of everything the checkpoint does *not*
@@ -1421,35 +566,14 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
     /// restart policy. A checkpoint only restores into a network built
     /// with a matching fingerprint.
     fn fingerprint(&self) -> u64 {
-        let mut h = mix(0x534E_4F44, self.topo.node_count() as u64); // "SNOD"
-        h = mix(h, self.topo.level_count() as u64);
-        h = mix(h, self.cfg.reading_period_ns);
-        h = mix(h, self.cfg.link_latency_ns);
-        h = mix(h, u64::from(self.cfg.stagger_readings));
-        h = mix(h, self.cfg.drop_probability.to_bits());
-        h = mix(h, self.cfg.loss_seed);
-        match self.cfg.reliability {
-            None => h = mix(h, 0),
-            Some(p) => {
-                h = mix(h, 1);
-                h = mix(h, p.timeout_ns);
-                h = mix(h, u64::from(p.max_retries));
-                h = mix(h, p.backoff.to_bits());
-                h = mix(h, p.jitter_ns);
-            }
-        }
-        h = mix(h, self.plan.seed);
+        let h = protocol::config_fingerprint(&self.topo, &self.cfg, self.plan.seed);
         match self.restart.policy {
-            RestartPolicy::Persistent => h = mix(h, 0),
-            RestartPolicy::Cold => h = mix(h, 1),
+            RestartPolicy::Persistent => protocol::mix(h, 0),
+            RestartPolicy::Cold => protocol::mix(h, 1),
             RestartPolicy::Warm {
                 checkpoint_every_ns,
-            } => {
-                h = mix(h, 2);
-                h = mix(h, checkpoint_every_ns);
-            }
+            } => protocol::mix(protocol::mix(h, 2), checkpoint_every_ns),
         }
-        h
     }
 
     /// The raw (un-enveloped) checkpoint payload; see
@@ -1461,18 +585,7 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
     {
         let mut w = ByteWriter::new();
         self.fingerprint().save(&mut w);
-        self.started.save(&mut w);
-        self.clock_ns.save(&mut w);
-        self.queue.save(&mut w);
-        self.stats.save(&mut w);
-        self.loss_rngs.save(&mut w);
-        self.fault_rngs.save(&mut w);
-        self.retry_rngs.save(&mut w);
-        self.pending.save(&mut w);
-        self.seen.save(&mut w);
-        self.next_msg_id.save(&mut w);
-        self.failures.save(&mut w);
-        self.dead.save(&mut w);
+        self.state.save(&mut w);
         self.restart.last_ckpt.save(&mut w);
         self.restart.next_ckpt_ns.save(&mut w);
         self.restart.recoveries.save(&mut w);
@@ -1550,35 +663,12 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
                 "checkpoint was taken on a different topology, config, fault plan or restart policy",
             ));
         }
-        let started = bool::load(&mut r)?;
-        let clock_ns = u64::load(&mut r)?;
-        let queue = EventQueue::load(&mut r)?;
-        let stats = NetStats::load(&mut r)?;
-        let loss_rngs = Vec::<SeededRng>::load(&mut r)?;
-        let fault_rngs = Vec::<SeededRng>::load(&mut r)?;
-        let retry_rngs = Vec::<SeededRng>::load(&mut r)?;
-        let pending = HashMap::<u64, Pending<P>>::load(&mut r)?;
-        let seen = Vec::<HashSet<u64>>::load(&mut r)?;
-        let next_msg_id = u64::load(&mut r)?;
-        let failures = Vec::<(u64, NodeId)>::load(&mut r)?;
-        let dead = Vec::<bool>::load(&mut r)?;
+        let state = EngineState::<P>::load(&mut r)?;
         let last_ckpt = Vec::<Option<Vec<u8>>>::load(&mut r)?;
         let next_ckpt_ns = Vec::<u64>::load(&mut r)?;
         let recoveries = Vec::<(u64, u32)>::load(&mut r)?;
         let n = self.topo.node_count();
-        if [
-            loss_rngs.len(),
-            fault_rngs.len(),
-            retry_rngs.len(),
-            seen.len(),
-            dead.len(),
-            stats.bytes_per_node.len(),
-            stats.messages_per_node.len(),
-        ]
-        .iter()
-        .any(|&len| len != n)
-            || stats.messages_per_level.len() != self.topo.level_count()
-        {
+        if !state.shape_matches(n, self.topo.level_count()) {
             return Err(PersistError::Corrupt("checkpoint node count mismatch"));
         }
         let restart_shape_ok = match self.restart.policy {
@@ -1600,19 +690,12 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
             apps.push(A::load(&mut r)?);
         }
         r.finish()?;
-        // Everything decoded and validated — commit.
-        self.started = started;
-        self.clock_ns = clock_ns;
-        self.queue = queue;
-        self.stats = stats;
-        self.loss_rngs = loss_rngs;
-        self.fault_rngs = fault_rngs;
-        self.retry_rngs = retry_rngs;
-        self.pending = pending;
-        self.seen = seen;
-        self.next_msg_id = next_msg_id;
-        self.failures = failures;
-        self.dead = dead;
+        // Everything decoded and validated — commit. The diagnostic
+        // fault trace is not persisted; keep whatever this network
+        // accumulated (matching the historic restore behaviour).
+        let trace = std::mem::take(&mut self.state.trace);
+        self.state = state;
+        self.state.trace = trace;
         self.restart.last_ckpt = last_ckpt;
         self.restart.next_ckpt_ns = next_ckpt_ns;
         self.restart.recoveries = recoveries;
@@ -1624,7 +707,8 @@ impl<P: Wire, A: SensorApp<P>> Network<P, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::LinkFault;
+    use snod_engine::fault::LinkFault;
+    use snod_engine::RetryPolicy;
 
     /// Leaves forward every reading to their parent; leaders count what
     /// they hear and forward a fraction upward (every other message).
@@ -1644,13 +728,18 @@ mod tests {
         }
     }
 
-    impl SensorApp<Vec<f64>> for Relay {
-        fn on_reading(&mut self, ctx: &mut Ctx<'_, Vec<f64>>, value: &[f64]) {
+    impl DetectorEngine<Vec<f64>> for Relay {
+        fn ingest(&mut self, ctx: &mut EngineCtx<'_, Vec<f64>>, value: &[f64]) {
             self.readings += 1;
             ctx.send_parent(value.to_vec());
         }
 
-        fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<f64>>, _from: NodeId, payload: Vec<f64>) {
+        fn on_message(
+            &mut self,
+            ctx: &mut EngineCtx<'_, Vec<f64>>,
+            _from: NodeId,
+            payload: Vec<f64>,
+        ) {
             self.received += 1;
             if self.received.is_multiple_of(2) && ctx.send_parent(payload) {
                 self.forwarded += 1;
@@ -1661,13 +750,18 @@ mod tests {
     /// Like [`Relay`] but every send is reliable.
     struct ReliableRelay(Relay);
 
-    impl SensorApp<Vec<f64>> for ReliableRelay {
-        fn on_reading(&mut self, ctx: &mut Ctx<'_, Vec<f64>>, value: &[f64]) {
+    impl DetectorEngine<Vec<f64>> for ReliableRelay {
+        fn ingest(&mut self, ctx: &mut EngineCtx<'_, Vec<f64>>, value: &[f64]) {
             self.0.readings += 1;
             ctx.send_parent_reliable(value.to_vec());
         }
 
-        fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<f64>>, _from: NodeId, payload: Vec<f64>) {
+        fn on_message(
+            &mut self,
+            ctx: &mut EngineCtx<'_, Vec<f64>>,
+            _from: NodeId,
+            payload: Vec<f64>,
+        ) {
             self.0.received += 1;
             if self.0.received.is_multiple_of(2) && ctx.send_parent_reliable(payload) {
                 self.0.forwarded += 1;
@@ -2139,5 +1233,73 @@ mod tests {
         assert_eq!(slow.app(root).received, fast.app(root).received);
         assert!(slow.now_ns() > fast.now_ns());
         assert_eq!(slow.stats().dropped, 0);
+    }
+
+    /// An app that arms a timer on every reading and counts firings —
+    /// drives the AppTimer path end to end through the simulator.
+    struct TimerApp {
+        readings: u64,
+        fired: u64,
+    }
+
+    impl DetectorEngine<Vec<f64>> for TimerApp {
+        fn ingest(&mut self, ctx: &mut EngineCtx<'_, Vec<f64>>, _value: &[f64]) {
+            self.readings += 1;
+            ctx.set_timer(250_000_000, self.readings);
+        }
+
+        fn on_message(&mut self, _: &mut EngineCtx<'_, Vec<f64>>, _: NodeId, _: Vec<f64>) {}
+
+        fn on_timer(&mut self, ctx: &mut EngineCtx<'_, Vec<f64>>, timer: u64) {
+            self.fired += 1;
+            assert_eq!(timer, self.fired, "timers fire in arming order");
+            ctx.send_parent(vec![timer as f64]);
+        }
+    }
+
+    #[test]
+    fn app_timers_fire_once_each_and_can_send() {
+        let topo = Hierarchy::balanced(2, &[2]).unwrap();
+        let mut net = Network::new(topo, SimConfig::default(), |_, _| TimerApp {
+            readings: 0,
+            fired: 0,
+        });
+        let mut source = |_: NodeId, _: u64| Some(vec![0.5]);
+        net.run(&mut source, 10);
+        for &leaf in net.topology().leaves() {
+            assert_eq!(net.app(leaf).readings, 10);
+            assert_eq!(net.app(leaf).fired, 10);
+        }
+        // Timer callbacks sent one frame each: 2 leaves × 10 timers.
+        assert_eq!(net.stats().messages, 20);
+    }
+
+    #[test]
+    fn timers_are_lost_while_a_node_is_down() {
+        let topo = Hierarchy::balanced(2, &[2]).unwrap();
+        let cfg = SimConfig {
+            stagger_readings: false,
+            ..SimConfig::default()
+        };
+        // Down for [5 s, 15 s): readings 5..=14 are missed AND any timer
+        // armed at t=4.x s fires into the crash window and is lost.
+        let plan = FaultPlan::none().crash(NodeId(0), 4_500_000_000, Some(15_000_000_000));
+        let mut net = Network::new(topo, cfg, |_, _| TimerApp {
+            readings: 0,
+            fired: 0,
+        })
+        .with_fault_plan(plan);
+        let mut source = |_: NodeId, _: u64| Some(vec![0.5]);
+        net.run(&mut source, 20);
+        let down = net.app(NodeId(0));
+        // Readings at t=0..4 and t=15..19: 5 + 5 = 10; the t=4 timer
+        // (due t=4.25? no — armed at 4 + 0.25 = 4.25 s, before the
+        // window) fires, so only timers armed at t ∈ {4.5..} are at
+        // risk; all surviving readings' timers fire.
+        assert_eq!(down.readings, 10);
+        assert_eq!(down.fired, down.readings);
+        let up = net.app(NodeId(1));
+        assert_eq!(up.readings, 20);
+        assert_eq!(up.fired, 20);
     }
 }

@@ -19,7 +19,7 @@ use proptest::prelude::*;
 use sensor_outliers::core::{run_d3_with_faults, D3Config, EstimatorConfig};
 use sensor_outliers::outlier::DistanceOutlierConfig;
 use sensor_outliers::simnet::{
-    Ctx, FaultPlan, Hierarchy, LinkFault, Network, NodeId, RetryPolicy, SensorApp, SimConfig,
+    Ctx, DetectorEngine, FaultPlan, Hierarchy, LinkFault, Network, NodeId, RetryPolicy, SimConfig,
     Wire,
 };
 
@@ -103,8 +103,8 @@ impl Wire for Stamp {
     }
 }
 
-impl SensorApp<Stamp> for Probe {
-    fn on_reading(&mut self, ctx: &mut Ctx<'_, Stamp>, _value: &[f64]) {
+impl DetectorEngine<Stamp> for Probe {
+    fn ingest(&mut self, ctx: &mut Ctx<'_, Stamp>, _value: &[f64]) {
         ctx.send_parent(Stamp {
             sent_ns: ctx.time_ns,
         });

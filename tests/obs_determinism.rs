@@ -110,7 +110,7 @@ type Trace = Vec<(u32, Vec<(u64, Vec<u64>, u8)>)>;
 fn trace<P, A>(net: &Network<P, A>, dets: impl Fn(&A) -> Trace2) -> Trace
 where
     P: sensor_outliers::simnet::Wire,
-    A: sensor_outliers::simnet::SensorApp<P>,
+    A: sensor_outliers::simnet::DetectorEngine<P>,
 {
     net.apps()
         .map(|(node, app)| (node.0, dets(app)))

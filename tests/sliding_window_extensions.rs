@@ -48,7 +48,9 @@ fn aloci_forest_tracks_a_sliding_window() {
     // Section 4.2 / Papadimitriou et al.), so the per-point test is a
     // maximum over many correlated MDEF statistics and cell-boundary
     // effects inflate the false-alarm rate well above the single-test
-    // Chebyshev level (measured ~10.4% on this seed).
+    // Chebyshev level (measured 7.9% on this seed — 69/872 — leaving
+    // roughly 2× headroom under the bound; both streams and the forest
+    // are fully deterministic, so the measurement is stable).
     assert!(seen_core > 500, "only {seen_core} core readings in eval");
     assert!(
         (flagged_core as f64) < 0.15 * seen_core as f64,
@@ -66,6 +68,10 @@ fn windowed_quantiles_follow_regime_shifts() {
     for _ in 0..4_096 {
         wq.push(stream.next_reading()[0]);
     }
+    // The 0.03 tolerance is ~8× the measured error (|Δ| ≈ 0.004 on
+    // this deterministic stream): wide enough to absorb sketch
+    // quantization, tight enough that a regime mix-up (median stuck
+    // between 0.3 and 0.5) still fails decisively.
     let before = wq.median().expect("warm sketch");
     assert!((before - 0.3).abs() < 0.03, "regime-A median {before}");
     // 3,000 readings into regime B the 2,048-window is fully post-shift.
@@ -92,6 +98,9 @@ fn time_sliced_estimator_separates_regimes() {
         ts.observe(&stream.next_reading()).expect("1-d");
     }
     // Epoch 0 = regime A, epoch 1 = regime B, epoch 2 = regime A.
+    // Measured: a ≈ 3865, b ≈ 122, b_high ≈ 3840 on this seed, so the
+    // 3500/500 bounds hold with ~350-reading margins while still
+    // requiring >85% of each epoch's mass in the right band.
     let a = ts.range_count(&[0.2], &[0.4], 0, 0).expect("query");
     let b = ts.range_count(&[0.2], &[0.4], 1, 1).expect("query");
     assert!(a > 3_500.0, "regime-A epoch count {a}");

@@ -1,0 +1,181 @@
+//! Load benchmark for the `snod serve` ingestion daemon, written to
+//! `BENCH_serve.json` in the working directory.
+//!
+//! The harness starts an in-process daemon, then fans a fleet of tenant
+//! streams across a handful of client connections (each connection
+//! multiplexes its share of tenants over one socket, exactly as a real
+//! gateway would). Every tenant streams a seeded synthetic signal to
+//! completion; the run reports end-to-end ingestion throughput,
+//! ack-latency percentiles (send → received-ack round trip, sampled on
+//! a rotating tenant), and the daemon's shed/duplicate/reconnect
+//! counters.
+//!
+//! `SNOD_BENCH_SMOKE=1` shrinks the fleet for CI; the committed JSON
+//! comes from a full run (>= 1k concurrent tenant streams).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snod_serve::{serve, ClientConfig, ServeClient, ServeConfig, TenantSpec};
+
+/// Ack latency is sampled every this-many readings per connection.
+const SAMPLE_EVERY: u64 = 16;
+
+struct Shape {
+    smoke: bool,
+    tenants: usize,
+    readings: u64,
+    connections: usize,
+}
+
+impl Shape {
+    fn from_env() -> Self {
+        if std::env::var("SNOD_BENCH_SMOKE").is_ok() {
+            Self { smoke: true, tenants: 32, readings: 40, connections: 2 }
+        } else {
+            Self { smoke: false, tenants: 1200, readings: 150, connections: 8 }
+        }
+    }
+}
+
+/// The same cluster-plus-spikes signal the serve test-suite streams:
+/// a tight cluster at 0.5 with a 5 % spike rate.
+fn reading(rng: &mut StdRng) -> Vec<f64> {
+    if rng.gen::<f64>() < 0.05 {
+        vec![5.0 + rng.gen::<f64>()]
+    } else {
+        vec![0.5 + 0.05 * (rng.gen::<f64>() - 0.5)]
+    }
+}
+
+/// One connection worker: streams `tenants` interleaved tenant streams
+/// over a single multiplexed client, returning sampled ack latencies
+/// (ms) and how many tenants reached FinishOk.
+fn run_connection(
+    addr: String,
+    first_tenant: usize,
+    tenants: usize,
+    readings: u64,
+) -> (Vec<f64>, usize) {
+    let mut client = ServeClient::new(ClientConfig::new(addr));
+    let handles: Vec<u32> = (0..tenants)
+        .map(|i| client.open(format!("bench-{:04}", first_tenant + i)))
+        .collect();
+    let mut rngs: Vec<StdRng> = (0..tenants)
+        .map(|i| StdRng::seed_from_u64(0xBE7C_u64 ^ ((first_tenant + i) as u64) << 8))
+        .collect();
+    let mut latencies = Vec::new();
+    for seq in 0..readings {
+        for (i, &h) in handles.iter().enumerate() {
+            let value = reading(&mut rngs[i]);
+            client.send(h, 0, seq, value);
+        }
+        if seq % SAMPLE_EVERY == 0 {
+            // Flush-to-ack round trip on a rotating tenant.
+            let probe = handles[(seq / SAMPLE_EVERY) as usize % handles.len()];
+            let t0 = Instant::now();
+            while client.unacked(probe) > 0 && t0.elapsed() < Duration::from_secs(30) {
+                client.pump(Duration::from_millis(2));
+            }
+            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        } else {
+            // Drain acks without stalling the send loop.
+            client.pump(Duration::ZERO);
+        }
+    }
+    for &h in &handles {
+        client.finish(h, vec![(0, readings)]);
+    }
+    let deadline = Duration::from_secs(600);
+    let finished = handles
+        .iter()
+        .filter(|&&h| client.wait_finished(h, deadline))
+        .count();
+    (latencies, finished)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let shape = Shape::from_env();
+    let per_conn = shape.tenants / shape.connections;
+    assert_eq!(per_conn * shape.connections, shape.tenants, "even split");
+
+    let cfg = ServeConfig {
+        max_tenants: shape.tenants + 16,
+        queue_capacity: 64,
+        tenant: TenantSpec { window: 128, sample_size: 16, ..TenantSpec::default() },
+        ..ServeConfig::default()
+    };
+    let server = serve(cfg).expect("daemon starts");
+    let addr = server.addr().to_string();
+
+    let wall = Instant::now();
+    let workers: Vec<_> = (0..shape.connections)
+        .map(|c| {
+            let addr = addr.clone();
+            let readings = shape.readings;
+            std::thread::spawn(move || run_connection(addr, c * per_conn, per_conn, readings))
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut finished = 0usize;
+    for w in workers {
+        let (lat, fin) = w.join().expect("connection worker");
+        latencies.extend(lat);
+        finished += fin;
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    assert_eq!(finished, shape.tenants, "every tenant stream must complete");
+
+    let stats = server.stats();
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let total_readings = shape.tenants as u64 * shape.readings;
+    let shed_rate = stats.shed as f64 / total_readings as f64;
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"tenants\": {tenants},\n  \
+         \"readings_per_tenant\": {readings},\n  \"connections\": {conns},\n  \
+         \"throughput_rps\": {rps:.1},\n  \"latency_ms\": {{\"p50\": {p50:.3}, \
+         \"p90\": {p90:.3}, \"p99\": {p99:.3}}},\n  \
+         \"shed\": {{\"count\": {shed}, \"rate\": {rate:.6}}},\n  \
+         \"duplicates\": {dups},\n  \"reconnects\": {reconnects},\n  \
+         \"wall_ms\": {wall_ms:.0}\n}}\n",
+        smoke = shape.smoke,
+        tenants = shape.tenants,
+        readings = shape.readings,
+        conns = shape.connections,
+        rps = total_readings as f64 / wall_s,
+        p50 = percentile(&latencies, 0.50),
+        p90 = percentile(&latencies, 0.90),
+        p99 = percentile(&latencies, 0.99),
+        shed = stats.shed,
+        rate = shed_rate,
+        dups = stats.duplicates,
+        reconnects = stats.reconnects,
+        wall_ms = wall_s * 1e3,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    eprintln!(
+        "{} tenants x {} readings over {} connections: {:.0} readings/s, \
+         ack p50 {:.1} ms / p99 {:.1} ms, shed {} ({:.4}), wall {:.1} s",
+        shape.tenants,
+        shape.readings,
+        shape.connections,
+        total_readings as f64 / wall_s,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        stats.shed,
+        shed_rate,
+        wall_s,
+    );
+}

@@ -11,10 +11,70 @@ pub enum Command {
     Stats(StatsArgs),
     /// Distributed simulation over a synthetic hierarchy.
     Simulate(SimulateArgs),
+    /// Long-lived multi-tenant ingestion daemon.
+    Serve(ServeArgs),
+    /// Stream a recorded trace into a running daemon.
+    Client(ClientArgs),
     /// Self-contained synthetic demo.
     Demo,
     /// Print usage.
     Help,
+}
+
+/// Arguments of `snod serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Ingestion listener address.
+    pub addr: String,
+    /// Metrics/health HTTP listener address (off when absent).
+    pub metrics_addr: Option<String>,
+    /// Per-tenant checkpoint directory (durability off when absent).
+    pub checkpoint_dir: Option<String>,
+    /// Leaf sensors per tenant.
+    pub leaves: usize,
+    /// Hierarchy fan-outs above the leaves, comma-separated.
+    pub fanouts: Vec<usize>,
+    /// Sliding window `|W|` per node.
+    pub window: usize,
+    /// Chain-sample size `|R|`.
+    pub sample: Option<usize>,
+    /// Distance rule radius `r`.
+    pub radius: f64,
+    /// Distance rule neighbor threshold `t`.
+    pub neighbors: f64,
+    /// Bounded per-tenant queue capacity.
+    pub queue: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7433".into(),
+            metrics_addr: None,
+            checkpoint_dir: None,
+            leaves: 1,
+            fanouts: Vec::new(),
+            window: 256,
+            sample: None,
+            radius: 0.02,
+            neighbors: 10.0,
+            queue: 256,
+        }
+    }
+}
+
+/// Arguments of `snod client`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientArgs {
+    /// Daemon address.
+    pub addr: String,
+    /// Tenant name to stream as.
+    pub tenant: String,
+    /// Recorded reading trace (CSV, from `snod simulate --record`).
+    pub replay: String,
+    /// Subscribe to live escalation frames and print them as they
+    /// arrive.
+    pub follow: bool,
 }
 
 /// Arguments of `snod simulate`.
@@ -139,6 +199,8 @@ USAGE:
   snod detect [OPTIONS] [FILE]    flag outliers in a CSV stream
   snod stats  [FILE]              per-dimension dataset statistics
   snod simulate [OPTIONS]         distributed run over a synthetic hierarchy
+  snod serve [OPTIONS]            multi-tenant TCP ingestion daemon
+  snod client [OPTIONS]           stream a recorded trace into a daemon
   snod demo                       synthetic end-to-end demo
   snod help                       this text
 
@@ -160,6 +222,27 @@ SIMULATE OPTIONS:
   --record F        write the ingested reading trace to F (CSV)
   --replay F        feed readings from trace F instead of the synthetic
                     streams (works under either driver)
+
+SERVE OPTIONS:
+  --addr A          ingestion listener             (default 127.0.0.1:7433)
+  --metrics-addr A  also serve /metrics /healthz /escalations over HTTP
+  --checkpoint-dir D  per-tenant checkpoints in D: tenants survive a
+                    daemon kill and acks carry a durable mark
+  --leaves N        leaf sensors per tenant        (default 1)
+  --fanouts L       hierarchy fan-outs above the leaves, e.g. 2,2
+  --window N        sliding window |W| per node    (default 256)
+  --sample N        chain-sample |R|               (default 32)
+  --radius R        (D,r) rule: neighborhood radius    (default 0.02)
+  --neighbors T     (D,r) rule: neighbor threshold     (default 10)
+  --queue N         bounded per-tenant queue; a full queue sheds
+                    readings, which clients retransmit (default 256)
+
+CLIENT OPTIONS:
+  --addr A          daemon address                 (default 127.0.0.1:7433)
+  --tenant NAME     tenant to stream as            (required)
+  --replay F        recorded trace CSV to stream   (required; see
+                    `snod simulate --record`)
+  --follow          print escalations live as the daemon pushes them
 
 DETECT OPTIONS:
   --window N        sliding window |W|            (default 10000)
@@ -248,6 +331,63 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ArgErro
                 }
             }
             Ok(Command::Simulate(s))
+        }
+        "serve" => {
+            let mut s = ServeArgs::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => s.addr = parse_value(&a, it.next())?,
+                    "--metrics-addr" => s.metrics_addr = Some(parse_value(&a, it.next())?),
+                    "--checkpoint-dir" => s.checkpoint_dir = Some(parse_value(&a, it.next())?),
+                    "--leaves" => s.leaves = parse_value(&a, it.next())?,
+                    "--fanouts" => {
+                        let raw: String = parse_value(&a, it.next())?;
+                        let parsed: Result<Vec<usize>, _> =
+                            raw.split(',').map(|p| p.trim().parse()).collect();
+                        s.fanouts = parsed
+                            .map_err(|_| ArgError(format!("invalid --fanouts: {raw}")))?;
+                    }
+                    "--window" => s.window = parse_value(&a, it.next())?,
+                    "--sample" => s.sample = Some(parse_value(&a, it.next())?),
+                    "--radius" => s.radius = parse_value(&a, it.next())?,
+                    "--neighbors" => s.neighbors = parse_value(&a, it.next())?,
+                    "--queue" => s.queue = parse_value(&a, it.next())?,
+                    other => return Err(ArgError(format!("unknown flag for serve: {other}"))),
+                }
+            }
+            if s.leaves == 0 {
+                return Err(ArgError("--leaves must be positive".into()));
+            }
+            if s.window == 0 {
+                return Err(ArgError("--window must be positive".into()));
+            }
+            if s.queue == 0 {
+                return Err(ArgError("--queue must be positive".into()));
+            }
+            Ok(Command::Serve(s))
+        }
+        "client" => {
+            let mut addr = "127.0.0.1:7433".to_string();
+            let mut tenant: Option<String> = None;
+            let mut replay: Option<String> = None;
+            let mut follow = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => addr = parse_value(&a, it.next())?,
+                    "--tenant" => tenant = Some(parse_value(&a, it.next())?),
+                    "--replay" => replay = Some(parse_value(&a, it.next())?),
+                    "--follow" => follow = true,
+                    other => return Err(ArgError(format!("unknown flag for client: {other}"))),
+                }
+            }
+            let tenant = tenant.ok_or_else(|| ArgError("client needs --tenant".into()))?;
+            let replay = replay.ok_or_else(|| ArgError("client needs --replay".into()))?;
+            Ok(Command::Client(ClientArgs {
+                addr,
+                tenant,
+                replay,
+                follow,
+            }))
         }
         "stats" => {
             let mut s = StatsArgs::default();
@@ -484,6 +624,52 @@ mod tests {
             "ck".into(),
         ])
         .is_err());
+    }
+
+    #[test]
+    fn serve_and_client_flags_parse_and_validate() {
+        let Command::Serve(s) = parse_ok(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:9000",
+            "--metrics-addr",
+            "127.0.0.1:9001",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--leaves",
+            "4",
+            "--fanouts",
+            "2,2",
+            "--queue",
+            "64",
+        ]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(s.addr, "127.0.0.1:9000");
+        assert_eq!(s.metrics_addr.as_deref(), Some("127.0.0.1:9001"));
+        assert_eq!(s.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!((s.leaves, s.fanouts.clone(), s.queue), (4, vec![2, 2], 64));
+        assert!(parse(["serve".into(), "--leaves".into(), "0".into()]).is_err());
+        assert!(parse(["serve".into(), "--queue".into(), "0".into()]).is_err());
+        assert!(parse(["serve".into(), "--fanouts".into(), "2,x".into()]).is_err());
+
+        let Command::Client(c) = parse_ok(&[
+            "client",
+            "--tenant",
+            "plant-7",
+            "--replay",
+            "trace.csv",
+            "--follow",
+        ]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.tenant, "plant-7");
+        assert_eq!(c.replay, "trace.csv");
+        assert!(c.follow);
+        assert_eq!(c.addr, "127.0.0.1:7433");
+        // Both --tenant and --replay are mandatory.
+        assert!(parse(["client".into(), "--replay".into(), "t.csv".into()]).is_err());
+        assert!(parse(["client".into(), "--tenant".into(), "t".into()]).is_err());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! snod detect --window 10000 --sample 500 --radius 0.01 --neighbors 45 readings.csv
 //! snod detect --mdef 0.08,0.01,3 readings.csv     # MDEF instead of (D,r)
 //! snod stats readings.csv                          # Figure-5-style table
+//! snod serve --metrics-addr 127.0.0.1:7434         # multi-tenant ingestion daemon
+//! snod client --tenant plant-7 --replay trace.csv  # stream a trace into it
 //! snod demo                                        # self-contained synthetic demo
 //! ```
 //!

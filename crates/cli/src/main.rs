@@ -20,6 +20,8 @@ fn main() {
         }
         Command::Demo => run::demo(&mut stdout),
         Command::Simulate(a) => run::simulate(a, &mut stdout),
+        Command::Serve(a) => run::serve_daemon(a, &mut stdout),
+        Command::Client(a) => run::serve_client(a, &mut stdout),
         Command::Stats(a) => run::stats(a, &mut stdout).map(|n| {
             eprintln!("{n} readings");
         }),

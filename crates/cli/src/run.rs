@@ -343,6 +343,139 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError
     Ok(())
 }
 
+/// `snod serve`: run the multi-tenant ingestion daemon until killed.
+pub fn serve_daemon(args: &crate::args::ServeArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let cfg = snod_serve::ServeConfig {
+        addr: args.addr.clone(),
+        metrics_addr: args.metrics_addr.clone(),
+        checkpoint_dir: args.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
+        queue_capacity: args.queue,
+        tenant: snod_serve::TenantSpec {
+            leaves: args.leaves,
+            fanouts: args.fanouts.clone(),
+            window: args.window,
+            sample_size: args.sample.unwrap_or_else(|| (args.window / 8).max(1)),
+            radius: args.radius,
+            min_neighbors: args.neighbors,
+            ..snod_serve::TenantSpec::default()
+        },
+        ..snod_serve::ServeConfig::default()
+    };
+    let server = snod_serve::serve(cfg).map_err(|e| format!("cannot start daemon: {e}"))?;
+    writeln!(out, "listening on {}", server.addr())?;
+    if let Some(m) = server.metrics_addr() {
+        writeln!(out, "metrics on http://{m}/metrics (also /healthz, /escalations)")?;
+    }
+    if let Some(d) = &args.checkpoint_dir {
+        writeln!(out, "checkpointing tenants to {d}")?;
+    }
+    out.flush()?;
+    // Serve until the process is killed; tenants checkpoint on their own
+    // cadence, so even a SIGKILL loses at most the un-checkpointed tail
+    // — which at-least-once clients replay.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `snod client`: stream a recorded trace into a daemon, wait for the
+/// stream to complete, and print the detections.
+pub fn serve_client(args: &crate::args::ClientArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    use std::time::Duration;
+
+    // The daemon would reject this anyway; fail before dialing so a
+    // typo doesn't sit in the redial loop.
+    if !snod_serve::valid_tenant_name(&args.tenant) {
+        return Err(format!(
+            "invalid tenant name {:?} (1-64 chars from [A-Za-z0-9_-])",
+            args.tenant
+        )
+        .into());
+    }
+    let trace = snod_simnet::ReadingTrace::read_file(std::path::Path::new(&args.replay))
+        .map_err(|e| format!("cannot replay {}: {e}", args.replay))?;
+    let mut totals: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    let rows: Vec<(u32, u64, Vec<f64>)> = trace
+        .rows()
+        .map(|(node, seq, value)| (node.0, seq, value.to_vec()))
+        .collect();
+    for (node, seq, _) in &rows {
+        let t = totals.entry(*node).or_insert(0);
+        *t = (*t).max(seq + 1);
+    }
+    if rows.is_empty() {
+        return Err(format!("trace {} holds no readings", args.replay).into());
+    }
+
+    let mut client = snod_serve::ServeClient::new(snod_serve::ClientConfig {
+        subscribe: args.follow,
+        ..snod_serve::ClientConfig::new(args.addr.clone())
+    });
+    let h = client.open(args.tenant.clone());
+    let mut printed = 0usize;
+    for (i, (node, seq, value)) in rows.iter().enumerate() {
+        client.send(h, *node, *seq, value.clone());
+        if i % 64 == 0 {
+            client.pump(Duration::from_millis(1));
+            if args.follow {
+                printed = print_escalations(&client, h, printed, out)?;
+            }
+        }
+    }
+    client.finish(h, totals.into_iter().collect());
+    let deadline = std::time::Instant::now() + Duration::from_secs(600);
+    while !client.wait_finished(h, Duration::from_millis(200)) {
+        if args.follow {
+            printed = print_escalations(&client, h, printed, out)?;
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err("daemon did not complete the stream within 10 minutes".into());
+        }
+    }
+    if args.follow {
+        print_escalations(&client, h, printed, out)?;
+    }
+
+    let detections = client
+        .query(h, Duration::from_secs(30))
+        .ok_or("daemon did not answer the detection query")?;
+    let mut by_level: std::collections::BTreeMap<u8, usize> = std::collections::BTreeMap::new();
+    for (node, time_ns, level, value) in &detections {
+        *by_level.entry(*level).or_insert(0) += 1;
+        let coords: Vec<String> = value.iter().map(|c| format!("{c}")).collect();
+        writeln!(out, "{node},{time_ns},{level},{}", coords.join(","))?;
+    }
+    eprintln!(
+        "tenant {}: {} readings streamed, {} detections{}",
+        args.tenant,
+        rows.len(),
+        detections.len(),
+        if client.reconnects() > 0 {
+            format!(" ({} reconnects)", client.reconnects())
+        } else {
+            String::new()
+        }
+    );
+    for (level, n) in by_level {
+        eprintln!("  level {level}: {n} detections");
+    }
+    Ok(())
+}
+
+fn print_escalations(
+    client: &snod_serve::ServeClient,
+    h: u32,
+    printed: usize,
+    out: &mut dyn Write,
+) -> Result<usize, CliError> {
+    let all = client.escalations(h);
+    for (node, time_ns, level, value) in &all[printed..] {
+        let coords: Vec<String> = value.iter().map(|c| format!("{c}")).collect();
+        writeln!(out, "escalation: node {node} t={time_ns} level {level} [{}]", coords.join(","))?;
+    }
+    Ok(all.len())
+}
+
 /// `snod demo`: self-contained synthetic run.
 pub fn demo(out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(

@@ -50,6 +50,7 @@ mod detector;
 mod energy;
 mod event;
 pub mod fault;
+pub mod ingest;
 mod live;
 mod message;
 mod node;
@@ -65,6 +66,7 @@ pub use event::{Event, EventQueue};
 pub use fault::{
     BurstLoss, CrashWindow, DropoutWindow, FaultPlan, LinkFault, RestartPolicy, RetryPolicy,
 };
+pub use ingest::{IngestBuffer, PushOutcome};
 pub use live::{Clock, LiveRuntime, MonotonicClock, VirtualClock};
 pub use message::{Envelope, Wire, ACK_BYTES, HEADER_BYTES, MSG_ID_BYTES};
 pub use node::{Location, NodeId, NodeRole};

@@ -221,6 +221,94 @@ impl<P: Wire, A: DetectorEngine<P>> LiveRuntime<P, A> {
         }
     }
 
+    /// [`Self::run_until`] without worker threads or pacing: the same
+    /// event loop, with every callback executed inline on the calling
+    /// thread. Built for daemons that multiplex *many* small runtimes
+    /// (one per tenant) and advance each in short slices as network
+    /// input arrives — spawning a thread scope per slice per tenant
+    /// would dominate the work. Outcomes are bit-identical to
+    /// [`Self::run_until`] at every cut point: the phase structure
+    /// (sequential pre, per-node callbacks, sequential post) is the
+    /// same, callbacks on distinct nodes are independent, and per-node
+    /// order is preserved.
+    pub fn run_slice<S: StreamSource>(
+        &mut self,
+        source: &mut S,
+        readings_per_leaf: u64,
+        stop_ns: u64,
+    ) {
+        if readings_per_leaf == 0 {
+            return;
+        }
+        if !self.state.started {
+            self.state.seed_initial_readings(&self.topo, &self.cfg);
+            self.state.started = true;
+        }
+        let engines = &mut self.engines;
+        let mut clock_ns = self.state.clock_ns;
+        let mut eng = self
+            .state
+            .engine(&self.topo, self.cfg, &self.energy, &self.plan);
+        let topo = eng.topo;
+        loop {
+            match eng.queue.peek_time() {
+                Some(t) if t <= stop_ns => {}
+                _ => break,
+            }
+            let (time, first) = eng.queue.pop().expect("peeked event present");
+            clock_ns = clock_ns.max(time);
+            eng.apply_failures(time);
+            let mut batch = vec![first];
+            while eng.queue.peek_time() == Some(time) {
+                batch.push(eng.queue.pop().expect("peeked event present").1);
+            }
+            // Pre phase, sequential in batch order.
+            let mut posts: Vec<(Post, Option<usize>)> = Vec::new();
+            let mut tasks: Vec<(NodeId, Task<P>)> = Vec::new();
+            for event in batch {
+                match eng.classify(time, event, source, readings_per_leaf) {
+                    Pre::Skip => {}
+                    Pre::Engine(post) => posts.push((post, None)),
+                    Pre::Run { node, task, post } => {
+                        posts.push((post, Some(tasks.len())));
+                        tasks.push((node, task));
+                    }
+                }
+            }
+            // Callback phase, inline. Task order within one node matches
+            // the threaded driver's per-worker order; tasks on distinct
+            // nodes touch disjoint engines, so executing them in task
+            // order (instead of grouped per node) changes nothing.
+            let mut outs: Vec<Option<CtxOut<P>>> = Vec::with_capacity(tasks.len());
+            for (node, task) in tasks {
+                let engine = &mut engines[node.index()];
+                let mut ctx = EngineCtx::new(node, time, topo);
+                match task {
+                    Task::Read(value) => engine.ingest(&mut ctx, &value),
+                    Task::Msg(from, payload) => engine.on_message(&mut ctx, from, payload),
+                    Task::Timer(id) => engine.on_timer(&mut ctx, id),
+                }
+                outs.push(Some(ctx.into_out()));
+            }
+            // Post phase, sequential in batch order.
+            for (post, task_pos) in posts {
+                let out = match task_pos {
+                    Some(p) => outs[p].take().expect("callback completed"),
+                    None => CtxOut::default(),
+                };
+                eng.finish(time, out, post);
+            }
+        }
+        self.state.clock_ns = clock_ns;
+        self.state.stats.elapsed_ns = self.state.clock_ns;
+        if snod_obs::enabled() {
+            for (i, &msgs) in self.state.stats.messages_per_level.iter().enumerate() {
+                let name = format!("simnet.level.{}.msgs", i + 1);
+                snod_obs::Gauge::named(&name).set(msgs);
+            }
+        }
+    }
+
     /// The live loop: wait for the next batch's stream time, classify
     /// sequentially in batch order (pre phase), ship each node's
     /// callbacks to that node's worker over its bounded channel, then

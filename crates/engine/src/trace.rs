@@ -109,8 +109,12 @@ impl ReadingTrace {
     }
 
     /// Parses a trace from [`ReadingTrace::to_csv`] output. Blank lines
-    /// and `#` comment lines are ignored.
+    /// and `#` comment lines are ignored. Tolerant of cross-platform
+    /// artifacts: CRLF line endings, a trailing newline and a leading
+    /// UTF-8 byte-order mark all parse identically to the plain form —
+    /// a trace recorded on one platform must replay on another.
     pub fn from_csv(text: &str) -> Result<Self, TraceError> {
+        let text = text.strip_prefix('\u{feff}').unwrap_or(text);
         let mut trace = Self::new();
         for (i, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -144,6 +148,12 @@ impl ReadingTrace {
             trace.record(NodeId(node), seq, &value);
         }
         Ok(trace)
+    }
+
+    /// Iterates over the recorded `(node, seq, value)` rows in
+    /// recording order.
+    pub fn rows(&self) -> impl Iterator<Item = (NodeId, u64, &[f64])> {
+        self.rows.iter().map(|(n, s, v)| (*n, *s, v.as_slice()))
     }
 
     /// Writes the CSV form to `path`.
@@ -244,6 +254,37 @@ mod tests {
     fn comments_and_blanks_are_ignored() {
         let t = ReadingTrace::from_csv("# header\n\n0,0,1.5\n").expect("parses");
         assert_eq!(t.len(), 1);
+    }
+
+    /// Regression: traces recorded on one platform must replay on
+    /// another. CRLF line endings, a trailing newline and a UTF-8 BOM
+    /// (all common artifacts of editing or transferring a CSV on
+    /// Windows) must parse bit-identically to the plain form.
+    #[test]
+    fn cross_platform_line_endings_replay_identically() {
+        let mut t = ReadingTrace::new();
+        t.record(NodeId(0), 0, &[0.1 + 0.2]);
+        t.record(NodeId(1), 0, &[-3.25e-9, 7.5]);
+        t.record(NodeId(0), 1, &[f64::MIN_POSITIVE]);
+        let unix = t.to_csv();
+        let crlf = unix.replace('\n', "\r\n");
+        let no_trailing = unix.trim_end_matches('\n').to_string();
+        let bom = format!("\u{feff}{unix}");
+        let bom_crlf = format!("\u{feff}{crlf}");
+        for text in [&crlf, &no_trailing, &bom, &bom_crlf] {
+            let back = ReadingTrace::from_csv(text).expect("platform variant parses");
+            assert_eq!(back, t, "variant {text:?} must replay identically");
+        }
+    }
+
+    #[test]
+    fn rows_iterate_in_recording_order() {
+        let mut t = ReadingTrace::new();
+        t.record(NodeId(2), 5, &[1.0]);
+        t.record(NodeId(0), 0, &[2.0, 3.0]);
+        let rows: Vec<_> = t.rows().collect();
+        assert_eq!(rows[0], (NodeId(2), 5, &[1.0][..]));
+        assert_eq!(rows[1], (NodeId(0), 0, &[2.0, 3.0][..]));
     }
 
     #[test]

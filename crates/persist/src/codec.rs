@@ -319,6 +319,18 @@ impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
     }
 }
 
+impl<A: Persist, B: Persist, C: Persist, D: Persist> Persist for (A, B, C, D) {
+    fn save(&self, w: &mut ByteWriter) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+        self.3.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?, D::load(r)?))
+    }
+}
+
 /// Hash maps are written in sorted key order so the encoding of a
 /// given state is unique — golden-file tests depend on it.
 impl<K: Persist + Ord + Hash + Eq, V: Persist> Persist for HashMap<K, V> {

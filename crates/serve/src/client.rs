@@ -1,0 +1,392 @@
+//! A resilient single-threaded client for `snod serve`.
+//!
+//! The client owns the at-least-once half of the ingestion contract:
+//! every reading stays in a resend buffer until the server acks it as
+//! `durable` (covered by an on-disk checkpoint; without a checkpoint
+//! directory the server reports `durable == received`). On any
+//! connection failure the client redials with backoff, re-Hellos every
+//! tenant **in open order** — which makes its locally predicted handles
+//! match the server's dense per-connection assignment — and replays the
+//! entire unpruned buffer. The server's sequence-number dedup absorbs
+//! the overlap, so retransmission is always safe.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::wire::{encode_frame, FrameDecoder, Msg};
+
+/// One detection or escalation as reported by the daemon:
+/// `(node, time_ns, level, value)`.
+pub type DetectionRow = (u32, u64, u8, Vec<f64>);
+
+/// Client knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address.
+    pub addr: String,
+    /// Unacked readings are retransmitted at this cadence (covers
+    /// load-shedding drops).
+    pub resend_interval: Duration,
+    /// Initial redial backoff after a connection failure.
+    pub connect_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Subscribe to live escalation frames.
+    pub subscribe: bool,
+}
+
+impl ClientConfig {
+    /// Defaults for `addr`.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            resend_interval: Duration::from_millis(300),
+            connect_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+            subscribe: false,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    name: String,
+    /// Resend buffer: rows not yet covered by a durable ack.
+    sent: Vec<(u32, u64, Vec<f64>)>,
+    /// Per-node `(received, durable)` marks from the latest ack.
+    marks: HashMap<u32, (u64, u64)>,
+    totals: Option<Vec<(u32, u64)>>,
+    finished: bool,
+    resumed: Option<bool>,
+    escalations: Vec<DetectionRow>,
+    detections: Option<Vec<DetectionRow>>,
+    detections_version: u64,
+}
+
+/// See the module docs.
+pub struct ServeClient {
+    cfg: ClientConfig,
+    conn: Option<(TcpStream, FrameDecoder)>,
+    tenants: Vec<TenantState>,
+    last_resend: Instant,
+    backoff: Duration,
+    next_dial: Instant,
+    last_error: Option<(u8, String)>,
+    reconnects: u64,
+    ever_connected: bool,
+}
+
+impl ServeClient {
+    pub fn new(cfg: ClientConfig) -> Self {
+        let backoff = cfg.connect_backoff;
+        Self {
+            cfg,
+            conn: None,
+            tenants: Vec::new(),
+            last_resend: Instant::now(),
+            backoff,
+            next_dial: Instant::now(),
+            last_error: None,
+            reconnects: 0,
+            ever_connected: false,
+        }
+    }
+
+    /// Opens (or re-opens, after a client restart) a tenant stream.
+    /// Returns the handle used by every other method.
+    pub fn open(&mut self, tenant: impl Into<String>) -> u32 {
+        let handle = self.tenants.len() as u32;
+        self.tenants.push(TenantState {
+            name: tenant.into(),
+            ..TenantState::default()
+        });
+        if self.conn.is_some() {
+            self.send_frame(&Msg::Hello {
+                tenant: self.tenants[handle as usize].name.clone(),
+                subscribe: self.cfg.subscribe,
+            });
+        }
+        handle
+    }
+
+    /// Buffers and transmits one reading (at-least-once).
+    pub fn send(&mut self, handle: u32, node: u32, seq: u64, value: Vec<f64>) {
+        let t = &mut self.tenants[handle as usize];
+        let durable = t.marks.get(&node).map_or(0, |m| m.1);
+        if seq >= durable {
+            t.sent.push((node, seq, value.clone()));
+        }
+        self.ensure_conn();
+        self.send_frame(&Msg::Reading {
+            handle,
+            node,
+            seq,
+            value,
+        });
+    }
+
+    /// Declares the per-leaf stream totals.
+    pub fn finish(&mut self, handle: u32, totals: Vec<(u32, u64)>) {
+        self.tenants[handle as usize].totals = Some(totals.clone());
+        self.ensure_conn();
+        self.send_frame(&Msg::Finish { handle, totals });
+    }
+
+    /// Drives the connection for `wait`: reads frames, retransmits
+    /// unacked readings, reconnects as needed.
+    pub fn pump(&mut self, wait: Duration) {
+        let deadline = Instant::now() + wait;
+        loop {
+            self.ensure_conn();
+            self.read_frames();
+            self.maybe_resend();
+            if Instant::now() >= deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Pumps until the server confirms the tenant's stream is complete.
+    pub fn wait_finished(&mut self, handle: u32, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.tenants[handle as usize].finished {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.pump(Duration::from_millis(20));
+        }
+        true
+    }
+
+    /// Fetches the tenant's full detection list.
+    pub fn query(&mut self, handle: u32, timeout: Duration) -> Option<Vec<DetectionRow>> {
+        let want = self.tenants[handle as usize].detections_version + 1;
+        let deadline = Instant::now() + timeout;
+        let mut last_ask = Instant::now() - Duration::from_secs(1);
+        while self.tenants[handle as usize].detections_version < want {
+            if Instant::now() >= deadline {
+                return None;
+            }
+            if last_ask.elapsed() >= Duration::from_millis(200) {
+                self.ensure_conn();
+                self.send_frame(&Msg::Query { handle });
+                last_ask = Instant::now();
+            }
+            self.pump(Duration::from_millis(20));
+        }
+        self.tenants[handle as usize].detections.clone()
+    }
+
+    /// Escalation frames received so far (requires `subscribe`).
+    pub fn escalations(&self, handle: u32) -> &[DetectionRow] {
+        &self.tenants[handle as usize].escalations
+    }
+
+    /// Whether the server reported the tenant as resumed from a
+    /// checkpoint at the last Hello.
+    pub fn resumed(&self, handle: u32) -> Option<bool> {
+        self.tenants[handle as usize].resumed
+    }
+
+    /// The last protocol error frame received, if any.
+    pub fn last_error(&self) -> Option<&(u8, String)> {
+        self.last_error.as_ref()
+    }
+
+    /// Successful redials after a lost connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Readings buffered awaiting a durable ack.
+    pub fn unacked(&self, handle: u32) -> usize {
+        self.tenants[handle as usize].sent.len()
+    }
+
+    /// Requests an injected worker panic (the daemon must enable
+    /// crash frames).
+    pub fn inject_crash(&mut self, handle: u32) {
+        self.ensure_conn();
+        self.send_frame(&Msg::Crash { handle });
+    }
+
+    fn ensure_conn(&mut self) {
+        if self.conn.is_some() || Instant::now() < self.next_dial {
+            return;
+        }
+        match TcpStream::connect(&self.cfg.addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+                self.conn = Some((stream, FrameDecoder::new()));
+                self.backoff = self.cfg.connect_backoff;
+                if self.ever_connected {
+                    self.reconnects += 1;
+                } else {
+                    self.ever_connected = true;
+                }
+                // Re-Hello every tenant in open order so server handles
+                // match ours, then retransmit what the server lacks.
+                for i in 0..self.tenants.len() {
+                    let hello = Msg::Hello {
+                        tenant: self.tenants[i].name.clone(),
+                        subscribe: self.cfg.subscribe,
+                    };
+                    self.send_frame(&hello);
+                }
+                self.resend_unreceived();
+            }
+            Err(_) => {
+                self.next_dial = Instant::now() + self.backoff;
+                self.backoff = (self.backoff * 2).min(self.cfg.max_backoff);
+            }
+        }
+    }
+
+    /// Retransmits every row the server has not acked as *received*,
+    /// plus the Finish totals. Rows between `durable` and `received`
+    /// stay buffered but are not re-sent here: if the server crashes
+    /// and loses them, its Attach-ack on reconnect rewinds our marks to
+    /// the restored state and the next pass picks them up.
+    fn resend_unreceived(&mut self) {
+        for handle in 0..self.tenants.len() as u32 {
+            let t = &self.tenants[handle as usize];
+            if t.finished {
+                continue;
+            }
+            let rows: Vec<(u32, u64, Vec<f64>)> = t
+                .sent
+                .iter()
+                .filter(|(node, seq, _)| {
+                    *seq >= t.marks.get(node).map_or(0, |m| m.0)
+                })
+                .cloned()
+                .collect();
+            for (node, seq, value) in rows {
+                self.send_frame(&Msg::Reading {
+                    handle,
+                    node,
+                    seq,
+                    value,
+                });
+            }
+            if let Some(totals) = self.tenants[handle as usize].totals.clone() {
+                self.send_frame(&Msg::Finish { handle, totals });
+            }
+        }
+    }
+
+    fn maybe_resend(&mut self) {
+        if self.last_resend.elapsed() < self.cfg.resend_interval || self.conn.is_none() {
+            return;
+        }
+        self.last_resend = Instant::now();
+        self.resend_unreceived();
+    }
+
+    fn send_frame(&mut self, msg: &Msg) {
+        let Some((stream, _)) = self.conn.as_mut() else {
+            return;
+        };
+        if stream.write_all(&encode_frame(msg)).is_err() {
+            self.drop_conn();
+        }
+    }
+
+    fn drop_conn(&mut self) {
+        self.conn = None;
+        self.next_dial = Instant::now() + self.backoff;
+        self.backoff = (self.backoff * 2).min(self.cfg.max_backoff);
+    }
+
+    fn read_frames(&mut self) {
+        let Some((stream, dec)) = self.conn.as_mut() else {
+            return;
+        };
+        let mut buf = [0u8; 16 * 1024];
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                self.drop_conn();
+                return;
+            }
+            Ok(n) => dec.feed(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                self.drop_conn();
+                return;
+            }
+        }
+        loop {
+            let frame = {
+                let Some((_, dec)) = self.conn.as_mut() else {
+                    return;
+                };
+                dec.next_frame()
+            };
+            match frame {
+                Ok(Some(msg)) => self.handle_frame(msg),
+                Ok(None) => return,
+                Err(_) => {
+                    // A server speaking garbage: drop and redial.
+                    self.drop_conn();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, msg: Msg) {
+        match msg {
+            Msg::HelloOk { handle, resumed } => {
+                if let Some(t) = self.tenants.get_mut(handle as usize) {
+                    t.resumed = Some(resumed);
+                }
+            }
+            Msg::Ack { handle, acks } => {
+                let Some(t) = self.tenants.get_mut(handle as usize) else {
+                    return;
+                };
+                for (node, received, durable) in acks {
+                    t.marks.insert(node, (received, durable));
+                }
+                // Durably acked rows can never be needed again.
+                t.sent.retain(|(node, seq, _)| {
+                    *seq >= t.marks.get(node).map_or(0, |m| m.1)
+                });
+            }
+            Msg::Escalation {
+                handle,
+                node,
+                time_ns,
+                level,
+                value,
+            } => {
+                if let Some(t) = self.tenants.get_mut(handle as usize) {
+                    t.escalations.push((node, time_ns, level, value));
+                }
+            }
+            Msg::Detections { handle, rows } => {
+                if let Some(t) = self.tenants.get_mut(handle as usize) {
+                    t.detections = Some(rows);
+                    t.detections_version += 1;
+                }
+            }
+            Msg::FinishOk { handle } => {
+                if let Some(t) = self.tenants.get_mut(handle as usize) {
+                    t.finished = true;
+                }
+            }
+            Msg::Error { code, message } => {
+                self.last_error = Some((code, message));
+            }
+            Msg::Pong => {}
+            // Client-side frames arriving at the client: ignore.
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Daemon and per-tenant configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use snod_core::{build_d3_live, D3Config, D3Node, D3Payload, EstimatorConfig};
+use snod_engine::{FaultPlan, Hierarchy, LiveRuntime, SimConfig};
+use snod_outlier::DistanceOutlierConfig;
+
+use crate::error::ServeError;
+
+/// Detector parameters stamped onto every tenant the daemon creates.
+///
+/// Each tenant runs its own D3 hierarchy (default: a single node — one
+/// sensor stream scored against its own model; multi-leaf tenants get
+/// the full leaf/leader escalation protocol).
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Leaf sensors per tenant.
+    pub leaves: usize,
+    /// Hierarchy fan-outs above the leaves (empty = leaves report to
+    /// nobody: a single node when `leaves == 1`).
+    pub fanouts: Vec<usize>,
+    /// Sliding window size `|W|`.
+    pub window: usize,
+    /// Chain-sample size `|R|`.
+    pub sample_size: usize,
+    /// Distance-outlier radius `r`.
+    pub radius: f64,
+    /// Distance-outlier neighbor threshold `t`.
+    pub min_neighbors: f64,
+    /// D3 sample-forwarding fraction `f`.
+    pub sample_fraction: f64,
+    /// Base RNG seed (decorrelated per node, as everywhere else).
+    pub seed: u64,
+    /// Stream period: reading `seq` of a leaf carries stream time
+    /// `phase + seq·period`.
+    pub reading_period_ns: u64,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        Self {
+            leaves: 1,
+            fanouts: Vec::new(),
+            window: 256,
+            sample_size: 32,
+            radius: 0.02,
+            min_neighbors: 10.0,
+            sample_fraction: 0.5,
+            seed: 7,
+            reading_period_ns: 1_000_000_000,
+        }
+    }
+}
+
+impl TenantSpec {
+    /// The tenant's hierarchy.
+    pub fn topology(&self) -> Result<Hierarchy, ServeError> {
+        Hierarchy::balanced(self.leaves, &self.fanouts)
+            .map_err(|e| ServeError::Config(format!("tenant topology: {e}")))
+    }
+
+    /// The derived D3 configuration.
+    pub fn d3_config(&self) -> Result<D3Config, ServeError> {
+        let estimator = EstimatorConfig::builder()
+            .window(self.window)
+            .sample_size(self.sample_size)
+            .seed(self.seed)
+            .build()
+            .map_err(|e| ServeError::Config(format!("tenant estimator: {e}")))?;
+        Ok(D3Config {
+            estimator,
+            rule: DistanceOutlierConfig::new(self.min_neighbors, self.radius),
+            sample_fraction: self.sample_fraction,
+        })
+    }
+
+    /// The derived driver configuration.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            reading_period_ns: self.reading_period_ns,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Builds one tenant runtime (used both by the daemon's workers and
+    /// by the in-process reference side of the differential tests).
+    pub fn build_runtime(&self) -> Result<LiveRuntime<D3Payload, D3Node>, ServeError> {
+        build_d3_live(
+            self.topology()?,
+            &self.d3_config()?,
+            self.sim_config(),
+            FaultPlan::none(),
+        )
+        .map_err(|e| ServeError::Config(format!("tenant runtime: {e}")))
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Ingestion listener address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Metrics/health HTTP listener address; `None` disables it.
+    pub metrics_addr: Option<String>,
+    /// Directory for per-tenant checkpoint files; `None` disables
+    /// durability (acks then report `durable == received`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint after this many newly processed readings per tenant.
+    pub checkpoint_every: u64,
+    /// Also checkpoint when this much wall time has passed since the
+    /// tenant's last checkpoint (and progress was made).
+    pub checkpoint_interval: Duration,
+    /// Bounded per-tenant queue capacity. A full queue sheds readings
+    /// (unacked — the client retransmits them later).
+    pub queue_capacity: usize,
+    /// Maximum concurrent tenants.
+    pub max_tenants: usize,
+    /// Slow-loris guard: a connection holding a partial frame open
+    /// longer than this is dropped.
+    pub frame_deadline: Duration,
+    /// Allow [`crate::wire::Msg::Crash`] fault-injection frames
+    /// (tests only).
+    pub allow_crash_frames: bool,
+    /// Template for tenants created on first Hello.
+    pub tenant: TenantSpec,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            metrics_addr: None,
+            checkpoint_dir: None,
+            checkpoint_every: 64,
+            checkpoint_interval: Duration::from_secs(2),
+            queue_capacity: 256,
+            max_tenants: 4096,
+            frame_deadline: Duration::from_secs(10),
+            allow_crash_frames: false,
+            tenant: TenantSpec::default(),
+        }
+    }
+}
+
+/// True when `name` is a valid tenant name: 1–64 chars from
+/// `[A-Za-z0-9_-]` (it doubles as a checkpoint file stem, so path
+/// separators and dots are out).
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_builds_a_single_node_runtime() {
+        let spec = TenantSpec::default();
+        let rt = spec.build_runtime().expect("builds");
+        assert_eq!(rt.topology().node_count(), 1);
+    }
+
+    #[test]
+    fn multi_leaf_spec_builds_a_hierarchy() {
+        let spec = TenantSpec {
+            leaves: 4,
+            fanouts: vec![2, 2],
+            ..TenantSpec::default()
+        };
+        let rt = spec.build_runtime().expect("builds");
+        assert_eq!(rt.topology().leaves().len(), 4);
+        assert!(rt.topology().node_count() > 4);
+    }
+
+    #[test]
+    fn tenant_names_are_validated() {
+        assert!(valid_tenant_name("plant-7_A"));
+        assert!(!valid_tenant_name(""));
+        assert!(!valid_tenant_name("a/b"));
+        assert!(!valid_tenant_name("dot.dot"));
+        assert!(!valid_tenant_name(&"x".repeat(65)));
+    }
+}

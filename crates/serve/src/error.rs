@@ -1,0 +1,55 @@
+//! Typed errors for the daemon, its wire protocol and its client.
+
+use snod_persist::PersistError;
+
+use crate::wire::WireError;
+
+/// Errors raised by the daemon, the client or their configuration.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or file I/O failed.
+    Io(std::io::Error),
+    /// A frame violated the wire protocol.
+    Wire(WireError),
+    /// A checkpoint could not be written or restored.
+    Persist(PersistError),
+    /// A configuration value was rejected.
+    Config(String),
+    /// The peer reported a protocol-level error frame.
+    Remote(String),
+    /// A blocking operation ran out of time.
+    Timeout(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ServeError::Persist(e) => write!(f, "checkpoint error: {e}"),
+            ServeError::Config(what) => write!(f, "invalid configuration: {what}"),
+            ServeError::Remote(msg) => write!(f, "peer reported: {msg}"),
+            ServeError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Persist(e)
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal scrape endpoint: `/metrics` (the `snod-obs` snapshot),
+//! `/healthz` (daemon health counters) and `/escalations` (recent
+//! escalation ring). Hand-rolled HTTP/1.1, connection-per-request,
+//! no external dependencies — the same spirit as the rest of the
+//! workspace.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::daemon::Inner;
+
+pub(crate) fn metrics_loop(inner: Arc<Inner>, listener: TcpListener) {
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => serve_request(&inner, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+fn serve_request(inner: &Arc<Inner>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the end of the request head; body-less GETs only.
+    while buf.len() < 4096 && !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("GET"), Some(p)) => Some(p.to_string()),
+                _ => None,
+            }
+        })
+        .unwrap_or_default();
+    let (status, body) = match path.as_str() {
+        "/metrics" => ("200 OK", snod_obs::snapshot().to_json()),
+        "/healthz" => ("200 OK", healthz_json(inner)),
+        "/escalations" => ("200 OK", escalations_json(inner)),
+        "" => ("400 Bad Request", "{\"error\":\"bad request\"}".to_string()),
+        _ => ("404 Not Found", "{\"error\":\"not found\"}".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+fn healthz_json(inner: &Arc<Inner>) -> String {
+    let s = inner.snapshot();
+    format!(
+        concat!(
+            "{{\"status\":\"ok\",\"tenants\":{},\"queued\":{},\"shed\":{},",
+            "\"duplicates\":{},\"reconnects\":{},\"worker_restarts\":{},",
+            "\"wire_errors\":{},\"frames\":{},\"connections\":{},",
+            "\"slow_loris_drops\":{},\"checkpoints\":{},\"escalations\":{}}}"
+        ),
+        s.tenants,
+        s.queued,
+        s.shed,
+        s.duplicates,
+        s.reconnects,
+        s.worker_restarts,
+        s.wire_errors,
+        s.frames,
+        s.connections,
+        s.slow_loris_drops,
+        s.checkpoints,
+        s.escalations,
+    )
+}
+
+fn escalations_json(inner: &Arc<Inner>) -> String {
+    let recs = inner.esc_log.recent();
+    let mut out = String::from("[");
+    for (i, r) in recs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"tenant\":\"{}\",\"node\":{},\"time_ns\":{},\"level\":{}}}",
+            r.tenant, r.node, r.time_ns, r.level
+        ));
+    }
+    out.push(']');
+    out
+}

@@ -1,0 +1,276 @@
+//! A deterministic socket-level fault proxy for exercising the daemon.
+//!
+//! Sits between a client and the daemon and injects transport faults on
+//! the client→server path, decided per *frame* by a seeded RNG (the
+//! socket analogue of the engine's `FaultPlan`): mid-frame disconnects,
+//! payload corruption, duplicated frames, reordered frames, and
+//! split/stalled writes (a mild slow-loris). The server→client path is
+//! forwarded untouched so acks and escalations flow.
+//!
+//! Hello frames are exempt from duplication and reordering: those two
+//! faults model *client retransmission* and *datagram-style delivery*,
+//! and a real client never retransmits a Hello out of order — while a
+//! duplicated Hello would legitimately open a second handle and change
+//! the session's meaning rather than test its robustness. Corruption
+//! and disconnects still hit Hellos; both kill the connection, which
+//! the client recovers from by redialing.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::wire::WIRE_HEADER_LEN;
+
+/// Per-frame fault probabilities, mirroring the engine's `FaultPlan`
+/// style: a seed plus independent per-event probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketFaultPlan {
+    /// RNG seed; the fault sequence is a pure function of
+    /// `(seed, connection index, frame index)`.
+    pub seed: u64,
+    /// Drop the connection mid-frame (half the frame is written first).
+    pub p_disconnect: f64,
+    /// Flip one payload byte (the frame CRC then fails server-side).
+    pub p_corrupt: f64,
+    /// Send the frame twice.
+    pub p_duplicate: f64,
+    /// Hold the frame and emit it after the next one.
+    pub p_reorder: f64,
+    /// Write the frame in 7-byte dribbles with a stall between each.
+    pub p_split: f64,
+    /// Stall between split writes.
+    pub stall_ms: u64,
+}
+
+impl SocketFaultPlan {
+    /// Pass-through.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            p_disconnect: 0.0,
+            p_corrupt: 0.0,
+            p_duplicate: 0.0,
+            p_reorder: 0.0,
+            p_split: 0.0,
+            stall_ms: 0,
+        }
+    }
+
+    /// The gauntlet used by the differential tests.
+    pub fn severe(seed: u64) -> Self {
+        Self {
+            seed,
+            p_disconnect: 0.02,
+            p_corrupt: 0.02,
+            p_duplicate: 0.10,
+            p_reorder: 0.10,
+            p_split: 0.25,
+            stall_ms: 1,
+        }
+    }
+}
+
+/// A running proxy. Dropping it stops the accept loop; in-flight
+/// connections die with their sockets.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Starts a proxy on an ephemeral local port, forwarding to
+    /// `upstream` with `plan`'s faults.
+    pub fn spawn(upstream: SocketAddr, plan: SocketFaultPlan) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conn_seq = Arc::new(AtomicU64::new(0));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("snod-proxy-accept".into())
+                .spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let c = conn_seq.fetch_add(1, Ordering::Relaxed);
+                            let _ = std::thread::Builder::new()
+                                .name("snod-proxy-conn".into())
+                                .spawn(move || run_proxy_conn(client, upstream, plan, c));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => return,
+                    }
+                })?
+        };
+        Ok(FaultProxy {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn run_proxy_conn(client: TcpStream, upstream: SocketAddr, plan: SocketFaultPlan, c: u64) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    // Server→client: verbatim pump.
+    {
+        let (Ok(mut s), Ok(mut cl)) = (server.try_clone(), client.try_clone()) else {
+            return;
+        };
+        let _ = std::thread::Builder::new()
+            .name("snod-proxy-s2c".into())
+            .spawn(move || {
+                let mut buf = [0u8; 16 * 1024];
+                loop {
+                    match s.read(&mut buf) {
+                        Ok(0) | Err(_) => {
+                            let _ = cl.shutdown(Shutdown::Write);
+                            return;
+                        }
+                        Ok(n) => {
+                            if cl.write_all(&buf[..n]).is_err() {
+                                let _ = s.shutdown(Shutdown::Read);
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+    }
+    // Client→server: frame-aware fault pump.
+    faulty_c2s(client, server, plan, c);
+}
+
+/// Splits the client byte stream into wire frames and forwards each
+/// through the fault roll. Runs until either side dies.
+fn faulty_c2s(mut client: TcpStream, mut server: TcpStream, plan: SocketFaultPlan, c: u64) {
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ (c + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut held: Option<Vec<u8>> = None;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match client.read(&mut chunk) {
+            Ok(0) | Err(_) => {
+                // Client done: flush any held frame, half-close upstream.
+                if let Some(frame) = held.take() {
+                    let _ = server.write_all(&frame);
+                }
+                if !buf.is_empty() {
+                    let _ = server.write_all(&buf);
+                }
+                let _ = server.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+        // Extract complete frames (header + payload) from the buffer.
+        while buf.len() >= WIRE_HEADER_LEN {
+            let len = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes")) as usize;
+            let total = WIRE_HEADER_LEN.saturating_add(len);
+            if buf.len() < total {
+                break;
+            }
+            let frame: Vec<u8> = buf.drain(..total).collect();
+            if !forward_frame(&mut server, frame, &mut held, &mut rng, &plan) {
+                let _ = client.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+/// Applies one fault roll to `frame`; false ends the connection.
+fn forward_frame(
+    server: &mut TcpStream,
+    frame: Vec<u8>,
+    held: &mut Option<Vec<u8>>,
+    rng: &mut StdRng,
+    plan: &SocketFaultPlan,
+) -> bool {
+    let tag = frame.get(WIRE_HEADER_LEN).copied();
+    let is_hello = tag == Some(0);
+    let roll: f64 = rng.gen();
+    let payload_len = frame.len() - WIRE_HEADER_LEN;
+    let mut threshold = plan.p_disconnect;
+    if roll < threshold {
+        // Mid-frame disconnect: write half, then kill the socket.
+        let _ = server.write_all(&frame[..frame.len() / 2]);
+        let _ = server.shutdown(Shutdown::Both);
+        return false;
+    }
+    threshold += plan.p_corrupt;
+    if roll < threshold && payload_len > 0 {
+        let mut bad = frame;
+        let idx = WIRE_HEADER_LEN + (rng.gen::<u64>() as usize % payload_len);
+        bad[idx] ^= 0x41;
+        return server.write_all(&bad).is_ok();
+    }
+    threshold += plan.p_duplicate;
+    if roll < threshold && !is_hello {
+        return server.write_all(&frame).is_ok() && server.write_all(&frame).is_ok();
+    }
+    threshold += plan.p_reorder;
+    if roll < threshold && !is_hello {
+        // Hold this frame; it goes out after the next one.
+        if let Some(prev) = held.replace(frame) {
+            return server.write_all(&prev).is_ok();
+        }
+        return true;
+    }
+    threshold += plan.p_split;
+    let ok = if roll < threshold {
+        let mut ok = true;
+        for piece in frame.chunks(7) {
+            if server.write_all(piece).is_err() {
+                ok = false;
+                break;
+            }
+            let _ = server.flush();
+            if plan.stall_ms > 0 {
+                std::thread::sleep(Duration::from_millis(plan.stall_ms));
+            }
+        }
+        ok
+    } else {
+        server.write_all(&frame).is_ok()
+    };
+    if !ok {
+        return false;
+    }
+    if let Some(prev) = held.take() {
+        return server.write_all(&prev).is_ok();
+    }
+    true
+}

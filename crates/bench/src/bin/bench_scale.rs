@@ -1,0 +1,161 @@
+//! Scaling snapshot for the simulator at 1k/10k/50k leaves, written to
+//! `BENCH_scale.json` in the working directory.
+//!
+//! Each row drives a [`Hierarchy::deep`] 4–5-tier topology with the
+//! parallel engine and a cheap counting-relay detector, so the numbers
+//! measure the *dispatch machinery* — the slab event queue, CSR
+//! topology walks, batch grouping and the reusable batch buffers — not
+//! KDE math (BENCH_kde.json owns that). Reported per shape:
+//!
+//! * `readings_per_sec` — leaf readings processed per wall second,
+//!   including all relayed traffic up the tree.
+//! * `bytes_per_node` — network payload bytes transmitted per node.
+//! * `checkpoint_bytes` / `checkpoint_ms` / `restore_ms` — full-network
+//!   snapshot cost at scale (queue, RNG streams, stats, every app).
+//!
+//! `SNOD_BENCH_SMOKE=1` keeps the same three shapes but one reading
+//! per leaf — a CI-speed structural check emitting the same schema.
+
+use std::time::Instant;
+
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
+use snod_simnet::{DetectorEngine, EngineCtx, Hierarchy, Network, NodeId, SimConfig};
+
+/// Counting relay: leaves push readings up, leaders forward every
+/// second message — every tier stays busy, no model math.
+#[derive(Debug, Default, Clone)]
+struct Relay {
+    readings: u64,
+    received: u64,
+    forwarded: u64,
+}
+
+impl DetectorEngine<Vec<f64>> for Relay {
+    fn ingest(&mut self, ctx: &mut EngineCtx<'_, Vec<f64>>, value: &[f64]) {
+        self.readings += 1;
+        ctx.send_parent(value.to_vec());
+    }
+
+    fn on_message(&mut self, ctx: &mut EngineCtx<'_, Vec<f64>>, _from: NodeId, payload: Vec<f64>) {
+        self.received += 1;
+        if self.received.is_multiple_of(2) && ctx.send_parent(payload) {
+            self.forwarded += 1;
+        }
+    }
+}
+
+impl Persist for Relay {
+    fn save(&self, w: &mut ByteWriter) {
+        self.readings.save(w);
+        self.received.save(w);
+        self.forwarded.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            readings: u64::load(r)?,
+            received: u64::load(r)?,
+            forwarded: u64::load(r)?,
+        })
+    }
+}
+
+struct Row {
+    leaves: usize,
+    tiers: usize,
+    nodes: usize,
+    readings_per_leaf: u64,
+    readings_per_sec: f64,
+    bytes_per_node: f64,
+    checkpoint_bytes: usize,
+    checkpoint_ms: f64,
+    restore_ms: f64,
+}
+
+fn source(node: NodeId, seq: u64) -> Option<Vec<f64>> {
+    Some(vec![node.0 as f64 + seq as f64 * 0.001])
+}
+
+fn measure(leaves: usize, tiers: usize, readings: u64) -> Row {
+    let topo = Hierarchy::deep(leaves, tiers).expect("deep topology");
+    let nodes = topo.node_count();
+    let sim = SimConfig {
+        stagger_readings: false,
+        ..SimConfig::default()
+    }
+    .with_drop_probability(0.05)
+    .with_worker_threads(4);
+    let mut net = Network::new(topo, sim, |_, _| Relay::default());
+
+    let mut src = source;
+    let t0 = Instant::now();
+    net.run(&mut src, readings);
+    let run_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let bytes = net.checkpoint();
+    let checkpoint_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    net.restore(&bytes).expect("own checkpoint restores");
+    let restore_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    Row {
+        leaves,
+        tiers,
+        nodes,
+        readings_per_leaf: readings,
+        readings_per_sec: leaves as f64 * readings as f64 / run_s,
+        bytes_per_node: net.stats().bytes as f64 / nodes as f64,
+        checkpoint_bytes: bytes.len(),
+        checkpoint_ms,
+        restore_ms,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("SNOD_BENCH_SMOKE").is_ok();
+    let readings: u64 = if smoke { 1 } else { 20 };
+    let shapes = [(1_000usize, 4usize), (10_000, 5), (50_000, 5)];
+
+    let rows: Vec<Row> = shapes
+        .iter()
+        .map(|&(leaves, tiers)| {
+            let row = measure(leaves, tiers, readings);
+            eprintln!(
+                "{leaves} leaves / {tiers} tiers ({} nodes): {:.0} readings/s, \
+                 {:.1} bytes/node, checkpoint {} B in {:.1} ms, restore {:.1} ms",
+                row.nodes,
+                row.readings_per_sec,
+                row.bytes_per_node,
+                row.checkpoint_bytes,
+                row.checkpoint_ms,
+                row.restore_ms,
+            );
+            row
+        })
+        .collect();
+
+    let mut json = format!("{{\n  \"smoke\": {smoke},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"leaves\": {}, \"tiers\": {}, \"nodes\": {}, \
+             \"readings_per_leaf\": {}, \"readings_per_sec\": {:.1}, \
+             \"bytes_per_node\": {:.1}, \"checkpoint_bytes\": {}, \
+             \"checkpoint_ms\": {:.2}, \"restore_ms\": {:.2}}}{}\n",
+            r.leaves,
+            r.tiers,
+            r.nodes,
+            r.readings_per_leaf,
+            r.readings_per_sec,
+            r.bytes_per_node,
+            r.checkpoint_bytes,
+            r.checkpoint_ms,
+            r.restore_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    print!("{json}");
+}

@@ -22,6 +22,12 @@ use snod_serve::{serve, ClientConfig, ServeClient, ServeConfig, TenantSpec};
 /// Ack latency is sampled every this-many readings per connection.
 const SAMPLE_EVERY: u64 = 16;
 
+/// Per-tenant in-flight ceiling. The daemon sheds when a tenant's
+/// bounded queue (`queue_capacity`, 64 here) overflows, so a healthy
+/// client keeps its unacked window under that — shedding in this bench
+/// should mean the server fell behind, not that the harness firehosed.
+const MAX_INFLIGHT_PER_TENANT: usize = 48;
+
 struct Shape {
     smoke: bool,
     tenants: usize,
@@ -58,7 +64,15 @@ fn run_connection(
     tenants: usize,
     readings: u64,
 ) -> (Vec<f64>, usize) {
-    let mut client = ServeClient::new(ClientConfig::new(addr));
+    // Under full bench load the server's ack latency runs to ~1 s
+    // (p99); the stall threshold must sit above that or late acks get
+    // mistaken for stalls and in-flight rows are retransmitted as
+    // spurious "duplicates".
+    let cfg = ClientConfig {
+        resend_interval: Duration::from_secs(2),
+        ..ClientConfig::new(addr)
+    };
+    let mut client = ServeClient::new(cfg);
     let handles: Vec<u32> = (0..tenants)
         .map(|i| client.open(format!("bench-{:04}", first_tenant + i)))
         .collect();
@@ -82,6 +96,16 @@ fn run_connection(
         } else {
             // Drain acks without stalling the send loop.
             client.pump(Duration::ZERO);
+        }
+        // Backpressure: hold the wave loop until every tenant's
+        // unacked window is back under the per-tenant queue bound.
+        let t0 = Instant::now();
+        loop {
+            let worst = handles.iter().map(|&h| client.unacked(h)).max().unwrap_or(0);
+            if worst <= MAX_INFLIGHT_PER_TENANT || t0.elapsed() > Duration::from_secs(30) {
+                break;
+            }
+            client.pump(Duration::from_millis(2));
         }
     }
     for &h in &handles {

@@ -3,6 +3,14 @@
 //! Events are ordered by simulated time with a monotone sequence number
 //! as tie-breaker, so executions are fully deterministic: two events at
 //! the same instant fire in the order they were scheduled.
+//!
+//! Payloads live in a slab (`slots`) indexed by the heap, so heap
+//! sift-up/down moves 24-byte `(time, seq, slot)` keys instead of whole
+//! `Event<P>` payloads — at tens of thousands of nodes the payloads
+//! (model deltas, escalation vectors) dominate, and keeping them out of
+//! the comparison path makes push/pop cache-friendly. Freed slots are
+//! recycled, so steady-state memory is bounded by the high-water mark
+//! of concurrently pending events, not by total events scheduled.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -66,34 +74,19 @@ pub enum Event<P> {
     },
 }
 
-#[derive(Debug)]
-struct Entry<P> {
-    time_ns: u64,
-    seq: u64,
-    event: Event<P>,
-}
+/// Heap key: `(time_ns, seq, slot)`. Ordering ignores the slot — two
+/// keys never tie because `seq` is unique — but keeping it in the tuple
+/// lets the heap find the payload without a side lookup.
+type Key = (u64, u64, u32);
 
-impl<P> PartialEq for Entry<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time_ns == other.time_ns && self.seq == other.seq
-    }
-}
-impl<P> Eq for Entry<P> {}
-impl<P> PartialOrd for Entry<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P> Ord for Entry<P> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
-    }
-}
-
-/// A min-heap of timed events.
+/// A min-heap of timed events with slab-stored payloads.
 #[derive(Debug)]
 pub struct EventQueue<P> {
-    heap: BinaryHeap<Reverse<Entry<P>>>,
+    /// Payload slab; `None` marks a free slot.
+    slots: Vec<Option<Event<P>>>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    heap: BinaryHeap<Reverse<Key>>,
     next_seq: u64,
 }
 
@@ -107,8 +100,24 @@ impl<P> EventQueue<P> {
     /// Empty queue.
     pub fn new() -> Self {
         Self {
+            slots: Vec::new(),
+            free: Vec::new(),
             heap: BinaryHeap::new(),
             next_seq: 0,
+        }
+    }
+
+    fn store(&mut self, event: Event<P>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(event));
+                slot
+            }
         }
     }
 
@@ -116,22 +125,25 @@ impl<P> EventQueue<P> {
     pub fn schedule(&mut self, time_ns: u64, event: Event<P>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry {
-            time_ns,
-            seq,
-            event,
-        }));
+        let slot = self.store(event);
+        self.heap.push(Reverse((time_ns, seq, slot)));
     }
 
     /// Removes and returns the earliest event with its firing time.
     pub fn pop(&mut self) -> Option<(u64, Event<P>)> {
-        self.heap.pop().map(|Reverse(e)| (e.time_ns, e.event))
+        self.heap.pop().map(|Reverse((time_ns, _, slot))| {
+            let event = self.slots[slot as usize]
+                .take()
+                .expect("heap key points at a live slot");
+            self.free.push(slot);
+            (time_ns, event)
+        })
     }
 
     /// Firing time of the earliest pending event, without removing it.
     /// Lets the engine drain a whole same-instant batch.
     pub fn peek_time(&self) -> Option<u64> {
-        self.heap.peek().map(|Reverse(e)| e.time_ns)
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
     }
 
     /// Number of pending events.
@@ -231,32 +243,37 @@ impl<P: Persist> Persist for Event<P> {
 /// run.
 impl<P: Persist> Persist for EventQueue<P> {
     fn save(&self, w: &mut ByteWriter) {
-        let mut entries: Vec<&Reverse<Entry<P>>> = self.heap.iter().collect();
-        entries.sort_by_key(|e| (e.0.time_ns, e.0.seq));
-        w.put_usize(entries.len());
-        for Reverse(e) in entries {
-            e.time_ns.save(w);
-            e.seq.save(w);
-            e.event.save(w);
+        let mut keys: Vec<Key> = self.heap.iter().map(|Reverse(k)| *k).collect();
+        keys.sort_unstable();
+        w.put_usize(keys.len());
+        for (time_ns, seq, slot) in keys {
+            time_ns.save(w);
+            seq.save(w);
+            self.slots[slot as usize]
+                .as_ref()
+                .expect("heap key points at a live slot")
+                .save(w);
         }
         self.next_seq.save(w);
     }
 
     fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
         let n = r.get_len()?;
+        let mut slots = Vec::with_capacity(n);
         let mut heap = BinaryHeap::with_capacity(n);
-        for _ in 0..n {
+        for slot in 0..n {
             let time_ns = u64::load(r)?;
             let seq = u64::load(r)?;
-            let event = Event::load(r)?;
-            heap.push(Reverse(Entry {
-                time_ns,
-                seq,
-                event,
-            }));
+            slots.push(Some(Event::load(r)?));
+            heap.push(Reverse((time_ns, seq, slot as u32)));
         }
         let next_seq = u64::load(r)?;
-        Ok(Self { heap, next_seq })
+        Ok(Self {
+            slots,
+            free: Vec::new(),
+            heap,
+            next_seq,
+        })
     }
 }
 
@@ -313,6 +330,28 @@ mod tests {
         })
         .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slots_are_recycled_across_batches() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for round in 0..100u64 {
+            for i in 0..8u32 {
+                q.schedule(
+                    round,
+                    Event::Deliver {
+                        from: NodeId(i),
+                        to: NodeId(0),
+                        payload: i,
+                    },
+                );
+            }
+            while q.pop().is_some() {}
+        }
+        // Memory is bounded by the high-water mark of pending events,
+        // not by the 800 events scheduled over the queue's lifetime.
+        assert!(q.slots.len() <= 8, "slab grew to {}", q.slots.len());
+        assert_eq!(q.next_seq, 800);
     }
 
     #[test]

@@ -323,6 +323,72 @@ mod tests {
     }
 
     #[test]
+    fn sequence_gaps_at_high_node_counts() {
+        // 10k leaves, every leaf delivered with a seq gap: evens first,
+        // so the frontier is pinned at the gap; then the odd backfill
+        // releases the whole window at once. Exercises the per-leaf
+        // contiguity scan and the frontier min-reduction at scale.
+        let n = 10_000u32;
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut b = IngestBuffer::new(&ids);
+        let per_leaf = 8u64;
+        for &leaf in &ids {
+            for seq in (0..per_leaf).step_by(2) {
+                assert_eq!(b.push(leaf, seq, vec![0.0]), PushOutcome::Accepted);
+            }
+        }
+        assert_eq!(b.frontier(), 1, "every leaf is missing seq 1");
+        assert_eq!(b.pending_len(), n as usize * (per_leaf as usize / 2));
+        for &leaf in &ids {
+            for seq in (1..per_leaf).step_by(2) {
+                assert_eq!(b.push(leaf, seq, vec![0.0]), PushOutcome::Accepted);
+            }
+        }
+        assert_eq!(b.frontier(), per_leaf);
+        assert_eq!(b.duplicates(), 0);
+    }
+
+    #[test]
+    fn overflow_replay_past_totals_at_high_node_counts() {
+        // An aggressive at-least-once producer replays whole windows
+        // and overshoots declared totals across 10k leaves: every
+        // replay is a counted duplicate, every overshoot is BeyondEnd,
+        // and the buffer's memory stays bounded by the live window.
+        let n = 10_000u32;
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut b = IngestBuffer::new(&ids);
+        let total = 4u64;
+        for &leaf in &ids {
+            for seq in 0..total {
+                b.push(leaf, seq, vec![1.0]);
+            }
+            assert!(b.finish(leaf, total));
+        }
+        assert!(b.all_finished());
+        for &leaf in &ids {
+            // Full-window replay: all duplicates.
+            for seq in 0..total {
+                assert_eq!(b.push(leaf, seq, vec![1.0]), PushOutcome::Duplicate);
+            }
+            // Overshoot past the declared total: dropped, not buffered.
+            for seq in total..total + 3 {
+                assert_eq!(b.push(leaf, seq, vec![1.0]), PushOutcome::BeyondEnd);
+            }
+        }
+        assert_eq!(b.duplicates(), u64::from(n) * total);
+        assert_eq!(b.pending_len(), n as usize * total as usize);
+        // Drain in order; consumed replays also count as duplicates.
+        for &leaf in &ids {
+            for seq in 0..total {
+                assert_eq!(b.next(leaf, seq), Some(vec![1.0]));
+            }
+        }
+        assert_eq!(b.pending_len(), 0);
+        assert_eq!(b.push(NodeId(0), 0, vec![1.0]), PushOutcome::Duplicate);
+        assert_eq!(b.consumed_total(), u64::from(n) * total);
+    }
+
+    #[test]
     fn persists_mid_wave() {
         let mut b = buf2();
         b.push(NodeId(0), 0, vec![0.5]);

@@ -82,6 +82,11 @@ pub enum SimError {
     ZeroSize(&'static str),
     /// A node id was out of range for the topology.
     UnknownNode(NodeId),
+    /// The hierarchy's top tier did not reduce to a single root.
+    MultiRoot {
+        /// Number of nodes left at the top tier.
+        top_tier: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -89,6 +94,10 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::ZeroSize(what) => write!(f, "{what} must be positive"),
             SimError::UnknownNode(id) => write!(f, "node {id:?} is not part of the topology"),
+            SimError::MultiRoot { top_tier } => write!(
+                f,
+                "fan-outs leave {top_tier} nodes at the top tier (must reduce to 1 root)"
+            ),
         }
     }
 }

@@ -13,7 +13,6 @@
 //! conformance suite in `snod-bench` pins that a live run is
 //! bit-identical to the simulated one on replayed streams.
 
-use std::collections::HashMap;
 use std::path::Path;
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -24,6 +23,7 @@ use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 use crate::config::{SimConfig, StreamSource};
 use crate::detector::{CtxOut, DetectorEngine, EngineCtx};
 use crate::energy::EnergyModel;
+use crate::event::Event;
 use crate::fault::FaultPlan;
 use crate::message::Wire;
 use crate::node::NodeId;
@@ -340,6 +340,7 @@ impl<P: Wire, A: DetectorEngine<P>> LiveRuntime<P, A> {
         // (capacity 1: at most one same-instant task group per node per
         // batch is ever in flight).
         type Job<P> = (u64, Vec<(usize, Task<P>)>);
+        type Group<P> = (u32, Vec<(usize, Task<P>)>);
         let (res_tx, res_rx) = mpsc::channel::<Vec<(usize, CtxOut<P>)>>();
         let mut job_txs: Vec<mpsc::SyncSender<Job<P>>> = Vec::with_capacity(engines.len());
         let mut job_rxs: Vec<mpsc::Receiver<Job<P>>> = Vec::with_capacity(engines.len());
@@ -375,6 +376,17 @@ impl<P: Wire, A: DetectorEngine<P>> LiveRuntime<P, A> {
                 });
             }
 
+            // Batch scratch, reused across dispatch batches (see the
+            // simulator's parallel driver): `group_of` is a dense
+            // node → group-index slab with `u32::MAX` as the "not in
+            // this batch" sentinel, reset via the `group_order` touch
+            // list so clearing is O(batch), not O(nodes).
+            let mut batch: Vec<Event<P>> = Vec::new();
+            let mut posts: Vec<(Post, Option<usize>)> = Vec::new();
+            let mut groups: Vec<Group<P>> = Vec::new();
+            let mut group_of: Vec<u32> = vec![u32::MAX; topo.node_count()];
+            let mut outs: Vec<Option<CtxOut<P>>> = Vec::new();
+
             loop {
                 match eng.queue.peek_time() {
                     Some(t) if t <= stop_ns => clock.wait_until(t),
@@ -384,16 +396,15 @@ impl<P: Wire, A: DetectorEngine<P>> LiveRuntime<P, A> {
                 clock_ns = clock_ns.max(time);
                 eng.apply_failures(time);
                 // Drain the whole same-instant batch in scheduling order.
-                let mut batch = vec![first];
+                batch.clear();
+                batch.push(first);
                 while eng.queue.peek_time() == Some(time) {
                     batch.push(eng.queue.pop().expect("peeked event present").1);
                 }
                 // Pre phase, sequential in batch order.
-                let mut posts: Vec<(Post, Option<usize>)> = Vec::new();
-                let mut groups: HashMap<u32, Vec<(usize, Task<P>)>> = HashMap::new();
-                let mut group_order: Vec<u32> = Vec::new();
+                posts.clear();
                 let mut n_tasks = 0usize;
-                for event in batch {
+                for event in batch.drain(..) {
                     match eng.classify(time, event, source, readings_per_leaf) {
                         Pre::Skip => {}
                         Pre::Engine(post) => posts.push((post, None)),
@@ -401,32 +412,33 @@ impl<P: Wire, A: DetectorEngine<P>> LiveRuntime<P, A> {
                             let pos = n_tasks;
                             n_tasks += 1;
                             posts.push((post, Some(pos)));
-                            groups
-                                .entry(node.0)
-                                .or_insert_with(|| {
-                                    group_order.push(node.0);
-                                    Vec::new()
-                                })
-                                .push((pos, task));
+                            let slot = &mut group_of[node.index()];
+                            if *slot == u32::MAX {
+                                *slot = groups.len() as u32;
+                                groups.push((node.0, Vec::new()));
+                            }
+                            groups[*slot as usize].1.push((pos, task));
                         }
                     }
                 }
-                // Ship each node's group to its worker.
-                let n_groups = group_order.len();
-                for node in group_order.drain(..) {
-                    let tasks = groups.remove(&node).expect("group exists");
+                // Ship each node's group to its worker (first-touch
+                // batch order, as the HashMap + order-list used to).
+                let n_groups = groups.len();
+                for (node, tasks) in groups.drain(..) {
+                    group_of[node as usize] = u32::MAX;
                     job_txs[node as usize]
                         .send((time, tasks))
                         .expect("worker alive");
                 }
-                let mut outs: Vec<Option<CtxOut<P>>> = (0..n_tasks).map(|_| None).collect();
+                outs.clear();
+                outs.resize_with(n_tasks, || None);
                 for _ in 0..n_groups {
                     for (pos, out) in res_rx.recv().expect("worker alive") {
                         outs[pos] = Some(out);
                     }
                 }
                 // Post phase, sequential in batch order.
-                for (post, task_pos) in posts {
+                for (post, task_pos) in posts.drain(..) {
                     let out = match task_pos {
                         Some(p) => outs[p].take().expect("callback completed"),
                         None => CtxOut::default(),

@@ -9,7 +9,8 @@
 //! (it defers to [17, 33, 47]); here leader assignment is deterministic,
 //! which also makes simulations replayable.
 //!
-//! Two constructors cover the paper's experiments:
+//! Three constructors cover the paper's experiments and the scaling
+//! benchmarks:
 //!
 //! * [`Hierarchy::balanced`] — explicit per-tier fan-outs, e.g.
 //!   `balanced(32, &[4, 2, 4])` builds the 32-leaf / 8 / 4 / 1 four-level
@@ -17,9 +18,53 @@
 //! * [`Hierarchy::virtual_grid`] — a `side × side` leaf grid with
 //!   quad-tree cells, the literal Figure 1 shape, used for the
 //!   communication-scaling experiment (Figure 11).
+//! * [`Hierarchy::deep`] — a deep (4–5 tier) shape with near-uniform
+//!   fan-outs derived from the leaf count, for the 1k/10k/50k-leaf scale
+//!   benchmarks.
+//!
+//! Storage is flat: child lists and tier membership live in two CSR
+//! (compressed sparse row) arenas — one contiguous id vector plus an
+//! offset vector each — instead of one heap allocation per node. At 50k
+//! nodes that is 4 allocations total rather than ~100k, and walking a
+//! tier or a child list is a contiguous slice scan.
 
 use crate::node::{Location, NodeId, NodeRole};
 use crate::SimError;
+
+/// A CSR arena of node-id rows: row `i` is `ids[off[i]..off[i+1]]`.
+#[derive(Debug, Clone)]
+struct Rows {
+    ids: Vec<NodeId>,
+    off: Vec<u32>,
+}
+
+impl Rows {
+    fn new() -> Self {
+        Self {
+            ids: Vec::new(),
+            off: vec![0],
+        }
+    }
+
+    /// Appends a row; rows must be pushed in index order.
+    fn push(&mut self, row: &[NodeId]) {
+        self.ids.extend_from_slice(row);
+        self.off.push(self.ids.len() as u32);
+    }
+
+    /// Appends an empty row (leaves have no children).
+    fn push_empty(&mut self) {
+        self.off.push(self.ids.len() as u32);
+    }
+
+    fn row(&self, i: usize) -> &[NodeId] {
+        &self.ids[self.off[i] as usize..self.off[i + 1] as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.off.len() - 1
+    }
+}
 
 /// An immutable tiered hierarchy of nodes.
 #[derive(Debug, Clone)]
@@ -27,16 +72,18 @@ pub struct Hierarchy {
     roles: Vec<NodeRole>,
     locations: Vec<Location>,
     parents: Vec<Option<NodeId>>,
-    children: Vec<Vec<NodeId>>,
-    /// Node ids per level; `levels[0]` is the leaf tier (level 1).
-    levels: Vec<Vec<NodeId>>,
+    /// CSR child lists, indexed by node id.
+    children: Rows,
+    /// CSR tier membership; row 0 is the leaf tier (level 1).
+    levels: Rows,
 }
 
 impl Hierarchy {
     /// Builds a balanced hierarchy: `leaf_count` leaves, then one tier
     /// per entry of `fanouts`, where each leader adopts (up to)
-    /// `fanouts[t]` nodes of the tier below. The final tier must reduce
-    /// to a single root.
+    /// `fanouts[t]` nodes of the tier below. The fan-outs must reduce
+    /// the network to a single root (checked — [`SimError::MultiRoot`]
+    /// otherwise).
     ///
     /// ```
     /// use snod_engine::Hierarchy;
@@ -53,51 +100,57 @@ impl Hierarchy {
         if fanouts.contains(&0) {
             return Err(SimError::ZeroSize("fan-out"));
         }
-        let mut roles = Vec::new();
-        let mut parents: Vec<Option<NodeId>> = Vec::new();
-        let mut children: Vec<Vec<NodeId>> = Vec::new();
-        let mut levels: Vec<Vec<NodeId>> = Vec::new();
+        let mut roles = Vec::with_capacity(leaf_count * 2);
+        let mut parents: Vec<Option<NodeId>> = Vec::with_capacity(leaf_count * 2);
+        let mut children = Rows::new();
+        let mut levels = Rows::new();
 
         let mut current: Vec<NodeId> = (0..leaf_count)
             .map(|i| {
                 roles.push(NodeRole::Leaf);
                 parents.push(None);
-                children.push(Vec::new());
+                children.push_empty();
                 NodeId(i as u32)
             })
             .collect();
-        levels.push(current.clone());
+        levels.push(&current);
 
         for (tier, &fanout) in fanouts.iter().enumerate() {
-            let mut next = Vec::new();
+            let mut next = Vec::with_capacity(current.len().div_ceil(fanout));
             for group in current.chunks(fanout) {
                 let leader = NodeId(roles.len() as u32);
                 roles.push(NodeRole::Leader {
                     level: (tier + 2) as u8,
                 });
                 parents.push(None);
-                children.push(group.to_vec());
+                children.push(group);
                 for &c in group {
                     parents[c.index()] = Some(leader);
                 }
                 next.push(leader);
             }
-            levels.push(next.clone());
+            levels.push(&next);
             current = next;
+        }
+
+        let top_tier = levels.row(levels.len() - 1).len();
+        if top_tier != 1 {
+            return Err(SimError::MultiRoot { top_tier });
         }
 
         // Leaf placement on a near-square grid; leaders at child centroids.
         let side = (leaf_count as f64).sqrt().ceil() as usize;
         let mut locations = vec![Location { x: 0.0, y: 0.0 }; roles.len()];
-        for (i, leaf) in levels[0].iter().enumerate() {
+        for (i, leaf) in levels.row(0).iter().enumerate() {
             locations[leaf.index()] = Location {
                 x: (i % side) as f64 / side.max(1) as f64,
                 y: (i / side) as f64 / side.max(1) as f64,
             };
         }
-        for level in levels.iter().skip(1) {
-            for &leader in level {
-                let kids = &children[leader.index()];
+        for level in 1..levels.len() {
+            for li in levels.off[level] as usize..levels.off[level + 1] as usize {
+                let leader = levels.ids[li];
+                let kids = children.row(leader.index());
                 let n = kids.len() as f64;
                 let (sx, sy) = kids.iter().fold((0.0, 0.0), |(sx, sy), c| {
                     let l = locations[c.index()];
@@ -119,6 +172,50 @@ impl Hierarchy {
         })
     }
 
+    /// A deep balanced hierarchy: `tiers` total levels (counting the
+    /// leaf tier) over `leaf_count` leaves, with near-uniform fan-outs
+    /// of roughly `leaf_count^(1/(tiers-1))` per tier so the top tier
+    /// is a single root. This is the generator behind the 1k/10k/50k
+    /// scale benchmarks:
+    ///
+    /// ```
+    /// use snod_engine::Hierarchy;
+    /// let h = Hierarchy::deep(10_000, 5).unwrap();
+    /// assert_eq!(h.leaves().len(), 10_000);
+    /// assert_eq!(h.level_count(), 5);
+    /// ```
+    pub fn deep(leaf_count: usize, tiers: usize) -> Result<Self, SimError> {
+        if leaf_count == 0 {
+            return Err(SimError::ZeroSize("leaf count"));
+        }
+        if tiers == 0 {
+            return Err(SimError::ZeroSize("tier count"));
+        }
+        if tiers == 1 {
+            // Only the degenerate single-node network has one tier.
+            return if leaf_count == 1 {
+                Self::balanced(1, &[])
+            } else {
+                Err(SimError::MultiRoot {
+                    top_tier: leaf_count,
+                })
+            };
+        }
+        let leader_tiers = tiers - 1;
+        let mut fanouts = Vec::with_capacity(leader_tiers);
+        let mut remaining = leaf_count;
+        for t in 0..leader_tiers {
+            let left = (leader_tiers - t) as f64;
+            // `remaining^(1/left)` rounded up always reaches 1 by the
+            // top tier; once it does, fan-out 2 chains single leaders
+            // upward so the requested depth is exact.
+            let f = ((remaining as f64).powf(1.0 / left).ceil() as usize).max(2);
+            fanouts.push(f);
+            remaining = remaining.div_ceil(f);
+        }
+        Self::balanced(leaf_count, &fanouts)
+    }
+
     /// A `side × side` leaf grid organised by quad-tree cells (fan-out 4
     /// per tier) until a single root remains — the literal shape of the
     /// paper's Figure 1. `side` is rounded up to a power of two.
@@ -128,15 +225,14 @@ impl Hierarchy {
         }
         let side = side.next_power_of_two();
         let tiers = side.trailing_zeros() as usize; // log2(side) quad tiers
-        let fanouts = vec![4usize; tiers];
         // Build by explicit quad-tree grouping (chunks() in `balanced`
         // would group linearly, breaking 2-d cell locality).
         let leaf_count = side * side;
-        let mut roles = Vec::new();
-        let mut parents: Vec<Option<NodeId>> = Vec::new();
-        let mut children: Vec<Vec<NodeId>> = Vec::new();
-        let mut levels: Vec<Vec<NodeId>> = Vec::new();
-        let mut locations = Vec::new();
+        let mut roles = Vec::with_capacity(leaf_count * 2);
+        let mut parents: Vec<Option<NodeId>> = Vec::with_capacity(leaf_count * 2);
+        let mut children = Rows::new();
+        let mut levels = Rows::new();
+        let mut locations = Vec::with_capacity(leaf_count * 2);
 
         // Leaf tier, row-major on the plane.
         let mut grid: Vec<Vec<NodeId>> = Vec::with_capacity(side);
@@ -146,7 +242,7 @@ impl Hierarchy {
                 let id = NodeId(roles.len() as u32);
                 roles.push(NodeRole::Leaf);
                 parents.push(None);
-                children.push(Vec::new());
+                children.push_empty();
                 locations.push(Location {
                     x: (x as f64 + 0.5) / side as f64,
                     y: (y as f64 + 0.5) / side as f64,
@@ -155,16 +251,17 @@ impl Hierarchy {
             }
             grid.push(row);
         }
-        levels.push(grid.iter().flatten().copied().collect());
+        let leaf_row: Vec<NodeId> = grid.iter().flatten().copied().collect();
+        levels.push(&leaf_row);
 
         let mut dim = side;
-        for (tier, _) in fanouts.iter().enumerate() {
+        for tier in 0..tiers {
             let next_dim = dim / 2;
             let mut next_grid: Vec<Vec<NodeId>> = Vec::with_capacity(next_dim);
             for cy in 0..next_dim {
                 let mut row = Vec::with_capacity(next_dim);
                 for cx in 0..next_dim {
-                    let kids = vec![
+                    let kids = [
                         grid[2 * cy][2 * cx],
                         grid[2 * cy][2 * cx + 1],
                         grid[2 * cy + 1][2 * cx],
@@ -183,7 +280,7 @@ impl Hierarchy {
                         y: sy / 4.0,
                     });
                     parents.push(None);
-                    children.push(kids.clone());
+                    children.push(&kids);
                     for &c in &kids {
                         parents[c.index()] = Some(leader);
                     }
@@ -191,11 +288,11 @@ impl Hierarchy {
                 }
                 next_grid.push(row);
             }
-            levels.push(next_grid.iter().flatten().copied().collect());
+            let tier_row: Vec<NodeId> = next_grid.iter().flatten().copied().collect();
+            levels.push(&tier_row);
             grid = next_grid;
             dim = next_dim;
         }
-        let _ = leaf_count;
 
         Ok(Self {
             roles,
@@ -218,20 +315,19 @@ impl Hierarchy {
 
     /// Node ids at tier `level` (1-based; level 1 = leaves).
     pub fn level(&self, level: usize) -> &[NodeId] {
-        &self.levels[level - 1]
+        self.levels.row(level - 1)
     }
 
     /// All leaf sensors.
     pub fn leaves(&self) -> &[NodeId] {
-        &self.levels[0]
+        self.levels.row(0)
     }
 
     /// The single node at the highest tier.
     pub fn root(&self) -> NodeId {
         *self
             .levels
-            .last()
-            .expect("non-empty hierarchy")
+            .row(self.levels.len() - 1)
             .first()
             .expect("top tier has a node")
     }
@@ -253,7 +349,7 @@ impl Hierarchy {
 
     /// The nodes reporting to `node` (empty for leaves).
     pub fn children(&self, node: NodeId) -> &[NodeId] {
-        &self.children[node.index()]
+        self.children.row(node.index())
     }
 
     /// Location of `node` on the unit square.
@@ -309,6 +405,53 @@ mod tests {
     }
 
     #[test]
+    fn balanced_rejects_fanouts_that_leave_multiple_roots() {
+        // 8 leaves under a single fan-out-4 tier leaves 2 top nodes.
+        assert!(matches!(
+            Hierarchy::balanced(8, &[4]),
+            Err(SimError::MultiRoot { top_tier: 2 })
+        ));
+        // Multiple leaves with no leader tier at all.
+        assert!(matches!(
+            Hierarchy::balanced(4, &[]),
+            Err(SimError::MultiRoot { top_tier: 4 })
+        ));
+    }
+
+    #[test]
+    fn balanced_handles_fanout_product_exceeding_leaf_count() {
+        // 5 leaves under fan-outs whose product (8) overshoots: tiers
+        // shrink as ceil(n/f) and the shape still reduces to one root.
+        let h = Hierarchy::balanced(5, &[4, 2]).unwrap();
+        assert_eq!(h.level(1).len(), 5);
+        assert_eq!(h.level(2).len(), 2); // ceil(5/4)
+        assert_eq!(h.level(3).len(), 1);
+        // The second leader adopted the lone leftover leaf.
+        let l2 = h.level(2);
+        assert_eq!(h.children(l2[0]).len(), 4);
+        assert_eq!(h.children(l2[1]).len(), 1);
+    }
+
+    #[test]
+    fn balanced_degenerate_fanout_one_chains_single_nodes() {
+        let h = Hierarchy::balanced(1, &[1, 1]).unwrap();
+        assert_eq!(h.node_count(), 3);
+        assert_eq!(h.level_count(), 3);
+        // A chain: leaf → mid → root, one node per tier.
+        for level in 1..=3 {
+            assert_eq!(h.level(level).len(), 1);
+        }
+        let mid = h.level(2)[0];
+        assert_eq!(h.parent(h.leaves()[0]), Some(mid));
+        assert_eq!(h.parent(mid), Some(h.root()));
+        // Fan-out 1 over multiple leaves can never reduce.
+        assert!(matches!(
+            Hierarchy::balanced(3, &[1, 1]),
+            Err(SimError::MultiRoot { top_tier: 3 })
+        ));
+    }
+
+    #[test]
     fn parent_child_links_are_consistent() {
         let h = Hierarchy::balanced(32, &[4, 2, 4]).unwrap();
         for level in 1..=h.level_count() {
@@ -350,6 +493,45 @@ mod tests {
         }
         seen.sort();
         assert_eq!(seen, h.leaves());
+    }
+
+    #[test]
+    fn deep_hits_requested_tier_count_at_scale() {
+        for (leaves, tiers) in [(1_000, 4), (10_000, 5), (50_000, 5)] {
+            let h = Hierarchy::deep(leaves, tiers).unwrap();
+            assert_eq!(h.leaves().len(), leaves, "{leaves}/{tiers}");
+            assert_eq!(h.level_count(), tiers, "{leaves}/{tiers}");
+            assert_eq!(h.level(tiers).len(), 1);
+            // Structure is sound: every leaf climbs to the root in
+            // exactly tiers-1 hops, and tier widths strictly shrink.
+            let mut n = h.leaves()[0];
+            let mut hops = 0;
+            while let Some(p) = h.parent(n) {
+                n = p;
+                hops += 1;
+            }
+            assert_eq!(hops, tiers - 1);
+            for t in 1..tiers {
+                assert!(h.level(t + 1).len() < h.level(t).len().max(2));
+            }
+        }
+    }
+
+    #[test]
+    fn deep_degenerate_shapes() {
+        // Few leaves under a deep request: fan-out-2 chains pad the
+        // depth so the tier count is still exact.
+        let h = Hierarchy::deep(2, 5).unwrap();
+        assert_eq!(h.level_count(), 5);
+        assert_eq!(h.leaves().len(), 2);
+        let h = Hierarchy::deep(1, 1).unwrap();
+        assert_eq!(h.node_count(), 1);
+        assert!(Hierarchy::deep(0, 4).is_err());
+        assert!(Hierarchy::deep(4, 0).is_err());
+        assert!(matches!(
+            Hierarchy::deep(4, 1),
+            Err(SimError::MultiRoot { top_tier: 4 })
+        ));
     }
 
     #[test]

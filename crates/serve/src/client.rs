@@ -26,8 +26,12 @@ pub type DetectionRow = (u32, u64, u8, Vec<f64>);
 pub struct ClientConfig {
     /// Server address.
     pub addr: String,
-    /// Unacked readings are retransmitted at this cadence (covers
-    /// load-shedding drops).
+    /// Readings the server has not acked as received are retransmitted
+    /// once the ack stream *stalls* for this long (covers load-shedding
+    /// drops). A backlogged-but-progressing server is never re-sent to:
+    /// blind cadence-based retransmission of in-flight rows is what the
+    /// server's dedup counter used to book as hundreds of thousands of
+    /// "duplicates" on a perfectly clean run.
     pub resend_interval: Duration,
     /// Initial redial backoff after a connection failure.
     pub connect_backoff: Duration,
@@ -70,7 +74,20 @@ pub struct ServeClient {
     cfg: ClientConfig,
     conn: Option<(TcpStream, FrameDecoder)>,
     tenants: Vec<TenantState>,
-    last_resend: Instant,
+    /// Last time the ack stream made progress (a received mark
+    /// advanced, or nothing was outstanding). Resends fire only when
+    /// this goes stale — see [`ClientConfig::resend_interval`].
+    last_progress: Instant,
+    /// Current stall threshold: `resend_interval`, doubled after every
+    /// resend pass that still sees no progress, reset on progress.
+    resend_wait: Duration,
+    /// Whether any ack arrived on the current connection. Until one
+    /// does, a quiet period is indistinguishable from server warm-up —
+    /// and nothing can have been lost that a resend would fix (only
+    /// load-shedding drops rows on a live connection, and spotting a
+    /// shed requires ack flow in the first place) — so stalls are only
+    /// called once the ack stream has started.
+    acked_since_dial: bool,
     backoff: Duration,
     next_dial: Instant,
     last_error: Option<(u8, String)>,
@@ -81,11 +98,14 @@ pub struct ServeClient {
 impl ServeClient {
     pub fn new(cfg: ClientConfig) -> Self {
         let backoff = cfg.connect_backoff;
+        let resend_wait = cfg.resend_interval;
         Self {
             cfg,
             conn: None,
             tenants: Vec::new(),
-            last_resend: Instant::now(),
+            last_progress: Instant::now(),
+            resend_wait,
+            acked_since_dial: false,
             backoff,
             next_dial: Instant::now(),
             last_error: None,
@@ -113,12 +133,15 @@ impl ServeClient {
 
     /// Buffers and transmits one reading (at-least-once).
     pub fn send(&mut self, handle: u32, node: u32, seq: u64, value: Vec<f64>) {
+        // Dial (and replay the backlog) *before* buffering this row:
+        // buffering first would make the dial's catch-up replay include
+        // it and the frame below would then be its duplicate.
+        self.ensure_conn();
         let t = &mut self.tenants[handle as usize];
         let durable = t.marks.get(&node).map_or(0, |m| m.1);
         if seq >= durable {
             t.sent.push((node, seq, value.clone()));
         }
-        self.ensure_conn();
         self.send_frame(&Msg::Reading {
             handle,
             node,
@@ -238,6 +261,11 @@ impl ServeClient {
                     self.send_frame(&hello);
                 }
                 self.resend_unreceived();
+                // The replay above is the reconnect catch-up; give the
+                // server a full quiet interval before calling a stall.
+                self.last_progress = Instant::now();
+                self.resend_wait = self.cfg.resend_interval;
+                self.acked_since_dial = false;
             }
             Err(_) => {
                 self.next_dial = Instant::now() + self.backoff;
@@ -279,11 +307,41 @@ impl ServeClient {
         }
     }
 
+    /// True if the server still owes us something a retransmission can
+    /// nudge: a row not yet acked as received, or a declared Finish the
+    /// server has not confirmed (the Finish frame itself can be lost).
+    fn has_outstanding(&self) -> bool {
+        self.tenants.iter().any(|t| {
+            !t.finished
+                && (t.totals.is_some()
+                    || t.sent
+                        .iter()
+                        .any(|(node, seq, _)| *seq >= t.marks.get(node).map_or(0, |m| m.0)))
+        })
+    }
+
+    /// Stall-gated retransmission. Rows in flight to a busy-but-healthy
+    /// server keep arriving and advancing the received marks, so the
+    /// stall clock keeps resetting and nothing is re-sent (a clean run
+    /// produces exactly zero server-side duplicates). A genuinely lost
+    /// row — shed under overload, or dropped by a fault — leaves the
+    /// marks frozen below it; once they sit still for `resend_wait`,
+    /// everything unreceived is replayed. Each fruitless pass doubles
+    /// the wait so a slow drain is not hammered with replays.
     fn maybe_resend(&mut self) {
-        if self.last_resend.elapsed() < self.cfg.resend_interval || self.conn.is_none() {
+        if self.conn.is_none()
+            || !self.acked_since_dial
+            || self.last_progress.elapsed() < self.resend_wait
+        {
             return;
         }
-        self.last_resend = Instant::now();
+        if !self.has_outstanding() {
+            self.last_progress = Instant::now();
+            self.resend_wait = self.cfg.resend_interval;
+            return;
+        }
+        self.last_progress = Instant::now();
+        self.resend_wait = (self.resend_wait * 2).min(self.cfg.max_backoff.max(self.cfg.resend_interval));
         self.resend_unreceived();
     }
 
@@ -351,9 +409,21 @@ impl ServeClient {
                 let Some(t) = self.tenants.get_mut(handle as usize) else {
                     return;
                 };
+                let mut advanced = false;
                 for (node, received, durable) in acks {
+                    let old = t.marks.get(&node).copied().unwrap_or((0, 0));
+                    advanced |= received > old.0 || durable > old.1;
                     t.marks.insert(node, (received, durable));
                 }
+                if advanced || !self.acked_since_dial {
+                    self.last_progress = Instant::now();
+                    self.resend_wait = self.cfg.resend_interval;
+                }
+                self.acked_since_dial = true;
+                let t = self
+                    .tenants
+                    .get_mut(handle as usize)
+                    .expect("checked above");
                 // Durably acked rows can never be needed again.
                 t.sent.retain(|(node, seq, _)| {
                     *seq >= t.marks.get(node).map_or(0, |m| m.1)

@@ -36,6 +36,42 @@ fn clean_served_stream_matches_in_process_run() {
     server.shutdown();
 }
 
+/// Regression: a clean run (no fault proxy, no reconnects, no
+/// shedding) must count **zero** server-side duplicates. The client
+/// used to re-send every in-flight row on a fixed 300 ms cadence —
+/// faster than a loaded server acked — booking ~1.3 spurious
+/// duplicates per reading on a run where nothing was ever lost.
+#[test]
+fn clean_run_counts_zero_duplicates() {
+    let spec = common::spec(4, &[2, 2]);
+    let rows = common::synth_rows(&spec, 96, 5);
+
+    let server = serve(ServeConfig {
+        tenant: spec.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let mut client = ServeClient::new(ClientConfig::new(server.addr().to_string()));
+    let h = client.open("clean-dups");
+    for (node, seq, value) in &rows {
+        client.send(h, *node, *seq, value.clone());
+        if seq % 16 == 0 {
+            client.pump(Duration::from_millis(1));
+        }
+    }
+    client.finish(h, common::totals(&spec, 96));
+    assert!(client.wait_finished(h, Duration::from_secs(30)), "stream completes");
+
+    let stats = server.stats();
+    assert_eq!(client.reconnects(), 0, "run must be clean");
+    assert_eq!(stats.shed, 0, "run must be clean");
+    assert_eq!(
+        stats.duplicates, 0,
+        "clean run must not re-send in-flight rows"
+    );
+    server.shutdown();
+}
+
 #[test]
 fn faulted_served_stream_matches_in_process_run_across_seeds() {
     for seed in [11u64, 29, 47] {

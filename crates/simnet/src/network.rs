@@ -24,6 +24,7 @@ use std::path::Path;
 use snod_persist::{ByteReader, ByteWriter, Persist, PersistError};
 
 use snod_engine::protocol::{self, EngineState, Post, Pre, Task};
+use snod_engine::Event;
 use snod_engine::{
     CtxOut, DetectorEngine, EnergyModel, EngineCtx, FaultPlan, Hierarchy, NetStats, NodeId,
     RestartPolicy, SimConfig, StreamSource, Wire,
@@ -434,6 +435,24 @@ impl<P: Wire, A: DetectorEngine<P>> Network<P, A> {
                 });
             }
 
+            // Batch scratch, allocated once and reused across every
+            // same-instant dispatch batch: per-batch cost stays
+            // proportional to the batch, not to total events, and the
+            // driver's steady-state memory is bounded by the largest
+            // batch (at worst one task per node).
+            let mut batch: Vec<Event<P>> = Vec::new();
+            let mut posts: Vec<(Post, Option<usize>)> = Vec::new();
+            let mut groups: Vec<(u32, TaskGroup<P>)> = Vec::new();
+            let mut outs: Vec<Option<CtxOut<P>>> = Vec::new();
+            // Dense node → group-index slab (`u32::MAX` = not in this
+            // batch); `touched` records which entries to reset so the
+            // per-batch clear is O(batch), not O(nodes). Group order is
+            // first-touch in batch order — the iteration-order of the
+            // HashMap this replaces never leaked into scheduling, but a
+            // dense slab makes that immune to accident as well as O(1).
+            let mut group_of: Vec<u32> = vec![u32::MAX; topo.node_count()];
+            let mut touched: Vec<u32> = Vec::new();
+
             loop {
                 match eng.queue.peek_time() {
                     Some(t) if t <= stop_ns => {}
@@ -455,19 +474,17 @@ impl<P: Wire, A: DetectorEngine<P>> Network<P, A> {
                 }
                 // Drain the whole same-instant batch, preserving heap
                 // (scheduling) order.
-                let mut batch = vec![first];
+                batch.clear();
+                batch.push(first);
                 while eng.queue.peek_time() == Some(time) {
                     batch.push(eng.queue.pop().expect("peeked event present").1);
                 }
                 // Pre phase (sequential, batch order): classification,
                 // stream fetches, receive accounting, dedup — exactly as
                 // the sequential engine interleaves them.
-                let mut posts: Vec<(Post, Option<usize>)> = Vec::new();
-                let mut groups: Vec<(u32, TaskGroup<P>)> = Vec::new();
-                let mut group_of: std::collections::HashMap<u32, usize> =
-                    std::collections::HashMap::new();
+                posts.clear();
                 let mut n_tasks = 0usize;
-                for event in batch {
+                for event in batch.drain(..) {
                     match eng.classify(time, event, source, readings_per_leaf) {
                         Pre::Skip => {}
                         Pre::Engine(post) => posts.push((post, None)),
@@ -483,20 +500,27 @@ impl<P: Wire, A: DetectorEngine<P>> Network<P, A> {
                             let pos = n_tasks;
                             n_tasks += 1;
                             posts.push((post, Some(pos)));
-                            let gi = *group_of.entry(node.0).or_insert_with(|| {
+                            let slot = &mut group_of[node.index()];
+                            if *slot == u32::MAX {
+                                *slot = groups.len() as u32;
+                                touched.push(node.0);
                                 groups.push((node.0, Vec::new()));
-                                groups.len() - 1
-                            });
-                            groups[gi].1.push((pos, task));
+                            }
+                            groups[*slot as usize].1.push((pos, task));
                         }
                     }
                 }
+                for &n in &touched {
+                    group_of[n as usize] = u32::MAX;
+                }
+                touched.clear();
                 // Parallel phase: ship each node's task group to the pool.
                 let n_groups = groups.len();
                 for (node, tasks) in groups.drain(..) {
                     work_tx.send((node, time, tasks)).expect("workers alive");
                 }
-                let mut outs: Vec<Option<CtxOut<P>>> = (0..n_tasks).map(|_| None).collect();
+                outs.clear();
+                outs.resize_with(n_tasks, || None);
                 for _ in 0..n_groups {
                     for (pos, out) in res_rx.recv().expect("worker alive") {
                         outs[pos] = Some(out);
@@ -507,7 +531,7 @@ impl<P: Wire, A: DetectorEngine<P>> Network<P, A> {
                 // per-event side-effect order as the sequential engine,
                 // so RNG draws, statistics, the pending table and queue
                 // sequence numbers line up exactly.
-                for (post, task_pos) in posts {
+                for (post, task_pos) in posts.drain(..) {
                     let out = match task_pos {
                         Some(p) => outs[p].take().expect("callback completed"),
                         None => CtxOut::default(),

@@ -19,7 +19,10 @@ fn d3_pipeline(leaves: usize, seed: u64) -> OutlierPipeline {
         rule: DistanceOutlierConfig::new(10.0, 0.01),
         sample_fraction: 0.5,
     };
-    OutlierPipeline::balanced(leaves, &[4, 2], SimConfig::default(), Algorithm::D3(cfg)).unwrap()
+    // The simulator rejects fan-outs that leave a multi-root forest,
+    // so the 16-leaf shape collapses 16 → 4 → 1 instead of 16 → 4 → 2.
+    let fanouts: &[usize] = if leaves > 8 { &[4, 4] } else { &[4, 2] };
+    OutlierPipeline::balanced(leaves, fanouts, SimConfig::default(), Algorithm::D3(cfg)).unwrap()
 }
 
 fn run(pipeline: &OutlierPipeline, seed: u64, readings: u64) -> PipelineReport {
@@ -138,7 +141,7 @@ fn centralized_baseline_is_much_chattier_than_d3() {
     let d3 = run(&d3_pipeline(16, 7), 7, 2_000);
     let cent = OutlierPipeline::balanced(
         16,
-        &[4, 2],
+        &[4, 4],
         SimConfig::default(),
         Algorithm::Centralized(DistanceOutlierConfig::new(10.0, 0.01), 1_000),
     )

@@ -20,13 +20,16 @@
 use std::collections::HashMap;
 
 use snod_core::pipeline::{Algorithm, OutlierPipeline};
-use snod_core::{D3Config, EstimatorConfig, MgddConfig, UpdateStrategy};
+use snod_core::{
+    run_fqn, run_mmdew, D3Config, EstimatorConfig, FqnConfig, MgddConfig, MmdewNodeConfig,
+    UpdateStrategy,
+};
 use snod_data::{DataStream, SensorStreams};
 use snod_density::{DensityModel, EquiDepthHistogram, GridHistogram};
 use snod_outlier::{DistanceOutlierConfig, MdefConfig, MdefDetector, PrecisionRecall};
-use snod_simnet::{Hierarchy, SimConfig};
+use snod_simnet::{Hierarchy, NodeId, SimConfig};
 
-use crate::harness::{score_level, ReadingRecord, RecordingSource};
+use crate::harness::{score_level, value_key, ReadingRecord, RecordingSource};
 
 /// Which estimator produced a score.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -440,6 +443,189 @@ where
     prs
 }
 
+/// One point of a parameter sweep: the swept parameter value and the
+/// pooled confusion counts measured there.
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    /// The swept threshold (FQN `k_scale`, MMDEW `threshold_scale`).
+    pub parameter: f64,
+    /// Micro-averaged precision/recall at that threshold.
+    pub pr: PrecisionRecall,
+}
+
+/// Configuration of the FQN labeled-contamination experiment: a
+/// stationary base stream with **known** injected gross outliers, so
+/// ground truth is exact by construction (every injected value is
+/// bit-unique and far outside the base band).
+pub struct FqnAccuracyConfig {
+    /// Leaf sensors.
+    pub leaves: usize,
+    /// Leader fan-outs above the leaves.
+    pub fanouts: Vec<usize>,
+    /// Base FQN recipe; `k_scale` is overridden per sweep point.
+    pub fqn: FqnConfig,
+    /// Readings per leaf before injection starts (window training).
+    pub warmup: u64,
+    /// Scored readings per leaf.
+    pub eval: u64,
+    /// One outlier per leaf every this many scored readings.
+    pub outlier_every: u64,
+    /// The `k_scale` thresholds to sweep.
+    pub k_scales: Vec<f64>,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+/// The injected value for `(leaf, seq)`: far above the base band and
+/// bit-unique, so detections can be matched back to labels exactly.
+fn fqn_injected_value(leaf: u32, seq: u64) -> f64 {
+    0.95 + 1e-9 * (leaf as f64 * 131_071.0 + seq as f64)
+}
+
+fn fqn_base_value(leaf: u32, seq: u64, seed: u64) -> f64 {
+    let h = (leaf as u64 * 1_000_003) ^ seq.wrapping_mul(7_919 + seed);
+    0.35 + 0.2 * ((h % 1_009) as f64 / 1_009.0)
+}
+
+/// Sweeps `k_scale` and scores leaf-level FQN detections against the
+/// injected-contamination labels: a true positive is an injected value
+/// flagged by its leaf, a false positive any flagged base value, a
+/// false negative an injection that went unflagged.
+pub fn run_fqn_accuracy(cfg: &FqnAccuracyConfig) -> Vec<OperatingPoint> {
+    let topo = Hierarchy::balanced(cfg.leaves, &cfg.fanouts).expect("valid accuracy hierarchy");
+    let readings = cfg.warmup + cfg.eval;
+    let warmup = cfg.warmup;
+    let outlier_every = cfg.outlier_every;
+    let injected = move |seq: u64| seq >= warmup && (seq - warmup).is_multiple_of(outlier_every);
+    let mut truth: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+    for &leaf in topo.leaves() {
+        for seq in 0..readings {
+            if injected(seq) {
+                truth.insert(value_key(&[fqn_injected_value(leaf.0, seq)]));
+            }
+        }
+    }
+
+    let seed = cfg.seed;
+    cfg.k_scales
+        .iter()
+        .map(|&k| {
+            let fqn = FqnConfig {
+                k_scale: k,
+                ..cfg.fqn
+            };
+            let mut source = move |node: NodeId, seq: u64| {
+                Some(vec![if injected(seq) {
+                    fqn_injected_value(node.0, seq)
+                } else {
+                    fqn_base_value(node.0, seq, seed)
+                }])
+            };
+            let net = run_fqn(topo.clone(), &fqn, SimConfig::default(), &mut source, readings)
+                .expect("fqn accuracy recipe is valid");
+            let mut pr = PrecisionRecall::new();
+            let mut hit: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+            for (_, app) in net.apps() {
+                for d in app.detections.iter().filter(|d| d.level == 1) {
+                    let key = value_key(&d.value);
+                    if truth.contains(&key) {
+                        hit.insert(key);
+                    } else {
+                        pr.false_positives += 1;
+                    }
+                }
+            }
+            pr.true_positives = hit.len() as u64;
+            pr.false_negatives = truth.len() as u64 - pr.true_positives;
+            OperatingPoint { parameter: k, pr }
+        })
+        .collect()
+}
+
+/// Configuration of the MMDEW change-point experiment: a
+/// piecewise-stationary stream whose mean jumps at **known** change
+/// points every `segment` readings, scored event-wise — a change is
+/// detected if some alarm lands within `tolerance` readings after it.
+pub struct MmdewAccuracyConfig {
+    /// Leaf sensors.
+    pub leaves: usize,
+    /// Leader fan-outs above the leaves.
+    pub fanouts: Vec<usize>,
+    /// Base MMDEW recipe; `threshold_scale` is overridden per point.
+    pub node: MmdewNodeConfig,
+    /// Segment length: the mean jumps every `segment` readings.
+    pub segment: u64,
+    /// Readings per leaf.
+    pub readings: u64,
+    /// Detection window after each change point, in readings.
+    pub tolerance: u64,
+    /// The `threshold_scale` values to sweep.
+    pub threshold_scales: Vec<f64>,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+/// Sweeps `threshold_scale` and scores leaf-level MMDEW alarms against
+/// the planted change points, event-wise per leaf: each change point is
+/// a true positive if any alarm on that leaf lands in
+/// `[cp, cp + tolerance]` (extra alarms inside the window fold into the
+/// same event), a false negative otherwise; alarms outside every window
+/// are false positives.
+pub fn run_mmdew_accuracy(cfg: &MmdewAccuracyConfig) -> Vec<OperatingPoint> {
+    let topo = Hierarchy::balanced(cfg.leaves, &cfg.fanouts).expect("valid accuracy hierarchy");
+    let sim = SimConfig::default();
+    let period = sim.reading_period_ns;
+    let change_points: Vec<u64> = (1..)
+        .map(|k| k * cfg.segment)
+        .take_while(|&cp| cp < cfg.readings)
+        .collect();
+    let seed = cfg.seed;
+    let segment = cfg.segment;
+
+    cfg.threshold_scales
+        .iter()
+        .map(|&ts| {
+            let mut node_cfg = cfg.node;
+            node_cfg.detector.threshold_scale = ts;
+            let mut source = move |node: NodeId, seq: u64| {
+                let h = (node.0 as u64 * 1_000_003) ^ seq.wrapping_mul(7_919 + seed);
+                let base = if (seq / segment).is_multiple_of(2) { 0.2 } else { 0.8 };
+                Some(vec![base + 0.02 * ((h % 1_009) as f64 / 1_009.0)])
+            };
+            let net = run_mmdew(topo.clone(), &node_cfg, sim, &mut source, cfg.readings)
+                .expect("mmdew accuracy recipe is valid");
+            let mut pr = PrecisionRecall::new();
+            for &leaf in topo.leaves() {
+                let alarm_seqs: Vec<u64> = net
+                    .app(leaf)
+                    .detections
+                    .iter()
+                    .map(|d| d.time_ns / period)
+                    .collect();
+                for &cp in &change_points {
+                    let hit = alarm_seqs
+                        .iter()
+                        .any(|&s| s >= cp && s <= cp + cfg.tolerance);
+                    if hit {
+                        pr.true_positives += 1;
+                    } else {
+                        pr.false_negatives += 1;
+                    }
+                }
+                pr.false_positives += alarm_seqs
+                    .iter()
+                    .filter(|&&s| {
+                        !change_points
+                            .iter()
+                            .any(|&cp| s >= cp && s <= cp + cfg.tolerance)
+                    })
+                    .count() as u64;
+            }
+            OperatingPoint { parameter: ts, pr }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +656,92 @@ mod tests {
         let results = run_accuracy(&cfg, |run, sensor| {
             GaussianMixtureStream::new(1, run * 100 + sensor as u64)
         });
+        check_miniature(results);
+    }
+
+    #[test]
+    fn fqn_sweep_traces_the_precision_recall_tradeoff() {
+        let cfg = FqnAccuracyConfig {
+            leaves: 4,
+            fanouts: vec![2, 2],
+            fqn: FqnConfig {
+                dimensions: 1,
+                window: 128,
+                k_scale: 4.0, // overridden per sweep point
+                warmup: 32,
+                sample_fraction: 0.5,
+                seed: 11,
+            },
+            warmup: 128,
+            eval: 400,
+            outlier_every: 50,
+            k_scales: vec![2.0, 4.0, 12.0],
+            seed: 5,
+        };
+        let points = run_fqn_accuracy(&cfg);
+        assert_eq!(points.len(), 3);
+        let planted = 4 * (400u64).div_ceil(50);
+        for p in &points {
+            assert_eq!(
+                p.pr.true_positives + p.pr.false_negatives,
+                planted,
+                "k={}: label accounting drifted",
+                p.parameter
+            );
+        }
+        // Loosening the threshold can only add detections: recall is
+        // monotone non-increasing in k.
+        assert!(points[0].pr.recall() >= points[1].pr.recall());
+        assert!(points[1].pr.recall() >= points[2].pr.recall());
+        // The operating point the CLI defaults to actually works: the
+        // gross injections are far outside the base band.
+        let at4 = &points[1].pr;
+        assert!(at4.recall() > 0.8, "k=4 recall {:.3}", at4.recall());
+        assert!(at4.precision() > 0.8, "k=4 precision {:.3}", at4.precision());
+    }
+
+    #[test]
+    fn mmdew_sweep_finds_the_planted_changes() {
+        let mut node = MmdewNodeConfig::default();
+        node.detector.bucket_cap = 16;
+        node.detector.min_per_side = 8;
+        node.detector.seed = 11;
+        let cfg = MmdewAccuracyConfig {
+            leaves: 4,
+            fanouts: vec![2, 2],
+            node,
+            segment: 250,
+            readings: 1_000,
+            tolerance: 100,
+            threshold_scales: vec![0.6, 5.0],
+            seed: 5,
+        };
+        let points = run_mmdew_accuracy(&cfg);
+        assert_eq!(points.len(), 2);
+        let events = 4 * 3; // 4 leaves × change points at 250/500/750
+        for p in &points {
+            assert_eq!(
+                p.pr.true_positives + p.pr.false_negatives,
+                events,
+                "ts={}: event accounting drifted",
+                p.parameter
+            );
+        }
+        // At the default threshold the detector catches the jumps…
+        assert!(
+            points[0].pr.recall() > 0.6,
+            "ts=0.6 recall {:.3}",
+            points[0].pr.recall()
+        );
+        // …and a much stricter threshold can only suppress alarms.
+        assert!(points[1].pr.recall() <= points[0].pr.recall());
+        assert!(
+            points[1].pr.false_positives <= points[0].pr.false_positives,
+            "a stricter threshold invented alarms"
+        );
+    }
+
+    fn check_miniature(results: AccuracyResults) {
         assert_eq!(results.scored, 2 * 4 * 150);
         // All series exist: D3 kernel levels 1–3, MGDD kernel levels 2–3,
         // histogram variants.

@@ -37,7 +37,10 @@
 
 use std::collections::HashSet;
 
-use snod_core::{build_d3_live, run_d3_with_faults, D3Config, D3Node, D3Payload, Detection};
+use snod_core::{
+    build_backend_live, build_d3_live, run_backend_with_faults, run_d3_with_faults, D3Config,
+    D3Node, D3Payload, Detection, DetectorBackend,
+};
 use snod_data::{DataStream, SensorStreams};
 use snod_outlier::{MdefConfig, PrecisionRecall};
 use snod_simnet::{
@@ -579,6 +582,174 @@ where
     DriverParityReport { cases }
 }
 
+/// Backend-generic driver outcome: the observables every
+/// [`DetectorBackend`] exposes. (The D3-specific [`DriverOutcome`]
+/// additionally pins the estimator's model-epoch clock, which not every
+/// backend has.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendOutcome {
+    /// Full network accounting.
+    pub stats: NetStats,
+    /// Detections per node, indexed by `NodeId::index()`.
+    pub detections: Vec<Vec<Detection>>,
+    /// The driver's complete end-of-run checkpoint bytes.
+    pub checkpoint: Vec<u8>,
+}
+
+fn capture_backend_sim<B: DetectorBackend>(net: &Network<B::Payload, B::Engine>) -> BackendOutcome {
+    let mut detections = vec![Vec::new(); net.topology().node_count()];
+    for (node, app) in net.apps() {
+        detections[node.index()] = B::detections(app).to_vec();
+    }
+    BackendOutcome {
+        stats: net.stats().clone(),
+        detections,
+        checkpoint: net.checkpoint(),
+    }
+}
+
+fn capture_backend_live<B: DetectorBackend>(
+    rt: &LiveRuntime<B::Payload, B::Engine>,
+) -> BackendOutcome {
+    let mut detections = vec![Vec::new(); rt.topology().node_count()];
+    for (node, engine) in rt.engines() {
+        detections[node.index()] = B::detections(engine).to_vec();
+    }
+    BackendOutcome {
+        stats: rt.stats().clone(),
+        detections,
+        checkpoint: rt.checkpoint(),
+    }
+}
+
+/// One seed × fault setting of the backend parity matrix.
+#[derive(Debug, Clone)]
+pub struct BackendParityCase {
+    /// Stream/fault seed of this case.
+    pub seed: u64,
+    /// Whether the severe fault plan was installed.
+    pub faulted: bool,
+    /// Readings the recorded trace carries.
+    pub trace_len: usize,
+    /// The sequential simulator's outcome (the reference).
+    pub reference: BackendOutcome,
+    /// Parallel simulator (4 workers) replayed the trace bit-identically.
+    pub sim_parallel_identical: bool,
+    /// The live runtime replayed the trace bit-identically.
+    pub live_identical: bool,
+}
+
+/// The backend-generic sim-vs-live differential report.
+#[derive(Debug, Clone)]
+pub struct BackendParityReport {
+    /// One row per seed × fault setting.
+    pub cases: Vec<BackendParityCase>,
+}
+
+impl BackendParityReport {
+    /// True when every case was bit-identical across all three drivers.
+    pub fn all_identical(&self) -> bool {
+        !self.cases.is_empty()
+            && self
+                .cases
+                .iter()
+                .all(|c| c.sim_parallel_identical && c.live_identical && c.trace_len > 0)
+    }
+
+    /// Cases that diverged, for failure messages.
+    pub fn divergent(&self) -> Vec<(u64, bool)> {
+        self.cases
+            .iter()
+            .filter(|c| !(c.sim_parallel_identical && c.live_identical))
+            .map(|c| (c.seed, c.faulted))
+            .collect()
+    }
+}
+
+/// [`run_driver_parity`] for an arbitrary [`DetectorBackend`] recipe:
+/// for every seed × fault setting, record one trace under the
+/// sequential simulator, then replay it through the parallel simulator
+/// (4 workers) and the live runtime, asserting the stats, the per-node
+/// detection sequences and the checkpoint bytes are all `==`.
+///
+/// `make_stream(seed, leaf)` must be deterministic in its arguments.
+pub fn run_backend_parity<B, F, S>(
+    backend: &B,
+    leaves: usize,
+    fanouts: &[usize],
+    sim: SimConfig,
+    readings_per_leaf: u64,
+    seeds: &[u64],
+    make_stream: F,
+) -> BackendParityReport
+where
+    B: DetectorBackend,
+    F: Fn(u64, usize) -> S,
+    S: DataStream + Send + 'static,
+{
+    let topo = Hierarchy::balanced(leaves, fanouts).expect("valid parity hierarchy");
+    let horizon_ns = readings_per_leaf * sim.reading_period_ns;
+    let mut cases = Vec::new();
+    for &seed in seeds {
+        for faulted in [false, true] {
+            let plan = if faulted {
+                severe_plan(&topo, seed, horizon_ns)
+            } else {
+                FaultPlan::none()
+            };
+
+            // Reference pass: the sequential simulator, recording the
+            // trace it actually ingested.
+            let bank = BankSource::new(
+                SensorStreams::generate(leaves, |leaf| make_stream(seed, leaf)),
+                &topo,
+            );
+            let mut recorder = TraceRecorder::new(bank);
+            let net = run_backend_with_faults(
+                backend,
+                topo.clone(),
+                sim,
+                plan.clone(),
+                &mut recorder,
+                readings_per_leaf,
+            )
+            .expect("backend recipe is valid");
+            let trace = recorder.into_trace();
+            let reference = capture_backend_sim::<B>(&net);
+
+            // Replay 1: parallel simulator on the recorded trace.
+            let mut replay: ReadingTrace = trace.clone();
+            let par = run_backend_with_faults(
+                backend,
+                topo.clone(),
+                sim.with_worker_threads(4),
+                plan.clone(),
+                &mut replay,
+                readings_per_leaf,
+            )
+            .expect("backend recipe is valid");
+            let par_outcome = capture_backend_sim::<B>(&par);
+
+            // Replay 2: the live runtime on the same trace.
+            let mut rt = build_backend_live(backend, topo.clone(), sim, plan.clone())
+                .expect("backend recipe is valid");
+            let mut replay = trace.clone();
+            rt.run(&mut replay, readings_per_leaf);
+            let live_outcome = capture_backend_live::<B>(&rt);
+
+            cases.push(BackendParityCase {
+                seed,
+                faulted,
+                trace_len: trace.len(),
+                sim_parallel_identical: par_outcome == reference,
+                live_identical: live_outcome == reference,
+                reference,
+            });
+        }
+    }
+    BackendParityReport { cases }
+}
+
 fn score_outcome(
     label: &str,
     plan: FaultPlan,
@@ -695,6 +866,41 @@ mod tests {
             .cases
             .iter()
             .any(|c| c.faulted && !c.reference.checkpoint.is_empty()));
+    }
+
+    #[test]
+    fn backend_parity_matches_the_d3_specific_harness_shape() {
+        // One faulted seed through the generic harness for each new
+        // backend; the full matrix runs in `tests/driver_parity.rs`.
+        let fqn = snod_core::FqnBackend(snod_core::FqnConfig {
+            dimensions: 1,
+            window: 128,
+            k_scale: 4.0,
+            warmup: 32,
+            sample_fraction: 0.5,
+            seed: 9,
+        });
+        let report = run_backend_parity(
+            &fqn,
+            4,
+            &[2, 2],
+            SimConfig::default().with_reliability(snod_simnet::RetryPolicy::default()),
+            500,
+            &[5],
+            |seed, sensor| SpikeStream {
+                sensor: sensor + seed as usize,
+                n: 0,
+            },
+        );
+        assert!(
+            report.all_identical(),
+            "fqn drivers diverged on {:?}",
+            report.divergent()
+        );
+        assert!(report
+            .cases
+            .iter()
+            .any(|c| c.reference.detections.iter().any(|d| !d.is_empty())));
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! escalations, model epochs, NetStats counters and checkpoint bytes —
 //! across seeds, with and without fault injection.
 
-use snod_bench::conformance::{run_driver_parity, ConformanceConfig};
-use snod_core::{D3Config, EstimatorConfig};
+use snod_bench::conformance::{run_backend_parity, run_driver_parity, ConformanceConfig};
+use snod_core::{
+    D3Config, EstimatorConfig, FqnBackend, FqnConfig, MmdewBackend, MmdewNodeConfig,
+};
 use snod_data::DataStream;
 use snod_outlier::{DistanceOutlierConfig, MdefConfig};
 use snod_simnet::{RetryPolicy, SimConfig};
@@ -85,6 +87,93 @@ fn drivers_are_bit_identical_across_seeds_and_faults() {
         }
     }
     // Detections exist somewhere, or the equivalence claim is hollow.
+    assert!(report
+        .cases
+        .iter()
+        .any(|c| c.reference.detections.iter().any(|d| !d.is_empty())));
+}
+
+/// Deterministic per-(seed, leaf) piecewise-stationary stream: the mean
+/// jumps between 0.2 and 0.8 every 250 readings (MMDEW's workload).
+struct SeededShifts {
+    salt: u64,
+    n: u64,
+}
+
+impl DataStream for SeededShifts {
+    fn dims(&self) -> usize {
+        1
+    }
+    fn next_reading(&mut self) -> Vec<f64> {
+        let n = self.n;
+        self.n += 1;
+        let base = if (n / 250).is_multiple_of(2) { 0.2 } else { 0.8 };
+        vec![base + 0.01 * ((n.wrapping_mul(7) + self.salt) % 5) as f64]
+    }
+}
+
+#[test]
+fn fqn_drivers_are_bit_identical_across_seeds_and_faults() {
+    let backend = FqnBackend(FqnConfig {
+        dimensions: 1,
+        window: 128,
+        k_scale: 4.0,
+        warmup: 32,
+        sample_fraction: 0.5,
+        seed: 9,
+    });
+    let report = run_backend_parity(
+        &backend,
+        4,
+        &[2, 2],
+        SimConfig::default().with_reliability(RetryPolicy::default()),
+        700,
+        &[1, 42, 0xFEED],
+        |seed, leaf| SeededSpikes {
+            salt: seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(leaf as u64 * 131),
+            n: 0,
+        },
+    );
+    assert_eq!(report.cases.len(), 6);
+    assert!(
+        report.all_identical(),
+        "fqn drivers diverged on (seed, faulted) cases {:?}",
+        report.divergent()
+    );
+    assert!(report
+        .cases
+        .iter()
+        .any(|c| c.reference.detections.iter().any(|d| !d.is_empty())));
+}
+
+#[test]
+fn mmdew_drivers_are_bit_identical_across_seeds_and_faults() {
+    let mut cfg = MmdewNodeConfig::default();
+    cfg.detector.bucket_cap = 16;
+    cfg.detector.min_per_side = 8;
+    let backend = MmdewBackend(cfg);
+    let report = run_backend_parity(
+        &backend,
+        4,
+        &[2, 2],
+        SimConfig::default().with_reliability(RetryPolicy::default()),
+        700,
+        &[1, 42, 0xFEED],
+        |seed, leaf| SeededShifts {
+            salt: seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(leaf as u64 * 131),
+            n: 0,
+        },
+    );
+    assert_eq!(report.cases.len(), 6);
+    assert!(
+        report.all_identical(),
+        "mmdew drivers diverged on (seed, faulted) cases {:?}",
+        report.divergent()
+    );
     assert!(report
         .cases
         .iter()

@@ -44,6 +44,8 @@ pub struct ServeArgs {
     pub neighbors: f64,
     /// Bounded per-tenant queue capacity.
     pub queue: usize,
+    /// Detector backend every tenant runs: "d3", "mmdew" or "fqn".
+    pub detector: String,
 }
 
 impl Default for ServeArgs {
@@ -59,6 +61,7 @@ impl Default for ServeArgs {
             radius: 0.02,
             neighbors: 10.0,
             queue: 256,
+            detector: "d3".into(),
         }
     }
 }
@@ -84,7 +87,8 @@ pub struct SimulateArgs {
     pub leaves: usize,
     /// Readings per leaf.
     pub readings: u64,
-    /// Algorithm: "d3", "mgdd" or "centralized".
+    /// Detector backend: "d3", "mgdd", "mmdew", "fqn" or "centralized".
+    /// (`--detector` and `--algorithm` are interchangeable spellings.)
     pub algorithm: String,
     /// Sample-propagation fraction `f`.
     pub fraction: f64,
@@ -204,14 +208,19 @@ USAGE:
   snod demo                       synthetic end-to-end demo
   snod help                       this text
 
+A leading flag is shorthand for simulate: `snod --detector mmdew` runs
+`snod simulate --detector mmdew`.
+
 SIMULATE OPTIONS:
   --leaves N        leaf sensors                  (default 16)
   --readings N      readings per leaf             (default 6000)
-  --algorithm A     d3 | mgdd | centralized       (default d3)
+  --detector A      d3 | mgdd | mmdew | fqn | centralized  (default d3;
+                    --algorithm is an alias)
   --fraction F      sample-propagation fraction f (default 0.5)
   --loss P          message-loss probability      (default 0)
   --metrics-out F   write a JSON metrics snapshot to F after the run
-  --checkpoint-out F  write a checkpoint of the run to F (d3/mgdd)
+  --checkpoint-out F  write a checkpoint of the run to F (all but
+                    centralized)
   --checkpoint-at K   with --checkpoint-out: snapshot after K readings
                       per leaf, then continue to completion
   --resume-from F   restore checkpoint F before running; the remaining
@@ -236,6 +245,8 @@ SERVE OPTIONS:
   --neighbors T     (D,r) rule: neighbor threshold     (default 10)
   --queue N         bounded per-tenant queue; a full queue sheds
                     readings, which clients retransmit (default 256)
+  --detector A      backend every tenant runs: d3 | mmdew | fqn
+                    (default d3)
 
 CLIENT OPTIONS:
   --addr A          daemon address                 (default 127.0.0.1:7433)
@@ -264,108 +275,119 @@ fn parse_value<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T,
         .map_err(|_| ArgError(format!("invalid value for {flag}: {raw}")))
 }
 
+fn parse_simulate<I: Iterator<Item = String>>(mut it: I) -> Result<Command, ArgError> {
+    let mut s = SimulateArgs::default();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--leaves" => s.leaves = parse_value(&a, it.next())?,
+            "--readings" => s.readings = parse_value(&a, it.next())?,
+            "--algorithm" | "--detector" => s.algorithm = parse_value(&a, it.next())?,
+            "--fraction" => s.fraction = parse_value(&a, it.next())?,
+            "--loss" => s.loss = parse_value(&a, it.next())?,
+            "--metrics-out" => s.metrics_out = Some(parse_value(&a, it.next())?),
+            "--checkpoint-out" => s.checkpoint_out = Some(parse_value(&a, it.next())?),
+            "--checkpoint-at" => s.checkpoint_at = Some(parse_value(&a, it.next())?),
+            "--resume-from" => s.resume_from = Some(parse_value(&a, it.next())?),
+            "--driver" => s.driver = parse_value(&a, it.next())?,
+            "--record" => s.record = Some(parse_value(&a, it.next())?),
+            "--replay" => s.replay = Some(parse_value(&a, it.next())?),
+            other => return Err(ArgError(format!("unknown flag for simulate: {other}"))),
+        }
+    }
+    if s.leaves == 0 {
+        return Err(ArgError("--leaves must be positive".into()));
+    }
+    if s.checkpoint_at.is_some() && s.checkpoint_out.is_none() {
+        return Err(ArgError("--checkpoint-at needs --checkpoint-out".into()));
+    }
+    if (s.checkpoint_out.is_some() || s.resume_from.is_some()) && s.algorithm == "centralized" {
+        return Err(ArgError(
+            "checkpoint/resume supports d3, mgdd, mmdew and fqn only".into(),
+        ));
+    }
+    if !["d3", "mgdd", "mmdew", "fqn", "centralized"].contains(&s.algorithm.as_str()) {
+        return Err(ArgError(format!(
+            "unknown detector {:?} (d3 | mgdd | mmdew | fqn | centralized)",
+            s.algorithm
+        )));
+    }
+    if !(0.0..=1.0).contains(&s.fraction) || !(0.0..=1.0).contains(&s.loss) {
+        return Err(ArgError("--fraction and --loss must lie in [0, 1]".into()));
+    }
+    if !["sim", "live"].contains(&s.driver.as_str()) {
+        return Err(ArgError(format!(
+            "unknown driver {:?} (sim | live)",
+            s.driver
+        )));
+    }
+    if s.driver == "live" {
+        if s.algorithm == "centralized" {
+            return Err(ArgError(
+                "--driver live supports the d3, mgdd, mmdew and fqn detectors only".into(),
+            ));
+        }
+        if s.checkpoint_out.is_some() || s.resume_from.is_some() {
+            return Err(ArgError(
+                "checkpoint/resume flags run under the simulator driver only".into(),
+            ));
+        }
+    }
+    Ok(Command::Simulate(s))
+}
+
+fn parse_serve<I: Iterator<Item = String>>(mut it: I) -> Result<Command, ArgError> {
+    let mut s = ServeArgs::default();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => s.addr = parse_value(&a, it.next())?,
+            "--metrics-addr" => s.metrics_addr = Some(parse_value(&a, it.next())?),
+            "--checkpoint-dir" => s.checkpoint_dir = Some(parse_value(&a, it.next())?),
+            "--leaves" => s.leaves = parse_value(&a, it.next())?,
+            "--fanouts" => {
+                let raw: String = parse_value(&a, it.next())?;
+                let parsed: Result<Vec<usize>, _> =
+                    raw.split(',').map(|p| p.trim().parse()).collect();
+                s.fanouts = parsed.map_err(|_| ArgError(format!("invalid --fanouts: {raw}")))?;
+            }
+            "--window" => s.window = parse_value(&a, it.next())?,
+            "--sample" => s.sample = Some(parse_value(&a, it.next())?),
+            "--radius" => s.radius = parse_value(&a, it.next())?,
+            "--neighbors" => s.neighbors = parse_value(&a, it.next())?,
+            "--queue" => s.queue = parse_value(&a, it.next())?,
+            "--detector" => s.detector = parse_value(&a, it.next())?,
+            other => return Err(ArgError(format!("unknown flag for serve: {other}"))),
+        }
+    }
+    if s.leaves == 0 {
+        return Err(ArgError("--leaves must be positive".into()));
+    }
+    if s.window == 0 {
+        return Err(ArgError("--window must be positive".into()));
+    }
+    if s.queue == 0 {
+        return Err(ArgError("--queue must be positive".into()));
+    }
+    if !["d3", "mmdew", "fqn"].contains(&s.detector.as_str()) {
+        return Err(ArgError(format!(
+            "unknown serve detector {:?} (d3 | mmdew | fqn)",
+            s.detector
+        )));
+    }
+    Ok(Command::Serve(s))
+}
+
 /// Parses a full argument vector (without the program name).
+///
+/// A leading flag (`snod --detector mmdew`) is shorthand for
+/// `snod simulate` with those flags.
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ArgError> {
     let mut it = args.into_iter();
     let cmd = it.next().unwrap_or_else(|| "help".into());
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "demo" => Ok(Command::Demo),
-        "simulate" => {
-            let mut s = SimulateArgs::default();
-            while let Some(a) = it.next() {
-                match a.as_str() {
-                    "--leaves" => s.leaves = parse_value(&a, it.next())?,
-                    "--readings" => s.readings = parse_value(&a, it.next())?,
-                    "--algorithm" => s.algorithm = parse_value(&a, it.next())?,
-                    "--fraction" => s.fraction = parse_value(&a, it.next())?,
-                    "--loss" => s.loss = parse_value(&a, it.next())?,
-                    "--metrics-out" => s.metrics_out = Some(parse_value(&a, it.next())?),
-                    "--checkpoint-out" => s.checkpoint_out = Some(parse_value(&a, it.next())?),
-                    "--checkpoint-at" => s.checkpoint_at = Some(parse_value(&a, it.next())?),
-                    "--resume-from" => s.resume_from = Some(parse_value(&a, it.next())?),
-                    "--driver" => s.driver = parse_value(&a, it.next())?,
-                    "--record" => s.record = Some(parse_value(&a, it.next())?),
-                    "--replay" => s.replay = Some(parse_value(&a, it.next())?),
-                    other => return Err(ArgError(format!("unknown flag for simulate: {other}"))),
-                }
-            }
-            if s.leaves == 0 {
-                return Err(ArgError("--leaves must be positive".into()));
-            }
-            if s.checkpoint_at.is_some() && s.checkpoint_out.is_none() {
-                return Err(ArgError("--checkpoint-at needs --checkpoint-out".into()));
-            }
-            if (s.checkpoint_out.is_some() || s.resume_from.is_some())
-                && s.algorithm == "centralized"
-            {
-                return Err(ArgError(
-                    "checkpoint/resume supports d3 and mgdd only".into(),
-                ));
-            }
-            if !["d3", "mgdd", "centralized"].contains(&s.algorithm.as_str()) {
-                return Err(ArgError(format!(
-                    "unknown algorithm {:?} (d3 | mgdd | centralized)",
-                    s.algorithm
-                )));
-            }
-            if !(0.0..=1.0).contains(&s.fraction) || !(0.0..=1.0).contains(&s.loss) {
-                return Err(ArgError("--fraction and --loss must lie in [0, 1]".into()));
-            }
-            if !["sim", "live"].contains(&s.driver.as_str()) {
-                return Err(ArgError(format!(
-                    "unknown driver {:?} (sim | live)",
-                    s.driver
-                )));
-            }
-            if s.driver == "live" {
-                if s.algorithm == "centralized" {
-                    return Err(ArgError(
-                        "--driver live supports the d3 and mgdd algorithms only".into(),
-                    ));
-                }
-                if s.checkpoint_out.is_some() || s.resume_from.is_some() {
-                    return Err(ArgError(
-                        "checkpoint/resume flags run under the simulator driver only".into(),
-                    ));
-                }
-            }
-            Ok(Command::Simulate(s))
-        }
-        "serve" => {
-            let mut s = ServeArgs::default();
-            while let Some(a) = it.next() {
-                match a.as_str() {
-                    "--addr" => s.addr = parse_value(&a, it.next())?,
-                    "--metrics-addr" => s.metrics_addr = Some(parse_value(&a, it.next())?),
-                    "--checkpoint-dir" => s.checkpoint_dir = Some(parse_value(&a, it.next())?),
-                    "--leaves" => s.leaves = parse_value(&a, it.next())?,
-                    "--fanouts" => {
-                        let raw: String = parse_value(&a, it.next())?;
-                        let parsed: Result<Vec<usize>, _> =
-                            raw.split(',').map(|p| p.trim().parse()).collect();
-                        s.fanouts = parsed
-                            .map_err(|_| ArgError(format!("invalid --fanouts: {raw}")))?;
-                    }
-                    "--window" => s.window = parse_value(&a, it.next())?,
-                    "--sample" => s.sample = Some(parse_value(&a, it.next())?),
-                    "--radius" => s.radius = parse_value(&a, it.next())?,
-                    "--neighbors" => s.neighbors = parse_value(&a, it.next())?,
-                    "--queue" => s.queue = parse_value(&a, it.next())?,
-                    other => return Err(ArgError(format!("unknown flag for serve: {other}"))),
-                }
-            }
-            if s.leaves == 0 {
-                return Err(ArgError("--leaves must be positive".into()));
-            }
-            if s.window == 0 {
-                return Err(ArgError("--window must be positive".into()));
-            }
-            if s.queue == 0 {
-                return Err(ArgError("--queue must be positive".into()));
-            }
-            Ok(Command::Serve(s))
-        }
+        "simulate" => parse_simulate(it),
+        "serve" => parse_serve(it),
         "client" => {
             let mut addr = "127.0.0.1:7433".to_string();
             let mut tenant: Option<String> = None;
@@ -449,6 +471,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ArgErro
             }
             Ok(Command::Detect(d))
         }
+        _ if cmd.starts_with("--") => parse_simulate(std::iter::once(cmd).chain(it)),
         other => Err(ArgError(format!(
             "unknown command: {other} (try `snod help`)"
         ))),
@@ -670,6 +693,63 @@ mod tests {
         // Both --tenant and --replay are mandatory.
         assert!(parse(["client".into(), "--replay".into(), "t.csv".into()]).is_err());
         assert!(parse(["client".into(), "--tenant".into(), "t".into()]).is_err());
+    }
+
+    #[test]
+    fn detector_flag_selects_backends() {
+        for det in ["d3", "mgdd", "mmdew", "fqn"] {
+            let Command::Simulate(s) = parse_ok(&["simulate", "--detector", det]) else {
+                panic!("wrong command");
+            };
+            assert_eq!(s.algorithm, det);
+        }
+        // --algorithm stays an alias for the same field.
+        let Command::Simulate(s) = parse_ok(&["simulate", "--algorithm", "fqn"]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(s.algorithm, "fqn");
+        assert!(parse(["simulate".into(), "--detector".into(), "kde".into()]).is_err());
+        // mmdew and fqn run under the live driver and checkpoint.
+        assert!(parse([
+            "simulate".into(),
+            "--detector".into(),
+            "mmdew".into(),
+            "--driver".into(),
+            "live".into(),
+        ])
+        .is_ok());
+        assert!(parse([
+            "simulate".into(),
+            "--detector".into(),
+            "fqn".into(),
+            "--checkpoint-out".into(),
+            "ck".into(),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn leading_flags_default_to_simulate() {
+        let Command::Simulate(s) = parse_ok(&["--detector", "mmdew", "--readings", "500"]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(s.algorithm, "mmdew");
+        assert_eq!(s.readings, 500);
+        // Unknown flags still error rather than silently simulating.
+        assert!(parse(["--frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_detector_parses_and_validates() {
+        let Command::Serve(s) = parse_ok(&["serve", "--detector", "fqn"]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(s.detector, "fqn");
+        let Command::Serve(s) = parse_ok(&["serve"]) else {
+            panic!("wrong command");
+        };
+        assert_eq!(s.detector, "d3");
+        assert!(parse(["serve".into(), "--detector".into(), "mgdd".into()]).is_err());
     }
 
     #[test]

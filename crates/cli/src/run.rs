@@ -203,6 +203,20 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError
             },
             vec![],
         ),
+        // FQN's sorted-buffer Q_n query is O(window) per reading, so the
+        // robust window is deliberately smaller than the KDE one.
+        "fqn" => Algorithm::Fqn(snod_core::FqnConfig {
+            dimensions: 1,
+            window: 256,
+            k_scale: 4.0,
+            warmup: 64,
+            sample_fraction: args.fraction,
+            seed: 0x51D,
+        }),
+        "mmdew" => Algorithm::Mmdew(snod_core::MmdewNodeConfig {
+            sample_fraction: args.fraction,
+            ..snod_core::MmdewNodeConfig::default()
+        }),
         _ => Algorithm::Centralized(
             DistanceOutlierConfig::new(window as f64 * 0.0045, 0.01),
             window,
@@ -291,6 +305,28 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), CliError
                 rt.run(&mut source, args.readings);
                 live_report(&rt, |a| a.detections.as_slice())
             }
+            Algorithm::Fqn(cfg) => {
+                let mut rt = snod_core::build_fqn_live(
+                    topo.clone(),
+                    cfg,
+                    sim,
+                    snod_simnet::FaultPlan::none(),
+                )
+                .map_err(|e| format!("simulation failed: {e}"))?;
+                rt.run(&mut source, args.readings);
+                live_report(&rt, |a| a.detections.as_slice())
+            }
+            Algorithm::Mmdew(cfg) => {
+                let mut rt = snod_core::build_mmdew_live(
+                    topo.clone(),
+                    cfg,
+                    sim,
+                    snod_simnet::FaultPlan::none(),
+                )
+                .map_err(|e| format!("simulation failed: {e}"))?;
+                rt.run(&mut source, args.readings);
+                live_report(&rt, |a| a.detections.as_slice())
+            }
             Algorithm::Centralized(..) => {
                 unreachable!("rejected by argument validation")
             }
@@ -357,6 +393,10 @@ pub fn serve_daemon(args: &crate::args::ServeArgs, out: &mut dyn Write) -> Resul
             sample_size: args.sample.unwrap_or_else(|| (args.window / 8).max(1)),
             radius: args.radius,
             min_neighbors: args.neighbors,
+            detector: args
+                .detector
+                .parse()
+                .map_err(|e| format!("invalid --detector: {e}"))?,
             ..snod_serve::TenantSpec::default()
         },
         ..snod_serve::ServeConfig::default()
@@ -586,7 +626,7 @@ mod tests {
 
     #[test]
     fn simulate_runs_each_algorithm() {
-        for algorithm in ["d3", "mgdd", "centralized"] {
+        for algorithm in ["d3", "mgdd", "mmdew", "fqn", "centralized"] {
             let args = crate::args::SimulateArgs {
                 leaves: 4,
                 readings: 400,
@@ -626,11 +666,17 @@ mod tests {
 
     #[test]
     fn simulate_checkpoint_resume_is_bit_identical() {
-        let ck = std::env::temp_dir().join("snod_cli_ckpt_test.snod");
+        for algorithm in ["d3", "mmdew", "fqn"] {
+            simulate_checkpoint_resume_case(algorithm);
+        }
+    }
+
+    fn simulate_checkpoint_resume_case(algorithm: &str) {
+        let ck = std::env::temp_dir().join(format!("snod_cli_ckpt_test_{algorithm}.snod"));
         let base = crate::args::SimulateArgs {
             leaves: 4,
             readings: 300,
-            algorithm: "d3".into(),
+            algorithm: algorithm.into(),
             fraction: 0.5,
             loss: 0.05,
             ..crate::args::SimulateArgs::default()
@@ -658,14 +704,14 @@ mod tests {
                 .map(str::to_owned)
                 .collect()
         };
-        assert_eq!(strip(&full), strip(&resumed), "resume diverged");
+        assert_eq!(strip(&full), strip(&resumed), "{algorithm}: resume diverged");
         std::fs::remove_file(&ck).ok();
     }
 
     #[test]
     fn simulate_record_then_replay_across_drivers_is_identical() {
         let trace = std::env::temp_dir().join("snod_cli_trace_test.csv");
-        for algorithm in ["d3", "mgdd"] {
+        for algorithm in ["d3", "mgdd", "mmdew", "fqn"] {
             let base = crate::args::SimulateArgs {
                 leaves: 4,
                 readings: 400,

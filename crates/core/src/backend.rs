@@ -1,0 +1,389 @@
+//! First-class detector backends.
+//!
+//! The four detector families — D3 (kernel-density distance rule), MGDD
+//! (multi-granular MDEF), FQN (streaming Q_n robust scale) and MMDEW
+//! (MMD on exponential windows) — share the same runtime shape: a
+//! per-node [`DetectorEngine`] that ingests readings, exchanges wire
+//! messages up the hierarchy and records [`Detection`]s. This module
+//! names that shape ([`DetectorBackend`]) so every layer above the
+//! engines — the pipeline, the CLI, `snod serve` tenants and the bench
+//! crate's conformance harness — can be written once, generically,
+//! instead of once per algorithm.
+//!
+//! A backend value is a *validated recipe*: it knows how to build one
+//! engine per node (seed-decorrelated via the node id) and how to read
+//! the detections back out. The free functions [`build_backend_network`]
+//! and [`build_backend_live`] turn a recipe into the simulated or the
+//! wall-clock runtime over identical engines — the pairing the
+//! driver-parity suites pin bit-for-bit.
+
+use snod_persist::Persist;
+use snod_simnet::{
+    DetectorEngine, FaultPlan, Hierarchy, LiveRuntime, Network, NodeId, SimConfig, StreamSource,
+    Wire,
+};
+
+use crate::config::{CoreError, D3Config, MgddConfig};
+use crate::d3::{D3Node, D3Payload, Detection};
+use crate::fqn::{FqnConfig, FqnNode, FqnPayload};
+use crate::mgdd::MgddNode;
+use crate::mgdd::MgddPayload;
+use crate::shift::{MmdewNode, MmdewNodeConfig, MmdewPayload};
+
+/// The detector families selectable at runtime (CLI `--detector`,
+/// serve tenant specs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Distributed distance-based deviation detection (paper §7).
+    D3,
+    /// Multi-granular MDEF deviation detection (paper §8).
+    Mgdd,
+    /// MMD-on-exponential-windows change detection (Kalinke et al.).
+    Mmdew,
+    /// Streaming Q_n robust-scale outlier detection (Cafaro et al.).
+    Fqn,
+}
+
+impl BackendKind {
+    /// All selectable kinds, in CLI presentation order.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::D3,
+        BackendKind::Mgdd,
+        BackendKind::Mmdew,
+        BackendKind::Fqn,
+    ];
+
+    /// The CLI/config token for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::D3 => "d3",
+            BackendKind::Mgdd => "mgdd",
+            BackendKind::Mmdew => "mmdew",
+            BackendKind::Fqn => "fqn",
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self, CoreError> {
+        match s {
+            "d3" => Ok(BackendKind::D3),
+            "mgdd" => Ok(BackendKind::Mgdd),
+            "mmdew" => Ok(BackendKind::Mmdew),
+            "fqn" => Ok(BackendKind::Fqn),
+            _ => Err(CoreError::Config(
+                "unknown detector (expected d3|mgdd|mmdew|fqn)",
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A validated recipe for one detector family: builds the per-node
+/// engines and reads their detections back out.
+pub trait DetectorBackend: Clone + Send + Sync + 'static {
+    /// The wire message type exchanged up the hierarchy.
+    type Payload: Wire + Persist + Clone + Send + 'static;
+    /// The per-node engine.
+    type Engine: DetectorEngine<Self::Payload> + Persist + Send + 'static;
+
+    /// Which family this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Validates the recipe's parameters.
+    fn validate(&self) -> Result<(), CoreError>;
+
+    /// Builds the engine for `node` within `topo` (seed-decorrelated).
+    fn make_engine(&self, node: NodeId, topo: &Hierarchy) -> Self::Engine;
+
+    /// The detections an engine has recorded so far.
+    fn detections(engine: &Self::Engine) -> &[Detection];
+}
+
+/// [`DetectorBackend`] recipe for D3.
+#[derive(Debug, Clone)]
+pub struct D3Backend(pub D3Config);
+
+impl DetectorBackend for D3Backend {
+    type Payload = D3Payload;
+    type Engine = D3Node;
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::D3
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        self.0.validate()
+    }
+
+    fn make_engine(&self, node: NodeId, topo: &Hierarchy) -> D3Node {
+        D3Node::new(node, topo, &self.0)
+    }
+
+    fn detections(engine: &D3Node) -> &[Detection] {
+        &engine.detections
+    }
+}
+
+/// [`DetectorBackend`] recipe for MGDD. `broadcast_levels` lists the
+/// tiers whose leaders broadcast their models downward.
+#[derive(Debug, Clone)]
+pub struct MgddBackend {
+    /// The MGDD parameters.
+    pub cfg: MgddConfig,
+    /// Tiers whose leaders broadcast models (1 = leaf tier).
+    pub broadcast_levels: Vec<u8>,
+}
+
+impl DetectorBackend for MgddBackend {
+    type Payload = MgddPayload;
+    type Engine = MgddNode;
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Mgdd
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        self.cfg.validate()
+    }
+
+    fn make_engine(&self, node: NodeId, topo: &Hierarchy) -> MgddNode {
+        MgddNode::new(node, topo, &self.cfg, &self.broadcast_levels)
+    }
+
+    fn detections(engine: &MgddNode) -> &[Detection] {
+        &engine.detections
+    }
+}
+
+/// [`DetectorBackend`] recipe for FQN.
+#[derive(Debug, Clone)]
+pub struct FqnBackend(pub FqnConfig);
+
+impl DetectorBackend for FqnBackend {
+    type Payload = FqnPayload;
+    type Engine = FqnNode;
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Fqn
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        self.0.validate()
+    }
+
+    fn make_engine(&self, node: NodeId, topo: &Hierarchy) -> FqnNode {
+        FqnNode::new(node, topo, &self.0)
+    }
+
+    fn detections(engine: &FqnNode) -> &[Detection] {
+        &engine.detections
+    }
+}
+
+/// [`DetectorBackend`] recipe for MMDEW.
+#[derive(Debug, Clone)]
+pub struct MmdewBackend(pub MmdewNodeConfig);
+
+impl DetectorBackend for MmdewBackend {
+    type Payload = MmdewPayload;
+    type Engine = MmdewNode;
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Mmdew
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        self.0.validate()
+    }
+
+    fn make_engine(&self, node: NodeId, topo: &Hierarchy) -> MmdewNode {
+        MmdewNode::new(node, topo, &self.0)
+    }
+
+    fn detections(engine: &MmdewNode) -> &[Detection] {
+        &engine.detections
+    }
+}
+
+/// Builds the simulated network for any backend without running it.
+pub fn build_backend_network<B: DetectorBackend>(
+    backend: &B,
+    topo: Hierarchy,
+    sim: SimConfig,
+    plan: FaultPlan,
+) -> Result<Network<B::Payload, B::Engine>, CoreError> {
+    backend.validate()?;
+    Ok(Network::new(topo, sim, |node, topo| backend.make_engine(node, topo)).with_fault_plan(plan))
+}
+
+/// Builds the live (wall-clock) runtime over the identical engines.
+pub fn build_backend_live<B: DetectorBackend>(
+    backend: &B,
+    topo: Hierarchy,
+    sim: SimConfig,
+    plan: FaultPlan,
+) -> Result<LiveRuntime<B::Payload, B::Engine>, CoreError> {
+    backend.validate()?;
+    Ok(
+        LiveRuntime::new(topo, sim, |node, topo| backend.make_engine(node, topo))
+            .with_fault_plan(plan),
+    )
+}
+
+/// Runs any backend under a fault schedule: each leaf consumes
+/// `readings_per_leaf` readings from `source`.
+pub fn run_backend_with_faults<B: DetectorBackend, S: StreamSource>(
+    backend: &B,
+    topo: Hierarchy,
+    sim: SimConfig,
+    plan: FaultPlan,
+    source: &mut S,
+    readings_per_leaf: u64,
+) -> Result<Network<B::Payload, B::Engine>, CoreError> {
+    let mut net = build_backend_network(backend, topo, sim, plan)?;
+    net.run(source, readings_per_leaf);
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EstimatorConfig;
+    use snod_outlier::DistanceOutlierConfig;
+
+    fn d3_backend() -> D3Backend {
+        D3Backend(D3Config {
+            estimator: EstimatorConfig::builder()
+                .window(500)
+                .sample_size(64)
+                .seed(7)
+                .build()
+                .unwrap(),
+            rule: DistanceOutlierConfig::new(10.0, 0.02),
+            sample_fraction: 0.5,
+        })
+    }
+
+    fn spiky_source() -> impl FnMut(NodeId, u64) -> Option<Vec<f64>> {
+        |node: NodeId, seq: u64| {
+            if node.0 == 0 && seq % 100 == 99 {
+                Some(vec![0.9])
+            } else {
+                Some(vec![
+                    0.45 + 0.002 * ((seq % 25) as f64) + 0.001 * node.0 as f64,
+                ])
+            }
+        }
+    }
+
+    #[test]
+    fn kind_tokens_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.as_str().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert!("kde".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn generic_build_matches_the_concrete_builder() {
+        // The abstraction must not change behavior: the generic builder
+        // and run_d3 produce bit-identical stats and detections.
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let backend = d3_backend();
+        let mut a = spiky_source();
+        let generic = run_backend_with_faults(
+            &backend,
+            topo.clone(),
+            SimConfig::default(),
+            FaultPlan::none(),
+            &mut a,
+            600,
+        )
+        .unwrap();
+        let mut b = spiky_source();
+        let concrete = crate::d3::run_d3(
+            topo,
+            &backend.0,
+            SimConfig::default(),
+            &mut b,
+            600,
+        )
+        .unwrap();
+        assert_eq!(generic.stats(), concrete.stats());
+        for (node, app) in generic.apps() {
+            assert_eq!(
+                D3Backend::detections(app),
+                &concrete.app(node).detections[..]
+            );
+        }
+        assert_eq!(generic.checkpoint(), concrete.checkpoint());
+    }
+
+    #[test]
+    fn every_backend_runs_end_to_end() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+
+        fn drive<B: DetectorBackend>(backend: &B, topo: Hierarchy) -> usize {
+            let mut source = |node: NodeId, seq: u64| {
+                let base = if seq < 200 { 0.3 } else { 0.7 };
+                if node.0 == 0 && seq % 90 == 89 {
+                    Some(vec![3.0])
+                } else {
+                    Some(vec![
+                        base + 0.01 * ((seq.wrapping_mul(13) + node.0 as u64) % 7) as f64,
+                    ])
+                }
+            };
+            let net = run_backend_with_faults(
+                backend,
+                topo,
+                SimConfig::default(),
+                FaultPlan::none(),
+                &mut source,
+                400,
+            )
+            .unwrap();
+            net.apps().map(|(_, a)| B::detections(a).len()).sum()
+        }
+
+        assert!(drive(&d3_backend(), topo.clone()) > 0, "d3 silent");
+        assert!(
+            drive(&FqnBackend(FqnConfig::default()), topo.clone()) > 0,
+            "fqn silent"
+        );
+        assert!(
+            drive(&MmdewBackend(MmdewNodeConfig::default()), topo) > 0,
+            "mmdew silent"
+        );
+    }
+
+    #[test]
+    fn invalid_recipes_are_rejected() {
+        let topo = Hierarchy::balanced(2, &[2]).unwrap();
+        let fqn = FqnConfig {
+            k_scale: -1.0,
+            ..FqnConfig::default()
+        };
+        assert!(build_backend_network(
+            &FqnBackend(fqn),
+            topo.clone(),
+            SimConfig::default(),
+            FaultPlan::none()
+        )
+        .is_err());
+        let mut mmdew = MmdewNodeConfig::default();
+        mmdew.detector.bucket_cap = 0;
+        assert!(
+            build_backend_live(&MmdewBackend(mmdew), topo, SimConfig::default(), FaultPlan::none())
+                .is_err()
+        );
+    }
+}

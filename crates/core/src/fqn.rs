@@ -1,0 +1,562 @@
+//! FQN — distributed streaming-Q_n outlier detection.
+//!
+//! The D3 protocol with the kernel-density distance rule swapped for the
+//! robust-scale rule of Cafaro et al. (*Fast Detection of Outliers in
+//! Data Streams with the Q_n Estimator*): a reading is an outlier when
+//! any coordinate lands further than `k · Q_n` from the window median,
+//! where `Q_n` is the 50%-breakdown pairwise-difference scale maintained
+//! by [`snod_robust::QnWindow`]. Because Q_n ignores both tails, a
+//! contamination burst cannot inflate the threshold the way it inflates
+//! a σ-scaled rule — the detector keeps flagging through the burst.
+//!
+//! Message protocol, escalation and sample forwarding mirror D3
+//! (`crates/core/src/d3.rs`): leaves test every reading against their
+//! local window *before* admitting it, forward admitted values upward
+//! with probability `f` so leaders build region-level windows, and
+//! escalate flagged values on the reliable channel. Leaders re-check
+//! received escalations against their own window and escalate survivors,
+//! so parent detections stay a subset of child reports (the Theorem-3
+//! containment shape).
+
+use rand::Rng;
+
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
+use snod_robust::QnWindow;
+use snod_simnet::{
+    Ctx, DetectorEngine, FaultPlan, Hierarchy, Network, NodeId, SimConfig, StreamSource, Wire,
+};
+
+use crate::config::CoreError;
+use crate::d3::Detection;
+
+/// Configuration for the FQN detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FqnConfig {
+    /// Dimensionality of the readings.
+    pub dimensions: usize,
+    /// Sliding-window capacity per dimension.
+    pub window: usize,
+    /// Threshold scale `k`: flag when `|x − median| > k · Q_n`.
+    pub k_scale: f64,
+    /// No verdicts until the window holds at least this many values.
+    pub warmup: usize,
+    /// Probability that an admitted reading is forwarded to the parent.
+    pub sample_fraction: f64,
+    /// Base RNG seed (decorrelated per node).
+    pub seed: u64,
+}
+
+impl Default for FqnConfig {
+    fn default() -> Self {
+        Self {
+            dimensions: 1,
+            window: 256,
+            k_scale: 3.0,
+            warmup: 64,
+            sample_fraction: 0.5,
+            seed: 0xF9,
+        }
+    }
+}
+
+impl FqnConfig {
+    /// Validates the parameter ranges.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.dimensions == 0 {
+            return Err(CoreError::Config("fqn dimensions must be positive"));
+        }
+        if self.window < 2 {
+            return Err(CoreError::Config("fqn window must hold at least 2 values"));
+        }
+        if !(self.k_scale > 0.0) || !self.k_scale.is_finite() {
+            return Err(CoreError::Config("fqn k_scale must be positive and finite"));
+        }
+        if self.warmup < 2 || self.warmup > self.window {
+            return Err(CoreError::Config("fqn warmup must be in [2, window]"));
+        }
+        if !(0.0..=1.0).contains(&self.sample_fraction) {
+            return Err(CoreError::Config("fqn sample_fraction must be in [0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+impl Persist for FqnConfig {
+    fn save(&self, w: &mut ByteWriter) {
+        (self.dimensions as u64).save(w);
+        (self.window as u64).save(w);
+        self.k_scale.save(w);
+        (self.warmup as u64).save(w);
+        self.sample_fraction.save(w);
+        self.seed.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let cfg = Self {
+            dimensions: u64::load(r)? as usize,
+            window: u64::load(r)? as usize,
+            k_scale: f64::load(r)?,
+            warmup: u64::load(r)? as usize,
+            sample_fraction: f64::load(r)?,
+            seed: u64::load(r)?,
+        };
+        cfg.validate()
+            .map_err(|_| PersistError::Corrupt("invalid fqn config"))?;
+        Ok(cfg)
+    }
+}
+
+/// FQN wire messages — the same two-message shape as D3.
+#[derive(Debug, Clone)]
+pub enum FqnPayload {
+    /// An admitted value forwarded so the parent's window stays
+    /// representative of the region.
+    SampleValue(Vec<f64>),
+    /// A value flagged by `median ± k·Q_n` at the sender's level.
+    Outlier(Vec<f64>),
+}
+
+impl Wire for FqnPayload {
+    fn size_bytes(&self) -> usize {
+        match self {
+            FqnPayload::SampleValue(v) | FqnPayload::Outlier(v) => v.len() * 2 + 1,
+        }
+    }
+}
+
+impl Persist for FqnPayload {
+    fn save(&self, w: &mut ByteWriter) {
+        match self {
+            FqnPayload::SampleValue(v) => {
+                w.put_u8(0);
+                v.save(w);
+            }
+            FqnPayload::Outlier(v) => {
+                w.put_u8(1);
+                v.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(FqnPayload::SampleValue(Vec::<f64>::load(r)?)),
+            1 => Ok(FqnPayload::Outlier(Vec::<f64>::load(r)?)),
+            _ => Err(PersistError::Corrupt("unknown fqn payload tag")),
+        }
+    }
+}
+
+/// Per-node FQN state: one [`QnWindow`] per dimension.
+pub struct FqnNode {
+    windows: Vec<QnWindow>,
+    cfg: FqnConfig,
+    rng: SeededRng,
+    /// Outliers this node has flagged.
+    pub detections: Vec<Detection>,
+    level: u8,
+}
+
+impl FqnNode {
+    /// Builds the node for `node` within `topo`.
+    pub fn new(node: NodeId, topo: &Hierarchy, cfg: &FqnConfig) -> Self {
+        let level = topo.level_of(node);
+        // Decorrelate RNGs across nodes (same scheme as D3).
+        let seed = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (node.0 as u64);
+        let windows = (0..cfg.dimensions)
+            .map(|_| QnWindow::new(cfg.window).expect("validated window"))
+            .collect();
+        Self {
+            windows,
+            cfg: *cfg,
+            rng: SeededRng::seed_from_u64(seed ^ 0xF9),
+            detections: Vec::new(),
+            level,
+        }
+    }
+
+    /// The per-dimension windows (for post-run inspection).
+    pub fn windows(&self) -> &[QnWindow] {
+        &self.windows
+    }
+
+    /// Verdict for `p` against the current windows: `Some(true)` when any
+    /// coordinate is further than `k·Q_n` from its window median. `None`
+    /// until warm-up completes.
+    pub fn verdict(&self, p: &[f64]) -> Option<bool> {
+        if p.len() != self.cfg.dimensions {
+            return None;
+        }
+        if self.windows[0].len() < self.cfg.warmup {
+            return None;
+        }
+        let mut hit = false;
+        for (w, &x) in self.windows.iter().zip(p.iter()) {
+            if w.is_outlier(x, self.cfg.k_scale) == Some(true) {
+                hit = true;
+            }
+        }
+        Some(hit)
+    }
+
+    /// Admits `p` into the windows. Returns false (and counts) on a
+    /// mis-dimensioned or non-finite reading instead of panicking.
+    fn admit(&mut self, p: &[f64]) -> bool {
+        if p.len() != self.cfg.dimensions || p.iter().any(|x| !x.is_finite()) {
+            snod_obs::counter!("core.bad_readings").incr();
+            return false;
+        }
+        for (w, &x) in self.windows.iter_mut().zip(p.iter()) {
+            w.push(x).expect("finite scalar push");
+        }
+        true
+    }
+
+    /// Checks `p` against this node's windows; records and escalates on
+    /// a hit. Mirrors D3's `check_and_escalate`, including the reliable
+    /// escalation channel.
+    fn check_and_escalate(&mut self, ctx: &mut Ctx<'_, FqnPayload>, p: &[f64]) {
+        match self.verdict(p) {
+            Some(true) => {
+                snod_obs::counter!("core.fqn.scored").incr();
+                snod_obs::counter!("core.fqn.detections").incr();
+                self.detections.push(Detection {
+                    time_ns: ctx.time_ns,
+                    value: p.to_vec(),
+                    level: self.level,
+                });
+                snod_obs::counter!("core.fqn.escalations").incr();
+                ctx.send_parent_reliable(FqnPayload::Outlier(p.to_vec()));
+            }
+            Some(false) => {
+                snod_obs::counter!("core.fqn.scored").incr();
+            }
+            None => {}
+        }
+    }
+}
+
+impl DetectorEngine<FqnPayload> for FqnNode {
+    fn ingest(&mut self, ctx: &mut Ctx<'_, FqnPayload>, value: &[f64]) {
+        // Test against history *excluding* the reading itself, then admit
+        // it — a burst of outliers must not poison its own threshold.
+        self.check_and_escalate(ctx, value);
+        if self.admit(value) && self.rng.gen::<f64>() < self.cfg.sample_fraction {
+            ctx.send_parent(FqnPayload::SampleValue(value.to_vec()));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, FqnPayload>, _from: NodeId, payload: FqnPayload) {
+        match payload {
+            FqnPayload::SampleValue(v) => {
+                if self.admit(&v) && self.rng.gen::<f64>() < self.cfg.sample_fraction {
+                    ctx.send_parent(FqnPayload::SampleValue(v));
+                }
+            }
+            FqnPayload::Outlier(p) => {
+                // Escalations are re-checked but never admitted: flagged
+                // values must not drag the region window toward the tail.
+                self.check_and_escalate(ctx, &p);
+            }
+        }
+    }
+}
+
+impl Persist for FqnNode {
+    fn save(&self, w: &mut ByteWriter) {
+        self.windows.save(w);
+        self.cfg.save(w);
+        self.rng.save(w);
+        self.detections.save(w);
+        self.level.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let node = Self {
+            windows: Vec::<QnWindow>::load(r)?,
+            cfg: FqnConfig::load(r)?,
+            rng: SeededRng::load(r)?,
+            detections: Vec::<Detection>::load(r)?,
+            level: u8::load(r)?,
+        };
+        if node.windows.len() != node.cfg.dimensions {
+            return Err(PersistError::Corrupt("fqn window/dimension mismatch"));
+        }
+        Ok(node)
+    }
+}
+
+/// Runs FQN over `topo`: each leaf consumes `readings_per_leaf` readings
+/// from `source`.
+pub fn run_fqn<S: StreamSource>(
+    topo: Hierarchy,
+    cfg: &FqnConfig,
+    sim: SimConfig,
+    source: &mut S,
+    readings_per_leaf: u64,
+) -> Result<Network<FqnPayload, FqnNode>, CoreError> {
+    run_fqn_with_faults(topo, cfg, sim, FaultPlan::none(), source, readings_per_leaf)
+}
+
+/// Runs FQN under a fault schedule. With [`FaultPlan::none()`] this is
+/// bit-identical to [`run_fqn`].
+pub fn run_fqn_with_faults<S: StreamSource>(
+    topo: Hierarchy,
+    cfg: &FqnConfig,
+    sim: SimConfig,
+    plan: FaultPlan,
+    source: &mut S,
+    readings_per_leaf: u64,
+) -> Result<Network<FqnPayload, FqnNode>, CoreError> {
+    let mut net = build_fqn_network(topo, cfg, sim, plan)?;
+    net.run(source, readings_per_leaf);
+    Ok(net)
+}
+
+/// Builds the FQN network without running it (checkpoint/resume drives
+/// the simulation itself).
+pub fn build_fqn_network(
+    topo: Hierarchy,
+    cfg: &FqnConfig,
+    sim: SimConfig,
+    plan: FaultPlan,
+) -> Result<Network<FqnPayload, FqnNode>, CoreError> {
+    cfg.validate()?;
+    Ok(Network::new(topo, sim, |node, topo| FqnNode::new(node, topo, cfg)).with_fault_plan(plan))
+}
+
+/// Builds the live (wall-clock) runtime over the identical FQN engines.
+pub fn build_fqn_live(
+    topo: Hierarchy,
+    cfg: &FqnConfig,
+    sim: SimConfig,
+    plan: FaultPlan,
+) -> Result<snod_simnet::LiveRuntime<FqnPayload, FqnNode>, CoreError> {
+    cfg.validate()?;
+    Ok(
+        snod_simnet::LiveRuntime::new(topo, sim, |node, topo| FqnNode::new(node, topo, cfg))
+            .with_fault_plan(plan),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> FqnConfig {
+        FqnConfig {
+            dimensions: 1,
+            window: 128,
+            k_scale: 4.0,
+            warmup: 32,
+            sample_fraction: 0.5,
+            seed: 7,
+        }
+    }
+
+    /// 4 leaves emit a tight cluster; leaf 0 occasionally emits a value
+    /// far from everything.
+    fn spiky_source() -> impl FnMut(NodeId, u64) -> Option<Vec<f64>> {
+        |node: NodeId, seq: u64| {
+            if node.0 == 0 && seq % 100 == 99 {
+                Some(vec![0.9])
+            } else {
+                Some(vec![
+                    0.45 + 0.002 * ((seq % 25) as f64) + 0.001 * node.0 as f64,
+                ])
+            }
+        }
+    }
+
+    fn run_small(readings: u64) -> Network<FqnPayload, FqnNode> {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let mut source = spiky_source();
+        run_fqn(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            &mut source,
+            readings,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn leaf_detects_the_injected_outliers() {
+        let net = run_small(600);
+        let leaf0 = net.app(NodeId(0));
+        assert!(
+            !leaf0.detections.is_empty(),
+            "leaf 0 saw injected outliers but flagged none"
+        );
+        assert!(leaf0.detections.iter().all(|d| d.value[0] > 0.8));
+    }
+
+    #[test]
+    fn clean_leaves_stay_silent() {
+        let net = run_small(600);
+        for id in 1..4u32 {
+            let leaf = net.app(NodeId(id));
+            assert!(
+                leaf.detections.is_empty(),
+                "leaf {id} flagged {} values",
+                leaf.detections.len()
+            );
+        }
+    }
+
+    #[test]
+    fn contamination_burst_does_not_silence_the_detector() {
+        // The robust-scale headline: a 10%-contaminated stretch inflates
+        // σ enough to hide later outliers from a mean±kσ rule, but Q_n
+        // (50% breakdown) holds its threshold and keeps flagging.
+        let topo = Hierarchy::balanced(1, &[]).unwrap();
+        let mut source = |_n: NodeId, seq: u64| {
+            if (200..260).contains(&seq) && seq.is_multiple_of(6) {
+                Some(vec![5.0 + 0.01 * (seq % 7) as f64]) // the burst
+            } else if seq % 100 == 99 && seq > 300 {
+                Some(vec![2.0]) // post-burst outliers, milder than the burst
+            } else {
+                Some(vec![0.5 + 0.002 * ((seq % 31) as f64)])
+            }
+        };
+        let net = run_fqn(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            &mut source,
+            800,
+        )
+        .unwrap();
+        let leaf = net.app(NodeId(0));
+        let post_burst_hits = leaf
+            .detections
+            .iter()
+            .filter(|d| (1.5..3.0).contains(&d.value[0]))
+            .count();
+        assert!(
+            post_burst_hits >= 3,
+            "burst inflated the threshold: only {post_burst_hits} post-burst detections"
+        );
+    }
+
+    #[test]
+    fn parent_detections_are_subset_of_child_reports() {
+        let net = run_small(800);
+        let topo = net.topology();
+        for level in 2..=topo.level_count() {
+            for &leader in topo.level(level) {
+                for d in &net.app(leader).detections {
+                    let reported_below = topo.descendant_leaves(leader).iter().any(|&leaf| {
+                        net.app(leaf)
+                            .detections
+                            .iter()
+                            .any(|ld| ld.value == d.value)
+                    });
+                    assert!(reported_below, "parent flagged un-reported value {d:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_is_identical_to_plain_run() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let mut a = spiky_source();
+        let plain =
+            run_fqn(topo.clone(), &test_config(), SimConfig::default(), &mut a, 600).unwrap();
+        let mut b = spiky_source();
+        let faulty = run_fqn_with_faults(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            FaultPlan::none(),
+            &mut b,
+            600,
+        )
+        .unwrap();
+        assert_eq!(plain.stats(), faulty.stats());
+        for (node, app) in plain.apps() {
+            assert_eq!(app.detections, faulty.app(node).detections);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let mut a = spiky_source();
+        let mut straight = build_fqn_network(
+            topo.clone(),
+            &test_config(),
+            SimConfig::default(),
+            FaultPlan::none(),
+        )
+        .unwrap();
+        straight.run(&mut a, 700);
+
+        let mut b = spiky_source();
+        let mut first = build_fqn_network(
+            topo.clone(),
+            &test_config(),
+            SimConfig::default(),
+            FaultPlan::none(),
+        )
+        .unwrap();
+        first.run_until(&mut b, 700, 250_000_000_000);
+        let bytes = first.checkpoint();
+        let mut resumed = build_fqn_network(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            FaultPlan::none(),
+        )
+        .unwrap();
+        resumed.restore(&bytes).unwrap();
+        resumed.run(&mut b, 700);
+
+        assert_eq!(straight.stats(), resumed.stats());
+        for (node, app) in straight.apps() {
+            assert_eq!(app.detections, resumed.app(node).detections);
+        }
+        assert_eq!(straight.checkpoint(), resumed.checkpoint());
+    }
+
+    #[test]
+    fn sample_traffic_feeds_leader_windows() {
+        let net = run_small(500);
+        assert!(net.stats().messages > 0);
+        let root = net.topology().root();
+        assert!(
+            !net.app(root).windows()[0].is_empty(),
+            "root window starved"
+        );
+    }
+
+    #[test]
+    fn zero_sample_fraction_still_detects_locally() {
+        let topo = Hierarchy::balanced(2, &[2]).unwrap();
+        let mut cfg = test_config();
+        cfg.sample_fraction = 0.0;
+        let mut source =
+            |_n: NodeId, seq: u64| Some(vec![if seq % 200 == 199 { 0.95 } else { 0.5 }]);
+        let net = run_fqn(topo, &cfg, SimConfig::default(), &mut source, 400).unwrap();
+        let hits: usize = net
+            .topology()
+            .leaves()
+            .iter()
+            .map(|&l| net.app(l).detections.len())
+            .sum();
+        assert!(hits > 0);
+        let root = net.topology().root();
+        assert!(net.app(root).windows()[0].is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let topo = Hierarchy::balanced(2, &[2]).unwrap();
+        let mut cfg = test_config();
+        cfg.k_scale = 0.0;
+        let mut source = |_: NodeId, _: u64| Some(vec![0.5]);
+        assert!(run_fqn(topo, &cfg, SimConfig::default(), &mut source, 10).is_err());
+    }
+}

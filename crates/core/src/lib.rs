@@ -33,16 +33,23 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod apps;
+mod backend;
 mod centralized;
 mod config;
 mod d3;
 mod estimator;
+mod fqn;
 mod mgdd;
 mod monitor;
 pub mod pipeline;
 mod replica;
+mod shift;
 mod timeslice;
 
+pub use backend::{
+    build_backend_live, build_backend_network, run_backend_with_faults, BackendKind, D3Backend,
+    DetectorBackend, FqnBackend, MgddBackend, MmdewBackend,
+};
 pub use centralized::{
     run_centralized, run_centralized_with_faults, CentralizedNode, CentralizedPayload,
 };
@@ -52,6 +59,10 @@ pub use config::{
 };
 pub use d3::{build_d3_live, build_d3_network, run_d3, run_d3_with_faults, D3Node, D3Payload, Detection};
 pub use estimator::{SensorEstimator, SensorModel};
+pub use fqn::{
+    build_fqn_live, build_fqn_network, run_fqn, run_fqn_with_faults, FqnConfig, FqnNode,
+    FqnPayload,
+};
 pub use mgdd::{
     build_mgdd_live, build_mgdd_network, run_mgdd, run_mgdd_with_faults, run_mgdd_with_levels,
     MgddNode, MgddPayload,
@@ -60,4 +71,8 @@ pub use monitor::{
     run_monitor, run_monitor_with_faults, FaultAlarm, ModelReport, MonitorConfig, MonitorNode,
 };
 pub use replica::IncrementalReplica;
+pub use shift::{
+    build_mmdew_live, build_mmdew_network, run_mmdew, run_mmdew_with_faults, MmdewNode,
+    MmdewNodeConfig, MmdewPayload,
+};
 pub use timeslice::TimeSlicedEstimator;

@@ -14,7 +14,9 @@ use snod_simnet::{DetectorEngine, FaultPlan, Hierarchy, Network, NodeId, SimConf
 use crate::centralized::run_centralized_with_faults;
 use crate::config::{CoreError, D3Config, MgddConfig};
 use crate::d3::{build_d3_network, run_d3_with_faults, Detection};
+use crate::fqn::{build_fqn_network, run_fqn_with_faults, FqnConfig};
 use crate::mgdd::{build_mgdd_network, run_mgdd_with_faults};
+use crate::shift::{build_mmdew_network, run_mmdew_with_faults, MmdewNodeConfig};
 
 /// Which detector the pipeline runs.
 #[derive(Debug, Clone)]
@@ -24,6 +26,10 @@ pub enum Algorithm {
     /// Multi-granular MDEF detection (Section 8), with the given
     /// broadcast levels (empty = top level only).
     Mgdd(MgddConfig, Vec<u8>),
+    /// Streaming Q_n robust-scale detection (median ± k·Q_n).
+    Fqn(FqnConfig),
+    /// MMD-on-exponential-windows distribution-shift detection.
+    Mmdew(MmdewNodeConfig),
     /// The centralized baseline (everything to the root).
     Centralized(snod_outlier::DistanceOutlierConfig, usize),
 }
@@ -225,6 +231,38 @@ impl OutlierPipeline {
                 }
                 net.stats().clone()
             }
+            Algorithm::Fqn(cfg) => {
+                let net = run_fqn_with_faults(
+                    self.topo.clone(),
+                    cfg,
+                    self.sim,
+                    self.plan.clone(),
+                    source,
+                    readings_per_leaf,
+                )?;
+                for (_, app) in net.apps() {
+                    for d in &app.detections {
+                        by_level.entry(d.level).or_default().push(d.clone());
+                    }
+                }
+                net.stats().clone()
+            }
+            Algorithm::Mmdew(cfg) => {
+                let net = run_mmdew_with_faults(
+                    self.topo.clone(),
+                    cfg,
+                    self.sim,
+                    self.plan.clone(),
+                    source,
+                    readings_per_leaf,
+                )?;
+                for (_, app) in net.apps() {
+                    for d in &app.detections {
+                        by_level.entry(d.level).or_default().push(d.clone());
+                    }
+                }
+                net.stats().clone()
+            }
             Algorithm::Centralized(rule, window_per_leaf) => {
                 let net = run_centralized_with_faults(
                     self.topo.clone(),
@@ -251,9 +289,9 @@ impl OutlierPipeline {
 
     /// [`Self::run`] with checkpoint/resume: optionally restores a
     /// snapshot before the first event, optionally writes one mid-run or
-    /// at the end. Only the D3 and MGDD algorithms persist their node
-    /// state; asking for a snapshot of the centralized baseline is a
-    /// configuration error.
+    /// at the end. The D3, MGDD, FQN and MMDEW algorithms persist their
+    /// node state; asking for a snapshot of the centralized baseline is
+    /// a configuration error.
     ///
     /// Stopping at instant `k`, snapshotting, and resuming the file in a
     /// freshly built identical pipeline replays the remainder of the run
@@ -291,8 +329,20 @@ impl OutlierPipeline {
                 drive_checkpointed(&mut net, source, readings_per_leaf, ckpt)?;
                 Ok(report_by_level(&net, |app| app.detections.as_slice()))
             }
+            Algorithm::Fqn(cfg) => {
+                let mut net =
+                    build_fqn_network(self.topo.clone(), cfg, self.sim, self.plan.clone())?;
+                drive_checkpointed(&mut net, source, readings_per_leaf, ckpt)?;
+                Ok(report_by_level(&net, |app| app.detections.as_slice()))
+            }
+            Algorithm::Mmdew(cfg) => {
+                let mut net =
+                    build_mmdew_network(self.topo.clone(), cfg, self.sim, self.plan.clone())?;
+                drive_checkpointed(&mut net, source, readings_per_leaf, ckpt)?;
+                Ok(report_by_level(&net, |app| app.detections.as_slice()))
+            }
             Algorithm::Centralized(..) => Err(CoreError::Config(
-                "checkpoint/resume supports the d3 and mgdd algorithms only",
+                "checkpoint/resume supports the d3, mgdd, fqn and mmdew algorithms only",
             )),
         }
     }

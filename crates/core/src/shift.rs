@@ -1,0 +1,476 @@
+//! MMDEW — distributed distribution-shift detection on exponential
+//! windows.
+//!
+//! Each node runs an [`snod_robust::Mmdew`] change detector (Kalinke et
+//! al., *Maximum Mean Discrepancy on Exponential Windows for Online
+//! Change Detection*) over its arrival stream: leaves over their raw
+//! readings, leaders over the sample traffic forwarded by their
+//! children. When the maximal-margin MMD² split exceeds the kernel-bound
+//! threshold `τ = c·√(1/n + 1/m)`, the node records a [`Detection`]
+//! carrying the triggering reading, prunes its pre-change history, and
+//! escalates a `ChangeAlarm` to its parent on the reliable channel.
+//!
+//! Unlike D3/FQN, leaders do *not* re-check child alarms against their
+//! own model — a distribution shift visible at a leaf may be invisible
+//! in the regional mixture and vice versa. Child alarms are tallied
+//! (`child_alarms`) as corroborating evidence; a leader's own detections
+//! come only from its own MMD statistic over the sample stream.
+
+use rand::Rng;
+
+use snod_persist::{ByteReader, ByteWriter, Persist, PersistError, SeededRng};
+use snod_robust::{Mmdew, MmdewConfig, RobustError};
+use snod_simnet::{
+    Ctx, DetectorEngine, FaultPlan, Hierarchy, Network, NodeId, SimConfig, StreamSource, Wire,
+};
+
+use crate::config::CoreError;
+use crate::d3::Detection;
+
+/// Configuration for the distributed MMDEW detector: the per-node change
+/// detector plus the sample-forwarding fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmdewNodeConfig {
+    /// The per-node change-detector parameters.
+    pub detector: MmdewConfig,
+    /// Probability that an ingested reading is forwarded to the parent.
+    pub sample_fraction: f64,
+}
+
+impl Default for MmdewNodeConfig {
+    fn default() -> Self {
+        Self {
+            detector: MmdewConfig {
+                dimensions: 1,
+                gamma: 8.0,
+                bucket_cap: 32,
+                threshold_scale: 0.6,
+                min_per_side: 16,
+                test_every: 4,
+                seed: 0x33D,
+            },
+            sample_fraction: 0.5,
+        }
+    }
+}
+
+impl MmdewNodeConfig {
+    /// Validates the parameter ranges.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.detector
+            .validate()
+            .map_err(|_| CoreError::Config("invalid mmdew detector config"))?;
+        if !(0.0..=1.0).contains(&self.sample_fraction) {
+            return Err(CoreError::Config(
+                "mmdew sample_fraction must be in [0, 1]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Persist for MmdewNodeConfig {
+    fn save(&self, w: &mut ByteWriter) {
+        self.detector.save(w);
+        self.sample_fraction.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let cfg = Self {
+            detector: MmdewConfig::load(r)?,
+            sample_fraction: f64::load(r)?,
+        };
+        cfg.validate()
+            .map_err(|_| PersistError::Corrupt("invalid mmdew node config"))?;
+        Ok(cfg)
+    }
+}
+
+/// MMDEW wire messages.
+#[derive(Debug, Clone)]
+pub enum MmdewPayload {
+    /// A reading forwarded upward so leaders observe the regional
+    /// mixture.
+    SampleValue(Vec<f64>),
+    /// A distribution-shift alarm, carrying the reading that triggered
+    /// it.
+    ChangeAlarm(Vec<f64>),
+}
+
+impl Wire for MmdewPayload {
+    fn size_bytes(&self) -> usize {
+        match self {
+            MmdewPayload::SampleValue(v) | MmdewPayload::ChangeAlarm(v) => v.len() * 2 + 1,
+        }
+    }
+}
+
+impl Persist for MmdewPayload {
+    fn save(&self, w: &mut ByteWriter) {
+        match self {
+            MmdewPayload::SampleValue(v) => {
+                w.put_u8(0);
+                v.save(w);
+            }
+            MmdewPayload::ChangeAlarm(v) => {
+                w.put_u8(1);
+                v.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(MmdewPayload::SampleValue(Vec::<f64>::load(r)?)),
+            1 => Ok(MmdewPayload::ChangeAlarm(Vec::<f64>::load(r)?)),
+            _ => Err(PersistError::Corrupt("unknown mmdew payload tag")),
+        }
+    }
+}
+
+/// Per-node MMDEW state.
+pub struct MmdewNode {
+    det: Mmdew,
+    cfg: MmdewNodeConfig,
+    rng: SeededRng,
+    /// Distribution shifts this node has flagged.
+    pub detections: Vec<Detection>,
+    child_alarms: u64,
+    level: u8,
+}
+
+impl MmdewNode {
+    /// Builds the node for `node` within `topo`.
+    pub fn new(node: NodeId, topo: &Hierarchy, cfg: &MmdewNodeConfig) -> Self {
+        let level = topo.level_of(node);
+        let mut det_cfg = cfg.detector;
+        // Decorrelate subsampling RNGs across nodes (same scheme as D3).
+        det_cfg.seed = det_cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (node.0 as u64);
+        Self {
+            det: Mmdew::new(det_cfg).expect("validated detector config"),
+            cfg: *cfg,
+            rng: SeededRng::seed_from_u64(det_cfg.seed ^ 0x33D),
+            detections: Vec::new(),
+            child_alarms: 0,
+            level,
+        }
+    }
+
+    /// The node's change detector (for post-run inspection).
+    pub fn detector(&self) -> &Mmdew {
+        &self.det
+    }
+
+    /// Alarms received from children (corroborating evidence, not
+    /// re-checked — see the module docs).
+    pub fn child_alarms(&self) -> u64 {
+        self.child_alarms
+    }
+
+    /// Feeds `value` to the change detector; on an alarm, records a
+    /// detection and escalates on the reliable channel.
+    fn observe(&mut self, ctx: &mut Ctx<'_, MmdewPayload>, value: &[f64]) {
+        snod_obs::counter!("core.mmdew.scored").incr();
+        match self.det.insert(value) {
+            Ok(Some(_event)) => {
+                snod_obs::counter!("core.mmdew.detections").incr();
+                self.detections.push(Detection {
+                    time_ns: ctx.time_ns,
+                    value: value.to_vec(),
+                    level: self.level,
+                });
+                snod_obs::counter!("core.mmdew.escalations").incr();
+                ctx.send_parent_reliable(MmdewPayload::ChangeAlarm(value.to_vec()));
+            }
+            Ok(None) => {}
+            // Mis-dimensioned or non-finite readings are dropped and
+            // counted rather than crashing the node mid-simulation.
+            Err(RobustError::Dimension { .. }) | Err(RobustError::NonFinite) => {
+                snod_obs::counter!("core.bad_readings").incr();
+            }
+            Err(RobustError::BadConfig(_)) => unreachable!("config validated at build"),
+        }
+    }
+}
+
+impl DetectorEngine<MmdewPayload> for MmdewNode {
+    fn ingest(&mut self, ctx: &mut Ctx<'_, MmdewPayload>, value: &[f64]) {
+        self.observe(ctx, value);
+        if self.rng.gen::<f64>() < self.cfg.sample_fraction {
+            ctx.send_parent(MmdewPayload::SampleValue(value.to_vec()));
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, MmdewPayload>,
+        _from: NodeId,
+        payload: MmdewPayload,
+    ) {
+        match payload {
+            MmdewPayload::SampleValue(v) => {
+                self.observe(ctx, &v);
+                if self.rng.gen::<f64>() < self.cfg.sample_fraction {
+                    ctx.send_parent(MmdewPayload::SampleValue(v));
+                }
+            }
+            MmdewPayload::ChangeAlarm(_) => {
+                snod_obs::counter!("core.mmdew.child_alarms").incr();
+                self.child_alarms += 1;
+            }
+        }
+    }
+}
+
+impl Persist for MmdewNode {
+    fn save(&self, w: &mut ByteWriter) {
+        self.det.save(w);
+        self.cfg.save(w);
+        self.rng.save(w);
+        self.detections.save(w);
+        self.child_alarms.save(w);
+        self.level.save(w);
+    }
+
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            det: Mmdew::load(r)?,
+            cfg: MmdewNodeConfig::load(r)?,
+            rng: SeededRng::load(r)?,
+            detections: Vec::<Detection>::load(r)?,
+            child_alarms: u64::load(r)?,
+            level: u8::load(r)?,
+        })
+    }
+}
+
+/// Runs MMDEW over `topo`: each leaf consumes `readings_per_leaf`
+/// readings from `source`.
+pub fn run_mmdew<S: StreamSource>(
+    topo: Hierarchy,
+    cfg: &MmdewNodeConfig,
+    sim: SimConfig,
+    source: &mut S,
+    readings_per_leaf: u64,
+) -> Result<Network<MmdewPayload, MmdewNode>, CoreError> {
+    run_mmdew_with_faults(topo, cfg, sim, FaultPlan::none(), source, readings_per_leaf)
+}
+
+/// Runs MMDEW under a fault schedule. With [`FaultPlan::none()`] this is
+/// bit-identical to [`run_mmdew`].
+pub fn run_mmdew_with_faults<S: StreamSource>(
+    topo: Hierarchy,
+    cfg: &MmdewNodeConfig,
+    sim: SimConfig,
+    plan: FaultPlan,
+    source: &mut S,
+    readings_per_leaf: u64,
+) -> Result<Network<MmdewPayload, MmdewNode>, CoreError> {
+    let mut net = build_mmdew_network(topo, cfg, sim, plan)?;
+    net.run(source, readings_per_leaf);
+    Ok(net)
+}
+
+/// Builds the MMDEW network without running it (checkpoint/resume drives
+/// the simulation itself).
+pub fn build_mmdew_network(
+    topo: Hierarchy,
+    cfg: &MmdewNodeConfig,
+    sim: SimConfig,
+    plan: FaultPlan,
+) -> Result<Network<MmdewPayload, MmdewNode>, CoreError> {
+    cfg.validate()?;
+    Ok(Network::new(topo, sim, |node, topo| MmdewNode::new(node, topo, cfg)).with_fault_plan(plan))
+}
+
+/// Builds the live (wall-clock) runtime over the identical MMDEW
+/// engines.
+pub fn build_mmdew_live(
+    topo: Hierarchy,
+    cfg: &MmdewNodeConfig,
+    sim: SimConfig,
+    plan: FaultPlan,
+) -> Result<snod_simnet::LiveRuntime<MmdewPayload, MmdewNode>, CoreError> {
+    cfg.validate()?;
+    Ok(
+        snod_simnet::LiveRuntime::new(topo, sim, |node, topo| MmdewNode::new(node, topo, cfg))
+            .with_fault_plan(plan),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> MmdewNodeConfig {
+        MmdewNodeConfig {
+            detector: MmdewConfig {
+                dimensions: 1,
+                gamma: 8.0,
+                bucket_cap: 16,
+                threshold_scale: 0.6,
+                min_per_side: 8,
+                test_every: 4,
+                seed: 7,
+            },
+            sample_fraction: 0.5,
+        }
+    }
+
+    /// All leaves shift their mean at reading 300.
+    fn shifting_source() -> impl FnMut(NodeId, u64) -> Option<Vec<f64>> {
+        |node: NodeId, seq: u64| {
+            let base = if seq < 300 { 0.2 } else { 0.8 };
+            Some(vec![base + 0.01 * ((seq.wrapping_mul(7) + node.0 as u64) % 5) as f64])
+        }
+    }
+
+    #[test]
+    fn leaves_alarm_after_the_shift() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let mut source = shifting_source();
+        let net = run_mmdew(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            &mut source,
+            600,
+        )
+        .unwrap();
+        for &leaf in net.topology().leaves() {
+            let hits = &net.app(leaf).detections;
+            assert!(!hits.is_empty(), "leaf {leaf:?} missed the mean shift");
+            // All alarms fire on post-shift readings.
+            assert!(hits.iter().all(|d| d.value[0] > 0.5), "{hits:?}");
+        }
+    }
+
+    #[test]
+    fn stationary_stream_stays_quiet() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let mut source = |node: NodeId, seq: u64| {
+            Some(vec![
+                0.5 + 0.01 * ((seq.wrapping_mul(11) + node.0 as u64) % 7) as f64,
+            ])
+        };
+        let net = run_mmdew(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            &mut source,
+            800,
+        )
+        .unwrap();
+        let total: usize = net.apps().map(|(_, a)| a.detections.len()).sum();
+        assert_eq!(total, 0, "false alarms on a stationary stream");
+    }
+
+    #[test]
+    fn alarms_reach_the_parent_tally() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let mut source = shifting_source();
+        let net = run_mmdew(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            &mut source,
+            600,
+        )
+        .unwrap();
+        let tally: u64 = net
+            .topology()
+            .level(2)
+            .iter()
+            .map(|&n| net.app(n).child_alarms())
+            .sum();
+        assert!(tally > 0, "no leaf alarm reached a leader");
+    }
+
+    #[test]
+    fn fault_free_plan_is_identical_to_plain_run() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let mut a = shifting_source();
+        let plain = run_mmdew(
+            topo.clone(),
+            &test_config(),
+            SimConfig::default(),
+            &mut a,
+            600,
+        )
+        .unwrap();
+        let mut b = shifting_source();
+        let faulty = run_mmdew_with_faults(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            FaultPlan::none(),
+            &mut b,
+            600,
+        )
+        .unwrap();
+        assert_eq!(plain.stats(), faulty.stats());
+        for (node, app) in plain.apps() {
+            assert_eq!(app.detections, faulty.app(node).detections);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let topo = Hierarchy::balanced(4, &[2, 2]).unwrap();
+        let mut a = shifting_source();
+        let mut straight = build_mmdew_network(
+            topo.clone(),
+            &test_config(),
+            SimConfig::default(),
+            FaultPlan::none(),
+        )
+        .unwrap();
+        straight.run(&mut a, 600);
+
+        let mut b = shifting_source();
+        let mut first = build_mmdew_network(
+            topo.clone(),
+            &test_config(),
+            SimConfig::default(),
+            FaultPlan::none(),
+        )
+        .unwrap();
+        first.run_until(&mut b, 600, 200_000_000_000);
+        let bytes = first.checkpoint();
+        let mut resumed = build_mmdew_network(
+            topo,
+            &test_config(),
+            SimConfig::default(),
+            FaultPlan::none(),
+        )
+        .unwrap();
+        resumed.restore(&bytes).unwrap();
+        resumed.run(&mut b, 600);
+
+        assert_eq!(straight.stats(), resumed.stats());
+        for (node, app) in straight.apps() {
+            assert_eq!(app.detections, resumed.app(node).detections);
+            assert_eq!(app.child_alarms(), resumed.app(node).child_alarms());
+        }
+        assert_eq!(straight.checkpoint(), resumed.checkpoint());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let topo = Hierarchy::balanced(2, &[2]).unwrap();
+        let mut cfg = test_config();
+        cfg.detector.gamma = 0.0;
+        let mut source = |_: NodeId, _: u64| Some(vec![0.5]);
+        assert!(run_mmdew(topo, &cfg, SimConfig::default(), &mut source, 10).is_err());
+        let mut cfg2 = test_config();
+        cfg2.sample_fraction = 1.5;
+        assert!(run_mmdew(
+            Hierarchy::balanced(2, &[2]).unwrap(),
+            &cfg2,
+            SimConfig::default(),
+            &mut source,
+            10
+        )
+        .is_err());
+    }
+}

@@ -3,7 +3,10 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use snod_core::{build_d3_live, D3Config, D3Node, D3Payload, EstimatorConfig};
+use snod_core::{
+    build_backend_live, build_d3_live, BackendKind, D3Backend, D3Config, D3Node, D3Payload,
+    DetectorBackend, EstimatorConfig, FqnBackend, FqnConfig, MmdewBackend, MmdewNodeConfig,
+};
 use snod_engine::{FaultPlan, Hierarchy, LiveRuntime, SimConfig};
 use snod_outlier::DistanceOutlierConfig;
 
@@ -11,9 +14,12 @@ use crate::error::ServeError;
 
 /// Detector parameters stamped onto every tenant the daemon creates.
 ///
-/// Each tenant runs its own D3 hierarchy (default: a single node — one
-/// sensor stream scored against its own model; multi-leaf tenants get
-/// the full leaf/leader escalation protocol).
+/// Each tenant runs its own detector hierarchy (default: a single node
+/// — one sensor stream scored against its own model; multi-leaf tenants
+/// get the full leaf/leader escalation protocol). The `detector` field
+/// picks the backend: D3's kernel-density distance rule (the default),
+/// FQN's robust `median ± k·Q_n` rule, or MMDEW distribution-shift
+/// alarms.
 #[derive(Debug, Clone)]
 pub struct TenantSpec {
     /// Leaf sensors per tenant.
@@ -29,13 +35,21 @@ pub struct TenantSpec {
     pub radius: f64,
     /// Distance-outlier neighbor threshold `t`.
     pub min_neighbors: f64,
-    /// D3 sample-forwarding fraction `f`.
+    /// Sample-forwarding fraction `f`.
     pub sample_fraction: f64,
     /// Base RNG seed (decorrelated per node, as everywhere else).
     pub seed: u64,
     /// Stream period: reading `seq` of a leaf carries stream time
     /// `phase + seq·period`.
     pub reading_period_ns: u64,
+    /// Which detector backend every tenant runs. The daemon supports
+    /// `D3`, `Fqn` and `Mmdew` (MGDD needs MDEF parameters the spec
+    /// does not carry).
+    pub detector: BackendKind,
+    /// FQN threshold scale: flag when `|x − median| > k·Q_n`.
+    pub k_scale: f64,
+    /// MMDEW threshold scale `c` in `τ = c·√(1/n + 1/m)`.
+    pub threshold_scale: f64,
 }
 
 impl Default for TenantSpec {
@@ -50,6 +64,9 @@ impl Default for TenantSpec {
             sample_fraction: 0.5,
             seed: 7,
             reading_period_ns: 1_000_000_000,
+            detector: BackendKind::D3,
+            k_scale: 4.0,
+            threshold_scale: 0.6,
         }
     }
 }
@@ -84,8 +101,48 @@ impl TenantSpec {
         }
     }
 
-    /// Builds one tenant runtime (used both by the daemon's workers and
-    /// by the in-process reference side of the differential tests).
+    /// The derived FQN configuration.
+    pub fn fqn_config(&self) -> Result<FqnConfig, ServeError> {
+        let cfg = FqnConfig {
+            dimensions: 1,
+            window: self.window,
+            k_scale: self.k_scale,
+            warmup: self.sample_size.clamp(2, self.window),
+            sample_fraction: self.sample_fraction,
+            seed: self.seed,
+        };
+        cfg.validate()
+            .map_err(|e| ServeError::Config(format!("tenant fqn config: {e}")))?;
+        Ok(cfg)
+    }
+
+    /// The derived MMDEW configuration.
+    pub fn mmdew_config(&self) -> Result<MmdewNodeConfig, ServeError> {
+        let mut cfg = MmdewNodeConfig::default();
+        cfg.detector.threshold_scale = self.threshold_scale;
+        cfg.detector.seed = self.seed;
+        cfg.sample_fraction = self.sample_fraction;
+        cfg.validate()
+            .map_err(|e| ServeError::Config(format!("tenant mmdew config: {e}")))?;
+        Ok(cfg)
+    }
+
+    /// Validates the spec for the configured detector without building
+    /// a runtime (the daemon calls this once at startup).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        self.topology()?;
+        match self.detector {
+            BackendKind::D3 => self.d3_config().map(|_| ()),
+            BackendKind::Fqn => self.fqn_config().map(|_| ()),
+            BackendKind::Mmdew => self.mmdew_config().map(|_| ()),
+            BackendKind::Mgdd => Err(ServeError::Config(
+                "serve tenants support the d3, fqn and mmdew detectors".into(),
+            )),
+        }
+    }
+
+    /// Builds one D3 tenant runtime (used both by the daemon's workers
+    /// and by the in-process reference side of the differential tests).
     pub fn build_runtime(&self) -> Result<LiveRuntime<D3Payload, D3Node>, ServeError> {
         build_d3_live(
             self.topology()?,
@@ -94,6 +151,30 @@ impl TenantSpec {
             FaultPlan::none(),
         )
         .map_err(|e| ServeError::Config(format!("tenant runtime: {e}")))
+    }
+
+    /// Builds one tenant runtime for an arbitrary backend recipe.
+    pub fn build_backend_runtime<B: DetectorBackend>(
+        &self,
+        backend: &B,
+    ) -> Result<LiveRuntime<B::Payload, B::Engine>, ServeError> {
+        build_backend_live(backend, self.topology()?, self.sim_config(), FaultPlan::none())
+            .map_err(|e| ServeError::Config(format!("tenant runtime: {e}")))
+    }
+
+    /// The D3 backend recipe for this spec.
+    pub fn d3_backend(&self) -> Result<D3Backend, ServeError> {
+        Ok(D3Backend(self.d3_config()?))
+    }
+
+    /// The FQN backend recipe for this spec.
+    pub fn fqn_backend(&self) -> Result<FqnBackend, ServeError> {
+        Ok(FqnBackend(self.fqn_config()?))
+    }
+
+    /// The MMDEW backend recipe for this spec.
+    pub fn mmdew_backend(&self) -> Result<MmdewBackend, ServeError> {
+        Ok(MmdewBackend(self.mmdew_config()?))
     }
 }
 
@@ -176,6 +257,52 @@ mod tests {
         let rt = spec.build_runtime().expect("builds");
         assert_eq!(rt.topology().leaves().len(), 4);
         assert!(rt.topology().node_count() > 4);
+    }
+
+    #[test]
+    fn every_supported_detector_validates_and_builds() {
+        for kind in [BackendKind::D3, BackendKind::Fqn, BackendKind::Mmdew] {
+            let spec = TenantSpec {
+                detector: kind,
+                leaves: 2,
+                fanouts: vec![2],
+                ..TenantSpec::default()
+            };
+            spec.validate().expect("valid spec");
+        }
+        let spec = TenantSpec {
+            detector: BackendKind::Mgdd,
+            ..TenantSpec::default()
+        };
+        assert!(spec.validate().is_err(), "mgdd tenants are unsupported");
+        let spec = TenantSpec {
+            detector: BackendKind::Fqn,
+            k_scale: -1.0,
+            ..TenantSpec::default()
+        };
+        assert!(spec.validate().is_err(), "bad k_scale accepted");
+    }
+
+    #[test]
+    fn backend_runtimes_build_for_fqn_and_mmdew() {
+        let spec = TenantSpec {
+            detector: BackendKind::Fqn,
+            ..TenantSpec::default()
+        };
+        let rt = spec
+            .build_backend_runtime(&spec.fqn_backend().unwrap())
+            .expect("fqn runtime");
+        assert_eq!(rt.topology().node_count(), 1);
+        let spec = TenantSpec {
+            detector: BackendKind::Mmdew,
+            leaves: 4,
+            fanouts: vec![2, 2],
+            ..TenantSpec::default()
+        };
+        let rt = spec
+            .build_backend_runtime(&spec.mmdew_backend().unwrap())
+            .expect("mmdew runtime");
+        assert_eq!(rt.topology().leaves().len(), 4);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 use crate::config::{valid_tenant_name, ServeConfig};
 use crate::error::ServeError;
 use crate::stats::{DaemonStats, EscalationLog, EscalationRecord, ServeStats};
-use crate::tenant::{ConnSink, TenantMsg, TenantShared, Worker, WorkerConfig};
+use crate::tenant::{spawn_worker, ConnSink, TenantMsg, TenantShared, WorkerConfig};
 use crate::wire::{encode_frame, error_code, FrameDecoder, Msg};
 
 pub(crate) struct TenantEntry {
@@ -84,7 +84,7 @@ impl Inner {
     fn spawn_entry(self: &Arc<Self>, name: &str, sinks: Vec<ConnSink>) -> TenantEntry {
         let (tx, rx) = mpsc::sync_channel::<TenantMsg>(self.cfg.queue_capacity.max(1));
         let shared = Arc::new(TenantShared::default());
-        let worker = Worker::new(
+        let join = spawn_worker(
             name.to_string(),
             self.worker_config(name),
             rx,
@@ -93,10 +93,6 @@ impl Inner {
             Arc::clone(&self.esc_log),
             self.epoch,
         );
-        let join = std::thread::Builder::new()
-            .name(format!("snod-tenant-{name}"))
-            .spawn(move || worker.run())
-            .expect("spawn tenant worker");
         for sink in &sinks {
             let _ = tx.try_send(TenantMsg::Attach(sink.clone()));
         }
@@ -210,7 +206,7 @@ pub struct ServerHandle {
 /// listener when configured), spawns the accept loop and the
 /// supervisor sweep, and returns immediately.
 pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
-    cfg.tenant.build_runtime()?; // validate the tenant template up front
+    cfg.tenant.validate()?; // validate the tenant template up front
     if let Some(dir) = &cfg.checkpoint_dir {
         std::fs::create_dir_all(dir)?;
     }

@@ -34,13 +34,38 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use snod_core::{D3Node, D3Payload};
+use snod_core::{BackendKind, D3Backend, DetectorBackend, FqnBackend, MmdewBackend};
 use snod_engine::{IngestBuffer, LiveRuntime, NodeId, PushOutcome};
 use snod_persist::{ByteReader, ByteWriter, Persist};
 
 use crate::config::TenantSpec;
+use crate::error::ServeError;
 use crate::stats::{DaemonStats, EscalationLog, EscalationRecord};
 use crate::wire::Msg;
+
+/// A [`DetectorBackend`] the daemon knows how to derive from a
+/// [`TenantSpec`].
+pub(crate) trait TenantBackend: DetectorBackend {
+    fn from_spec(spec: &TenantSpec) -> Result<Self, ServeError>;
+}
+
+impl TenantBackend for D3Backend {
+    fn from_spec(spec: &TenantSpec) -> Result<Self, ServeError> {
+        spec.d3_backend()
+    }
+}
+
+impl TenantBackend for FqnBackend {
+    fn from_spec(spec: &TenantSpec) -> Result<Self, ServeError> {
+        spec.fqn_backend()
+    }
+}
+
+impl TenantBackend for MmdewBackend {
+    fn from_spec(spec: &TenantSpec) -> Result<Self, ServeError> {
+        spec.mmdew_backend()
+    }
+}
 
 /// A connection's outbound frame queue, as seen by a worker: `handle`
 /// is what this connection calls the tenant, `tx` feeds the
@@ -98,11 +123,49 @@ pub(crate) struct WorkerConfig {
     pub checkpoint_interval: Duration,
 }
 
-pub(crate) struct Worker {
+/// Spawns the worker thread for `cfg.spec`'s configured backend. The
+/// dispatch happens here, once, at tenant creation; everything past
+/// this point is monomorphized over the backend.
+pub(crate) fn spawn_worker(
     name: String,
     cfg: WorkerConfig,
     rx: Receiver<TenantMsg>,
-    rt: LiveRuntime<D3Payload, D3Node>,
+    shared: Arc<TenantShared>,
+    stats: Arc<DaemonStats>,
+    esc_log: Arc<EscalationLog>,
+    epoch: Instant,
+) -> std::thread::JoinHandle<()> {
+    fn spawn_typed<B: TenantBackend>(
+        name: String,
+        cfg: WorkerConfig,
+        rx: Receiver<TenantMsg>,
+        shared: Arc<TenantShared>,
+        stats: Arc<DaemonStats>,
+        esc_log: Arc<EscalationLog>,
+        epoch: Instant,
+    ) -> std::thread::JoinHandle<()> {
+        let worker = Worker::<B>::new(name.clone(), cfg, rx, shared, stats, esc_log, epoch);
+        std::thread::Builder::new()
+            .name(format!("snod-tenant-{name}"))
+            .spawn(move || worker.run())
+            .expect("spawn tenant worker")
+    }
+    match cfg.spec.detector {
+        BackendKind::D3 => spawn_typed::<D3Backend>(name, cfg, rx, shared, stats, esc_log, epoch),
+        BackendKind::Fqn => spawn_typed::<FqnBackend>(name, cfg, rx, shared, stats, esc_log, epoch),
+        BackendKind::Mmdew => {
+            spawn_typed::<MmdewBackend>(name, cfg, rx, shared, stats, esc_log, epoch)
+        }
+        // Rejected by TenantSpec::validate when the daemon started.
+        BackendKind::Mgdd => unreachable!("mgdd tenants rejected at daemon startup"),
+    }
+}
+
+pub(crate) struct Worker<B: TenantBackend> {
+    name: String,
+    cfg: WorkerConfig,
+    rx: Receiver<TenantMsg>,
+    rt: LiveRuntime<B::Payload, B::Engine>,
     buf: IngestBuffer,
     /// Per-node count of detections already pushed to subscribers and
     /// the escalation log (persisted, so a warm restart does not replay
@@ -123,7 +186,7 @@ pub(crate) struct Worker {
     finish_sent: bool,
 }
 
-impl Worker {
+impl<B: TenantBackend> Worker<B> {
     /// Builds the worker, restoring from its checkpoint file when one
     /// exists. A checkpoint that fails to restore (torn write from a
     /// crash mid-rename cannot happen — writes are atomic — but a
@@ -139,9 +202,11 @@ impl Worker {
         esc_log: Arc<EscalationLog>,
         epoch: Instant,
     ) -> Self {
+        let backend =
+            B::from_spec(&cfg.spec).expect("tenant spec validated when the daemon started");
         let rt = cfg
             .spec
-            .build_runtime()
+            .build_backend_runtime(&backend)
             .expect("tenant spec validated when the daemon started");
         let leaves = rt.topology().leaves().to_vec();
         let n_leaves = leaves.len();
@@ -295,7 +360,7 @@ impl Worker {
             TenantMsg::Query(sink) => {
                 let mut rows = Vec::new();
                 for (node, engine) in self.rt.engines() {
-                    for d in &engine.detections {
+                    for d in B::detections(engine) {
                         rows.push((node.0, d.time_ns, d.level, d.value.clone()));
                     }
                 }
@@ -352,7 +417,7 @@ impl Worker {
         let mut fresh: Vec<(u32, u64, u8, Vec<f64>)> = Vec::new();
         for (node, engine) in self.rt.engines() {
             let seen = self.pushed[node.index()] as usize;
-            for d in &engine.detections[seen..] {
+            for d in &B::detections(engine)[seen..] {
                 fresh.push((node.0, d.time_ns, d.level, d.value.clone()));
             }
         }
@@ -360,7 +425,7 @@ impl Worker {
             return;
         }
         for (node, engine) in self.rt.engines() {
-            self.pushed[node.index()] = engine.detections.len() as u64;
+            self.pushed[node.index()] = B::detections(engine).len() as u64;
         }
         for (node, time_ns, level, _) in &fresh {
             snod_obs::counter!("serve.escalations").incr();

@@ -67,6 +67,54 @@ pub fn reference_detections(
     out
 }
 
+/// Deterministic piecewise-stationary readings: every leaf's mean jumps
+/// from 0.2 to 0.8 at `shift_at` (MMDEW's bread and butter).
+pub fn shifted_rows(
+    spec: &TenantSpec,
+    per_leaf: u64,
+    shift_at: u64,
+    seed: u64,
+) -> Vec<(u32, u64, Vec<f64>)> {
+    let topo = spec.topology().expect("test topology");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for &leaf in topo.leaves() {
+        for seq in 0..per_leaf {
+            let base = if seq < shift_at { 0.2 } else { 0.8 };
+            let v = base + 0.02 * (rng.gen::<f64>() - 0.5);
+            rows.push((leaf.0, seq, vec![v]));
+        }
+    }
+    rows
+}
+
+/// [`reference_detections`] for an arbitrary backend recipe: the same
+/// spec run in-process through the generic builder the daemon's
+/// workers use.
+pub fn reference_backend_detections<B: snod_core::DetectorBackend>(
+    spec: &TenantSpec,
+    backend: &B,
+    rows: &[(u32, u64, Vec<f64>)],
+    per_leaf: u64,
+) -> Vec<DetRow> {
+    let mut rt = spec
+        .build_backend_runtime(backend)
+        .expect("reference runtime");
+    let table: std::collections::HashMap<(u32, u64), Vec<f64>> = rows
+        .iter()
+        .map(|(n, s, v)| ((*n, *s), v.clone()))
+        .collect();
+    let mut source = |node: snod_engine::NodeId, seq: u64| table.get(&(node.0, seq)).cloned();
+    rt.run(&mut source, per_leaf);
+    let mut out = Vec::new();
+    for (node, engine) in rt.engines() {
+        for d in B::detections(engine) {
+            out.push((node.0, d.time_ns, d.level, d.value.clone()));
+        }
+    }
+    out
+}
+
 /// Per-leaf totals for a Finish frame.
 pub fn totals(spec: &TenantSpec, per_leaf: u64) -> Vec<(u32, u64)> {
     spec.topology()

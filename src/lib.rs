@@ -18,9 +18,13 @@
 //!   brute-force baselines, precision/recall scoring.
 //! * [`simnet`] — a discrete-event sensor-network simulator with the
 //!   paper's tiered virtual-grid hierarchy and message/energy accounting.
+//! * [`robust`] — robust/non-parametric detector substrates beyond the
+//!   paper: the streaming Q_n scale estimator and MMDEW, MMD-based
+//!   change detection over exponential windows.
 //! * [`core`] — the paper's algorithms D3 (distributed distance-based
-//!   deviation detection) and MGDD (multi-granular MDEF detection), plus
-//!   the centralized baseline and the §9 applications.
+//!   deviation detection) and MGDD (multi-granular MDEF detection), the
+//!   centralized baseline and §9 applications, plus the pluggable
+//!   [`core::DetectorBackend`] recipes (D3, MGDD, FQN, MMDEW).
 //! * [`data`] — the evaluation workloads: the synthetic Gaussian-mixture
 //!   streams and calibrated stand-ins for the paper's proprietary engine
 //!   and Pacific-Northwest environmental datasets.
@@ -69,5 +73,6 @@ pub use snod_data as data;
 pub use snod_density as density;
 pub use snod_outlier as outlier;
 pub use snod_persist as persist;
+pub use snod_robust as robust;
 pub use snod_simnet as simnet;
 pub use snod_sketch as sketch;

@@ -9,8 +9,9 @@
 //! so the matrix is stable across `rand` versions and platforms.
 
 use sensor_outliers::core::{
-    build_mgdd_network, run_d3_with_faults, run_mgdd_with_faults, D3Config, EstimatorConfig,
-    MgddConfig, UpdateStrategy,
+    build_mgdd_network, run_d3_with_faults, run_fqn_with_faults, run_mgdd_with_faults,
+    run_mmdew_with_faults, D3Config, EstimatorConfig, FqnConfig, MgddConfig, MmdewNodeConfig,
+    UpdateStrategy,
 };
 use sensor_outliers::outlier::{DistanceOutlierConfig, MdefConfig};
 use sensor_outliers::simnet::{
@@ -129,6 +130,107 @@ fn d3_matrix_stays_sound_at_every_cell() {
                 .map(|&l| net.app(l).detections.len())
                 .sum();
             assert!(leaf_detections > 0, "{cell}: leaves went blind");
+        }
+    }
+}
+
+/// The FQN row: the robust-scale detector shares D3's escalation
+/// protocol, so its soundness claim is the same containment — a leader
+/// only ever records values some leaf flagged first (parents re-check
+/// escalations but never admit them into their own windows).
+#[test]
+fn fqn_matrix_stays_sound_at_every_cell() {
+    for seed in SEEDS {
+        let topo = topo();
+        for (label, plan) in fault_levels(&topo, seed) {
+            let cfg = FqnConfig {
+                dimensions: 1,
+                window: 128,
+                k_scale: 4.0,
+                warmup: 32,
+                sample_fraction: 0.5,
+                seed,
+            };
+            let sim = SimConfig::default().with_reliability(RetryPolicy::default());
+            let mut src = source_for(seed);
+            let net = run_fqn_with_faults(topo.clone(), &cfg, sim, plan, &mut src, READINGS)
+                .expect("valid config");
+            let cell = format!("fqn/seed {seed}/{label}");
+            assert_accounting_consistent(&cell, net.stats());
+
+            let leaf_keys: std::collections::HashSet<Vec<u64>> = net
+                .apps()
+                .flat_map(|(_, app)| app.detections.iter())
+                .filter(|d| d.level == 1)
+                .map(|d| d.value.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            for (_, app) in net.apps() {
+                for d in app.detections.iter().filter(|d| d.level > 1) {
+                    let key: Vec<u64> = d.value.iter().map(|v| v.to_bits()).collect();
+                    assert!(leaf_keys.contains(&key), "{cell}: unsound escalation");
+                }
+            }
+
+            let leaf_detections: usize = topo
+                .leaves()
+                .iter()
+                .map(|&l| net.app(l).detections.len())
+                .sum();
+            assert!(leaf_detections > 0, "{cell}: leaves went blind");
+        }
+    }
+}
+
+/// A piecewise-stationary workload for the MMDEW row: every leaf's mean
+/// jumps between 0.2 and 0.8 every 250 readings.
+fn shifting_source_for(seed: u64) -> impl FnMut(NodeId, u64) -> Option<Vec<f64>> {
+    move |node: NodeId, seq: u64| {
+        let h = (node.0 as u64 * 1_000_003) ^ seq.wrapping_mul(7_919 + seed);
+        let base = if (seq / 250).is_multiple_of(2) { 0.2 } else { 0.8 };
+        Some(vec![base + 0.02 * ((h % 1_009) as f64 / 1_009.0)])
+    }
+}
+
+/// The MMDEW row: change alarms are local verdicts (a parent tallies
+/// child alarms but never re-checks them), so the structural claims are
+/// accounting consistency, leaves still alarming on the planted shifts
+/// at every severity, and the tally never exceeding what was escalated.
+#[test]
+fn mmdew_matrix_keeps_alarming_at_every_cell() {
+    for seed in SEEDS {
+        let topo = topo();
+        for (label, plan) in fault_levels(&topo, seed) {
+            let mut cfg = MmdewNodeConfig::default();
+            cfg.detector.seed = seed;
+            let sim = SimConfig::default().with_reliability(RetryPolicy::default());
+            let mut src = shifting_source_for(seed);
+            let net = run_mmdew_with_faults(topo.clone(), &cfg, sim, plan, &mut src, READINGS)
+                .expect("valid config");
+            let cell = format!("mmdew/seed {seed}/{label}");
+            assert_accounting_consistent(&cell, net.stats());
+
+            // Leaves observe their own stream, so the planted shifts
+            // must keep raising alarms whatever the network is doing.
+            let leaf_detections: usize = topo
+                .leaves()
+                .iter()
+                .map(|&l| net.app(l).detections.len())
+                .sum();
+            assert!(leaf_detections > 0, "{cell}: leaves went blind to the shift");
+
+            // Every tallied child alarm corresponds to a detection some
+            // non-root node escalated — the tally can lag (frames still
+            // in flight, crashed parents) but never run ahead.
+            let escalated: u64 = net
+                .apps()
+                .filter(|(n, _)| topo.parent(*n).is_some())
+                .map(|(_, app)| app.detections.len() as u64)
+                .sum();
+            let tallied: u64 = net.apps().map(|(_, app)| app.child_alarms()).sum();
+            assert!(
+                tallied <= escalated,
+                "{cell}: {tallied} alarms tallied but only {escalated} escalated"
+            );
         }
     }
 }

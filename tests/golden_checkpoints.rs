@@ -18,8 +18,9 @@
 //! `SNOD_REGEN_GOLDENS=1 cargo test --test golden_checkpoints`
 
 use sensor_outliers::core::{
-    build_d3_network, build_mgdd_network, D3Config, D3Node, D3Payload, EstimatorConfig, MgddConfig,
-    MgddNode, MgddPayload, UpdateStrategy,
+    build_d3_network, build_fqn_network, build_mgdd_network, build_mmdew_network, D3Config, D3Node,
+    D3Payload, EstimatorConfig, FqnConfig, FqnNode, FqnPayload, MgddConfig, MgddNode, MgddPayload,
+    MmdewNode, MmdewNodeConfig, MmdewPayload, UpdateStrategy,
 };
 use sensor_outliers::outlier::{DistanceOutlierConfig, MdefConfig};
 use sensor_outliers::persist::{crc32, decode_checkpoint, FORMAT_VERSION, HEADER_LEN, MAGIC};
@@ -78,6 +79,24 @@ fn mgdd_net() -> Network<MgddPayload, MgddNode> {
     build_mgdd_network(t, &cfg, SimConfig::default(), FaultPlan::none(), &[top]).unwrap()
 }
 
+fn fqn_net() -> Network<FqnPayload, FqnNode> {
+    let cfg = FqnConfig {
+        dimensions: 1,
+        window: 128,
+        k_scale: 4.0,
+        warmup: 32,
+        sample_fraction: 0.5,
+        seed: 21,
+    };
+    build_fqn_network(topo(), &cfg, SimConfig::default(), FaultPlan::none()).unwrap()
+}
+
+fn mmdew_net() -> Network<MmdewPayload, MmdewNode> {
+    let mut cfg = MmdewNodeConfig::default();
+    cfg.detector.seed = 21;
+    build_mmdew_network(topo(), &cfg, SimConfig::default(), FaultPlan::none()).unwrap()
+}
+
 /// The checkpoint an interrupted run would have written at `CUT_NS`.
 fn fresh_d3_checkpoint() -> Vec<u8> {
     let mut net = d3_net();
@@ -91,6 +110,18 @@ fn fresh_mgdd_checkpoint() -> Vec<u8> {
     net.checkpoint()
 }
 
+fn fresh_fqn_checkpoint() -> Vec<u8> {
+    let mut net = fqn_net();
+    net.run_until(&mut source, READINGS, CUT_NS);
+    net.checkpoint()
+}
+
+fn fresh_mmdew_checkpoint() -> Vec<u8> {
+    let mut net = mmdew_net();
+    net.run_until(&mut source, READINGS, CUT_NS);
+    net.checkpoint()
+}
+
 fn regenerating() -> bool {
     std::env::var("SNOD_REGEN_GOLDENS").is_ok()
 }
@@ -100,6 +131,8 @@ fn golden_bytes_are_stable_without_a_version_bump() {
     for (name, fresh) in [
         ("d3.ckpt", fresh_d3_checkpoint()),
         ("mgdd.ckpt", fresh_mgdd_checkpoint()),
+        ("fqn.ckpt", fresh_fqn_checkpoint()),
+        ("mmdew.ckpt", fresh_mmdew_checkpoint()),
     ] {
         let path = golden_path(name);
         if regenerating() {
@@ -122,7 +155,7 @@ fn golden_bytes_are_stable_without_a_version_bump() {
 
 #[test]
 fn golden_headers_carry_the_current_version() {
-    for name in ["d3.ckpt", "mgdd.ckpt"] {
+    for name in ["d3.ckpt", "mgdd.ckpt", "fqn.ckpt", "mmdew.ckpt"] {
         if regenerating() {
             continue;
         }
@@ -181,6 +214,52 @@ fn golden_mgdd_resume_matches_uninterrupted_run() {
     resumed.run_until(&mut source, READINGS, u64::MAX);
 
     let mut uninterrupted = mgdd_net();
+    uninterrupted.run(&mut source, READINGS);
+
+    assert_eq!(uninterrupted.stats(), resumed.stats());
+    for (node, app) in uninterrupted.apps() {
+        assert_eq!(
+            app.detections,
+            resumed.app(node).detections,
+            "node {node:?} diverged after golden resume"
+        );
+    }
+}
+
+#[test]
+fn golden_fqn_resume_matches_uninterrupted_run() {
+    if regenerating() {
+        return;
+    }
+    let bytes = std::fs::read(golden_path("fqn.ckpt")).expect("golden exists");
+    let mut resumed = fqn_net();
+    resumed.restore(&bytes).unwrap();
+    resumed.run_until(&mut source, READINGS, u64::MAX);
+
+    let mut uninterrupted = fqn_net();
+    uninterrupted.run(&mut source, READINGS);
+
+    assert_eq!(uninterrupted.stats(), resumed.stats());
+    for (node, app) in uninterrupted.apps() {
+        assert_eq!(
+            app.detections,
+            resumed.app(node).detections,
+            "node {node:?} diverged after golden resume"
+        );
+    }
+}
+
+#[test]
+fn golden_mmdew_resume_matches_uninterrupted_run() {
+    if regenerating() {
+        return;
+    }
+    let bytes = std::fs::read(golden_path("mmdew.ckpt")).expect("golden exists");
+    let mut resumed = mmdew_net();
+    resumed.restore(&bytes).unwrap();
+    resumed.run_until(&mut source, READINGS, u64::MAX);
+
+    let mut uninterrupted = mmdew_net();
     uninterrupted.run(&mut source, READINGS);
 
     assert_eq!(uninterrupted.stats(), resumed.stats());

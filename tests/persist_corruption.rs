@@ -3,16 +3,25 @@
 //! half-restored network. Table-driven: each row names a mutation of
 //! the committed golden bytes and the error class it must map to.
 
-use sensor_outliers::core::{build_d3_network, D3Config, D3Node, D3Payload, EstimatorConfig};
+use sensor_outliers::core::{
+    build_d3_network, build_fqn_network, build_mmdew_network, D3Config, D3Node, D3Payload,
+    EstimatorConfig, FqnConfig, FqnNode, FqnPayload, MmdewNode, MmdewNodeConfig, MmdewPayload,
+};
 use sensor_outliers::outlier::DistanceOutlierConfig;
 use sensor_outliers::persist::{
     crc32, decode_checkpoint, PersistError, FORMAT_VERSION, HEADER_LEN,
 };
 use sensor_outliers::simnet::{FaultPlan, Hierarchy, Network, NodeId, SimConfig};
 
-fn golden_bytes() -> Vec<u8> {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/d3.ckpt");
+fn golden(name: &str) -> Vec<u8> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name);
     std::fs::read(path).expect("golden checkpoint exists (tests/golden_checkpoints.rs regenerates)")
+}
+
+fn golden_bytes() -> Vec<u8> {
+    golden("d3.ckpt")
 }
 
 /// Patches the header checksum to match the (mutated) payload, so a
@@ -47,7 +56,10 @@ fn classify(err: &PersistError) -> Expect {
 }
 
 fn mutations() -> Vec<(&'static str, Vec<u8>, Expect)> {
-    let golden = golden_bytes();
+    mutations_of(golden_bytes())
+}
+
+fn mutations_of(golden: Vec<u8>) -> Vec<(&'static str, Vec<u8>, Expect)> {
     let n = golden.len();
     // -- Truncations ---------------------------------------------------
     let mut rows: Vec<(&'static str, Vec<u8>, Expect)> = vec![
@@ -139,44 +151,92 @@ fn net() -> Network<D3Payload, D3Node> {
     .unwrap()
 }
 
+fn fqn_net() -> Network<FqnPayload, FqnNode> {
+    let cfg = FqnConfig {
+        dimensions: 1,
+        window: 128,
+        k_scale: 4.0,
+        warmup: 32,
+        sample_fraction: 0.5,
+        seed: 21,
+    };
+    build_fqn_network(
+        Hierarchy::balanced(4, &[2, 2]).unwrap(),
+        &cfg,
+        SimConfig::default(),
+        FaultPlan::none(),
+    )
+    .unwrap()
+}
+
+fn mmdew_net() -> Network<MmdewPayload, MmdewNode> {
+    let mut cfg = MmdewNodeConfig::default();
+    cfg.detector.seed = 21;
+    build_mmdew_network(
+        Hierarchy::balanced(4, &[2, 2]).unwrap(),
+        &cfg,
+        SimConfig::default(),
+        FaultPlan::none(),
+    )
+    .unwrap()
+}
+
 fn source(node: NodeId, seq: u64) -> Option<Vec<f64>> {
     let h = node.0 as u64 * 1_000_003 + seq * 7_919;
     Some(vec![0.3 + 0.2 * ((h % 1_000) as f64 / 1_000.0)])
 }
 
-#[test]
-fn every_mutation_yields_a_typed_error_no_panic() {
-    for (label, bytes, expect) in mutations() {
+/// Runs the full mutation table over one golden, restoring each
+/// mutant via `restore` (a fresh network per attempt).
+fn run_gauntlet(
+    tag: &str,
+    golden: Vec<u8>,
+    restore: impl Fn(&[u8]) -> Result<(), PersistError>,
+) {
+    for (label, bytes, expect) in mutations_of(golden) {
         // Envelope-level decode.
         let enveloped = decode_checkpoint(&bytes);
         // Full restore into a real network: must error, never panic.
-        let restored = net().restore(&bytes);
+        let restored = restore(&bytes);
         let err = match (enveloped, restored) {
             (Err(e), Err(_)) => e,
-            (env, res) => {
-                // Deep-payload CRC-patched mutations may pass the
-                // envelope but must still fail the restore (or, for a
-                // lucky flip in dead padding, restore cleanly — the
-                // only mutation class where that is acceptable is a
-                // crc-patched one, because the envelope is honest).
-                match res {
-                    Err(e) => e,
-                    Ok(()) => {
-                        assert!(
-                            label.starts_with("crc-patched") && env.is_ok(),
-                            "{label}: decoded cleanly yet should have failed"
-                        );
-                        continue;
-                    }
+            (env, res) => match res {
+                Err(e) => e,
+                Ok(()) => {
+                    assert!(
+                        label.starts_with("crc-patched") && env.is_ok(),
+                        "{tag}/{label}: decoded cleanly yet should have failed"
+                    );
+                    continue;
                 }
-            }
+            },
         };
         let got = classify(&err);
         assert!(
             expect == Expect::AnyTyped || got == expect,
-            "{label}: expected {expect:?}, got {got:?} ({err})"
+            "{tag}/{label}: expected {expect:?}, got {got:?} ({err})"
         );
     }
+}
+
+// Deep-payload CRC-patched mutations may pass the envelope but must
+// still fail the restore (or, for a lucky flip in dead padding, restore
+// cleanly — the only mutation class where that is acceptable, because
+// the envelope is honest). `run_gauntlet` encodes that contract.
+
+#[test]
+fn every_mutation_yields_a_typed_error_no_panic() {
+    run_gauntlet("d3", golden_bytes(), |b| net().restore(b));
+}
+
+#[test]
+fn fqn_golden_survives_the_same_gauntlet() {
+    run_gauntlet("fqn", golden("fqn.ckpt"), |b| fqn_net().restore(b));
+}
+
+#[test]
+fn mmdew_golden_survives_the_same_gauntlet() {
+    run_gauntlet("mmdew", golden("mmdew.ckpt"), |b| mmdew_net().restore(b));
 }
 
 #[test]

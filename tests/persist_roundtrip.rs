@@ -13,6 +13,7 @@ use sensor_outliers::density::{
     DensityModel, EquiDepthHistogram, GridHistogram, Kde, Kde1d, WaveletHistogram,
 };
 use sensor_outliers::persist::Persist;
+use sensor_outliers::robust::{Mmdew, MmdewConfig, QnWindow};
 use sensor_outliers::sketch::{
     ChainSampler, ExpHistogram, GkSketch, ReservoirSampler, SlidingWindow, WindowedQuantile,
     WindowedVariance,
@@ -254,6 +255,66 @@ proptest! {
             live.neighborhood_count(&[q], r).unwrap().to_bits(),
             restored.neighborhood_count(&[q], r).unwrap().to_bits()
         );
+    }
+
+    /// Streaming Q_n window: the median, the Q_n scale and every
+    /// outlier verdict stay bit-identical through an arbitrary suffix
+    /// (evictions included).
+    #[test]
+    fn qn_window_round_trips(
+        prefix in unit_values(200),
+        suffix in unit_values(200),
+        capacity in 4usize..64,
+        k in 1.0f64..6.0,
+    ) {
+        let mut live = QnWindow::new(capacity).unwrap();
+        for &v in &prefix {
+            live.push(v).unwrap();
+        }
+        let mut restored = round_trip(&live);
+        prop_assert_eq!(live.values().collect::<Vec<_>>(), restored.values().collect::<Vec<_>>());
+        for &v in &suffix {
+            live.push(v).unwrap();
+            restored.push(v).unwrap();
+            prop_assert_eq!(live.is_outlier(v * 3.0, k), restored.is_outlier(v * 3.0, k));
+        }
+        prop_assert_eq!(live.median().map(f64::to_bits), restored.median().map(f64::to_bits));
+        prop_assert_eq!(live.qn().map(f64::to_bits), restored.qn().map(f64::to_bits));
+        prop_assert_eq!(live.len(), restored.len());
+    }
+
+    /// MMDEW change detector: the bucket cascade, the RNG-derived
+    /// kernel state and future alarm decisions survive a restore.
+    #[test]
+    fn mmdew_round_trips(
+        prefix in unit_values(200),
+        suffix in unit_values(200),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = MmdewConfig {
+            dimensions: 1,
+            gamma: 8.0,
+            bucket_cap: 16,
+            threshold_scale: 0.6,
+            min_per_side: 8,
+            test_every: 4,
+            seed,
+        };
+        let mut live = Mmdew::new(cfg).unwrap();
+        for &v in &prefix {
+            live.insert(&[v]).unwrap();
+        }
+        let mut restored = round_trip(&live);
+        prop_assert_eq!(live.buckets(), restored.buckets());
+        prop_assert_eq!(live.evaluate(), restored.evaluate());
+        for &v in &suffix {
+            // Future split decisions (and hence alarms) must agree.
+            prop_assert_eq!(live.insert(&[v]).unwrap(), restored.insert(&[v]).unwrap());
+        }
+        prop_assert_eq!(live.inserts(), restored.inserts());
+        prop_assert_eq!(live.alarms(), restored.alarms());
+        prop_assert_eq!(live.retained(), restored.retained());
+        prop_assert_eq!(live.evaluate(), restored.evaluate());
     }
 
     /// Histogram baselines and the wavelet synopsis: every query
